@@ -1,0 +1,19 @@
+//! # atom-apps
+//!
+//! The two applications the Atom paper targets (§5), built on the public API
+//! of [`atom_core`]:
+//!
+//! * [`microblog`] — anonymous microblogging: fixed-length posts are routed
+//!   through Atom and published on a bulletin board.
+//! * [`dialing`] — a Vuvuzela/Alpenhorn-style dialing protocol: users send
+//!   sealed key-exchange requests to per-recipient mailboxes, with
+//!   differentially-private dummy traffic hiding call volumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dialing;
+pub mod microblog;
+
+pub use dialing::{DialIdentity, Mailboxes, PAPER_DIAL_LEN};
+pub use microblog::{run_microblog_round, BulletinBoard, Post, PAPER_POST_LEN};

@@ -1,0 +1,21 @@
+//! # atom-baselines
+//!
+//! Working, simplified reimplementations of the systems Atom is compared
+//! against in Table 12 of the paper, plus the calibrated cost models used by
+//! the comparison harness:
+//!
+//! * [`riposte`] — a two-server DPF-based anonymous microblogging write path
+//!   (Riposte, IEEE S&P 2015) whose per-server work is quadratic in the
+//!   number of messages.
+//! * [`vuvuzela`] — a centralized three-server onion/shuffle dialing pipeline
+//!   (Vuvuzela SOSP 2015 / Alpenhorn OSDI 2016) whose per-message cost is a
+//!   few hybrid-crypto operations but which only scales vertically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod riposte;
+pub mod vuvuzela;
+
+pub use riposte::{riposte_latency_seconds, RiposteServer};
+pub use vuvuzela::{vuvuzela_latency_seconds, VuvuzelaChain};

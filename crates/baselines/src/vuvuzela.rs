@@ -1,0 +1,158 @@
+//! A Vuvuzela/Alpenhorn-style centralized dialing baseline (SOSP 2015 /
+//! OSDI 2016), the comparison systems of Table 12.
+//!
+//! Both systems route every dialing message through a fixed chain of three
+//! anytrust servers. Each server strips one layer of (cheap, hybrid) onion
+//! encryption, shuffles its whole batch, and adds differentially-private
+//! dummy messages; the last server deposits the requests into dead-drop
+//! mailboxes. Because *every* message passes through *every* server, the
+//! system scales only vertically — the property Atom is designed to escape —
+//! but the per-message work is a few symmetric operations plus one
+//! exponentiation per layer, so for a million users on three large machines
+//! it is faster than Atom (the 56× figure in Table 12).
+
+use rand::seq::SliceRandom;
+use rand::{CryptoRng, RngCore};
+
+use atom_crypto::cca2::{self, HybridCiphertext};
+use atom_crypto::elgamal::{KeyPair, PublicKey, SecretKey};
+use atom_crypto::CryptoError;
+
+/// The fixed server chain of the baseline.
+pub struct VuvuzelaChain {
+    /// The three (or more) servers' keypairs, in onion order.
+    pub servers: Vec<KeyPair>,
+}
+
+/// A dialing request addressed to a mailbox.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DialDrop {
+    /// Destination mailbox.
+    pub mailbox: u64,
+    /// Opaque request payload (e.g. a sealed sender key).
+    pub payload: Vec<u8>,
+}
+
+impl VuvuzelaChain {
+    /// Creates a chain of `servers` servers (the paper's deployments use 3).
+    pub fn new<R: RngCore + CryptoRng>(servers: usize, rng: &mut R) -> Self {
+        Self {
+            servers: (0..servers).map(|_| KeyPair::generate(rng)).collect(),
+        }
+    }
+
+    /// Onion-encrypts a dialing request for the chain: innermost layer for
+    /// the last server, outermost for the first.
+    pub fn wrap<R: RngCore + CryptoRng>(
+        &self,
+        drop: &DialDrop,
+        rng: &mut R,
+    ) -> Vec<u8> {
+        let mut body = Vec::with_capacity(8 + drop.payload.len());
+        body.extend_from_slice(&drop.mailbox.to_le_bytes());
+        body.extend_from_slice(&drop.payload);
+        for server in self.servers.iter().rev() {
+            body = cca2::encrypt(&server.public, b"vuvuzela-layer", &body, rng).to_bytes();
+        }
+        body
+    }
+
+    /// One server's processing step: peel a layer off every message and
+    /// shuffle the batch.
+    pub fn server_step<R: RngCore + CryptoRng>(
+        secret: &SecretKey,
+        public: &PublicKey,
+        batch: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<u8>>, CryptoError> {
+        let mut peeled = Vec::with_capacity(batch.len());
+        for onion in batch {
+            let ct = HybridCiphertext::from_bytes(onion)?;
+            peeled.push(cca2::decrypt(secret, public, b"vuvuzela-layer", &ct)?);
+        }
+        peeled.shuffle(rng);
+        Ok(peeled)
+    }
+
+    /// Runs the whole chain over a batch of wrapped requests and returns the
+    /// dead drops.
+    pub fn run<R: RngCore + CryptoRng>(
+        &self,
+        batch: Vec<Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<Vec<DialDrop>, CryptoError> {
+        let mut current = batch;
+        for server in &self.servers {
+            current = Self::server_step(&server.secret, &server.public, &current, rng)?;
+        }
+        Ok(current
+            .into_iter()
+            .filter_map(|body| {
+                if body.len() < 8 {
+                    return None;
+                }
+                Some(DialDrop {
+                    mailbox: u64::from_le_bytes(body[..8].try_into().unwrap()),
+                    payload: body[8..].to_vec(),
+                })
+            })
+            .collect())
+    }
+}
+
+/// Estimated wall-clock seconds for a Vuvuzela/Alpenhorn dialing round with
+/// `messages` messages: three sequential servers, each doing one hybrid
+/// decryption per message, parallelized over `cores`.
+pub fn vuvuzela_latency_seconds(
+    messages: u64,
+    hybrid_ops_per_second: f64,
+    servers: u64,
+    cores: u64,
+) -> f64 {
+    (messages as f64 * servers as f64) / (hybrid_ops_per_second * cores as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_delivers_all_requests() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let chain = VuvuzelaChain::new(3, &mut rng);
+        let drops: Vec<DialDrop> = (0..8u64)
+            .map(|i| DialDrop {
+                mailbox: i % 4,
+                payload: vec![i as u8; 48],
+            })
+            .collect();
+        let wrapped: Vec<Vec<u8>> = drops.iter().map(|d| chain.wrap(d, &mut rng)).collect();
+        let mut delivered = chain.run(wrapped, &mut rng).unwrap();
+        delivered.sort_by_key(|d| d.payload.clone());
+        let mut expected = drops.clone();
+        expected.sort_by_key(|d| d.payload.clone());
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn tampered_onion_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let chain = VuvuzelaChain::new(3, &mut rng);
+        let drop = DialDrop {
+            mailbox: 1,
+            payload: vec![7u8; 16],
+        };
+        let mut wrapped = chain.wrap(&drop, &mut rng);
+        wrapped[40] ^= 1;
+        assert!(chain.run(vec![wrapped], &mut rng).is_err());
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_messages() {
+        let one = vuvuzela_latency_seconds(1_000_000, 50_000.0, 3, 36);
+        let two = vuvuzela_latency_seconds(2_000_000, 50_000.0, 3, 36);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion benchmark for Table 4: DKG-based anytrust group setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_crypto::dkg::{run_dkg, DkgParams};
+
+fn bench_group_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_group_setup");
+    group.sample_size(10);
+    for size in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let params = DkgParams::anytrust(size).unwrap();
+            let mut rng = StdRng::seed_from_u64(size as u64);
+            b.iter(|| run_dkg(&params, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_setup);
+criterion_main!(benches);

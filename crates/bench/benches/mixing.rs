@@ -1,0 +1,52 @@
+//! Criterion benchmark for Fig. 5/6: one group mixing iteration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use atom_bench::fixtures::{bench_rng, group_with_batch};
+use atom_core::config::Defense;
+use atom_core::group::{group_mix_iteration, GroupStepOptions};
+
+fn bench_mixing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_mixing_iteration");
+    group.sample_size(10);
+    for messages in [32usize, 128] {
+        for defense in [Defense::Trap, Defense::Nizk] {
+            let label = match defense {
+                Defense::Trap => "trap",
+                Defense::Nizk => "nizk",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, messages),
+                &messages,
+                |b, &messages| {
+                    let (setup, grp, batch, padded) = group_with_batch(defense, 4, messages);
+                    let next = setup.groups[1].public_key;
+                    let participating = grp.participating(&[]).unwrap();
+                    let options = GroupStepOptions::new(defense);
+                    b.iter_batched(
+                        || batch.clone(),
+                        |batch| {
+                            let mut rng = bench_rng();
+                            group_mix_iteration(
+                                &grp,
+                                &participating,
+                                batch,
+                                &[next],
+                                padded,
+                                &options,
+                                None,
+                                &mut rng,
+                            )
+                            .unwrap()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the Table 3 primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_crypto::elgamal::{encrypt, encrypt_message, reencrypt, shuffle, KeyPair};
+use atom_crypto::encoding::encode_message;
+use atom_crypto::nizk::enc::{prove_encryption, verify_encryption};
+use atom_crypto::nizk::shuffle::{prove_shuffle, verify_shuffle};
+use atom_crypto::RistrettoPoint;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng);
+    let next = KeyPair::generate(&mut rng);
+    let point = RistrettoPoint::random(&mut rng);
+    let (ct, _) = encrypt(&kp.public, &point, &mut rng);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    group.bench_function("enc", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| encrypt(&kp.public, &point, &mut rng))
+    });
+    group.bench_function("reenc", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| reencrypt(&kp.secret.0, Some(&next.public), &ct, &mut rng))
+    });
+
+    let batch: Vec<_> = (0..64)
+        .map(|i| {
+            let points = encode_message(&[i as u8]).unwrap();
+            encrypt_message(&kp.public, &points, &mut rng).0
+        })
+        .collect();
+    group.bench_function("shuffle_64", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| shuffle(&kp.public, &batch, &mut rng).unwrap())
+    });
+    group.bench_function("shufproof_prove_64", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter_batched(
+            || shuffle(&kp.public, &batch, &mut rng).unwrap(),
+            |(outputs, witness)| {
+                let mut rng = StdRng::seed_from_u64(6);
+                prove_shuffle(&kp.public, &batch, &outputs, &witness, &mut rng).unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("shufproof_verify_64", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (outputs, witness) = shuffle(&kp.public, &batch, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &batch, &outputs, &witness, &mut rng).unwrap();
+        b.iter(|| verify_shuffle(&kp.public, &batch, &outputs, &proof).unwrap())
+    });
+
+    let points = encode_message(b"bench").unwrap();
+    let (msg_ct, randomness) = encrypt_message(&kp.public, &points, &mut rng);
+    group.bench_function("encproof_prove", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| prove_encryption(&kp.public, 0, &msg_ct, &randomness, &mut rng).unwrap())
+    });
+    let proof = prove_encryption(&kp.public, 0, &msg_ct, &randomness, &mut rng).unwrap();
+    group.bench_function("encproof_verify", |b| {
+        b.iter(|| verify_encryption(&kp.public, 0, &msg_ct, &proof).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

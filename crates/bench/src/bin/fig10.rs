@@ -1,0 +1,6 @@
+//! Reproduces Figure 10: horizontal scalability, 128-1024 servers.
+use atom_sim::PrimitiveCosts;
+fn main() {
+    let costs = PrimitiveCosts::measure(if atom_bench::full_mode() { 512 } else { 128 });
+    atom_bench::print_fig10(&costs, &[128, 256, 512, 1024]);
+}

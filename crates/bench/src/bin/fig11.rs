@@ -1,0 +1,6 @@
+//! Reproduces Figure 11: simulated speed-up for 2^10-2^15 servers.
+use atom_sim::PrimitiveCosts;
+fn main() {
+    let costs = PrimitiveCosts::measure(if atom_bench::full_mode() { 512 } else { 128 });
+    atom_bench::print_fig11(&costs, &[10, 11, 12, 13, 14, 15]);
+}

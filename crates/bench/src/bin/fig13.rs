@@ -1,0 +1,4 @@
+//! Reproduces Figure 13 (Appendix B): group size vs fault-tolerance parameter.
+fn main() {
+    atom_bench::print_fig13(20);
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 5: mixing-iteration time vs number of messages.
+fn main() {
+    if atom_bench::full_mode() {
+        atom_bench::print_fig5(32, &[128, 512, 2048, 8192, 16384]);
+    } else {
+        atom_bench::print_fig5(8, &[64, 128, 256, 512]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 6: mixing-iteration time vs group size.
+fn main() {
+    if atom_bench::full_mode() {
+        atom_bench::print_fig6(1024, &[4, 8, 16, 32, 64]);
+    } else {
+        atom_bench::print_fig6(128, &[4, 8, 16, 32]);
+    }
+}

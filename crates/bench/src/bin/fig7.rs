@@ -1,0 +1,8 @@
+//! Reproduces Figure 7: speed-up vs number of cores.
+fn main() {
+    if atom_bench::full_mode() {
+        atom_bench::print_fig7(8, 1024, &[4, 8, 16, 36]);
+    } else {
+        atom_bench::print_fig7(4, 256, &[1, 2, 4]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Reproduces Figure 9: end-to-end latency vs number of messages.
+use atom_sim::PrimitiveCosts;
+fn main() {
+    let costs = if atom_bench::full_mode() {
+        PrimitiveCosts::measure(512)
+    } else {
+        PrimitiveCosts::measure(128)
+    };
+    println!("calibrated costs: {costs:?}");
+    atom_bench::print_fig9(
+        &costs,
+        &[250_000, 500_000, 750_000, 1_000_000, 1_500_000, 2_000_000],
+    );
+}

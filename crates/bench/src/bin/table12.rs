@@ -1,0 +1,6 @@
+//! Reproduces Table 12: comparison against Riposte, Vuvuzela and Alpenhorn.
+use atom_sim::PrimitiveCosts;
+fn main() {
+    let costs = PrimitiveCosts::measure(if atom_bench::full_mode() { 512 } else { 128 });
+    atom_bench::print_table12(&costs);
+}

@@ -1,0 +1,5 @@
+//! Reproduces Table 3: cryptographic primitive latencies.
+fn main() {
+    let batch = if atom_bench::full_mode() { 1024 } else { 256 };
+    atom_bench::print_table3(batch);
+}

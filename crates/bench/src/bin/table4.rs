@@ -1,0 +1,9 @@
+//! Reproduces Table 4: anytrust group setup latency vs group size.
+fn main() {
+    let sizes: &[usize] = if atom_bench::full_mode() {
+        &[4, 8, 16, 32, 64]
+    } else {
+        &[4, 8, 16, 32]
+    };
+    atom_bench::print_table4(sizes);
+}

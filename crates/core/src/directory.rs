@@ -1,0 +1,227 @@
+//! Round setup: the directory's view of servers, groups and trustees.
+//!
+//! A fault-tolerant cluster of "directory authorities" maintains the list of
+//! participating servers and their keys (§2.1). At the beginning of every
+//! round, groups are formed from a public randomness beacon (§4.1), each
+//! group runs the dealer-less DKG to establish its (threshold) group key
+//! (§4.5), buddy groups are assigned, and — in the trap variant — an extra
+//! anytrust group of *trustees* generates the per-round inner-ciphertext key
+//! (§4.4).
+
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use atom_crypto::dkg::{run_dkg, DkgParams, DkgShare};
+use atom_crypto::elgamal::PublicKey;
+use atom_topology::groups::{assign_buddies, form_groups};
+
+use crate::config::AtomConfig;
+use crate::error::{AtomError, AtomResult};
+
+/// A group of servers together with its threshold key material.
+///
+/// The `shares` vector is position-indexed: `shares[p]` is held by the server
+/// `members[p]`. In a real deployment each server holds only its own share;
+/// keeping them together here lets tests and the orchestrator play every
+/// role.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupContext {
+    /// The group id (node id in the permutation network).
+    pub id: usize,
+    /// Global server ids of the members, in protocol order (§4.7 staggering).
+    pub members: Vec<usize>,
+    /// Each member's DKG output.
+    pub shares: Vec<DkgShare>,
+    /// The group public key.
+    pub public_key: PublicKey,
+    /// Number of members that must participate to decrypt (`k − (h−1)`).
+    pub threshold: usize,
+}
+
+impl GroupContext {
+    /// Selects the members that will run this round's mixing: the first
+    /// `threshold` members that have not failed (§4.5 — only `k − (h−1)`
+    /// members need to participate). Returns their 1-based share indices.
+    pub fn participating(&self, failed_servers: &[usize]) -> AtomResult<Vec<u64>> {
+        let alive: Vec<u64> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, server)| !failed_servers.contains(server))
+            .map(|(position, _)| (position + 1) as u64)
+            .collect();
+        if alive.len() < self.threshold {
+            return Err(AtomError::TooManyFailures {
+                group: self.id,
+                failed: self.members.len() - alive.len(),
+                tolerated: self.members.len() - self.threshold,
+            });
+        }
+        Ok(alive[..self.threshold].to_vec())
+    }
+
+    /// The DKG share at a 1-based member index.
+    pub fn share(&self, member_index: u64) -> &DkgShare {
+        &self.shares[(member_index - 1) as usize]
+    }
+}
+
+/// The trustee group of the trap variant (§4.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrusteeContext {
+    /// Global server ids of the trustees.
+    pub members: Vec<usize>,
+    /// Each trustee's share of the per-round inner-ciphertext key.
+    pub shares: Vec<DkgShare>,
+    /// The per-round public key users encrypt inner ciphertexts to.
+    pub public_key: PublicKey,
+}
+
+/// Everything established before a round starts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundSetup {
+    /// The deployment configuration.
+    pub config: AtomConfig,
+    /// One context per group.
+    pub groups: Vec<GroupContext>,
+    /// The trustee group (always created; only consulted in the trap
+    /// variant).
+    pub trustees: TrusteeContext,
+    /// Buddy-group assignment: `buddies[g]` lists the groups that escrow
+    /// group `g`'s key shares (§4.5).
+    pub buddies: Vec<Vec<usize>>,
+}
+
+impl RoundSetup {
+    /// The public key of group `gid`.
+    pub fn group_key(&self, gid: usize) -> &PublicKey {
+        &self.groups[gid].public_key
+    }
+}
+
+/// Forms groups, runs the per-group DKGs and the trustee DKG, and assigns
+/// buddy groups for one round.
+pub fn setup_round<R: RngCore + CryptoRng>(
+    config: &AtomConfig,
+    rng: &mut R,
+) -> AtomResult<RoundSetup> {
+    config.validate()?;
+    let threshold = config.group_threshold();
+    let params = DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
+
+    let assignments = form_groups(
+        config.num_servers,
+        config.num_groups,
+        config.group_size,
+        config.beacon_seed,
+    );
+
+    let mut groups = Vec::with_capacity(config.num_groups);
+    for assignment in assignments {
+        let (public_key, shares) = run_dkg(&params, rng).map_err(AtomError::Crypto)?;
+        groups.push(GroupContext {
+            id: assignment.id,
+            members: assignment.members,
+            shares,
+            public_key,
+            threshold,
+        });
+    }
+
+    // Trustees: one extra anytrust group sampled like the others but with a
+    // distinct beacon tweak; it holds the per-round inner-ciphertext key.
+    let trustee_assignment = form_groups(
+        config.num_servers,
+        1,
+        config.group_size,
+        config.beacon_seed ^ 0x7472_7573_7465_6573,
+    )
+    .pop()
+    .expect("one trustee group");
+    let trustee_params =
+        DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
+    let (trustee_key, trustee_shares) = run_dkg(&trustee_params, rng).map_err(AtomError::Crypto)?;
+    let trustees = TrusteeContext {
+        members: trustee_assignment.members,
+        shares: trustee_shares,
+        public_key: trustee_key,
+    };
+
+    let buddies = assign_buddies(config.num_groups, config.buddy_groups, config.beacon_seed);
+
+    Ok(RoundSetup {
+        config: config.clone(),
+        groups,
+        trustees,
+        buddies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtomConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn setup_produces_expected_shapes() {
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng()).unwrap();
+        assert_eq!(setup.groups.len(), 4);
+        for group in &setup.groups {
+            assert_eq!(group.members.len(), 3);
+            assert_eq!(group.shares.len(), 3);
+            assert_eq!(group.threshold, 3);
+            assert_eq!(group.shares[0].group_public, group.public_key);
+        }
+        assert_eq!(setup.buddies.len(), 4);
+        assert_eq!(setup.trustees.shares.len(), 3);
+    }
+
+    #[test]
+    fn participating_selects_threshold_members() {
+        let mut config = AtomConfig::test_default();
+        config.required_honest = 2; // tolerate one failure, threshold 2.
+        let setup = setup_round(&config, &mut rng()).unwrap();
+        let group = &setup.groups[0];
+        assert_eq!(group.threshold, 2);
+
+        // Nobody failed: the first two members participate.
+        assert_eq!(group.participating(&[]).unwrap(), vec![1, 2]);
+
+        // The first member failed: members 2 and 3 step in.
+        let failed = vec![group.members[0]];
+        assert_eq!(group.participating(&failed).unwrap(), vec![2, 3]);
+
+        // Two failures exceed the tolerance.
+        let failed = vec![group.members[0], group.members[2]];
+        assert!(matches!(
+            group.participating(&failed),
+            Err(AtomError::TooManyFailures { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = AtomConfig::test_default();
+        config.group_size = 0;
+        assert!(setup_round(&config, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn group_keys_are_distinct() {
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng()).unwrap();
+        for i in 0..setup.groups.len() {
+            for j in i + 1..setup.groups.len() {
+                assert_ne!(setup.groups[i].public_key, setup.groups[j].public_key);
+            }
+            assert_ne!(setup.groups[i].public_key, setup.trustees.public_key);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the Atom protocol layer.
+
+use std::fmt;
+
+use atom_crypto::CryptoError;
+
+/// Errors surfaced by the Atom protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomError {
+    /// An underlying cryptographic operation failed.
+    Crypto(CryptoError),
+    /// A configuration or parameter problem.
+    Config(String),
+    /// A user submission was rejected (bad proof, wrong shape, ...).
+    SubmissionRejected(String),
+    /// A server deviated from the protocol and was detected; the round must
+    /// abort. Carries the group id and (if known) the offending member
+    /// position.
+    ProtocolViolation {
+        /// Group in which the violation was detected.
+        group: usize,
+        /// Position of the offending member within the group, if identified.
+        member: Option<usize>,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The trap check failed at the end of a trap-variant round: the trustees
+    /// withhold the decryption key and the round aborts (§4.4).
+    TrapCheckFailed(String),
+    /// Too many servers in a group failed to continue the round (§4.5).
+    TooManyFailures {
+        /// The affected group.
+        group: usize,
+        /// Number of failed members.
+        failed: usize,
+        /// Number of failures the group was provisioned to tolerate.
+        tolerated: usize,
+    },
+    /// A message or batch was malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for AtomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomError::Crypto(e) => write!(f, "crypto error: {e}"),
+            AtomError::Config(msg) => write!(f, "configuration error: {msg}"),
+            AtomError::SubmissionRejected(msg) => write!(f, "submission rejected: {msg}"),
+            AtomError::ProtocolViolation {
+                group,
+                member,
+                reason,
+            } => match member {
+                Some(member) => write!(
+                    f,
+                    "protocol violation in group {group} by member {member}: {reason}"
+                ),
+                None => write!(f, "protocol violation in group {group}: {reason}"),
+            },
+            AtomError::TrapCheckFailed(msg) => write!(f, "trap check failed: {msg}"),
+            AtomError::TooManyFailures {
+                group,
+                failed,
+                tolerated,
+            } => write!(
+                f,
+                "group {group} lost {failed} servers but tolerates only {tolerated}"
+            ),
+            AtomError::Malformed(msg) => write!(f, "malformed data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AtomError {}
+
+impl From<CryptoError> for AtomError {
+    fn from(e: CryptoError) -> Self {
+        AtomError::Crypto(e)
+    }
+}
+
+/// Convenience result alias for protocol operations.
+pub type AtomResult<T> = Result<T, AtomError>;

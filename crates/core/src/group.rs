@@ -1,0 +1,651 @@
+//! The anytrust-group mixing protocol: Algorithm 1 (basic), Algorithm 2
+//! (with NIZKs) and the shared divide/re-encrypt machinery.
+//!
+//! A group receives a batch of message ciphertexts encrypted (possibly
+//! partially, mid-handoff) under its group key and produces one sub-batch per
+//! neighbouring group, re-encrypted under the neighbours' keys — or, in the
+//! last mixing iteration, the decrypted mix payloads.
+//!
+//! Every participating member in protocol order:
+//!
+//! 1. **Shuffle** — rerandomizes and permutes the whole batch under the
+//!    current group key (and, in the NIZK variant, proves it with a
+//!    `ShufProof` verified by the rest of the group).
+//! 2. **Divide** — the last member splits the batch into β equal sub-batches.
+//! 3. **Decrypt-and-re-encrypt** — each member peels its layer from every
+//!    sub-batch while re-encrypting toward the destination group's key
+//!    (`ReEncProof` in the NIZK variant). The last member drops the auxiliary
+//!    component and hands the sub-batches off.
+
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
+
+use atom_crypto::elgamal::{
+    encrypt_message, reencrypt_message, shuffle, MessageCiphertext, PublicKey,
+};
+use atom_crypto::encoding::{decode_message, encode_message_padded};
+use atom_crypto::nizk::reenc::{prove_reencryption, verify_reencryption, ReEncStatement};
+use atom_crypto::nizk::shuffle::{prove_shuffle, verify_shuffle};
+
+use crate::adversary::{AdversaryPlan, Misbehavior};
+use crate::config::Defense;
+use crate::directory::GroupContext;
+use crate::error::{AtomError, AtomResult};
+
+/// Options controlling how a group executes a mixing iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupStepOptions {
+    /// Defence variant in force.
+    pub defense: Defense,
+    /// Number of worker threads used for the re-encryption of a batch
+    /// (the trap variant parallelizes almost perfectly, §6.1/Fig. 7).
+    pub parallelism: usize,
+}
+
+impl GroupStepOptions {
+    /// Sequential execution with the given defence.
+    pub fn new(defense: Defense) -> Self {
+        Self {
+            defense,
+            parallelism: 1,
+        }
+    }
+}
+
+/// The output of one group mixing iteration.
+#[derive(Clone, Debug)]
+pub struct GroupStepOutput {
+    /// One finalized sub-batch per neighbouring group (empty on the exit
+    /// layer).
+    pub outputs: Vec<Vec<MessageCiphertext>>,
+    /// Decrypted mix payloads (populated only on the exit layer).
+    pub plaintexts: Vec<Vec<u8>>,
+}
+
+/// Applies a misbehaviour to a batch in place. Returns a description used by
+/// tests; `group_pk` is needed to forge replacement ciphertexts.
+fn apply_misbehavior<R: RngCore + CryptoRng>(
+    action: &Misbehavior,
+    batch: &mut Vec<MessageCiphertext>,
+    group_pk: &PublicKey,
+    padded_len: usize,
+    rng: &mut R,
+) -> AtomResult<()> {
+    match *action {
+        Misbehavior::DropMessage { slot } => {
+            if slot < batch.len() {
+                batch.remove(slot);
+            }
+        }
+        Misbehavior::DuplicateMessage { slot, source } => {
+            if slot < batch.len() && source < batch.len() {
+                batch[slot] = batch[source].clone();
+            }
+        }
+        Misbehavior::ReplaceMessage { slot } => {
+            if slot < batch.len() {
+                let points = encode_message_padded(b"adversarial substitution", padded_len)
+                    .map_err(AtomError::Crypto)?;
+                batch[slot] = encrypt_message(group_pk, &points, rng).0;
+            }
+        }
+        Misbehavior::TamperCiphertext { slot } => {
+            if slot < batch.len() {
+                let basepoint = curve_basepoint();
+                if let Some(component) = batch[slot].components.first_mut() {
+                    component.c += basepoint;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn curve_basepoint() -> atom_crypto::RistrettoPoint {
+    curve25519_dalek_basepoint()
+}
+
+// Small helper to avoid importing dalek constants throughout this module.
+fn curve25519_dalek_basepoint() -> atom_crypto::RistrettoPoint {
+    atom_crypto::pedersen::CommitmentKey::atom().g
+}
+
+/// Re-encrypts every message of a sub-batch with the given peel exponent,
+/// optionally across several worker threads.
+fn reencrypt_batch(
+    peel_exponent: &atom_crypto::Scalar,
+    next_pk: Option<&PublicKey>,
+    batch: &[MessageCiphertext],
+    parallelism: usize,
+    rng: &mut (impl RngCore + CryptoRng),
+) -> Vec<(MessageCiphertext, Vec<atom_crypto::elgamal::ReEncWitness>)> {
+    if parallelism <= 1 || batch.len() < 2 {
+        return batch
+            .iter()
+            .map(|message| reencrypt_message(peel_exponent, next_pk, message, rng))
+            .collect();
+    }
+
+    let workers = parallelism.min(batch.len());
+    let chunk_size = batch.len().div_ceil(workers);
+    let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
+    let mut results: Vec<Option<(MessageCiphertext, Vec<atom_crypto::elgamal::ReEncWitness>)>> =
+        vec![None; batch.len()];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (worker, chunk) in batch.chunks(chunk_size).enumerate() {
+            let seed = seeds[worker];
+            let start = worker * chunk_size;
+            handles.push((
+                start,
+                scope.spawn(move || {
+                    let mut local_rng = StdRng::seed_from_u64(seed);
+                    chunk
+                        .iter()
+                        .map(|message| {
+                            reencrypt_message(peel_exponent, next_pk, message, &mut local_rng)
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (start, handle) in handles {
+            for (offset, value) in handle.join().expect("re-encryption worker panicked").into_iter().enumerate() {
+                results[start + offset] = Some(value);
+            }
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Runs one full mixing iteration of a group (Algorithm 1 / Algorithm 2).
+///
+/// * `participating` — 1-based member indices taking part (from
+///   [`GroupContext::participating`]).
+/// * `next_group_keys` — the public keys of the β neighbouring groups for
+///   this iteration; pass an empty slice on the exit layer.
+/// * `padded_len` — the fixed mix-payload length (needed to parse exit
+///   plaintexts and to forge replacements for adversarial tests).
+/// * `adversary` — optional misbehaviour plan already filtered to this group
+///   and iteration.
+#[allow(clippy::too_many_arguments)]
+pub fn group_mix_iteration<R: RngCore + CryptoRng>(
+    group: &GroupContext,
+    participating: &[u64],
+    mut batch: Vec<MessageCiphertext>,
+    next_group_keys: &[PublicKey],
+    padded_len: usize,
+    options: &GroupStepOptions,
+    adversary: Option<&AdversaryPlan>,
+    rng: &mut R,
+) -> AtomResult<GroupStepOutput> {
+    if participating.len() < group.threshold {
+        return Err(AtomError::TooManyFailures {
+            group: group.id,
+            failed: group.members.len() - participating.len(),
+            tolerated: group.members.len() - group.threshold,
+        });
+    }
+    if batch.is_empty() {
+        return Ok(GroupStepOutput {
+            outputs: vec![Vec::new(); next_group_keys.len()],
+            plaintexts: Vec::new(),
+        });
+    }
+
+    // ----- Step 1: sequential shuffles under the group key. -----
+    for &member in participating {
+        let misbehaving = adversary.filter(|plan| plan.member == member);
+
+        let (mut shuffled, witness) =
+            shuffle(&group.public_key, &batch, rng).map_err(AtomError::Crypto)?;
+
+        if options.defense == Defense::Nizk {
+            let proof = prove_shuffle(&group.public_key, &batch, &shuffled, &witness, rng)
+                .map_err(AtomError::Crypto)?;
+            // Misbehaviour happens *after* proving: the server publishes a
+            // tampered output batch alongside an honest-looking proof.
+            if let Some(plan) = misbehaving {
+                apply_misbehavior(
+                    &plan.action,
+                    &mut shuffled,
+                    &group.public_key,
+                    padded_len,
+                    rng,
+                )?;
+            }
+            if let Err(err) = verify_shuffle(&group.public_key, &batch, &shuffled, &proof) {
+                return Err(AtomError::ProtocolViolation {
+                    group: group.id,
+                    member: Some(member as usize),
+                    reason: format!("shuffle proof rejected: {err}"),
+                });
+            }
+        } else if let Some(plan) = misbehaving {
+            apply_misbehavior(
+                &plan.action,
+                &mut shuffled,
+                &group.public_key,
+                padded_len,
+                rng,
+            )?;
+        }
+
+        batch = shuffled;
+    }
+
+    // ----- Step 2: the last member divides the batch into β sub-batches. -----
+    // Messages are dealt round-robin, rotated by the group id so that
+    // remainders do not systematically favour low-numbered neighbours.
+    let beta = next_group_keys.len().max(1);
+    let mut sub_batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); beta];
+    for (slot, message) in batch.into_iter().enumerate() {
+        sub_batches[(slot + group.id) % beta].push(message);
+    }
+
+    // ----- Step 3: sequential decrypt-and-re-encrypt by every member. -----
+    let exit_layer = next_group_keys.is_empty();
+    for (position, &member) in participating.iter().enumerate() {
+        let share = group.share(member);
+        let peel = share
+            .peel_exponent(participating)
+            .map_err(AtomError::Crypto)?;
+        let peel_public = share
+            .peel_verification_key(participating, member)
+            .map_err(AtomError::Crypto)?;
+        let last_member = position + 1 == participating.len();
+
+        for (batch_index, sub_batch) in sub_batches.iter_mut().enumerate() {
+            if sub_batch.is_empty() {
+                continue;
+            }
+            let next_pk = if exit_layer {
+                None
+            } else {
+                Some(&next_group_keys[batch_index])
+            };
+            let reencrypted = reencrypt_batch(&peel, next_pk, sub_batch, options.parallelism, rng);
+
+            if options.defense == Defense::Nizk {
+                for (input, (output, witnesses)) in sub_batch.iter().zip(reencrypted.iter()) {
+                    let statement = ReEncStatement {
+                        peel_public: &peel_public,
+                        next_pk,
+                        input,
+                        output,
+                    };
+                    let proof = prove_reencryption(&statement, witnesses, rng)
+                        .map_err(AtomError::Crypto)?;
+                    if let Err(err) = verify_reencryption(&statement, &proof) {
+                        return Err(AtomError::ProtocolViolation {
+                            group: group.id,
+                            member: Some(member as usize),
+                            reason: format!("re-encryption proof rejected: {err}"),
+                        });
+                    }
+                }
+            }
+
+            let mut next: Vec<MessageCiphertext> =
+                reencrypted.into_iter().map(|(ct, _)| ct).collect();
+            if last_member && !exit_layer {
+                next = next.iter().map(MessageCiphertext::finalize_handoff).collect();
+            }
+            *sub_batch = next;
+        }
+    }
+
+    // ----- Exit layer: decode the plaintext payloads. -----
+    if exit_layer {
+        let mut plaintexts = Vec::new();
+        for message in sub_batches.into_iter().flatten() {
+            let points: Vec<atom_crypto::RistrettoPoint> = message
+                .components
+                .iter()
+                .map(|c| c.into_plaintext_point())
+                .collect();
+            // A plaintext that fails to decode was tampered with in transit
+            // (or submitted malformed); surface it as an empty payload so the
+            // round-level checks (trap matching, counts) flag it rather than
+            // crashing the exit server.
+            let bytes = decode_message(&points).unwrap_or_default();
+            plaintexts.push(bytes);
+        }
+        return Ok(GroupStepOutput {
+            outputs: Vec::new(),
+            plaintexts,
+        });
+    }
+
+    Ok(GroupStepOutput {
+        outputs: sub_batches,
+        plaintexts: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtomConfig;
+    use crate::directory::setup_round;
+    use crate::message::{nizk_payload_len, MixPayload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    fn encrypt_batch(
+        group_pk: &PublicKey,
+        payloads: &[&[u8]],
+        padded_len: usize,
+        rng: &mut StdRng,
+    ) -> Vec<MessageCiphertext> {
+        payloads
+            .iter()
+            .map(|payload| {
+                let framed = MixPayload::Plaintext(payload.to_vec())
+                    .to_bytes(padded_len)
+                    .unwrap();
+                let points = encode_message_padded(&framed, padded_len).unwrap();
+                encrypt_message(group_pk, &points, rng).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_group_exit_iteration_recovers_plaintexts() {
+        let mut rng = rng();
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let padded_len = nizk_payload_len(config.message_len);
+
+        let batch = encrypt_batch(
+            &group.public_key,
+            &[b"alpha", b"bravo", b"charlie"],
+            padded_len,
+            &mut rng,
+        );
+        let participating = group.participating(&[]).unwrap();
+        let output = group_mix_iteration(
+            group,
+            &participating,
+            batch,
+            &[],
+            padded_len,
+            &GroupStepOptions::new(Defense::Trap),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+
+        assert!(output.outputs.is_empty());
+        let mut recovered: Vec<Vec<u8>> = output
+            .plaintexts
+            .iter()
+            .map(|bytes| match MixPayload::from_bytes(bytes).unwrap() {
+                MixPayload::Inner(content) => content,
+                other => panic!("unexpected payload {other:?}"),
+            })
+            .collect();
+        recovered.sort();
+        assert_eq!(recovered, vec![b"alpha".to_vec(), b"bravo".to_vec(), b"charlie".to_vec()]);
+    }
+
+    #[test]
+    fn two_group_handoff_preserves_messages() {
+        let mut rng = rng();
+        let mut config = AtomConfig::test_default();
+        config.num_groups = 2;
+        config.iterations = 2;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let padded_len = nizk_payload_len(config.message_len);
+
+        let first = &setup.groups[0];
+        let second = &setup.groups[1];
+        let batch = encrypt_batch(
+            &first.public_key,
+            &[b"one", b"two", b"three", b"four"],
+            padded_len,
+            &mut rng,
+        );
+
+        let participating = first.participating(&[]).unwrap();
+        let step1 = group_mix_iteration(
+            first,
+            &participating,
+            batch,
+            &[second.public_key],
+            padded_len,
+            &GroupStepOptions::new(Defense::Trap),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(step1.outputs.len(), 1);
+        assert_eq!(step1.outputs[0].len(), 4);
+        assert!(step1.outputs[0].iter().all(|m| m.is_fresh()));
+
+        let participating2 = second.participating(&[]).unwrap();
+        let step2 = group_mix_iteration(
+            second,
+            &participating2,
+            step1.outputs.into_iter().next().unwrap(),
+            &[],
+            padded_len,
+            &GroupStepOptions::new(Defense::Trap),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+
+        let mut recovered: Vec<Vec<u8>> = step2
+            .plaintexts
+            .iter()
+            .map(|bytes| match MixPayload::from_bytes(bytes).unwrap() {
+                MixPayload::Inner(content) => content,
+                other => panic!("unexpected payload {other:?}"),
+            })
+            .collect();
+        recovered.sort();
+        assert_eq!(
+            recovered,
+            vec![b"four".to_vec(), b"one".to_vec(), b"three".to_vec(), b"two".to_vec()]
+        );
+    }
+
+    #[test]
+    fn nizk_variant_detects_tampering_and_identifies_member() {
+        let mut rng = rng();
+        let mut config = AtomConfig::test_default();
+        config.defense = Defense::Nizk;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[1];
+        let padded_len = nizk_payload_len(config.message_len);
+        let batch = encrypt_batch(
+            &group.public_key,
+            &[b"a", b"b", b"c", b"d"],
+            padded_len,
+            &mut rng,
+        );
+        let participating = group.participating(&[]).unwrap();
+
+        let plan = AdversaryPlan {
+            group: group.id,
+            member: 2,
+            iteration: 0,
+            action: Misbehavior::DropMessage { slot: 1 },
+        };
+        let result = group_mix_iteration(
+            group,
+            &participating,
+            batch,
+            &[setup.groups[0].public_key],
+            padded_len,
+            &GroupStepOptions::new(Defense::Nizk),
+            Some(&plan),
+            &mut rng,
+        );
+        match result {
+            Err(AtomError::ProtocolViolation { group: g, member, .. }) => {
+                assert_eq!(g, group.id);
+                assert_eq!(member, Some(2));
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nizk_variant_detects_ciphertext_mauling() {
+        let mut rng = rng();
+        let mut config = AtomConfig::test_default();
+        config.defense = Defense::Nizk;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let padded_len = nizk_payload_len(config.message_len);
+        let batch = encrypt_batch(&group.public_key, &[b"a", b"b"], padded_len, &mut rng);
+        let participating = group.participating(&[]).unwrap();
+
+        let plan = AdversaryPlan {
+            group: group.id,
+            member: 1,
+            iteration: 0,
+            action: Misbehavior::TamperCiphertext { slot: 0 },
+        };
+        let result = group_mix_iteration(
+            group,
+            &participating,
+            batch,
+            &[setup.groups[1].public_key],
+            padded_len,
+            &GroupStepOptions::new(Defense::Nizk),
+            Some(&plan),
+            &mut rng,
+        );
+        assert!(matches!(result, Err(AtomError::ProtocolViolation { .. })));
+    }
+
+    #[test]
+    fn trap_variant_lets_tampering_through_for_later_detection() {
+        // The trap variant does not verify shuffles; a dropped message
+        // surfaces only at the trap check (tested in round.rs).
+        let mut rng = rng();
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let padded_len = nizk_payload_len(config.message_len);
+        let batch = encrypt_batch(
+            &group.public_key,
+            &[b"a", b"b", b"c"],
+            padded_len,
+            &mut rng,
+        );
+        let participating = group.participating(&[]).unwrap();
+        let plan = AdversaryPlan {
+            group: group.id,
+            member: 1,
+            iteration: 0,
+            action: Misbehavior::DropMessage { slot: 0 },
+        };
+        let output = group_mix_iteration(
+            group,
+            &participating,
+            batch,
+            &[],
+            padded_len,
+            &GroupStepOptions::new(Defense::Trap),
+            Some(&plan),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(output.plaintexts.len(), 2);
+    }
+
+    #[test]
+    fn parallel_reencryption_matches_sequential_semantics() {
+        let mut rng = rng();
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let padded_len = nizk_payload_len(config.message_len);
+        let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![b'p', i]).collect();
+        let payload_refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let batch = encrypt_batch(&group.public_key, &payload_refs, padded_len, &mut rng);
+        let participating = group.participating(&[]).unwrap();
+
+        let options = GroupStepOptions {
+            defense: Defense::Trap,
+            parallelism: 4,
+        };
+        let output = group_mix_iteration(
+            group,
+            &participating,
+            batch,
+            &[],
+            padded_len,
+            &options,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let mut recovered: Vec<Vec<u8>> = output
+            .plaintexts
+            .iter()
+            .map(|bytes| match MixPayload::from_bytes(bytes).unwrap() {
+                MixPayload::Inner(content) => content,
+                other => panic!("unexpected payload {other:?}"),
+            })
+            .collect();
+        recovered.sort();
+        let mut expected = payloads;
+        expected.sort();
+        assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn too_few_participants_rejected() {
+        let mut rng = rng();
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let padded_len = nizk_payload_len(config.message_len);
+        let batch = encrypt_batch(&group.public_key, &[b"a"], padded_len, &mut rng);
+        let result = group_mix_iteration(
+            group,
+            &[1, 2],
+            batch,
+            &[],
+            padded_len,
+            &GroupStepOptions::new(Defense::Trap),
+            None,
+            &mut rng,
+        );
+        assert!(matches!(result, Err(AtomError::TooManyFailures { .. })));
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_outputs() {
+        let mut rng = rng();
+        let config = AtomConfig::test_default();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+        let participating = group.participating(&[]).unwrap();
+        let output = group_mix_iteration(
+            group,
+            &participating,
+            Vec::new(),
+            &[setup.groups[1].public_key, setup.groups[2].public_key],
+            nizk_payload_len(32),
+            &GroupStepOptions::new(Defense::Trap),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(output.outputs.len(), 2);
+        assert!(output.outputs.iter().all(Vec::is_empty));
+    }
+}

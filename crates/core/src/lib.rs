@@ -1,0 +1,83 @@
+//! # atom-core
+//!
+//! The Atom anonymous-messaging protocol (SOSP 2017), reproduced in Rust on
+//! top of [`atom_crypto`], [`atom_topology`] and [`atom_net`].
+//!
+//! An Atom deployment consists of hundreds or thousands of servers organized
+//! into *anytrust groups* connected by a random permutation network. Users
+//! submit encrypted messages to an entry group of their choice; each group
+//! collectively shuffles, splits and re-encrypts its batch toward its
+//! neighbours; after `T` iterations the exit groups reveal the anonymized
+//! plaintexts. Two defences against actively malicious servers are provided:
+//! verifiable shuffles/decryption (the NIZK variant, §4.3) and trap messages
+//! gated by a trustee group (the trap variant, §4.4).
+//!
+//! Module map:
+//!
+//! * [`config`] — deployment configuration (group sizes, topology, defence).
+//! * [`directory`] — per-round setup: group formation, DKGs, trustees.
+//! * [`message`] — client-side submissions and the mix-payload wire format.
+//! * [`group`] — the group mixing protocol (Algorithms 1 and 2).
+//! * [`round`] — full-round orchestration, trap checking, trustee release.
+//! * [`adversary`] — active-attack injection used by tests and benches.
+//! * [`blame`] — identification of malicious users after a disruption (§4.6).
+//! * [`faults`] — buddy-group escrow and catastrophic-failure recovery (§4.5).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use atom_core::config::AtomConfig;
+//! use atom_core::directory::setup_round;
+//! use atom_core::message::make_trap_submission;
+//! use atom_core::round::RoundDriver;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut config = AtomConfig::test_default();
+//! config.message_len = 24;
+//! let setup = setup_round(&config, &mut rng).unwrap();
+//! let driver = RoundDriver::new(setup);
+//!
+//! let submissions: Vec<_> = ["hello", "world"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, msg)| {
+//!         let gid = i % config.num_groups;
+//!         make_trap_submission(
+//!             gid,
+//!             &driver.setup().groups[gid].public_key,
+//!             &driver.setup().trustees.public_key,
+//!             config.round,
+//!             msg.as_bytes(),
+//!             config.message_len,
+//!             &mut rng,
+//!         )
+//!         .unwrap()
+//!         .0
+//!     })
+//!     .collect();
+//!
+//! let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
+//! assert_eq!(output.plaintexts.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod blame;
+pub mod config;
+pub mod directory;
+pub mod error;
+pub mod faults;
+pub mod group;
+pub mod message;
+pub mod round;
+
+pub use adversary::{AdversaryPlan, Misbehavior};
+pub use config::{AtomConfig, Defense, TopologyKind};
+pub use directory::{setup_round, GroupContext, RoundSetup, TrusteeContext};
+pub use error::{AtomError, AtomResult};
+pub use message::{make_nizk_submission, make_trap_submission, NizkSubmission, TrapSubmission};
+pub use round::{RoundDriver, RoundOutput, RoundTimings};

@@ -1,0 +1,700 @@
+//! Full-round orchestration: collection, mixing, exit routing, trap checking
+//! and trustee-gated decryption.
+//!
+//! The [`RoundDriver`] plays the role of the whole deployment: it feeds user
+//! submissions to their entry groups, drives the permutation network
+//! iteration by iteration (every group runs [`group_mix_iteration`]), routes
+//! exit payloads (traps back to their entry groups, inner ciphertexts to
+//! load-balanced holders), gathers the per-group reports, and asks the
+//! trustees to release the per-round key only if every report is clean
+//! (§4.4). The NIZK variant skips the trap machinery and aborts immediately
+//! when any proof fails (§4.3).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::{CryptoRng, RngCore};
+
+use atom_crypto::cca2::{self, HybridCiphertext};
+use atom_crypto::commit::{self, Commitment};
+use atom_crypto::dkg::reconstruct_group_secret;
+use atom_crypto::elgamal::{MessageCiphertext, SecretKey};
+use atom_crypto::nizk::enc::verify_encryption;
+use atom_net::{InMemoryNetwork, LatencyModel};
+
+use crate::adversary::AdversaryPlan;
+use crate::config::{AtomConfig, Defense};
+use crate::directory::RoundSetup;
+use crate::error::{AtomError, AtomResult};
+use crate::group::{group_mix_iteration, GroupStepOptions};
+use crate::message::{
+    inner_target_group, nizk_payload_len, trap_payload_len, MixPayload, NizkSubmission,
+    TrapSubmission, TRAP_COMMIT_LABEL,
+};
+
+/// Per-round measurements used by the evaluation figures.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTimings {
+    /// For every mixing iteration, the longest any group spent computing
+    /// (the critical path when all groups run in parallel).
+    pub iteration_critical_path: Vec<Duration>,
+    /// Total compute time summed over all groups and iterations.
+    pub total_compute: Duration,
+    /// Simulated network time along the critical path (one inter-group hop
+    /// per iteration under the configured latency model).
+    pub network_critical_path: Duration,
+    /// Wall-clock time the in-process run took end to end.
+    pub wall_clock: Duration,
+}
+
+impl RoundTimings {
+    /// The end-to-end latency estimate: compute critical path plus network
+    /// critical path.
+    pub fn end_to_end(&self) -> Duration {
+        self.iteration_critical_path.iter().sum::<Duration>() + self.network_critical_path
+    }
+}
+
+/// The result of a successful round.
+#[derive(Clone, Debug)]
+pub struct RoundOutput {
+    /// The anonymized plaintext messages, grouped by the exit (or holding)
+    /// group that published them.
+    pub per_group: Vec<Vec<Vec<u8>>>,
+    /// All plaintexts flattened (order carries no information beyond the
+    /// random permutation the network applied).
+    pub plaintexts: Vec<Vec<u8>>,
+    /// Number of ciphertexts routed through the network (twice the user
+    /// count in the trap variant).
+    pub routed_ciphertexts: usize,
+    /// Timings for the evaluation harness.
+    pub timings: RoundTimings,
+}
+
+/// Drives complete Atom rounds over a [`RoundSetup`].
+pub struct RoundDriver {
+    setup: RoundSetup,
+    failed_servers: Vec<usize>,
+    adversary: Option<AdversaryPlan>,
+    parallelism: usize,
+    latency: LatencyModel,
+}
+
+impl RoundDriver {
+    /// Creates a driver with no failures, no adversary and sequential
+    /// execution.
+    pub fn new(setup: RoundSetup) -> Self {
+        Self {
+            setup,
+            failed_servers: Vec::new(),
+            adversary: None,
+            parallelism: 1,
+            latency: LatencyModel::Zero,
+        }
+    }
+
+    /// Access to the round setup (group keys, trustee key, ...).
+    pub fn setup(&self) -> &RoundSetup {
+        &self.setup
+    }
+
+    /// Marks servers as failed for this round (§4.5).
+    pub fn with_failures(mut self, servers: Vec<usize>) -> Self {
+        self.failed_servers = servers;
+        self
+    }
+
+    /// Installs an active adversary (§4.3/§4.4 attack experiments).
+    pub fn with_adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = Some(plan);
+        self
+    }
+
+    /// Sets the number of worker threads each group uses for re-encryption.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the latency model used to estimate network time (§6's 40–160 ms
+    /// emulation).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    fn config(&self) -> &AtomConfig {
+        &self.setup.config
+    }
+
+    /// The fixed mix-payload length for this deployment.
+    pub fn payload_len(&self) -> usize {
+        match self.config().defense {
+            Defense::Nizk => nizk_payload_len(self.config().message_len),
+            Defense::Trap => trap_payload_len(self.config().message_len),
+        }
+    }
+
+    /// Runs the mixing phase: `T` iterations of every group shuffling,
+    /// splitting and forwarding. Returns the per-exit-group payload bytes and
+    /// the timings.
+    fn run_mixing<R: RngCore + CryptoRng>(
+        &self,
+        mut batches: Vec<Vec<MessageCiphertext>>,
+        rng: &mut R,
+    ) -> AtomResult<(Vec<Vec<Vec<u8>>>, RoundTimings)> {
+        let config = self.config();
+        let topology = config.topology();
+        let groups = &self.setup.groups;
+        let options = GroupStepOptions {
+            defense: config.defense,
+            parallelism: self.parallelism,
+        };
+        let padded_len = self.payload_len();
+        let wall_start = Instant::now();
+
+        let mut timings = RoundTimings::default();
+        let mut exit_payloads: Vec<Vec<Vec<u8>>> = vec![Vec::new(); groups.len()];
+
+        for iteration in 0..topology.iterations() {
+            let mut next_batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); groups.len()];
+            let mut iteration_max = Duration::ZERO;
+            let mut max_hop = Duration::ZERO;
+
+            for (gid, group) in groups.iter().enumerate() {
+                let batch = std::mem::take(&mut batches[gid]);
+                let neighbors = topology.neighbors(gid, iteration);
+                let next_keys: Vec<_> = neighbors
+                    .iter()
+                    .map(|&n| groups[n].public_key)
+                    .collect();
+                let participating = group.participating(&self.failed_servers)?;
+                let adversary = self
+                    .adversary
+                    .filter(|plan| plan.applies_to(gid, iteration));
+
+                let start = Instant::now();
+                let output = group_mix_iteration(
+                    group,
+                    &participating,
+                    batch,
+                    &next_keys,
+                    padded_len,
+                    &options,
+                    adversary.as_ref(),
+                    rng,
+                )?;
+                let elapsed = start.elapsed();
+                timings.total_compute += elapsed;
+                iteration_max = iteration_max.max(elapsed);
+
+                if neighbors.is_empty() {
+                    exit_payloads[gid] = output.plaintexts;
+                } else {
+                    for (neighbor, sub_batch) in neighbors.iter().zip(output.outputs) {
+                        // One hop of network latency between this group's last
+                        // member and the neighbour's first member.
+                        let src = *group.members.last().unwrap_or(&0);
+                        let dst = *groups[*neighbor].members.first().unwrap_or(&0);
+                        max_hop = max_hop.max(self.latency.link(src, dst));
+                        next_batches[*neighbor].extend(sub_batch);
+                    }
+                }
+            }
+            timings.iteration_critical_path.push(iteration_max);
+            timings.network_critical_path += max_hop;
+            batches = next_batches;
+        }
+
+        timings.wall_clock = wall_start.elapsed();
+        Ok((exit_payloads, timings))
+    }
+
+    /// Runs a NIZK-variant round (§4.3): verify submissions, mix, publish.
+    pub fn run_nizk_round<R: RngCore + CryptoRng>(
+        &self,
+        submissions: &[NizkSubmission],
+        rng: &mut R,
+    ) -> AtomResult<RoundOutput> {
+        let config = self.config();
+        if config.defense != Defense::Nizk {
+            return Err(AtomError::Config(
+                "round setup is not configured for the NIZK variant".into(),
+            ));
+        }
+
+        let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+        for (index, submission) in submissions.iter().enumerate() {
+            let gid = submission.entry_group;
+            if gid >= config.num_groups {
+                return Err(AtomError::SubmissionRejected(format!(
+                    "submission {index} targets unknown group {gid}"
+                )));
+            }
+            let group_pk = &self.setup.groups[gid].public_key;
+            verify_encryption(group_pk, gid as u64, &submission.ciphertext, &submission.proof)
+                .map_err(|e| {
+                    AtomError::SubmissionRejected(format!("submission {index}: {e}"))
+                })?;
+            batches[gid].push(submission.ciphertext.clone());
+        }
+
+        let routed = batches.iter().map(Vec::len).sum();
+        let (exit_payloads, timings) = self.run_mixing(batches, rng)?;
+
+        let mut per_group = Vec::with_capacity(exit_payloads.len());
+        let mut plaintexts = Vec::new();
+        for payloads in exit_payloads {
+            let mut group_messages = Vec::with_capacity(payloads.len());
+            for bytes in payloads {
+                match MixPayload::from_bytes(&bytes)? {
+                    MixPayload::Inner(content) | MixPayload::Plaintext(content) => {
+                        group_messages.push(content.clone());
+                        plaintexts.push(content);
+                    }
+                    MixPayload::Trap { .. } => {
+                        return Err(AtomError::Malformed(
+                            "unexpected trap payload in a NIZK-variant round".into(),
+                        ))
+                    }
+                }
+            }
+            per_group.push(group_messages);
+        }
+
+        Ok(RoundOutput {
+            per_group,
+            plaintexts,
+            routed_ciphertexts: routed,
+            timings,
+        })
+    }
+
+    /// Runs a trap-variant round (§4.4): verify submissions, mix, sort traps
+    /// and inner ciphertexts, check every trap against its commitment, and
+    /// decrypt the inner ciphertexts only if the trustees release the key.
+    pub fn run_trap_round<R: RngCore + CryptoRng>(
+        &self,
+        submissions: &[TrapSubmission],
+        rng: &mut R,
+    ) -> AtomResult<RoundOutput> {
+        let config = self.config();
+        if config.defense != Defense::Trap {
+            return Err(AtomError::Config(
+                "round setup is not configured for the trap variant".into(),
+            ));
+        }
+
+        // --- Submission phase: verify proofs, register trap commitments. ---
+        let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+        let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); config.num_groups];
+        for (index, submission) in submissions.iter().enumerate() {
+            let gid = submission.entry_group;
+            if gid >= config.num_groups {
+                return Err(AtomError::SubmissionRejected(format!(
+                    "submission {index} targets unknown group {gid}"
+                )));
+            }
+            let group_pk = &self.setup.groups[gid].public_key;
+            for (ct, proof) in submission.ciphertexts.iter().zip(submission.proofs.iter()) {
+                verify_encryption(group_pk, gid as u64, ct, proof).map_err(|e| {
+                    AtomError::SubmissionRejected(format!("submission {index}: {e}"))
+                })?;
+            }
+            batches[gid].push(submission.ciphertexts[0].clone());
+            batches[gid].push(submission.ciphertexts[1].clone());
+            commitments[gid].push(submission.trap_commitment);
+        }
+
+        let routed = batches.iter().map(Vec::len).sum();
+        let (exit_payloads, timings) = self.run_mixing(batches, rng)?;
+
+        // --- Exit sorting: traps back to their entry group, inner ciphertexts
+        //     to their load-balanced holding group. ---
+        let mut traps_received: Vec<Vec<(u32, [u8; 16])>> = vec![Vec::new(); config.num_groups];
+        let mut inners_received: Vec<Vec<Vec<u8>>> = vec![Vec::new(); config.num_groups];
+        let mut malformed = 0usize;
+        for payloads in &exit_payloads {
+            for bytes in payloads {
+                match MixPayload::from_bytes(bytes) {
+                    Ok(MixPayload::Trap { gid, nonce }) => {
+                        let target = (gid as usize).min(config.num_groups - 1);
+                        traps_received[target].push((gid, nonce));
+                    }
+                    Ok(MixPayload::Inner(inner)) | Ok(MixPayload::Plaintext(inner)) => {
+                        let target = inner_target_group(&inner, config.num_groups);
+                        inners_received[target].push(inner);
+                    }
+                    Err(_) => malformed += 1,
+                }
+            }
+        }
+
+        // --- Per-group reports (§4.4): trap/commitment matching, duplicate
+        //     inner ciphertexts, counts. ---
+        let mut all_ok = malformed == 0;
+        let mut total_traps = 0usize;
+        let mut total_inners = 0usize;
+        for gid in 0..config.num_groups {
+            total_traps += traps_received[gid].len();
+            total_inners += inners_received[gid].len();
+
+            // Every commitment must have exactly one matching trap and every
+            // trap must match a commitment held by this group.
+            let mut expected: HashMap<Commitment, usize> = HashMap::new();
+            for commitment in &commitments[gid] {
+                *expected.entry(*commitment).or_default() += 1;
+            }
+            for (trap_gid, nonce) in &traps_received[gid] {
+                if *trap_gid as usize != gid {
+                    all_ok = false;
+                    continue;
+                }
+                let commitment = commit::commit(
+                    TRAP_COMMIT_LABEL,
+                    &MixPayload::trap_commit_bytes(*trap_gid, nonce),
+                );
+                match expected.get_mut(&commitment) {
+                    Some(count) if *count > 0 => *count -= 1,
+                    _ => all_ok = false,
+                }
+            }
+            if expected.values().any(|&count| count > 0) {
+                all_ok = false;
+            }
+
+            // Duplicate inner ciphertexts are grounds for aborting.
+            let mut seen = std::collections::HashSet::new();
+            for inner in &inners_received[gid] {
+                if !seen.insert(commit::commit(b"inner-dup", inner)) {
+                    all_ok = false;
+                }
+            }
+        }
+        if total_traps != total_inners {
+            all_ok = false;
+        }
+
+        // --- Trustee decision: release the key only if every report is clean.
+        if !all_ok {
+            return Err(AtomError::TrapCheckFailed(format!(
+                "round aborted: traps={total_traps} inners={total_inners} malformed={malformed}"
+            )));
+        }
+        let trustee_shares: Vec<_> = self.setup.trustees.shares.iter().collect();
+        let trustee_secret = reconstruct_group_secret(
+            &trustee_shares[..self.setup.trustees.shares[0].params.threshold],
+        )
+        .map_err(AtomError::Crypto)?;
+        let trustee_secret = SecretKey(trustee_secret);
+
+        // --- Decrypt inner ciphertexts. ---
+        let aad = config.round.to_le_bytes();
+        let mut per_group = Vec::with_capacity(config.num_groups);
+        let mut plaintexts = Vec::new();
+        for inners in &inners_received {
+            let mut group_messages = Vec::new();
+            for inner_bytes in inners {
+                let Ok(inner) = HybridCiphertext::from_bytes(inner_bytes) else {
+                    continue; // Malformed submissions from malicious users.
+                };
+                let Ok(message) = cca2::decrypt(
+                    &trustee_secret,
+                    &self.setup.trustees.public_key,
+                    &aad,
+                    &inner,
+                ) else {
+                    continue;
+                };
+                group_messages.push(message.clone());
+                plaintexts.push(message);
+            }
+            per_group.push(group_messages);
+        }
+
+        Ok(RoundOutput {
+            per_group,
+            plaintexts,
+            routed_ciphertexts: routed,
+            timings,
+        })
+    }
+
+    /// Convenience: attaches an [`InMemoryNetwork`] sized for this deployment
+    /// (one node per server) so examples can meter traffic.
+    pub fn build_network(&self) -> InMemoryNetwork {
+        InMemoryNetwork::new(self.config().num_servers, self.latency, Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Misbehavior;
+    use crate::config::TopologyKind;
+    use crate::directory::setup_round;
+    use crate::message::{make_nizk_submission, make_trap_submission};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4242)
+    }
+
+    fn trap_config() -> AtomConfig {
+        let mut config = AtomConfig::test_default();
+        config.num_groups = 3;
+        config.iterations = 2;
+        config.message_len = 24;
+        config
+    }
+
+    fn make_trap_submissions(
+        setup: &RoundSetup,
+        messages: &[&str],
+        rng: &mut StdRng,
+    ) -> Vec<TrapSubmission> {
+        messages
+            .iter()
+            .enumerate()
+            .map(|(i, msg)| {
+                let gid = i % setup.config.num_groups;
+                make_trap_submission(
+                    gid,
+                    &setup.groups[gid].public_key,
+                    &setup.trustees.public_key,
+                    setup.config.round,
+                    msg.as_bytes(),
+                    setup.config.message_len,
+                    rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trap_round_delivers_all_messages() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver = RoundDriver::new(setup);
+        let messages = ["protest at noon", "meet at the square", "bring banners", "stay safe"];
+        let submissions = make_trap_submissions(driver.setup(), &messages, &mut rng);
+
+        let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
+        assert_eq!(output.routed_ciphertexts, 2 * messages.len());
+        assert_eq!(output.plaintexts.len(), messages.len());
+        let mut recovered: Vec<String> = output
+            .plaintexts
+            .iter()
+            .map(|p| {
+                String::from_utf8(p.iter().copied().take_while(|&b| b != 0).collect()).unwrap()
+            })
+            .collect();
+        recovered.sort();
+        let mut expected: Vec<String> = messages.iter().map(|m| m.to_string()).collect();
+        expected.sort();
+        assert_eq!(recovered, expected);
+        assert_eq!(output.timings.iteration_critical_path.len(), config.iterations);
+    }
+
+    #[test]
+    fn nizk_round_delivers_all_messages() {
+        let mut rng = rng();
+        let mut config = trap_config();
+        config.defense = Defense::Nizk;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver = RoundDriver::new(setup);
+
+        let messages = ["alpha", "bravo", "charlie"];
+        let submissions: Vec<NizkSubmission> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, msg)| {
+                let gid = i % config.num_groups;
+                make_nizk_submission(
+                    gid,
+                    &driver.setup().groups[gid].public_key,
+                    msg.as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+
+        let output = driver.run_nizk_round(&submissions, &mut rng).unwrap();
+        assert_eq!(output.plaintexts.len(), messages.len());
+        let mut recovered: Vec<String> = output
+            .plaintexts
+            .iter()
+            .map(|p| {
+                String::from_utf8(p.iter().copied().take_while(|&b| b != 0).collect()).unwrap()
+            })
+            .collect();
+        recovered.sort();
+        assert_eq!(recovered, vec!["alpha", "bravo", "charlie"]);
+    }
+
+    #[test]
+    fn trap_round_aborts_when_a_message_is_dropped() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let plan = AdversaryPlan {
+            group: 1,
+            member: 1,
+            iteration: 0,
+            action: Misbehavior::DropMessage { slot: 0 },
+        };
+        let driver = RoundDriver::new(setup).with_adversary(plan);
+        let submissions =
+            make_trap_submissions(driver.setup(), &["a", "b", "c", "d", "e", "f"], &mut rng);
+        let result = driver.run_trap_round(&submissions, &mut rng);
+        assert!(matches!(result, Err(AtomError::TrapCheckFailed(_))), "{result:?}");
+    }
+
+    #[test]
+    fn trap_round_aborts_on_duplicated_ciphertext() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let plan = AdversaryPlan {
+            group: 0,
+            member: 2,
+            iteration: 1,
+            action: Misbehavior::DuplicateMessage { slot: 0, source: 1 },
+        };
+        let driver = RoundDriver::new(setup).with_adversary(plan);
+        let submissions =
+            make_trap_submissions(driver.setup(), &["a", "b", "c", "d", "e", "f"], &mut rng);
+        let result = driver.run_trap_round(&submissions, &mut rng);
+        assert!(matches!(result, Err(AtomError::TrapCheckFailed(_))), "{result:?}");
+    }
+
+    #[test]
+    fn nizk_round_identifies_malicious_server() {
+        let mut rng = rng();
+        let mut config = trap_config();
+        config.defense = Defense::Nizk;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let plan = AdversaryPlan {
+            group: 2,
+            member: 3,
+            iteration: 1,
+            action: Misbehavior::ReplaceMessage { slot: 0 },
+        };
+        let driver = RoundDriver::new(setup).with_adversary(plan);
+        let submissions: Vec<NizkSubmission> = (0..6)
+            .map(|i| {
+                let gid = i % config.num_groups;
+                make_nizk_submission(
+                    gid,
+                    &driver.setup().groups[gid].public_key,
+                    format!("msg {i}").as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        match driver.run_nizk_round(&submissions, &mut rng) {
+            Err(AtomError::ProtocolViolation { group, member, .. }) => {
+                assert_eq!(group, 2);
+                assert_eq!(member, Some(3));
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_submission_proof_rejected() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver = RoundDriver::new(setup);
+        let mut submissions = make_trap_submissions(driver.setup(), &["a", "b"], &mut rng);
+        // Rebind submission 0 to a different entry group without re-proving.
+        submissions[0].entry_group = (submissions[0].entry_group + 1) % config.num_groups;
+        assert!(matches!(
+            driver.run_trap_round(&submissions, &mut rng),
+            Err(AtomError::SubmissionRejected(_))
+        ));
+    }
+
+    #[test]
+    fn fault_tolerant_round_survives_a_failure_per_group() {
+        let mut rng = rng();
+        let mut config = trap_config();
+        config.required_honest = 2; // tolerate one failure per group.
+        config.group_size = 3;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        // Fail a single server; it is the first member of group 0 and may
+        // also serve in other groups, each of which tolerates one failure.
+        let failed = vec![setup.groups[0].members[0]];
+        let driver = RoundDriver::new(setup).with_failures(failed);
+        let submissions = make_trap_submissions(driver.setup(), &["x", "y", "z"], &mut rng);
+        let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
+        assert_eq!(output.plaintexts.len(), 3);
+    }
+
+    #[test]
+    fn too_many_failures_abort_the_round() {
+        let mut rng = rng();
+        let mut config = trap_config();
+        config.required_honest = 2;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let failed: Vec<usize> = setup.groups[0].members[..2].to_vec();
+        let driver = RoundDriver::new(setup).with_failures(failed);
+        let submissions = make_trap_submissions(driver.setup(), &["x", "y"], &mut rng);
+        assert!(matches!(
+            driver.run_trap_round(&submissions, &mut rng),
+            Err(AtomError::TooManyFailures { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_variant_rejected() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver = RoundDriver::new(setup);
+        assert!(matches!(
+            driver.run_nizk_round(&[], &mut rng),
+            Err(AtomError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn butterfly_topology_round_also_works() {
+        let mut rng = rng();
+        let mut config = trap_config();
+        config.num_groups = 4;
+        config.topology = TopologyKind::Butterfly;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver = RoundDriver::new(setup);
+        let submissions = make_trap_submissions(driver.setup(), &["p", "q", "r", "s"], &mut rng);
+        let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
+        assert_eq!(output.plaintexts.len(), 4);
+    }
+
+    #[test]
+    fn latency_model_adds_network_critical_path() {
+        let mut rng = rng();
+        let config = trap_config();
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let driver =
+            RoundDriver::new(setup).with_latency(LatencyModel::Fixed { millis: 100 });
+        let submissions = make_trap_submissions(driver.setup(), &["a", "b", "c"], &mut rng);
+        let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
+        // Two iterations: one inter-group hop after the first iteration only
+        // (the second is the exit layer), but we charge per non-exit
+        // iteration, so expect at least 100 ms.
+        assert!(output.timings.network_critical_path >= Duration::from_millis(100));
+        assert!(output.timings.end_to_end() >= output.timings.network_critical_path);
+    }
+}

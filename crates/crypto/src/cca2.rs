@@ -1,0 +1,204 @@
+//! IND-CCA2 hybrid encryption (KEM-DEM) for Atom's inner ciphertexts.
+//!
+//! The trap variant of Atom double-envelopes every real message: the
+//! plaintext is first encrypted to the trustees' key with an IND-CCA2 secure
+//! scheme so that no server can meaningfully tamper with it, and the result
+//! (the *inner ciphertext*) is then routed through the mix as an opaque
+//! payload (§4.4). Following Appendix A, the scheme is an ElGamal key
+//! encapsulation: `R = rB`, `k = KDF(rX ‖ R ‖ X)`, `c = AEnc(k, m)` where
+//! `AEnc` is an authenticated cipher (ChaCha20-Poly1305 here, NaCl in the
+//! paper).
+
+use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
+use curve25519_dalek::ristretto::{CompressedRistretto, RistrettoPoint};
+use curve25519_dalek::scalar::Scalar;
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::aead;
+use crate::elgamal::{PublicKey, SecretKey};
+use crate::error::{CryptoError, CryptoResult};
+use crate::keccak::Shake256;
+
+/// An IND-CCA2 hybrid ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridCiphertext {
+    /// The KEM encapsulation `R = rB`.
+    pub encapsulation: RistrettoPoint,
+    /// The AEAD ciphertext (body ‖ tag).
+    pub body: Vec<u8>,
+}
+
+impl HybridCiphertext {
+    /// Serializes the ciphertext to bytes (32-byte encapsulation ‖ body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.body.len());
+        out.extend_from_slice(self.encapsulation.compress().as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a ciphertext serialized by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> CryptoResult<Self> {
+        if bytes.len() < 32 + aead::TAG_LEN {
+            return Err(CryptoError::Malformed("hybrid ciphertext too short".into()));
+        }
+        let compressed: [u8; 32] = bytes[..32].try_into().unwrap();
+        let encapsulation = CompressedRistretto(compressed)
+            .decompress()
+            .ok_or_else(|| CryptoError::Malformed("invalid KEM encapsulation".into()))?;
+        Ok(Self {
+            encapsulation,
+            body: bytes[32..].to_vec(),
+        })
+    }
+
+    /// Total serialized length in bytes.
+    pub fn len(&self) -> usize {
+        32 + self.body.len()
+    }
+
+    /// Always false: a hybrid ciphertext carries at least a tag.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Derives the DEM key from the shared secret, encapsulation and recipient
+/// key.
+fn derive_key(
+    shared: &RistrettoPoint,
+    encapsulation: &RistrettoPoint,
+    recipient: &PublicKey,
+) -> [u8; aead::KEY_LEN] {
+    let mut xof = Shake256::new();
+    xof.absorb(b"atom-cca2-kdf");
+    xof.absorb(shared.compress().as_bytes());
+    xof.absorb(encapsulation.compress().as_bytes());
+    xof.absorb(recipient.0.compress().as_bytes());
+    let mut key = [0u8; aead::KEY_LEN];
+    xof.squeeze(&mut key);
+    key
+}
+
+/// Encrypts `message` to `recipient` with associated data `aad`.
+pub fn encrypt<R: RngCore + CryptoRng>(
+    recipient: &PublicKey,
+    aad: &[u8],
+    message: &[u8],
+    rng: &mut R,
+) -> HybridCiphertext {
+    let r = Scalar::random(rng);
+    let encapsulation = &r * RISTRETTO_BASEPOINT_TABLE;
+    let shared = r * recipient.0;
+    let key = derive_key(&shared, &encapsulation, recipient);
+    let nonce = [0u8; aead::NONCE_LEN]; // Fresh key per message, so a fixed nonce is safe.
+    let body = aead::seal(&key, &nonce, aad, message);
+    HybridCiphertext {
+        encapsulation,
+        body,
+    }
+}
+
+/// Decrypts a hybrid ciphertext with the recipient's secret key.
+pub fn decrypt(
+    secret: &SecretKey,
+    recipient: &PublicKey,
+    aad: &[u8],
+    ciphertext: &HybridCiphertext,
+) -> CryptoResult<Vec<u8>> {
+    let shared = secret.0 * ciphertext.encapsulation;
+    let key = derive_key(&shared, &ciphertext.encapsulation, recipient);
+    let nonce = [0u8; aead::NONCE_LEN];
+    aead::open(&key, &nonce, aad, &ciphertext.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public, b"round-7", b"dial me maybe", &mut rng);
+        let pt = decrypt(&kp.secret, &kp.public, b"round-7", &ct).unwrap();
+        assert_eq!(pt, b"dial me maybe");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public, b"", &[7u8; 160], &mut rng);
+        let bytes = ct.to_bytes();
+        assert_eq!(bytes.len(), ct.len());
+        let parsed = HybridCiphertext::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, ct);
+        assert_eq!(
+            decrypt(&kp.secret, &kp.public, b"", &parsed).unwrap(),
+            vec![7u8; 160]
+        );
+    }
+
+    #[test]
+    fn tampering_detected() {
+        // Non-malleability is what the trap variant relies on: a server that
+        // flips any bit of an inner ciphertext produces a decryption failure
+        // rather than a related plaintext.
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public, b"", b"whistleblower report", &mut rng);
+
+        let mut flipped_body = ct.clone();
+        flipped_body.body[0] ^= 1;
+        assert!(decrypt(&kp.secret, &kp.public, b"", &flipped_body).is_err());
+
+        let mut flipped_kem = ct.clone();
+        flipped_kem.encapsulation += RISTRETTO_BASEPOINT_TABLE.basepoint();
+        assert!(decrypt(&kp.secret, &kp.public, b"", &flipped_kem).is_err());
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_decrypt() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public, b"", b"secret", &mut rng);
+        assert!(decrypt(&other.secret, &other.public, b"", &ct).is_err());
+        assert!(decrypt(&other.secret, &kp.public, b"", &ct).is_err());
+    }
+
+    #[test]
+    fn aad_mismatch_detected() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public, b"round-1", b"secret", &mut rng);
+        assert!(decrypt(&kp.secret, &kp.public, b"round-2", &ct).is_err());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(HybridCiphertext::from_bytes(&[0u8; 10]).is_err());
+        // 32 bytes of 0xff is not a valid Ristretto encoding.
+        let mut bad = vec![0xffu8; 64];
+        bad[33] = 1;
+        assert!(HybridCiphertext::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let a = encrypt(&kp.public, b"", b"same message", &mut rng);
+        let b = encrypt(&kp.public, b"", b"same message", &mut rng);
+        assert_ne!(a, b);
+    }
+}

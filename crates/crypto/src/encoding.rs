@@ -1,0 +1,187 @@
+//! Embedding byte messages into Ristretto group elements and back.
+//!
+//! Atom's rerandomizable ElGamal operates on group elements, so plaintext
+//! bytes must be embedded into curve points before encryption and recovered
+//! after decryption (the paper embeds 32 bytes per NIST P-256 point; here we
+//! embed [`PAYLOAD_PER_POINT`] bytes per Ristretto point — see DESIGN.md).
+//!
+//! The embedding is a try-and-increment search over the canonical 32-byte
+//! Ristretto encoding: the payload occupies fixed byte positions and two
+//! counter bytes are varied until the candidate string decompresses to a
+//! valid point. Roughly one in eight candidates is a valid encoding, so with
+//! `256 × 127` counter values the failure probability is negligible
+//! (≈ (7/8)^32512).
+
+use curve25519_dalek::ristretto::{CompressedRistretto, RistrettoPoint};
+
+use crate::error::{CryptoError, CryptoResult};
+
+/// Number of message payload bytes carried by a single group element.
+pub const PAYLOAD_PER_POINT: usize = 29;
+
+/// Byte offset of the low counter byte within the 32-byte encoding.
+const CTR_LO: usize = 0;
+/// Byte range of the payload within the 32-byte encoding.
+const PAYLOAD_RANGE: core::ops::Range<usize> = 1..30;
+/// Byte offset of the payload-length byte.
+const LEN_BYTE: usize = 30;
+/// Byte offset of the high counter byte (kept ≤ 0x7e so the little-endian
+/// field element stays below 2^255 − 19).
+const CTR_HI: usize = 31;
+
+/// Returns the number of points needed to carry `len` payload bytes.
+///
+/// A zero-length message still occupies one point so that every message in a
+/// batch has the same shape after fixed-length padding.
+pub fn points_needed(len: usize) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(PAYLOAD_PER_POINT)
+    }
+}
+
+/// Embeds a chunk of at most [`PAYLOAD_PER_POINT`] bytes into a point.
+pub fn encode_chunk(chunk: &[u8]) -> CryptoResult<RistrettoPoint> {
+    if chunk.len() > PAYLOAD_PER_POINT {
+        return Err(CryptoError::EncodingFailed(format!(
+            "chunk of {} bytes exceeds {} bytes per point",
+            chunk.len(),
+            PAYLOAD_PER_POINT
+        )));
+    }
+    let mut candidate = [0u8; 32];
+    candidate[PAYLOAD_RANGE][..chunk.len()].copy_from_slice(chunk);
+    candidate[LEN_BYTE] = chunk.len() as u8;
+
+    for hi in 0..=0x7eu8 {
+        candidate[CTR_HI] = hi;
+        for lo in 0..=0xffu8 {
+            candidate[CTR_LO] = lo;
+            if let Some(point) = CompressedRistretto(candidate).decompress() {
+                return Ok(point);
+            }
+        }
+    }
+    Err(CryptoError::EncodingFailed(
+        "exhausted embedding counter space".to_string(),
+    ))
+}
+
+/// Recovers the payload bytes embedded in a point by [`encode_chunk`].
+pub fn decode_chunk(point: &RistrettoPoint) -> CryptoResult<Vec<u8>> {
+    let bytes = point.compress().to_bytes();
+    let len = bytes[LEN_BYTE] as usize;
+    if len > PAYLOAD_PER_POINT {
+        return Err(CryptoError::DecodingFailed(format!(
+            "length byte {len} exceeds payload capacity"
+        )));
+    }
+    Ok(bytes[PAYLOAD_RANGE][..len].to_vec())
+}
+
+/// Embeds an arbitrary byte message into a vector of points.
+pub fn encode_message(message: &[u8]) -> CryptoResult<Vec<RistrettoPoint>> {
+    if message.is_empty() {
+        return Ok(vec![encode_chunk(&[])?]);
+    }
+    message.chunks(PAYLOAD_PER_POINT).map(encode_chunk).collect()
+}
+
+/// Recovers a byte message from a vector of points produced by
+/// [`encode_message`].
+pub fn decode_message(points: &[RistrettoPoint]) -> CryptoResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(points.len() * PAYLOAD_PER_POINT);
+    for point in points {
+        out.extend(decode_chunk(point)?);
+    }
+    Ok(out)
+}
+
+/// Pads `message` with zero bytes up to `target_len` and embeds it.
+///
+/// All Atom users in a round pad their plaintext to a fixed length (§2), so
+/// every ciphertext in a batch consists of the same number of points.
+pub fn encode_message_padded(
+    message: &[u8],
+    target_len: usize,
+) -> CryptoResult<Vec<RistrettoPoint>> {
+    if message.len() > target_len {
+        return Err(CryptoError::EncodingFailed(format!(
+            "message of {} bytes exceeds padded length {}",
+            message.len(),
+            target_len
+        )));
+    }
+    let mut padded = message.to_vec();
+    padded.resize(target_len, 0);
+    encode_message(&padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_roundtrip_various_lengths() {
+        for len in 0..=PAYLOAD_PER_POINT {
+            let chunk: Vec<u8> = (0..len as u8).collect();
+            let point = encode_chunk(&chunk).unwrap();
+            assert_eq!(decode_chunk(&point).unwrap(), chunk);
+        }
+    }
+
+    #[test]
+    fn oversized_chunk_rejected() {
+        let chunk = vec![1u8; PAYLOAD_PER_POINT + 1];
+        assert!(encode_chunk(&chunk).is_err());
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let message = b"Atom: Horizontally Scaling Strong Anonymity (SOSP 2017)";
+        let points = encode_message(message).unwrap();
+        assert_eq!(points.len(), points_needed(message.len()));
+        assert_eq!(decode_message(&points).unwrap(), message);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let points = encode_message(b"").unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(decode_message(&points).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_message_has_fixed_shape() {
+        let a = encode_message_padded(b"short", 160).unwrap();
+        let b = encode_message_padded(b"a considerably longer tweet-like message", 160).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), points_needed(160));
+        let decoded = decode_message(&a).unwrap();
+        assert_eq!(&decoded[..5], b"short");
+        assert!(decoded[5..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn padded_rejects_oversized() {
+        assert!(encode_message_padded(&[1u8; 200], 160).is_err());
+    }
+
+    #[test]
+    fn points_needed_boundaries() {
+        assert_eq!(points_needed(0), 1);
+        assert_eq!(points_needed(1), 1);
+        assert_eq!(points_needed(PAYLOAD_PER_POINT), 1);
+        assert_eq!(points_needed(PAYLOAD_PER_POINT + 1), 2);
+        assert_eq!(points_needed(160), 6);
+    }
+
+    #[test]
+    fn binary_payload_roundtrip() {
+        // Exercise non-ASCII payloads including 0xff bytes near the field top.
+        let message: Vec<u8> = (0..=255u8).collect();
+        let points = encode_message(&message).unwrap();
+        assert_eq!(decode_message(&points).unwrap(), message);
+    }
+}

@@ -1,0 +1,47 @@
+//! # atom-crypto
+//!
+//! Cryptographic substrate for the Rust reproduction of
+//! *Atom: Horizontally Scaling Strong Anonymity* (SOSP 2017).
+//!
+//! This crate implements everything from §2.3 and Appendix A of the paper:
+//!
+//! * [`elgamal`] — rerandomizable ElGamal with **out-of-order decryption and
+//!   re-encryption**, the key primitive that lets a group peel its layers
+//!   while already re-encrypting toward the next (unknown-to-the-user) group.
+//! * [`nizk`] — the three NIZK families the paper requires: `EncProof`,
+//!   `ReEncProof` and `ShufProof` (verifiable shuffle).
+//! * [`dkg`] / [`sharing`] — dealer-less distributed key generation and
+//!   threshold ElGamal for anytrust and many-trust groups (§4.1, §4.5).
+//! * [`cca2`] — IND-CCA2 hybrid encryption for trap-variant inner
+//!   ciphertexts (§4.4).
+//! * [`commit`] — SHA-3 commitments for trap messages.
+//! * [`encoding`] — embedding byte messages into group elements.
+//! * [`keccak`], [`aead`] — SHA-3/SHAKE256 and ChaCha20-Poly1305 implemented
+//!   from scratch.
+//! * [`pedersen`], [`transcript`] — Pedersen commitments and the Fiat-Shamir
+//!   transcript used by the proofs.
+//!
+//! The group is Ristretto255 (`curve25519-dalek`); see DESIGN.md for the
+//! substitution notes relative to the paper's NIST P-256 implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod cca2;
+pub mod commit;
+pub mod dkg;
+pub mod elgamal;
+pub mod encoding;
+pub mod error;
+pub mod keccak;
+pub mod nizk;
+pub mod pedersen;
+pub mod sharing;
+pub mod transcript;
+
+pub use curve25519_dalek::ristretto::RistrettoPoint;
+pub use curve25519_dalek::scalar::Scalar;
+
+pub use elgamal::{Ciphertext, KeyPair, MessageCiphertext, PublicKey, SecretKey};
+pub use error::{CryptoError, CryptoResult};

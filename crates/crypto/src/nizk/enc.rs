@@ -1,0 +1,211 @@
+//! `EncProof`: proof of knowledge of the encryption randomness of a
+//! user-submitted ciphertext (Appendix A).
+//!
+//! The proof is a Schnorr proof of knowledge of `r` such that `R = rB`, with
+//! the whole ciphertext, the group public key, and the entry group id bound
+//! into the Fiat-Shamir challenge. Binding the group id prevents a malicious
+//! user from replaying another user's ciphertext-and-proof at a different
+//! entry group (§3); knowledge of `r` prevents submitting a rerandomized copy
+//! of an honest user's ciphertext, which would create duplicate plaintexts at
+//! the exit and deanonymize the honest sender.
+
+use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
+use curve25519_dalek::ristretto::RistrettoPoint;
+use curve25519_dalek::scalar::Scalar;
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::elgamal::{MessageCiphertext, PublicKey};
+use crate::error::{CryptoError, CryptoResult};
+use crate::transcript::Transcript;
+
+/// Proof of knowledge of the encryption randomness of every component of a
+/// [`MessageCiphertext`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncProof {
+    /// Per-component Schnorr announcements `A_l = s_l · B`.
+    pub announcements: Vec<RistrettoPoint>,
+    /// Per-component responses `u_l = s_l + t · r_l`.
+    pub responses: Vec<Scalar>,
+}
+
+/// Builds the transcript shared by prover and verifier.
+fn transcript(pk: &PublicKey, group_id: u64, ct: &MessageCiphertext) -> Transcript {
+    let mut t = Transcript::new(b"atom-enc-proof");
+    t.append_point(b"group-pk", &pk.0);
+    t.append_u64(b"entry-group-id", group_id);
+    t.append_u64(b"components", ct.components.len() as u64);
+    for component in &ct.components {
+        t.append_point(b"R", &component.r);
+        t.append_point(b"c", &component.c);
+        if let Some(y) = &component.y {
+            t.append_point(b"Y", y);
+        } else {
+            t.append_bytes(b"Y", b"bottom");
+        }
+    }
+    t
+}
+
+/// Produces an `EncProof` for a ciphertext encrypted with `randomness`
+/// (the per-component scalars returned by [`crate::elgamal::encrypt_message`]).
+pub fn prove_encryption<R: RngCore + CryptoRng>(
+    pk: &PublicKey,
+    group_id: u64,
+    ct: &MessageCiphertext,
+    randomness: &[Scalar],
+    rng: &mut R,
+) -> CryptoResult<EncProof> {
+    if randomness.len() != ct.components.len() {
+        return Err(CryptoError::Parameter(
+            "randomness length does not match ciphertext components".into(),
+        ));
+    }
+    let mut t = transcript(pk, group_id, ct);
+
+    let secrets: Vec<Scalar> = (0..ct.components.len())
+        .map(|_| Scalar::random(rng))
+        .collect();
+    let announcements: Vec<RistrettoPoint> = secrets
+        .iter()
+        .map(|s| s * RISTRETTO_BASEPOINT_TABLE)
+        .collect();
+    for a in &announcements {
+        t.append_point(b"announcement", a);
+    }
+    let challenge = t.challenge_scalar(b"challenge");
+
+    let responses = secrets
+        .iter()
+        .zip(randomness.iter())
+        .map(|(s, r)| s + challenge * r)
+        .collect();
+
+    Ok(EncProof {
+        announcements,
+        responses,
+    })
+}
+
+/// Verifies an `EncProof` against the ciphertext, group key and group id it
+/// claims to be bound to.
+pub fn verify_encryption(
+    pk: &PublicKey,
+    group_id: u64,
+    ct: &MessageCiphertext,
+    proof: &EncProof,
+) -> CryptoResult<()> {
+    if proof.announcements.len() != ct.components.len()
+        || proof.responses.len() != ct.components.len()
+    {
+        return Err(CryptoError::ProofInvalid(
+            "EncProof shape does not match ciphertext".into(),
+        ));
+    }
+    if ct.components.iter().any(|c| c.y.is_some()) {
+        return Err(CryptoError::ProofInvalid(
+            "EncProof only applies to fresh ciphertexts".into(),
+        ));
+    }
+
+    let mut t = transcript(pk, group_id, ct);
+    for a in &proof.announcements {
+        t.append_point(b"announcement", a);
+    }
+    let challenge = t.challenge_scalar(b"challenge");
+
+    for ((component, a), u) in ct
+        .components
+        .iter()
+        .zip(proof.announcements.iter())
+        .zip(proof.responses.iter())
+    {
+        if u * RISTRETTO_BASEPOINT_TABLE != a + challenge * component.r {
+            return Err(CryptoError::ProofInvalid(
+                "EncProof response check failed".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{encrypt_message, rerandomize, Ciphertext, KeyPair};
+    use crate::encoding::encode_message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, KeyPair, MessageCiphertext, Vec<Scalar>) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = KeyPair::generate(&mut rng);
+        let points = encode_message(b"hello anonymous world").unwrap();
+        let (ct, randomness) = encrypt_message(&kp.public, &points, &mut rng);
+        (rng, kp, ct, randomness)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        let (mut rng, kp, ct, randomness) = setup();
+        let proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        assert!(verify_encryption(&kp.public, 3, &ct, &proof).is_ok());
+    }
+
+    #[test]
+    fn proof_bound_to_group_id() {
+        let (mut rng, kp, ct, randomness) = setup();
+        let proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        assert!(verify_encryption(&kp.public, 4, &ct, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_bound_to_public_key() {
+        let (mut rng, kp, ct, randomness) = setup();
+        let other = KeyPair::generate(&mut rng);
+        let proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        assert!(verify_encryption(&other.public, 3, &ct, &proof).is_err());
+    }
+
+    #[test]
+    fn rerandomized_copy_cannot_reuse_proof() {
+        // A malicious user who rerandomizes an honest ciphertext does not know
+        // the combined randomness, so the old proof must not verify on the
+        // rerandomized copy.
+        let (mut rng, kp, ct, randomness) = setup();
+        let proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+
+        let copied: Vec<Ciphertext> = ct
+            .components
+            .iter()
+            .map(|c| rerandomize(&kp.public, c, &mut rng).unwrap().0)
+            .collect();
+        let copied = MessageCiphertext { components: copied };
+        assert!(verify_encryption(&kp.public, 3, &copied, &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_randomness_rejected() {
+        let (mut rng, kp, ct, mut randomness) = setup();
+        randomness[0] += Scalar::ONE;
+        let proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        assert!(verify_encryption(&kp.public, 3, &ct, &proof).is_err());
+    }
+
+    #[test]
+    fn mismatched_shape_rejected() {
+        let (mut rng, kp, ct, randomness) = setup();
+        let mut proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        proof.announcements.pop();
+        assert!(verify_encryption(&kp.public, 3, &ct, &proof).is_err());
+        assert!(prove_encryption(&kp.public, 3, &ct, &randomness[1..], &mut rng).is_err());
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (mut rng, kp, ct, randomness) = setup();
+        let mut proof = prove_encryption(&kp.public, 3, &ct, &randomness, &mut rng).unwrap();
+        proof.responses[0] += Scalar::ONE;
+        assert!(verify_encryption(&kp.public, 3, &ct, &proof).is_err());
+    }
+}

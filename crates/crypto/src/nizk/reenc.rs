@@ -1,0 +1,402 @@
+//! `ReEncProof`: proof that a server correctly executed
+//! `ReEnc(sk, pk', ·)` on a batch component (Appendix A, cf. Chaum-Pedersen).
+//!
+//! Let `(R₀, Y₀)` be the input ciphertext after the deterministic
+//! `Y := R, R := 0` swap (applied when the input has `Y = ⊥`; both prover and
+//! verifier compute it locally with [`crate::elgamal::swap_view`]). The server
+//! holds a peeling exponent `p` with public verification key `P = pB` (its
+//! own public key in the anytrust variant, or the Lagrange-weighted Feldman
+//! verification share in the many-trust variant) and fresh randomness `f_l`
+//! per component. The proved relations are, for every component `l`:
+//!
+//! ```text
+//!   P          = p · B
+//!   R'_l − R₀_l = f_l · B                    (omitted when the next key is ⊥)
+//!   c_l − c'_l  = p · Y₀_l − f_l · X'        (X' term omitted when ⊥)
+//! ```
+//!
+//! together with the structural checks `Y'_l = Y₀_l`. A single Schnorr
+//! response is used for `p` across all components, so the proof also shows
+//! the *same* key was used for every component.
+
+use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
+use curve25519_dalek::ristretto::RistrettoPoint;
+use curve25519_dalek::scalar::Scalar;
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::elgamal::{swap_view, MessageCiphertext, PublicKey, ReEncWitness};
+use crate::error::{CryptoError, CryptoResult};
+use crate::transcript::Transcript;
+
+/// Per-component part of a [`ReEncProof`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReEncComponentProof {
+    /// Announcement for the fresh-randomness relation (`β_l · B`).
+    pub announce_fresh: RistrettoPoint,
+    /// Announcement for the payload relation (`α · Y₀_l − β_l · X'`).
+    pub announce_payload: RistrettoPoint,
+    /// Response for the fresh randomness.
+    pub response_fresh: Scalar,
+}
+
+/// Proof of correct re-encryption of a whole [`MessageCiphertext`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReEncProof {
+    /// Announcement for the peeling key relation (`α · B`).
+    pub announce_key: RistrettoPoint,
+    /// Shared response for the peeling exponent.
+    pub response_key: Scalar,
+    /// Per-component announcements and responses.
+    pub components: Vec<ReEncComponentProof>,
+}
+
+/// The public statement of a re-encryption proof.
+pub struct ReEncStatement<'a> {
+    /// Verification key of the peeling exponent (`P = pB`).
+    pub peel_public: &'a RistrettoPoint,
+    /// Public key of the next group, or `None` for final decryption.
+    pub next_pk: Option<&'a PublicKey>,
+    /// Input message ciphertext.
+    pub input: &'a MessageCiphertext,
+    /// Output message ciphertext.
+    pub output: &'a MessageCiphertext,
+}
+
+fn transcript(stmt: &ReEncStatement<'_>) -> Transcript {
+    let mut t = Transcript::new(b"atom-reenc-proof");
+    t.append_point(b"peel-public", stmt.peel_public);
+    match stmt.next_pk {
+        Some(pk) => t.append_point(b"next-pk", &pk.0),
+        None => t.append_bytes(b"next-pk", b"bottom"),
+    }
+    t.append_u64(b"components", stmt.input.components.len() as u64);
+    for ct in stmt.input.components.iter().chain(stmt.output.components.iter()) {
+        t.append_point(b"R", &ct.r);
+        t.append_point(b"c", &ct.c);
+        match &ct.y {
+            Some(y) => t.append_point(b"Y", y),
+            None => t.append_bytes(b"Y", b"bottom"),
+        }
+    }
+    t
+}
+
+/// Structural checks shared by prover and verifier; returns the swap views.
+fn check_structure(
+    stmt: &ReEncStatement<'_>,
+) -> CryptoResult<Vec<(RistrettoPoint, RistrettoPoint)>> {
+    if stmt.input.components.len() != stmt.output.components.len() {
+        return Err(CryptoError::Parameter(
+            "input/output component count mismatch".into(),
+        ));
+    }
+    let mut views = Vec::with_capacity(stmt.input.components.len());
+    for (inp, out) in stmt.input.components.iter().zip(stmt.output.components.iter()) {
+        let (r0, y0) = swap_view(inp);
+        if out.y != Some(y0) {
+            return Err(CryptoError::ProofInvalid(
+                "output Y does not carry over the input randomness".into(),
+            ));
+        }
+        if stmt.next_pk.is_none() && out.r != r0 {
+            return Err(CryptoError::ProofInvalid(
+                "final decryption must not change R".into(),
+            ));
+        }
+        views.push((r0, y0));
+    }
+    Ok(views)
+}
+
+/// Produces a `ReEncProof` from the witnesses returned by
+/// [`crate::elgamal::reencrypt_message`].
+pub fn prove_reencryption<R: RngCore + CryptoRng>(
+    stmt: &ReEncStatement<'_>,
+    witnesses: &[ReEncWitness],
+    rng: &mut R,
+) -> CryptoResult<ReEncProof> {
+    let views = check_structure(stmt)?;
+    if witnesses.len() != stmt.input.components.len() {
+        return Err(CryptoError::Parameter(
+            "witness count does not match components".into(),
+        ));
+    }
+    let peel_secret = witnesses
+        .first()
+        .map(|w| w.peel_secret)
+        .ok_or_else(|| CryptoError::Parameter("empty ciphertext".into()))?;
+    if witnesses.iter().any(|w| w.peel_secret != peel_secret) {
+        return Err(CryptoError::Parameter(
+            "all components must be peeled with the same exponent".into(),
+        ));
+    }
+
+    let mut t = transcript(stmt);
+
+    let alpha = Scalar::random(rng);
+    let announce_key = &alpha * RISTRETTO_BASEPOINT_TABLE;
+    t.append_point(b"announce-key", &announce_key);
+
+    let mut betas = Vec::with_capacity(views.len());
+    let mut component_proofs = Vec::with_capacity(views.len());
+    for (_, y0) in &views {
+        let beta = Scalar::random(rng);
+        let announce_fresh = &beta * RISTRETTO_BASEPOINT_TABLE;
+        let announce_payload = match stmt.next_pk {
+            Some(next) => alpha * y0 - beta * next.0,
+            None => alpha * y0,
+        };
+        t.append_point(b"announce-fresh", &announce_fresh);
+        t.append_point(b"announce-payload", &announce_payload);
+        betas.push(beta);
+        component_proofs.push((announce_fresh, announce_payload));
+    }
+
+    let challenge = t.challenge_scalar(b"challenge");
+    let response_key = alpha + challenge * peel_secret;
+    let components = component_proofs
+        .into_iter()
+        .zip(betas.iter())
+        .zip(witnesses.iter())
+        .map(|(((announce_fresh, announce_payload), beta), witness)| ReEncComponentProof {
+            announce_fresh,
+            announce_payload,
+            response_fresh: beta + challenge * witness.fresh_randomness,
+        })
+        .collect();
+
+    Ok(ReEncProof {
+        announce_key,
+        response_key,
+        components,
+    })
+}
+
+/// Verifies a `ReEncProof`.
+pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> CryptoResult<()> {
+    let views = check_structure(stmt)?;
+    if proof.components.len() != stmt.input.components.len() {
+        return Err(CryptoError::ProofInvalid(
+            "ReEncProof shape does not match ciphertext".into(),
+        ));
+    }
+
+    let mut t = transcript(stmt);
+    t.append_point(b"announce-key", &proof.announce_key);
+    for comp in &proof.components {
+        t.append_point(b"announce-fresh", &comp.announce_fresh);
+        t.append_point(b"announce-payload", &comp.announce_payload);
+    }
+    let challenge = t.challenge_scalar(b"challenge");
+
+    // Peeling key relation.
+    if &proof.response_key * RISTRETTO_BASEPOINT_TABLE
+        != proof.announce_key + challenge * stmt.peel_public
+    {
+        return Err(CryptoError::ProofInvalid("peel-key check failed".into()));
+    }
+
+    for (((inp, out), (r0, y0)), comp) in stmt
+        .input
+        .components
+        .iter()
+        .zip(stmt.output.components.iter())
+        .zip(views.iter())
+        .zip(proof.components.iter())
+    {
+        // Fresh-randomness relation (skipped when the next key is ⊥: the
+        // structural check already forced R' = R₀ and f = 0).
+        if stmt.next_pk.is_some()
+            && &comp.response_fresh * RISTRETTO_BASEPOINT_TABLE
+                != comp.announce_fresh + challenge * (out.r - r0)
+        {
+            return Err(CryptoError::ProofInvalid(
+                "fresh-randomness check failed".into(),
+            ));
+        }
+        // Payload relation.
+        let lhs = match stmt.next_pk {
+            Some(next) => proof.response_key * y0 - comp.response_fresh * next.0,
+            None => proof.response_key * y0,
+        };
+        if lhs != comp.announce_payload + challenge * (inp.c - out.c) {
+            return Err(CryptoError::ProofInvalid("payload check failed".into()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{
+        encrypt_message, reencrypt_message, KeyPair, PublicKey,
+    };
+    use crate::encoding::encode_message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        rng: StdRng,
+        server: KeyPair,
+        group_pk: PublicKey,
+        next_pk: PublicKey,
+        input: MessageCiphertext,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(99);
+        let server = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let group_pk = PublicKey::combine([&server.public, &other.public]);
+        let next_group: Vec<KeyPair> = (0..3).map(|_| KeyPair::generate(&mut rng)).collect();
+        let next_pk = PublicKey::combine(next_group.iter().map(|k| &k.public));
+        let points = encode_message(b"reencryption proof test message").unwrap();
+        let (input, _) = encrypt_message(&group_pk, &points, &mut rng);
+        Fixture {
+            rng,
+            server,
+            group_pk,
+            next_pk,
+            input,
+        }
+    }
+
+    #[test]
+    fn honest_reencryption_proof_verifies() {
+        let mut f = fixture();
+        let (output, witnesses) = reencrypt_message(
+            &f.server.secret.0,
+            Some(&f.next_pk),
+            &f.input,
+            &mut f.rng,
+        );
+        let stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&stmt, &witnesses, &mut f.rng).unwrap();
+        assert!(verify_reencryption(&stmt, &proof).is_ok());
+    }
+
+    #[test]
+    fn honest_final_decryption_proof_verifies() {
+        let mut f = fixture();
+        let single = KeyPair::generate(&mut f.rng);
+        let points = encode_message(b"exit layer").unwrap();
+        let (input, _) = encrypt_message(&single.public, &points, &mut f.rng);
+        let (output, witnesses) =
+            reencrypt_message(&single.secret.0, None, &input, &mut f.rng);
+        let stmt = ReEncStatement {
+            peel_public: &single.public.0,
+            next_pk: None,
+            input: &input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&stmt, &witnesses, &mut f.rng).unwrap();
+        assert!(verify_reencryption(&stmt, &proof).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        // A malicious server peels with a key other than its registered one.
+        let mut f = fixture();
+        let rogue = KeyPair::generate(&mut f.rng);
+        let (output, witnesses) =
+            reencrypt_message(&rogue.secret.0, Some(&f.next_pk), &f.input, &mut f.rng);
+        let stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&stmt, &witnesses, &mut f.rng).unwrap();
+        assert!(verify_reencryption(&stmt, &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_output_detected() {
+        // The server replaces one payload component after proving.
+        let mut f = fixture();
+        let (output, witnesses) = reencrypt_message(
+            &f.server.secret.0,
+            Some(&f.next_pk),
+            &f.input,
+            &mut f.rng,
+        );
+        let stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&stmt, &witnesses, &mut f.rng).unwrap();
+
+        let mut tampered = output.clone();
+        tampered.components[0].c += RISTRETTO_BASEPOINT_TABLE.basepoint();
+        let bad_stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &tampered,
+        };
+        assert!(verify_reencryption(&bad_stmt, &proof).is_err());
+    }
+
+    #[test]
+    fn dropped_y_component_detected() {
+        let mut f = fixture();
+        let (output, witnesses) = reencrypt_message(
+            &f.server.secret.0,
+            Some(&f.next_pk),
+            &f.input,
+            &mut f.rng,
+        );
+        let mut tampered = output.clone();
+        tampered.components[0].y = None;
+        let stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &tampered,
+        };
+        assert!(prove_reencryption(&stmt, &witnesses, &mut f.rng).is_err());
+        let good_stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&good_stmt, &witnesses, &mut f.rng).unwrap();
+        assert!(verify_reencryption(&stmt, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_not_valid_for_different_group_key() {
+        // Binding to the next group's key: verifying against another key fails.
+        let mut f = fixture();
+        let (output, witnesses) = reencrypt_message(
+            &f.server.secret.0,
+            Some(&f.next_pk),
+            &f.input,
+            &mut f.rng,
+        );
+        let stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.next_pk),
+            input: &f.input,
+            output: &output,
+        };
+        let proof = prove_reencryption(&stmt, &witnesses, &mut f.rng).unwrap();
+        let other_stmt = ReEncStatement {
+            peel_public: &f.server.public.0,
+            next_pk: Some(&f.group_pk),
+            input: &f.input,
+            output: &output,
+        };
+        assert!(verify_reencryption(&other_stmt, &proof).is_err());
+    }
+}

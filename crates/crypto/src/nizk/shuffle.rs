@@ -1,0 +1,674 @@
+//! `ShufProof`: a NIZK argument that a batch of message ciphertexts was
+//! correctly shuffled (permuted and rerandomized) under a group public key.
+//!
+//! The paper instantiates this with Neff's verifiable shuffle [59]; we use a
+//! Bayer-Groth-style argument with linear-size sub-arguments, which fills the
+//! same role with the same asymptotic cost (a small constant number of
+//! exponentiations per shuffled element for both prover and verifier). See
+//! DESIGN.md for the substitution note.
+//!
+//! ## Protocol sketch
+//!
+//! Statement: group key `X`, inputs `C[i][l]`, outputs `C'[j][l]` (n messages
+//! of L components each). Claim: there are a permutation σ and scalars
+//! ρ[j][l] with `C'[j][l] = C[σ(j)][l] + ρ[j][l]·(B, X)`.
+//!
+//! 1. The prover commits (per element, Pedersen) to `a_j = σ(j) + 1`.
+//!    Challenge `x`.
+//! 2. The prover commits to `b_j = x^{a_j}`. Challenges `y`, `z`.
+//! 3. **Product argument.** Both sides form commitments to
+//!    `v_j = y·a_j + b_j − z` homomorphically. The prover shows
+//!    `∏_j v_j = ∏_{i=1..n} (y·i + x^i − z)` by committing to the partial
+//!    products and proving each multiplicative step with a Σ-protocol, then
+//!    opening the last partial product to the public value. By Schwartz-Zippel
+//!    (over `z`, then `y`) this forces `{(a_j, b_j)} = {(i, x^i)}` as
+//!    multisets, i.e. `a` is a permutation and `b_j = x^{a_j}`.
+//! 4. **Linear multi-exponentiation argument.** For every component `l` the
+//!    prover shows knowledge of openings `b_j` of the step-2 commitments and
+//!    of a scalar `ρ*_l` with
+//!    `Σ_j b_j·C'[j][l] − ρ*_l·(B, X) = Σ_i x^i·C[i][l]`,
+//!    which for a correct shuffle holds with `ρ*_l = Σ_j b_j·ρ[j][l]`.
+//!
+//! All challenges are Fiat-Shamir derived from a transcript binding the group
+//! key, the entire input and output batches, and every commitment and
+//! announcement in order.
+
+use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
+use curve25519_dalek::ristretto::RistrettoPoint;
+use curve25519_dalek::scalar::Scalar;
+use curve25519_dalek::traits::Identity;
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::elgamal::{MessageCiphertext, PublicKey, ShuffleWitness};
+use crate::error::{CryptoError, CryptoResult};
+use crate::pedersen::CommitmentKey;
+use crate::transcript::Transcript;
+
+/// One multiplicative step of the product argument: proves that the `j`-th
+/// partial-product commitment opens to the product of the previous partial
+/// product and `v_j`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductStepProof {
+    /// Announcement `α·G + β·H` for the opening of `c_v[j]`.
+    pub announce_value: RistrettoPoint,
+    /// Announcement `α·c_p[j−1] + γ·H` for the multiplicative relation.
+    pub announce_step: RistrettoPoint,
+    /// Response for `v_j`.
+    pub response_value: Scalar,
+    /// Response for the blinding of `c_v[j]`.
+    pub response_value_blinding: Scalar,
+    /// Response for the step blinding `s_j = r_p[j] − v_j·r_p[j−1]`.
+    pub response_step_blinding: Scalar,
+}
+
+/// The verifiable-shuffle proof.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShuffleProof {
+    /// Commitments to the permutation indices `a_j = σ(j) + 1`.
+    pub commit_perm: Vec<RistrettoPoint>,
+    /// Commitments to the permuted challenge powers `b_j = x^{a_j}`.
+    pub commit_powers: Vec<RistrettoPoint>,
+    /// Commitments to the partial products `p_j` (index 0 is omitted; it
+    /// equals the homomorphically derived `c_v[0]`).
+    pub commit_partial: Vec<RistrettoPoint>,
+    /// Per-step multiplication proofs (one for each `j ≥ 1`).
+    pub product_steps: Vec<ProductStepProof>,
+    /// Announcement of the final-opening proof (`c_p[n−1] − P·G = r·H`).
+    pub announce_final: RistrettoPoint,
+    /// Response of the final-opening proof.
+    pub response_final: Scalar,
+    /// Announcements for the openings of `commit_powers`.
+    pub announce_powers: Vec<RistrettoPoint>,
+    /// Announcements for the R-half of the multi-exponentiation relation,
+    /// one per component.
+    pub announce_rand: Vec<RistrettoPoint>,
+    /// Announcements for the payload-half of the multi-exponentiation
+    /// relation, one per component.
+    pub announce_payload: Vec<RistrettoPoint>,
+    /// Responses for `b_j`.
+    pub response_powers: Vec<Scalar>,
+    /// Responses for the blindings of `commit_powers`.
+    pub response_power_blindings: Vec<Scalar>,
+    /// Responses for the aggregated rerandomizers `ρ*_l`, one per component.
+    pub response_rho: Vec<Scalar>,
+}
+
+/// Builds the statement transcript shared by prover and verifier.
+fn statement_transcript(
+    pk: &PublicKey,
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+) -> Transcript {
+    let mut t = Transcript::new(b"atom-shuffle-proof");
+    t.append_point(b"group-pk", &pk.0);
+    t.append_u64(b"n", inputs.len() as u64);
+    let components = inputs.first().map(|m| m.components.len()).unwrap_or(0);
+    t.append_u64(b"components", components as u64);
+    for batch_label in [(b"input" as &'static [u8], inputs), (b"output", outputs)] {
+        let (label, batch) = batch_label;
+        for message in batch {
+            for ct in &message.components {
+                t.append_bytes(b"side", label);
+                t.append_point(b"R", &ct.r);
+                t.append_point(b"c", &ct.c);
+            }
+        }
+    }
+    t
+}
+
+/// Checks the statement shape; returns (n, L).
+fn check_shape(
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+) -> CryptoResult<(usize, usize)> {
+    let n = inputs.len();
+    if n == 0 || outputs.len() != n {
+        return Err(CryptoError::Parameter(
+            "shuffle proof needs equally sized, non-empty batches".into(),
+        ));
+    }
+    let components = inputs[0].components.len();
+    if components == 0 {
+        return Err(CryptoError::Parameter("empty message ciphertext".into()));
+    }
+    for message in inputs.iter().chain(outputs.iter()) {
+        if message.components.len() != components {
+            return Err(CryptoError::Parameter(
+                "all messages must have the same number of components".into(),
+            ));
+        }
+        if message.components.iter().any(|c| c.y.is_some()) {
+            return Err(CryptoError::Parameter(
+                "shuffle proof applies to fresh ciphertexts only".into(),
+            ));
+        }
+    }
+    Ok((n, components))
+}
+
+/// Computes the public product `∏_{i=1..n} (y·i + x^i − z)`.
+fn public_product(n: usize, x: &Scalar, y: &Scalar, z: &Scalar) -> Scalar {
+    let mut product = Scalar::ONE;
+    let mut x_power = Scalar::ONE;
+    for i in 1..=n {
+        x_power *= x;
+        product *= y * Scalar::from(i as u64) + x_power - z;
+    }
+    product
+}
+
+/// Computes the public multi-exponentiation targets
+/// `T_R[l] = Σ_i x^{i+1}·R_i[l]` and `T_c[l] = Σ_i x^{i+1}·c_i[l]`.
+fn public_targets(
+    inputs: &[MessageCiphertext],
+    components: usize,
+    x: &Scalar,
+) -> (Vec<RistrettoPoint>, Vec<RistrettoPoint>) {
+    let mut t_rand = vec![RistrettoPoint::identity(); components];
+    let mut t_payload = vec![RistrettoPoint::identity(); components];
+    let mut x_power = Scalar::ONE;
+    for message in inputs {
+        x_power *= x;
+        for (l, ct) in message.components.iter().enumerate() {
+            t_rand[l] += x_power * ct.r;
+            t_payload[l] += x_power * ct.c;
+        }
+    }
+    (t_rand, t_payload)
+}
+
+/// Produces a shuffle proof from the witness returned by
+/// [`crate::elgamal::shuffle`].
+pub fn prove_shuffle<R: RngCore + CryptoRng>(
+    pk: &PublicKey,
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+    witness: &ShuffleWitness,
+    rng: &mut R,
+) -> CryptoResult<ShuffleProof> {
+    let (n, components) = check_shape(inputs, outputs)?;
+    if witness.permutation.len() != n || witness.randomness.len() != n {
+        return Err(CryptoError::Parameter("witness shape mismatch".into()));
+    }
+    let key = CommitmentKey::atom();
+    let mut t = statement_transcript(pk, inputs, outputs);
+
+    // Step 1: commit to the permutation (a_j = σ(j) + 1).
+    let perm_values: Vec<Scalar> = witness
+        .permutation
+        .iter()
+        .map(|&src| Scalar::from((src + 1) as u64))
+        .collect();
+    let mut perm_blindings = Vec::with_capacity(n);
+    let mut commit_perm = Vec::with_capacity(n);
+    for value in &perm_values {
+        let (c, r) = key.commit_random(value, rng);
+        commit_perm.push(c);
+        perm_blindings.push(r);
+    }
+    for c in &commit_perm {
+        t.append_point(b"commit-perm", c);
+    }
+    let x = t.challenge_scalar(b"x");
+
+    // Step 2: commit to the permuted powers b_j = x^{σ(j)+1}.
+    let mut x_powers = Vec::with_capacity(n + 1);
+    x_powers.push(Scalar::ONE);
+    for i in 0..n {
+        let next = x_powers[i] * x;
+        x_powers.push(next);
+    }
+    let power_values: Vec<Scalar> = witness
+        .permutation
+        .iter()
+        .map(|&src| x_powers[src + 1])
+        .collect();
+    let mut power_blindings = Vec::with_capacity(n);
+    let mut commit_powers = Vec::with_capacity(n);
+    for value in &power_values {
+        let (c, r) = key.commit_random(value, rng);
+        commit_powers.push(c);
+        power_blindings.push(r);
+    }
+    for c in &commit_powers {
+        t.append_point(b"commit-powers", c);
+    }
+    let y = t.challenge_scalar(b"y");
+    let z = t.challenge_scalar(b"z");
+
+    // Step 3: product argument over v_j = y·a_j + b_j − z.
+    let v_values: Vec<Scalar> = perm_values
+        .iter()
+        .zip(power_values.iter())
+        .map(|(a, b)| y * a + b - z)
+        .collect();
+    let v_blindings: Vec<Scalar> = perm_blindings
+        .iter()
+        .zip(power_blindings.iter())
+        .map(|(ra, rb)| y * ra + rb)
+        .collect();
+    let v_commitments: Vec<RistrettoPoint> = commit_perm
+        .iter()
+        .zip(commit_powers.iter())
+        .map(|(ca, cb)| y * ca + cb - z * key.g)
+        .collect();
+
+    // Partial products p_j and their commitments (p_0 reuses c_v[0]).
+    let mut partial_values = Vec::with_capacity(n);
+    let mut partial_blindings = Vec::with_capacity(n);
+    let mut commit_partial = Vec::with_capacity(n - 1);
+    partial_values.push(v_values[0]);
+    partial_blindings.push(v_blindings[0]);
+    for j in 1..n {
+        let value = partial_values[j - 1] * v_values[j];
+        let (c, r) = key.commit_random(&value, rng);
+        partial_values.push(value);
+        partial_blindings.push(r);
+        commit_partial.push(c);
+    }
+    for c in &commit_partial {
+        t.append_point(b"commit-partial", c);
+    }
+
+    // Announcements for the per-step multiplication proofs.
+    let mut step_secrets = Vec::with_capacity(n.saturating_sub(1));
+    let mut step_announcements = Vec::with_capacity(n.saturating_sub(1));
+    for j in 1..n {
+        let prev_commit = if j == 1 {
+            v_commitments[0]
+        } else {
+            commit_partial[j - 2]
+        };
+        let alpha = Scalar::random(rng);
+        let beta = Scalar::random(rng);
+        let gamma = Scalar::random(rng);
+        let announce_value = key.commit(&alpha, &beta);
+        let announce_step = alpha * prev_commit + gamma * key.h;
+        t.append_point(b"product-announce-value", &announce_value);
+        t.append_point(b"product-announce-step", &announce_step);
+        step_secrets.push((alpha, beta, gamma, prev_commit));
+        step_announcements.push((announce_value, announce_step));
+    }
+
+    // Final opening announcement: c_p[n−1] − P·G = r·H.
+    let final_secret = Scalar::random(rng);
+    let announce_final = final_secret * key.h;
+    t.append_point(b"final-announce", &announce_final);
+
+    // Step 4: multi-exponentiation announcements.
+    let mut power_nonces = Vec::with_capacity(n);
+    let mut power_blinding_nonces = Vec::with_capacity(n);
+    let mut announce_powers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = Scalar::random(rng);
+        let e = Scalar::random(rng);
+        announce_powers.push(key.commit(&d, &e));
+        power_nonces.push(d);
+        power_blinding_nonces.push(e);
+    }
+    let mut rho_nonces = Vec::with_capacity(components);
+    let mut announce_rand = Vec::with_capacity(components);
+    let mut announce_payload = Vec::with_capacity(components);
+    for l in 0..components {
+        let t_nonce = Scalar::random(rng);
+        let mut acc_rand = RistrettoPoint::identity();
+        let mut acc_payload = RistrettoPoint::identity();
+        for (j, output) in outputs.iter().enumerate() {
+            acc_rand += power_nonces[j] * output.components[l].r;
+            acc_payload += power_nonces[j] * output.components[l].c;
+        }
+        acc_rand -= &t_nonce * RISTRETTO_BASEPOINT_TABLE;
+        acc_payload -= t_nonce * pk.0;
+        rho_nonces.push(t_nonce);
+        announce_rand.push(acc_rand);
+        announce_payload.push(acc_payload);
+    }
+    for a in &announce_powers {
+        t.append_point(b"announce-powers", a);
+    }
+    for a in announce_rand.iter().chain(announce_payload.iter()) {
+        t.append_point(b"announce-multiexp", a);
+    }
+
+    let challenge = t.challenge_scalar(b"challenge");
+
+    // Responses: product argument steps.
+    let product_steps = (1..n)
+        .map(|j| {
+            let (alpha, beta, gamma, _) = step_secrets[j - 1];
+            let (announce_value, announce_step) = step_announcements[j - 1];
+            let step_blinding = partial_blindings[j] - v_values[j] * partial_blindings[j - 1];
+            ProductStepProof {
+                announce_value,
+                announce_step,
+                response_value: alpha + challenge * v_values[j],
+                response_value_blinding: beta + challenge * v_blindings[j],
+                response_step_blinding: gamma + challenge * step_blinding,
+            }
+        })
+        .collect();
+
+    // Final opening response.
+    let response_final = final_secret + challenge * partial_blindings[n - 1];
+
+    // Multi-exponentiation responses.
+    let response_powers: Vec<Scalar> = power_nonces
+        .iter()
+        .zip(power_values.iter())
+        .map(|(d, b)| d + challenge * b)
+        .collect();
+    let response_power_blindings: Vec<Scalar> = power_blinding_nonces
+        .iter()
+        .zip(power_blindings.iter())
+        .map(|(e, r)| e + challenge * r)
+        .collect();
+    let response_rho: Vec<Scalar> = (0..components)
+        .map(|l| {
+            let rho_star: Scalar = (0..n)
+                .map(|j| power_values[j] * witness.randomness[j][l])
+                .sum();
+            rho_nonces[l] + challenge * rho_star
+        })
+        .collect();
+
+    Ok(ShuffleProof {
+        commit_perm,
+        commit_powers,
+        commit_partial,
+        product_steps,
+        announce_final,
+        response_final,
+        announce_powers,
+        announce_rand,
+        announce_payload,
+        response_powers,
+        response_power_blindings,
+        response_rho,
+    })
+}
+
+/// Verifies a shuffle proof.
+pub fn verify_shuffle(
+    pk: &PublicKey,
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+    proof: &ShuffleProof,
+) -> CryptoResult<()> {
+    let (n, components) = check_shape(inputs, outputs)?;
+    let key = CommitmentKey::atom();
+
+    // Shape checks on the proof itself.
+    if proof.commit_perm.len() != n
+        || proof.commit_powers.len() != n
+        || proof.commit_partial.len() != n - 1
+        || proof.product_steps.len() != n - 1
+        || proof.announce_powers.len() != n
+        || proof.response_powers.len() != n
+        || proof.response_power_blindings.len() != n
+        || proof.announce_rand.len() != components
+        || proof.announce_payload.len() != components
+        || proof.response_rho.len() != components
+    {
+        return Err(CryptoError::ProofInvalid(
+            "shuffle proof shape mismatch".into(),
+        ));
+    }
+
+    let mut t = statement_transcript(pk, inputs, outputs);
+    for c in &proof.commit_perm {
+        t.append_point(b"commit-perm", c);
+    }
+    let x = t.challenge_scalar(b"x");
+    for c in &proof.commit_powers {
+        t.append_point(b"commit-powers", c);
+    }
+    let y = t.challenge_scalar(b"y");
+    let z = t.challenge_scalar(b"z");
+    for c in &proof.commit_partial {
+        t.append_point(b"commit-partial", c);
+    }
+    for step in &proof.product_steps {
+        t.append_point(b"product-announce-value", &step.announce_value);
+        t.append_point(b"product-announce-step", &step.announce_step);
+    }
+    t.append_point(b"final-announce", &proof.announce_final);
+    for a in &proof.announce_powers {
+        t.append_point(b"announce-powers", a);
+    }
+    for a in proof.announce_rand.iter().chain(proof.announce_payload.iter()) {
+        t.append_point(b"announce-multiexp", a);
+    }
+    let challenge = t.challenge_scalar(b"challenge");
+
+    // Homomorphically derived commitments to v_j.
+    let v_commitments: Vec<RistrettoPoint> = proof
+        .commit_perm
+        .iter()
+        .zip(proof.commit_powers.iter())
+        .map(|(ca, cb)| y * ca + cb - z * key.g)
+        .collect();
+
+    // Product argument: each multiplicative step.
+    for j in 1..n {
+        let step = &proof.product_steps[j - 1];
+        let prev_commit = if j == 1 {
+            v_commitments[0]
+        } else {
+            proof.commit_partial[j - 2]
+        };
+        let current_commit = proof.commit_partial[j - 1];
+
+        if key.commit(&step.response_value, &step.response_value_blinding)
+            != step.announce_value + challenge * v_commitments[j]
+        {
+            return Err(CryptoError::ProofInvalid(
+                "product argument: value opening failed".into(),
+            ));
+        }
+        if step.response_value * prev_commit + step.response_step_blinding * key.h
+            != step.announce_step + challenge * current_commit
+        {
+            return Err(CryptoError::ProofInvalid(
+                "product argument: multiplicative step failed".into(),
+            ));
+        }
+    }
+
+    // Final opening: the last partial product equals the public product.
+    let product = public_product(n, &x, &y, &z);
+    let last_commit = if n == 1 {
+        v_commitments[0]
+    } else {
+        proof.commit_partial[n - 2]
+    };
+    if proof.response_final * key.h
+        != proof.announce_final + challenge * (last_commit - product * key.g)
+    {
+        return Err(CryptoError::ProofInvalid(
+            "product argument: final opening failed".into(),
+        ));
+    }
+
+    // Multi-exponentiation argument.
+    for j in 0..n {
+        if key.commit(&proof.response_powers[j], &proof.response_power_blindings[j])
+            != proof.announce_powers[j] + challenge * proof.commit_powers[j]
+        {
+            return Err(CryptoError::ProofInvalid(
+                "multi-exponentiation: power opening failed".into(),
+            ));
+        }
+    }
+    let (t_rand, t_payload) = public_targets(inputs, components, &x);
+    for l in 0..components {
+        let mut acc_rand = RistrettoPoint::identity();
+        let mut acc_payload = RistrettoPoint::identity();
+        for (j, output) in outputs.iter().enumerate() {
+            acc_rand += proof.response_powers[j] * output.components[l].r;
+            acc_payload += proof.response_powers[j] * output.components[l].c;
+        }
+        acc_rand -= &proof.response_rho[l] * RISTRETTO_BASEPOINT_TABLE;
+        acc_payload -= proof.response_rho[l] * pk.0;
+
+        if acc_rand != proof.announce_rand[l] + challenge * t_rand[l] {
+            return Err(CryptoError::ProofInvalid(
+                "multi-exponentiation: randomness relation failed".into(),
+            ));
+        }
+        if acc_payload != proof.announce_payload[l] + challenge * t_payload[l] {
+            return Err(CryptoError::ProofInvalid(
+                "multi-exponentiation: payload relation failed".into(),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{encrypt_message, shuffle, KeyPair};
+    use crate::encoding::encode_message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch(
+        rng: &mut StdRng,
+        kp: &KeyPair,
+        count: usize,
+        msg_len: usize,
+    ) -> Vec<MessageCiphertext> {
+        (0..count)
+            .map(|i| {
+                let msg = vec![i as u8 + 1; msg_len];
+                let points = encode_message(&msg).unwrap();
+                encrypt_message(&kp.public, &points, rng).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_shuffle_proof_verifies() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 8, 40);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_ok());
+    }
+
+    #[test]
+    fn single_message_shuffle_proof_verifies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 1, 10);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_ok());
+    }
+
+    #[test]
+    fn single_component_messages_verify() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 5, 8);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_ok());
+    }
+
+    #[test]
+    fn replaced_output_ciphertext_detected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 6, 40);
+        let (mut outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+
+        // A malicious server swaps in an encryption of its own message.
+        let points = encode_message(b"injected").unwrap();
+        outputs[2] = encrypt_message(&kp.public, &points, &mut rng).0;
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn duplicated_output_detected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 6, 40);
+        let (mut outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        outputs[3] = outputs[4].clone();
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_component_detected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 4, 60);
+        let (mut outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        outputs[1].components[1].c += key_g();
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_for_other_inputs_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 5, 40);
+        let other_inputs = batch(&mut rng, &kp, 5, 40);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &other_inputs, &outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_group_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let kp = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 5, 40);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&other.public, &inputs, &outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn non_rerandomized_identity_permutation_still_needs_valid_witness() {
+        // Passing outputs that are NOT a shuffle of the inputs (fresh
+        // encryptions of the same plaintexts) must fail even though the
+        // plaintext multiset matches, because the witness does not satisfy
+        // the rerandomization relation.
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 4, 20);
+        let fake_outputs = batch(&mut rng, &kp, 4, 20);
+        let witness = ShuffleWitness {
+            permutation: (0..4).collect(),
+            randomness: vec![vec![Scalar::ZERO; inputs[0].components.len()]; 4],
+        };
+        let proof =
+            prove_shuffle(&kp.public, &inputs, &fake_outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &inputs, &fake_outputs, &proof).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 4, 20);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        assert!(verify_shuffle(&kp.public, &inputs[..3], &outputs, &proof).is_err());
+        assert!(verify_shuffle(&kp.public, &inputs, &outputs[..3], &proof).is_err());
+    }
+
+    fn key_g() -> RistrettoPoint {
+        CommitmentKey::atom().g
+    }
+}

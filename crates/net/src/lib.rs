@@ -1,0 +1,24 @@
+//! # atom-net
+//!
+//! In-process transport substrate for the Rust reproduction of
+//! *Atom: Horizontally Scaling Strong Anonymity* (SOSP 2017).
+//!
+//! The paper deploys Atom on 1,024 EC2 machines talking TLS with 40–160 ms
+//! of injected pairwise latency and a Tor-derived bandwidth distribution
+//! (§6). Here the servers run in one process; this crate provides the pieces
+//! that stand in for the wire:
+//!
+//! * [`latency`] — per-link latency models, the heterogeneous server-class
+//!   mix, and transmission-time accounting.
+//! * [`transport`] — a metered in-memory network with mailboxes per node and
+//!   a virtual clock for accumulating simulated network time along the
+//!   protocol's critical path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod transport;
+
+pub use latency::{assign_server_classes, paper_server_mix, LatencyModel, ServerClass};
+pub use transport::{Envelope, InMemoryNetwork, NodeId, TrafficStats, VirtualClock};

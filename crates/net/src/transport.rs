@@ -1,0 +1,308 @@
+//! In-process transport with traffic metering and a virtual clock.
+//!
+//! Atom's servers communicate over authenticated channels (TLS in the
+//! paper's deployment). For this reproduction the servers run in one process
+//! and exchange serialized protocol messages through an [`InMemoryNetwork`]:
+//! every send is metered (bytes and message counts per node), charged
+//! propagation latency from a [`LatencyModel`](crate::latency::LatencyModel)
+//! and transmission time from the sender's bandwidth class, and delivered
+//! through a lock-protected mailbox. A [`VirtualClock`] accumulates the
+//! simulated network time along the protocol's critical path, which is what
+//! the end-to-end latency figures (Fig. 9–11) report on top of measured
+//! compute time.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::latency::{transmission_time, LatencyModel, ServerClass};
+
+/// Identifies a protocol endpoint (a server, a trustee, or the orchestrator).
+pub type NodeId = usize;
+
+/// An addressed, metered protocol message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Application-level label (used for tracing and per-phase accounting).
+    pub label: String,
+    /// Serialized payload.
+    pub payload: Vec<u8>,
+    /// Simulated network delay this message experienced.
+    pub delay: Duration,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+/// A monotonically advancing virtual clock tracking simulated elapsed time.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        *self.now.lock() += delta;
+    }
+
+    /// Advances the clock to at least `instant`.
+    pub fn advance_to(&self, instant: Duration) {
+        let mut now = self.now.lock();
+        if instant > *now {
+            *now = instant;
+        }
+    }
+}
+
+/// Per-node mailbox state.
+#[derive(Default)]
+struct Mailbox {
+    queue: VecDeque<Envelope>,
+}
+
+/// Shared state of the in-memory network.
+struct NetworkInner {
+    latency: LatencyModel,
+    classes: Vec<ServerClass>,
+    mailboxes: Vec<Mutex<Mailbox>>,
+    sent: Vec<Mutex<TrafficStats>>,
+    received: Vec<Mutex<TrafficStats>>,
+}
+
+/// An in-process network connecting `nodes` endpoints.
+#[derive(Clone)]
+pub struct InMemoryNetwork {
+    inner: Arc<NetworkInner>,
+}
+
+impl InMemoryNetwork {
+    /// Creates a network of `nodes` endpoints with the given latency model
+    /// and per-node server classes (`classes.len()` must equal `nodes`, or be
+    /// empty to give every node an unmetered-bandwidth class).
+    pub fn new(nodes: usize, latency: LatencyModel, classes: Vec<ServerClass>) -> Self {
+        let classes = if classes.is_empty() {
+            vec![
+                ServerClass {
+                    bandwidth_mbps: 0,
+                    cores: 4
+                };
+                nodes
+            ]
+        } else {
+            assert_eq!(classes.len(), nodes, "one server class per node required");
+            classes
+        };
+        let inner = NetworkInner {
+            latency,
+            classes,
+            mailboxes: (0..nodes).map(|_| Mutex::new(Mailbox::default())).collect(),
+            sent: (0..nodes).map(|_| Mutex::new(TrafficStats::default())).collect(),
+            received: (0..nodes).map(|_| Mutex::new(TrafficStats::default())).collect(),
+        };
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Convenience constructor with no latency and unmetered bandwidth.
+    pub fn local(nodes: usize) -> Self {
+        Self::new(nodes, LatencyModel::Zero, Vec::new())
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.inner.mailboxes.len()
+    }
+
+    /// Sends `payload` from `from` to `to`, returning the simulated network
+    /// delay charged to this message (propagation + transmission).
+    pub fn send(&self, from: NodeId, to: NodeId, label: &str, payload: Vec<u8>) -> Duration {
+        assert!(from < self.nodes() && to < self.nodes(), "unknown node");
+        let bytes = payload.len() as u64;
+        let propagation = self.inner.latency.link(from, to);
+        let transmission = transmission_time(bytes, self.inner.classes[from].bandwidth_mbps);
+        let delay = propagation + transmission;
+
+        {
+            let mut stats = self.inner.sent[from].lock();
+            stats.messages += 1;
+            stats.bytes += bytes;
+        }
+        {
+            let mut stats = self.inner.received[to].lock();
+            stats.messages += 1;
+            stats.bytes += bytes;
+        }
+        self.inner.mailboxes[to].lock().queue.push_back(Envelope {
+            from,
+            to,
+            label: label.to_string(),
+            payload,
+            delay,
+        });
+        delay
+    }
+
+    /// Receives the next message queued for `node`, if any.
+    pub fn try_receive(&self, node: NodeId) -> Option<Envelope> {
+        self.inner.mailboxes[node].lock().queue.pop_front()
+    }
+
+    /// Drains every queued message for `node`.
+    pub fn drain(&self, node: NodeId) -> Vec<Envelope> {
+        let mut mailbox = self.inner.mailboxes[node].lock();
+        mailbox.queue.drain(..).collect()
+    }
+
+    /// Number of messages waiting for `node`.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.inner.mailboxes[node].lock().queue.len()
+    }
+
+    /// Traffic sent by `node` so far.
+    pub fn sent_stats(&self, node: NodeId) -> TrafficStats {
+        *self.inner.sent[node].lock()
+    }
+
+    /// Traffic received by `node` so far.
+    pub fn received_stats(&self, node: NodeId) -> TrafficStats {
+        *self.inner.received[node].lock()
+    }
+
+    /// Total traffic across all nodes.
+    pub fn total_sent(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for stats in &self.inner.sent {
+            let s = stats.lock();
+            total.messages += s.messages;
+            total.bytes += s.bytes;
+        }
+        total
+    }
+
+    /// The server class of `node`.
+    pub fn class(&self, node: NodeId) -> ServerClass {
+        self.inner.classes[node]
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.inner.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_roundtrip() {
+        let net = InMemoryNetwork::local(3);
+        net.send(0, 2, "hello", vec![1, 2, 3]);
+        assert_eq!(net.pending(2), 1);
+        let envelope = net.try_receive(2).unwrap();
+        assert_eq!(envelope.from, 0);
+        assert_eq!(envelope.payload, vec![1, 2, 3]);
+        assert_eq!(envelope.label, "hello");
+        assert!(net.try_receive(2).is_none());
+        assert!(net.try_receive(1).is_none());
+    }
+
+    #[test]
+    fn traffic_is_metered_per_node() {
+        let net = InMemoryNetwork::local(2);
+        net.send(0, 1, "a", vec![0u8; 100]);
+        net.send(0, 1, "b", vec![0u8; 50]);
+        net.send(1, 0, "c", vec![0u8; 10]);
+        assert_eq!(
+            net.sent_stats(0),
+            TrafficStats {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            net.received_stats(1),
+            TrafficStats {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(net.sent_stats(1).bytes, 10);
+        assert_eq!(net.total_sent().bytes, 160);
+        assert_eq!(net.total_sent().messages, 3);
+    }
+
+    #[test]
+    fn latency_and_bandwidth_are_charged() {
+        let classes = vec![
+            ServerClass {
+                bandwidth_mbps: 100,
+                cores: 4,
+            };
+            2
+        ];
+        let net = InMemoryNetwork::new(2, LatencyModel::Fixed { millis: 50 }, classes);
+        // 1 MB at 100 Mbps = 80 ms transmission + 50 ms propagation.
+        let delay = net.send(0, 1, "bulk", vec![0u8; 1_000_000]);
+        assert!((delay.as_secs_f64() - 0.13).abs() < 1e-6, "{delay:?}");
+        let envelope = net.try_receive(1).unwrap();
+        assert_eq!(envelope.delay, delay);
+    }
+
+    #[test]
+    fn drain_returns_messages_in_order() {
+        let net = InMemoryNetwork::local(2);
+        for i in 0..5u8 {
+            net.send(0, 1, "seq", vec![i]);
+        }
+        let drained = net.drain(1);
+        assert_eq!(drained.len(), 5);
+        for (i, envelope) in drained.iter().enumerate() {
+            assert_eq!(envelope.payload, vec![i as u8]);
+        }
+        assert_eq!(net.pending(1), 0);
+    }
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(120));
+        clock.advance_to(Duration::from_millis(100)); // No going backwards.
+        assert_eq!(clock.now(), Duration::from_millis(120));
+        clock.advance_to(Duration::from_millis(500));
+        assert_eq!(clock.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn sending_to_unknown_node_panics() {
+        let net = InMemoryNetwork::local(1);
+        net.send(0, 3, "x", Vec::new());
+    }
+}

@@ -1,0 +1,263 @@
+//! Calibrated end-to-end latency model for large Atom deployments.
+//!
+//! This reproduces the methodology of §6.2: per-iteration group compute time
+//! is derived from the primitive costs (Table 3 / [`PrimitiveCosts`]),
+//! heterogeneous server capacities follow the Tor-like mix, network time is
+//! one inter-group hop plus batch transmission per iteration, and two
+//! overhead terms that only matter at very large scale — the `G²`
+//! inter-group connection fan-out and the single trustee group's connection
+//! handling — reproduce the sub-linear speed-up of Fig. 11.
+
+use serde::{Deserialize, Serialize};
+
+use atom_core::config::Defense;
+use atom_net::latency::{assign_server_classes, paper_server_mix, ServerClass};
+
+use crate::costs::PrimitiveCosts;
+
+/// A deployment whose round latency we want to estimate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Number of physical servers.
+    pub num_servers: usize,
+    /// Number of groups (defaults to one group per server, as in §6.2).
+    pub num_groups: usize,
+    /// Servers per group.
+    pub group_size: usize,
+    /// Members participating per group (`k − (h−1)`).
+    pub participating: usize,
+    /// Mixing iterations `T`.
+    pub iterations: usize,
+    /// Total ciphertexts routed through the network (2× users + dummies in
+    /// the trap variant).
+    pub mix_messages: u64,
+    /// Group elements per ciphertext (message length / bytes-per-point).
+    pub points_per_message: usize,
+    /// Serialized bytes per ciphertext on the wire.
+    pub bytes_per_message: u64,
+    /// Defence variant.
+    pub defense: Defense,
+    /// Average one-way inter-server latency in seconds (the paper emulates
+    /// 40–160 ms, i.e. 0.1 s on average).
+    pub hop_latency: f64,
+    /// Per-connection setup cost in seconds (TLS handshake amortization);
+    /// only significant at very large group counts.
+    pub connection_setup: f64,
+    /// Per-report cost at the trustee group in seconds (one report per
+    /// server per round).
+    pub trustee_report_cost: f64,
+}
+
+impl DeploymentSpec {
+    /// The paper's evaluation setup (§6.2): one group per server, `T = 10`,
+    /// trap variant, one failure tolerated (33-server groups, 32
+    /// participating), 40–160 ms links.
+    pub fn paper_microblogging(num_servers: usize, users: u64) -> Self {
+        // 160-byte posts → payload ≈ 211 bytes → 8 Ristretto points here
+        // (the paper packs 32 bytes per P-256 point; see DESIGN.md).
+        let points = 8;
+        let dummies = 32 * 13_000; // µ = 13,000 per server in one anytrust group (§6.2)
+        Self {
+            num_servers,
+            num_groups: num_servers,
+            group_size: 33,
+            participating: 32,
+            iterations: 10,
+            mix_messages: 2 * users + dummies,
+            points_per_message: points,
+            bytes_per_message: (points as u64) * 3 * 32,
+            defense: Defense::Trap,
+            hop_latency: 0.1,
+            connection_setup: 3.0e-3,
+            trustee_report_cost: 1.0e-2,
+        }
+        .validate()
+    }
+
+    /// The paper's dialing setup: 80-byte dialing messages.
+    pub fn paper_dialing(num_servers: usize, users: u64) -> Self {
+        let points = 5;
+        let dummies = 32 * 13_000;
+        Self {
+            num_servers,
+            num_groups: num_servers,
+            group_size: 33,
+            participating: 32,
+            iterations: 10,
+            mix_messages: 2 * users + dummies,
+            points_per_message: points,
+            bytes_per_message: (points as u64) * 3 * 32,
+            defense: Defense::Trap,
+            hop_latency: 0.1,
+            connection_setup: 3.0e-3,
+            trustee_report_cost: 1.0e-2,
+        }
+        .validate()
+    }
+
+    fn validate(self) -> Self {
+        assert!(self.num_servers > 0 && self.num_groups > 0 && self.group_size > 0);
+        assert!(self.participating <= self.group_size);
+        self
+    }
+}
+
+/// Breakdown of an estimated round latency, in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundEstimate {
+    /// Compute time along the critical path (all groups work in parallel).
+    pub compute_seconds: f64,
+    /// Network propagation + transmission along the critical path.
+    pub network_seconds: f64,
+    /// Connection-management overhead (the `G²` fan-out term).
+    pub connection_seconds: f64,
+    /// Trustee-group overhead (reports and key-share handling).
+    pub trustee_seconds: f64,
+}
+
+impl RoundEstimate {
+    /// Total end-to-end latency in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.network_seconds + self.connection_seconds + self.trustee_seconds
+    }
+}
+
+/// Average number of cores and bandwidth across the heterogeneous fleet.
+fn fleet_averages(num_servers: usize) -> (f64, f64) {
+    let classes: Vec<ServerClass> = assign_server_classes(num_servers, &paper_server_mix(), 17);
+    let cores: f64 =
+        classes.iter().map(|c| c.cores as f64).sum::<f64>() / num_servers as f64;
+    let bandwidth: f64 = classes.iter().map(|c| c.bandwidth_mbps as f64).sum::<f64>()
+        / num_servers as f64;
+    (cores, bandwidth)
+}
+
+/// Estimates the end-to-end latency of one Atom round.
+pub fn estimate_round(spec: &DeploymentSpec, costs: &PrimitiveCosts) -> RoundEstimate {
+    let (avg_cores, avg_bandwidth_mbps) = fleet_averages(spec.num_servers);
+    let points = spec.points_per_message as f64;
+    let per_group_messages = (spec.mix_messages as f64 / spec.num_groups as f64).ceil();
+
+    // --- Per-member compute for one iteration over one group's batch. ---
+    let shuffle_cost = per_group_messages * points * costs.shuffle_per_msg;
+    let reenc_cost = per_group_messages * points * costs.reenc;
+    let per_member = match spec.defense {
+        Defense::Trap => {
+            // Fully parallelizable across cores (Fig. 7).
+            (shuffle_cost + reenc_cost) / avg_cores
+        }
+        Defense::Nizk => {
+            // Proof generation/verification dominates and is only partially
+            // parallelizable (Fig. 7 shows sub-linear speed-up); charge the
+            // proof work at half the core count.
+            let proofs = per_group_messages
+                * points
+                * (costs.shufproof_prove_per_msg
+                    + costs.shufproof_verify_per_msg
+                    + costs.reencproof_prove
+                    + costs.reencproof_verify);
+            (shuffle_cost + reenc_cost) / avg_cores + proofs / (avg_cores / 2.0).max(1.0)
+        }
+    };
+    // The members of a group work sequentially (§4.2): the iteration time is
+    // the sum over participating members.
+    let per_iteration_compute = per_member * spec.participating as f64;
+
+    // --- Network: one inter-group hop plus batch transmission per iteration.
+    let batch_bytes = per_group_messages * spec.bytes_per_message as f64;
+    let transmission = batch_bytes * 8.0 / (avg_bandwidth_mbps * 1.0e6);
+    // Within a group the ciphertexts also travel member-to-member; charge one
+    // hop per member.
+    let intra_group = spec.hop_latency * spec.participating as f64;
+    let per_iteration_network = spec.hop_latency + transmission + intra_group;
+
+    // --- Large-scale overheads (Fig. 11). ---
+    // Each group maintains connections to every group of the next layer:
+    // G connections per group per iteration, set up/managed serially.
+    let connection_seconds = spec.iterations as f64
+        * spec.num_groups as f64
+        * spec.connection_setup;
+    // The single trustee group receives one report per server per round and
+    // hands out key shares; this serializes at the trustees.
+    let trustee_seconds =
+        spec.num_servers as f64 * spec.group_size as f64 / 33.0 * spec.trustee_report_cost;
+
+    RoundEstimate {
+        compute_seconds: per_iteration_compute * spec.iterations as f64,
+        network_seconds: per_iteration_network * spec.iterations as f64,
+        connection_seconds,
+        trustee_seconds,
+    }
+}
+
+/// Speed-up of `spec` relative to `baseline` (both under the same costs).
+pub fn speedup(baseline: &DeploymentSpec, spec: &DeploymentSpec, costs: &PrimitiveCosts) -> f64 {
+    estimate_round(baseline, costs).total_seconds() / estimate_round(spec, costs).total_seconds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_linear_in_messages() {
+        let costs = PrimitiveCosts::paper_table3();
+        let one = estimate_round(&DeploymentSpec::paper_microblogging(1024, 500_000), &costs);
+        let two = estimate_round(&DeploymentSpec::paper_microblogging(1024, 1_000_000), &costs);
+        let four = estimate_round(&DeploymentSpec::paper_microblogging(1024, 2_000_000), &costs);
+        assert!(two.compute_seconds > one.compute_seconds);
+        assert!(four.compute_seconds > 1.8 * two.compute_seconds);
+        assert!(four.compute_seconds < 2.2 * two.compute_seconds);
+    }
+
+    #[test]
+    fn speedup_is_roughly_linear_up_to_1024_servers(){
+        // Fig. 10: doubling the servers roughly halves the latency.
+        let costs = PrimitiveCosts::paper_table3();
+        let base = DeploymentSpec::paper_microblogging(128, 1_000_000);
+        let double = DeploymentSpec::paper_microblogging(256, 1_000_000);
+        let eight_fold = DeploymentSpec::paper_microblogging(1024, 1_000_000);
+        let s2 = speedup(&base, &double, &costs);
+        let s8 = speedup(&base, &eight_fold, &costs);
+        assert!((1.7..=2.2).contains(&s2), "s2 = {s2}");
+        assert!((5.5..=8.5).contains(&s8), "s8 = {s8}");
+    }
+
+    #[test]
+    fn very_large_networks_show_sublinear_speedup() {
+        // Fig. 11: at a billion messages, going from 2^10 to 2^15 servers
+        // gives clearly less than the ideal 32× speed-up.
+        let costs = PrimitiveCosts::paper_table3();
+        let base = DeploymentSpec::paper_microblogging(1 << 10, 500_000_000);
+        let big = DeploymentSpec::paper_microblogging(1 << 15, 500_000_000);
+        let s = speedup(&base, &big, &costs);
+        assert!(s > 12.0, "s = {s}");
+        assert!(s < 28.0, "s = {s}");
+    }
+
+    #[test]
+    fn nizk_variant_is_several_times_slower() {
+        let costs = PrimitiveCosts::paper_table3();
+        let mut trap = DeploymentSpec::paper_microblogging(1024, 1_000_000);
+        let mut nizk = trap.clone();
+        nizk.defense = Defense::Nizk;
+        // The NIZK variant routes half as many ciphertexts (no traps).
+        trap.mix_messages = 2 * 1_000_000;
+        nizk.mix_messages = 1_000_000;
+        let t = estimate_round(&trap, &costs).compute_seconds;
+        let n = estimate_round(&nizk, &costs).compute_seconds;
+        let ratio = n / t;
+        assert!((2.0..=8.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn estimate_components_are_positive() {
+        let costs = PrimitiveCosts::paper_table3();
+        let estimate = estimate_round(&DeploymentSpec::paper_microblogging(256, 100_000), &costs);
+        assert!(estimate.compute_seconds > 0.0);
+        assert!(estimate.network_seconds > 0.0);
+        assert!(estimate.connection_seconds > 0.0);
+        assert!(estimate.trustee_seconds > 0.0);
+        assert!(estimate.total_seconds() > estimate.compute_seconds);
+    }
+}

@@ -1,0 +1,320 @@
+//! Anytrust / many-trust group sizing and formation (§4.1, §4.5, Appendix B).
+//!
+//! Atom's security rests on every group containing at least `h` honest
+//! servers with overwhelming probability, assuming the adversary controls at
+//! most a fraction `f` of all servers. This module computes the minimum group
+//! size `k` for a target failure probability (the paper uses `2⁻⁶⁴`), and
+//! forms groups by sampling servers with public randomness from a beacon.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Security parameters for group formation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroupSecurityParams {
+    /// Fraction of servers assumed malicious (`f`, e.g. 0.2).
+    pub adversarial_fraction: f64,
+    /// Number of groups in the network (`G`).
+    pub num_groups: usize,
+    /// Required number of honest servers per group (`h`; 1 for plain
+    /// anytrust, ≥2 for fault tolerance).
+    pub required_honest: usize,
+    /// Target security exponent: total failure probability below
+    /// `2^(−security_bits)`.
+    pub security_bits: u32,
+}
+
+impl GroupSecurityParams {
+    /// The parameters used throughout the paper's evaluation:
+    /// `f = 20%`, `G = 1024`, `2⁻⁶⁴`.
+    pub fn paper_defaults(required_honest: usize) -> Self {
+        Self {
+            adversarial_fraction: 0.2,
+            num_groups: 1024,
+            required_honest,
+            security_bits: 64,
+        }
+    }
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Probability (in log₂) that a single group of size `k` contains fewer than
+/// `h` honest servers, when each server is malicious independently with
+/// probability `f`:
+/// `Σ_{i=0}^{h−1} C(k, i) · (1−f)^i · f^(k−i)`.
+pub fn log2_group_failure_probability(k: usize, f: f64, h: usize) -> f64 {
+    assert!((0.0..1.0).contains(&f), "adversarial fraction must be in [0,1)");
+    if h == 0 {
+        return f64::NEG_INFINITY;
+    }
+    if h > k {
+        return 0.0; // Certain failure: cannot have h honest servers.
+    }
+    // Sum in log space for numerical robustness.
+    let ln2 = std::f64::consts::LN_2;
+    let mut max_term = f64::NEG_INFINITY;
+    let mut terms = Vec::with_capacity(h);
+    for i in 0..h {
+        let term = ln_binomial(k as u64, i as u64)
+            + (i as f64) * (1.0 - f).ln()
+            + ((k - i) as f64) * f.ln();
+        terms.push(term);
+        if term > max_term {
+            max_term = term;
+        }
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max_term).exp()).sum();
+    (max_term + sum.ln()) / ln2
+}
+
+/// Probability (in log₂) that *any* of the `G` groups is bad (union bound).
+pub fn log2_network_failure_probability(k: usize, params: &GroupSecurityParams) -> f64 {
+    (params.num_groups as f64).log2()
+        + log2_group_failure_probability(k, params.adversarial_fraction, params.required_honest)
+}
+
+/// The minimum group size `k` meeting the security target (Appendix B /
+/// Figure 13). Returns `None` if no `k ≤ 4096` suffices.
+pub fn required_group_size(params: &GroupSecurityParams) -> Option<usize> {
+    (params.required_honest..=4096)
+        .find(|&k| log2_network_failure_probability(k, params) < -(params.security_bits as f64))
+}
+
+/// A group of servers, identified by indices into the global server list.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group id (its index in the permutation network).
+    pub id: usize,
+    /// Member server indices, in protocol order (position matters for
+    /// staggering, §4.7).
+    pub members: Vec<usize>,
+}
+
+/// Forms `num_groups` groups of `group_size` servers each by sampling from
+/// `num_servers` servers using the beacon output `seed` (a stand-in for a
+/// public unbiased randomness source [14, 68]).
+///
+/// Members within a group are distinct; a server may serve in many groups
+/// (each server emulates multiple vertices of the permutation network when
+/// `N < G·k`). Positions are staggered: the member list of group `g` is
+/// rotated by `g` so that a server appearing in several groups tends to
+/// occupy different positions, which maximizes pipeline utilization (§4.7).
+pub fn form_groups(
+    num_servers: usize,
+    num_groups: usize,
+    group_size: usize,
+    seed: u64,
+) -> Vec<Group> {
+    assert!(group_size <= num_servers, "group larger than server pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut groups = Vec::with_capacity(num_groups);
+    for id in 0..num_groups {
+        // Partial Fisher-Yates to sample `group_size` distinct servers.
+        let mut pool: Vec<usize> = (0..num_servers).collect();
+        for i in 0..group_size {
+            let j = rng.gen_range(i..num_servers);
+            pool.swap(i, j);
+        }
+        let mut members: Vec<usize> = pool[..group_size].to_vec();
+        members.rotate_left(id % group_size);
+        groups.push(Group { id, members });
+    }
+    groups
+}
+
+/// Assigns each group `buddy_count` buddy groups (§4.5): group `g`'s buddies
+/// are the next `buddy_count` groups in a seed-derived random cycle, so every
+/// group has buddies and no group is its own buddy (when `num_groups > 1`).
+pub fn assign_buddies(num_groups: usize, buddy_count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6275_6464_7969_6573);
+    let mut order: Vec<usize> = (0..num_groups).collect();
+    for i in (1..num_groups).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let position: Vec<usize> = {
+        let mut pos = vec![0; num_groups];
+        for (idx, &g) in order.iter().enumerate() {
+            pos[g] = idx;
+        }
+        pos
+    };
+    (0..num_groups)
+        .map(|g| {
+            (1..=buddy_count.min(num_groups.saturating_sub(1)))
+                .map(|offset| order[(position[g] + offset) % num_groups])
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-server statistics of a group assignment: how many groups each server
+/// belongs to, and the distribution of positions it occupies.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerLoad {
+    /// Number of groups the server is a member of.
+    pub group_count: usize,
+    /// Positions (0-based) the server occupies across its groups.
+    pub positions: Vec<usize>,
+}
+
+/// Computes per-server load statistics for a group assignment.
+pub fn server_loads(num_servers: usize, groups: &[Group]) -> Vec<ServerLoad> {
+    let mut loads = vec![ServerLoad::default(); num_servers];
+    for group in groups {
+        for (position, &server) in group.members.iter().enumerate() {
+            loads[server].group_count += 1;
+            loads[server].positions.push(position);
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_group_size_for_anytrust_is_32() {
+        // §4.1: f = 20%, G = 1024, 2⁻⁶⁴ → k = 32.
+        let params = GroupSecurityParams::paper_defaults(1);
+        assert_eq!(required_group_size(&params), Some(32));
+    }
+
+    #[test]
+    fn paper_group_size_for_one_fault_is_about_33() {
+        // §4.5 reports k ≥ 33 for h = 2. Evaluating the Appendix B union
+        // bound exactly gives a value within a couple of servers of that
+        // (the paper presumably rounds the tail bound slightly differently);
+        // EXPERIMENTS.md records the measured value.
+        let params = GroupSecurityParams::paper_defaults(2);
+        let k = required_group_size(&params).unwrap();
+        assert!((33..=35).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn group_size_grows_with_h() {
+        let sizes: Vec<usize> = (1..=20)
+            .map(|h| required_group_size(&GroupSecurityParams::paper_defaults(h)).unwrap())
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        // Figure 13 shows k stays well under 80 for h ≤ 20 at f = 0.2.
+        assert!(*sizes.last().unwrap() < 80);
+    }
+
+    #[test]
+    fn group_size_grows_with_adversarial_fraction() {
+        let mut params = GroupSecurityParams::paper_defaults(1);
+        let k20 = required_group_size(&params).unwrap();
+        params.adversarial_fraction = 0.3;
+        let k30 = required_group_size(&params).unwrap();
+        assert!(k30 > k20);
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_k() {
+        let f = 0.2;
+        let mut previous = 0.0;
+        for k in 1..=64 {
+            let log_p = log2_group_failure_probability(k, f, 1);
+            assert!(log_p <= previous + 1e-9);
+            previous = log_p;
+        }
+        // Exact value for h = 1 is k·log2(f).
+        let exact = 32.0 * f.log2();
+        assert!((log2_group_failure_probability(32, f, 1) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_group_has_certain_failure() {
+        assert_eq!(log2_group_failure_probability(3, 0.2, 4), 0.0);
+    }
+
+    #[test]
+    fn formed_groups_have_distinct_members() {
+        let groups = form_groups(64, 32, 8, 7);
+        assert_eq!(groups.len(), 32);
+        for group in &groups {
+            assert_eq!(group.members.len(), 8);
+            let mut sorted = group.members.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8);
+            assert!(group.members.iter().all(|&m| m < 64));
+        }
+    }
+
+    #[test]
+    fn group_formation_is_deterministic_in_the_beacon() {
+        assert_eq!(form_groups(50, 10, 5, 99), form_groups(50, 10, 5, 99));
+        assert_ne!(form_groups(50, 10, 5, 99), form_groups(50, 10, 5, 100));
+    }
+
+    #[test]
+    fn staggering_spreads_positions() {
+        // With as many groups as servers and full-size groups, every server
+        // appears in every group; staggering should give it many distinct
+        // positions rather than always the same one.
+        let groups = form_groups(16, 16, 16, 3);
+        let loads = server_loads(16, &groups);
+        for load in &loads {
+            assert_eq!(load.group_count, 16);
+            let mut distinct = load.positions.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() > 8, "positions too concentrated: {distinct:?}");
+        }
+    }
+
+    #[test]
+    fn buddy_assignment_is_complete_and_irreflexive() {
+        let buddies = assign_buddies(32, 2, 5);
+        assert_eq!(buddies.len(), 32);
+        for (g, list) in buddies.iter().enumerate() {
+            assert_eq!(list.len(), 2);
+            assert!(!list.contains(&g));
+            assert!(list.iter().all(|&b| b < 32));
+            assert_ne!(list[0], list[1]);
+        }
+    }
+
+    #[test]
+    fn buddy_assignment_single_group_has_no_buddies() {
+        let buddies = assign_buddies(1, 2, 5);
+        assert_eq!(buddies, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn server_loads_count_memberships() {
+        let groups = vec![
+            Group {
+                id: 0,
+                members: vec![0, 1, 2],
+            },
+            Group {
+                id: 1,
+                members: vec![2, 3, 0],
+            },
+        ];
+        let loads = server_loads(4, &groups);
+        assert_eq!(loads[0].group_count, 2);
+        assert_eq!(loads[1].group_count, 1);
+        assert_eq!(loads[2].positions, vec![2, 0]);
+        assert_eq!(loads[3].group_count, 1);
+    }
+}

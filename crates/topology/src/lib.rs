@@ -1,0 +1,24 @@
+//! # atom-topology
+//!
+//! Permutation-network topologies, anytrust/many-trust group sizing and
+//! formation, buddy-group assignment and server staggering for the Rust
+//! reproduction of *Atom: Horizontally Scaling Strong Anonymity* (SOSP 2017).
+//!
+//! * [`network`] — the Håstad square network and the iterated butterfly (§3).
+//! * [`groups`] — group-size math from §4.1 / Appendix B, beacon-seeded group
+//!   formation, staggering (§4.7) and buddy groups (§4.5).
+//! * [`mixing`] — a crypto-free simulation of the permute-split-forward
+//!   process used for validation and by the large-scale simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod groups;
+pub mod mixing;
+pub mod network;
+
+pub use groups::{
+    assign_buddies, form_groups, required_group_size, Group, GroupSecurityParams,
+};
+pub use mixing::{outcome_permutation, simulate_mixing, MixOutcome};
+pub use network::{ButterflyNetwork, SquareNetwork, Topology};

@@ -1,0 +1,204 @@
+//! Abstract (crypto-free) simulation of the permute-split-forward process.
+//!
+//! This models exactly the message movement of §3 — each node permutes its
+//! batch, divides it into β equal sub-batches and forwards them — without any
+//! encryption. It is used to validate the permutation-network properties
+//! (every message reaches an exit batch exactly once; the induced permutation
+//! is well mixed) and by the large-scale simulator to track batch sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::network::Topology;
+
+/// Where a message ended up after mixing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitSlot {
+    /// The exit group holding the message.
+    pub group: usize,
+    /// The position within that group's final batch.
+    pub position: usize,
+}
+
+/// The result of an abstract mixing run.
+#[derive(Clone, Debug)]
+pub struct MixOutcome {
+    /// For every input message (by index), its exit slot.
+    pub exits: Vec<ExitSlot>,
+    /// Final batch sizes per group.
+    pub batch_sizes: Vec<usize>,
+    /// The largest batch any group handled in any iteration (load metric).
+    pub max_batch: usize,
+}
+
+/// Runs the abstract permute-split-forward process.
+///
+/// `entry_assignment[m]` is the entry group of message `m`. The process uses
+/// the given seed for all local permutations (standing in for the servers'
+/// secret shuffles).
+pub fn simulate_mixing<T: Topology>(
+    topology: &T,
+    entry_assignment: &[usize],
+    seed: u64,
+) -> MixOutcome {
+    let groups = topology.num_groups();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Current batches: message indices held by each group.
+    let mut batches: Vec<Vec<usize>> = vec![Vec::new(); groups];
+    for (message, &group) in entry_assignment.iter().enumerate() {
+        assert!(group < groups, "entry group out of range");
+        batches[group].push(message);
+    }
+
+    let mut max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+
+    for iteration in 0..topology.iterations() {
+        let mut next: Vec<Vec<usize>> = vec![Vec::new(); groups];
+        let mut last_layer = false;
+        for (group, batch) in batches.iter_mut().enumerate() {
+            // Local uniform shuffle.
+            for i in (1..batch.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                batch.swap(i, j);
+            }
+            let neighbors = topology.neighbors(group, iteration);
+            if neighbors.is_empty() {
+                // Exit layer: keep the batch.
+                last_layer = true;
+                next[group] = std::mem::take(batch);
+                continue;
+            }
+            // Divide into (near-)equal sub-batches. Dealing round-robin with
+            // a per-group/iteration rotation keeps remainders from always
+            // favouring the same neighbours.
+            let beta = neighbors.len();
+            for (slot, &message) in batch.iter().enumerate() {
+                let target = neighbors[(slot + group + iteration) % beta];
+                next[target].push(message);
+            }
+        }
+        batches = next;
+        max_batch = max_batch.max(batches.iter().map(Vec::len).max().unwrap_or(0));
+        if last_layer {
+            break;
+        }
+    }
+
+    let mut exits = vec![
+        ExitSlot {
+            group: 0,
+            position: 0
+        };
+        entry_assignment.len()
+    ];
+    for (group, batch) in batches.iter().enumerate() {
+        for (position, &message) in batch.iter().enumerate() {
+            exits[message] = ExitSlot { group, position };
+        }
+    }
+    MixOutcome {
+        exits,
+        batch_sizes: batches.iter().map(Vec::len).collect(),
+        max_batch,
+    }
+}
+
+/// Flattens an outcome into a permutation of `0..n`: message index → global
+/// output rank (exit groups concatenated in id order).
+pub fn outcome_permutation(outcome: &MixOutcome) -> Vec<usize> {
+    let mut offsets = vec![0usize; outcome.batch_sizes.len()];
+    let mut acc = 0;
+    for (group, size) in outcome.batch_sizes.iter().enumerate() {
+        offsets[group] = acc;
+        acc += size;
+    }
+    outcome
+        .exits
+        .iter()
+        .map(|slot| offsets[slot.group] + slot.position)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ButterflyNetwork, SquareNetwork};
+
+    fn round_robin_assignment(messages: usize, groups: usize) -> Vec<usize> {
+        (0..messages).map(|m| m % groups).collect()
+    }
+
+    #[test]
+    fn every_message_exits_exactly_once() {
+        let topology = SquareNetwork::paper_default(8);
+        let assignment = round_robin_assignment(256, 8);
+        let outcome = simulate_mixing(&topology, &assignment, 42);
+        assert_eq!(outcome.exits.len(), 256);
+        assert_eq!(outcome.batch_sizes.iter().sum::<usize>(), 256);
+        let perm = outcome_permutation(&outcome);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn butterfly_also_delivers_everything() {
+        let topology = ButterflyNetwork::for_groups(8);
+        let assignment = round_robin_assignment(128, 8);
+        let outcome = simulate_mixing(&topology, &assignment, 9);
+        let perm = outcome_permutation(&outcome);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn square_network_balances_exit_batches() {
+        let topology = SquareNetwork::paper_default(16);
+        let assignment = round_robin_assignment(1600, 16);
+        let outcome = simulate_mixing(&topology, &assignment, 3);
+        for &size in &outcome.batch_sizes {
+            assert!((90..=110).contains(&size), "unbalanced exit batch: {size}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let topology = SquareNetwork::paper_default(4);
+        let assignment = round_robin_assignment(64, 4);
+        let a = outcome_permutation(&simulate_mixing(&topology, &assignment, 1));
+        let b = outcome_permutation(&simulate_mixing(&topology, &assignment, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mixing_separates_messages_from_the_same_entry_group() {
+        // Messages entering together must not stay together: check that the
+        // exit groups of one entry group's messages are spread widely.
+        let topology = SquareNetwork::paper_default(8);
+        let messages = 800;
+        let assignment = round_robin_assignment(messages, 8);
+        let outcome = simulate_mixing(&topology, &assignment, 7);
+
+        let mut exit_groups_of_entry0 = vec![0usize; 8];
+        for (message, &entry) in assignment.iter().enumerate() {
+            if entry == 0 {
+                exit_groups_of_entry0[outcome.exits[message].group] += 1;
+            }
+        }
+        // 100 messages over 8 exit groups: every exit group should see some.
+        assert!(exit_groups_of_entry0.iter().all(|&count| count > 0));
+        assert!(exit_groups_of_entry0.iter().all(|&count| count < 40));
+    }
+
+    #[test]
+    fn max_batch_tracks_load() {
+        let topology = SquareNetwork::paper_default(4);
+        let assignment = round_robin_assignment(400, 4);
+        let outcome = simulate_mixing(&topology, &assignment, 5);
+        assert!(outcome.max_batch >= 100);
+        assert!(outcome.max_batch <= 160);
+    }
+}

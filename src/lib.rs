@@ -1,0 +1,38 @@
+//! # atom
+//!
+//! Umbrella crate for the Rust reproduction of
+//! *Atom: Horizontally Scaling Strong Anonymity* (Kwon, Corrigan-Gibbs,
+//! Devadas, Ford — SOSP 2017).
+//!
+//! This crate re-exports the workspace members so applications can depend on
+//! a single crate:
+//!
+//! * [`crypto`] — rerandomizable ElGamal with out-of-order re-encryption,
+//!   NIZKs (including the verifiable shuffle), DKG/threshold keys, CCA2
+//!   hybrid encryption, SHA-3 and ChaCha20-Poly1305 from scratch.
+//! * [`topology`] — permutation networks, group sizing and formation.
+//! * [`net`] — the in-process transport substrate and latency models.
+//! * [`core`] — the Atom protocol: clients, groups, rounds, trustees,
+//!   fault tolerance and blame.
+//! * [`apps`] — microblogging and dialing built on the public API.
+//! * [`baselines`] — simplified Riposte and Vuvuzela/Alpenhorn comparators.
+//! * [`sim`] — the calibrated large-scale deployment simulator.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the per-table/figure reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atom_apps as apps;
+pub use atom_baselines as baselines;
+pub use atom_core as core;
+pub use atom_crypto as crypto;
+pub use atom_net as net;
+pub use atom_sim as sim;
+pub use atom_topology as topology;
+
+pub use atom_core::{
+    make_nizk_submission, make_trap_submission, setup_round, AtomConfig, AtomError, AtomResult,
+    Defense, RoundDriver, RoundOutput, TopologyKind,
+};
