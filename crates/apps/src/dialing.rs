@@ -13,13 +13,13 @@
 use rand::{CryptoRng, Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
-use atom_crypto::cca2;
-use atom_crypto::elgamal::{KeyPair, PublicKey};
-use atom_crypto::keccak::sha3_256;
 use atom_core::config::Defense;
 use atom_core::error::{AtomError, AtomResult};
 use atom_core::message::{make_trap_submission, TrapSubmission};
 use atom_core::round::{RoundDriver, RoundOutput};
+use atom_crypto::cca2;
+use atom_crypto::elgamal::{KeyPair, PublicKey};
+use atom_crypto::keccak::sha3_256;
 
 /// The dialing message size used by the paper's prototype ("the simpler
 /// 80 byte message dialing scheme").
@@ -261,15 +261,11 @@ mod tests {
         let bob = DialIdentity::generate(&mut rng);
         let alice = DialIdentity::generate(&mut rng);
 
-        let mut submissions = vec![make_dial_submission(
-            &driver,
-            &alice,
-            &bob.keys.public,
-            mailboxes,
-            0,
-            &mut rng,
-        )
-        .unwrap()];
+        let mut submissions =
+            vec![
+                make_dial_submission(&driver, &alice, &bob.keys.public, mailboxes, 0, &mut rng)
+                    .unwrap(),
+            ];
         submissions.extend(make_dummy_submissions(&driver, mailboxes, 5, &mut rng).unwrap());
 
         let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
@@ -283,7 +279,9 @@ mod tests {
     #[test]
     fn dummy_count_concentrates_around_mu() {
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<usize> = (0..200).map(|_| dummy_count(100.0, 10.0, &mut rng)).collect();
+        let samples: Vec<usize> = (0..200)
+            .map(|_| dummy_count(100.0, 10.0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
         assert!((mean - 100.0).abs() < 15.0, "mean = {mean}");
         // Noise is actually present.
@@ -309,8 +307,6 @@ mod tests {
         let driver = RoundDriver::new(setup);
         let alice = DialIdentity::generate(&mut rng);
         let bob = DialIdentity::generate(&mut rng);
-        assert!(
-            make_dial_submission(&driver, &alice, &bob.keys.public, 4, 0, &mut rng).is_err()
-        );
+        assert!(make_dial_submission(&driver, &alice, &bob.keys.public, 4, 0, &mut rng).is_err());
     }
 }

@@ -57,7 +57,10 @@ impl BulletinBoard {
 
     /// Posts containing `needle`, for simple reader-side search.
     pub fn search(&self, needle: &str) -> Vec<&Post> {
-        self.posts.iter().filter(|p| p.text.contains(needle)).collect()
+        self.posts
+            .iter()
+            .filter(|p| p.text.contains(needle))
+            .collect()
     }
 
     /// Number of posts on the board.
@@ -169,7 +172,12 @@ mod tests {
     #[test]
     fn trap_variant_microblogging_publishes_all_posts() {
         let (mut rng, driver) = driver(Defense::Trap);
-        let posts = ["rally at dawn", "bring water", "stay peaceful", "tell everyone"];
+        let posts = [
+            "rally at dawn",
+            "bring water",
+            "stay peaceful",
+            "tell everyone",
+        ];
         let (board, output) = run_microblog_round(&driver, &posts, &mut rng).unwrap();
         assert_eq!(board.len(), posts.len());
         assert_eq!(output.plaintexts.len(), posts.len());

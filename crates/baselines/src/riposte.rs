@@ -186,7 +186,12 @@ pub fn riposte_server_work_bytes(messages: u64, cell_len: u64) -> u64 {
 /// Estimated wall-clock seconds for a Riposte deployment, calibrated by the
 /// measured PRG throughput (bytes/second) of this machine and the paper's
 /// three-server, 36-core configuration.
-pub fn riposte_latency_seconds(messages: u64, cell_len: u64, prg_bytes_per_second: f64, cores: u64) -> f64 {
+pub fn riposte_latency_seconds(
+    messages: u64,
+    cell_len: u64,
+    prg_bytes_per_second: f64,
+    cores: u64,
+) -> f64 {
     let work = riposte_server_work_bytes(messages, cell_len) as f64;
     work / (prg_bytes_per_second * cores as f64)
 }

@@ -43,11 +43,7 @@ impl VuvuzelaChain {
 
     /// Onion-encrypts a dialing request for the chain: innermost layer for
     /// the last server, outermost for the first.
-    pub fn wrap<R: RngCore + CryptoRng>(
-        &self,
-        drop: &DialDrop,
-        rng: &mut R,
-    ) -> Vec<u8> {
+    pub fn wrap<R: RngCore + CryptoRng>(&self, drop: &DialDrop, rng: &mut R) -> Vec<u8> {
         let mut body = Vec::with_capacity(8 + drop.payload.len());
         body.extend_from_slice(&drop.mailbox.to_le_bytes());
         body.extend_from_slice(&drop.payload);

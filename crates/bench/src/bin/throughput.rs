@@ -1,0 +1,143 @@
+//! Sustained-throughput benchmark of the parallel runtime.
+//!
+//! Runs an 8-group trap-variant deployment at 1/2/4/8 worker threads and
+//! reports sustained messages/sec plus the speedup over the single-worker
+//! configuration. Two compute models:
+//!
+//! * **Emulated server compute** (default): every group charges a fixed
+//!   per-iteration compute delay, standing in for the per-group hardware of
+//!   a real deployment (in the paper each group runs on its own machines).
+//!   Engine scheduling, pipelining and message passing are measured for
+//!   real; group compute overlaps across workers exactly as it would across
+//!   machines, so the scaling shape is visible even on a single-core host.
+//! * **`--real`**: no emulation — raw curve arithmetic on the host. The
+//!   scaling then tracks the machine's physical core count.
+//!
+//! Usage: `cargo run --release -p atom-bench --bin throughput --
+//! [--real] [--rounds N] [--messages M] [--delay-ms D]`
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_core::config::{AtomConfig, Defense};
+use atom_core::directory::setup_round;
+use atom_core::message::make_trap_submission;
+use atom_runtime::{Engine, EngineOptions, RoundJob, RoundSubmissions};
+
+const GROUPS: usize = 8;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    real: bool,
+    rounds: usize,
+    messages: usize,
+    delay: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        real: false,
+        rounds: 2,
+        messages: 16,
+        delay: Duration::from_millis(10),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut grab = |name: &str| {
+            iter.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match flag.as_str() {
+            "--real" => args.real = true,
+            "--rounds" => args.rounds = grab("--rounds") as usize,
+            "--messages" => args.messages = grab("--messages") as usize,
+            "--delay-ms" => args.delay = Duration::from_millis(grab("--delay-ms")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn build_jobs(rounds: usize, messages: usize) -> Vec<RoundJob> {
+    let mut rng = StdRng::seed_from_u64(0xBE_AC0);
+    let mut jobs = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut config = AtomConfig::test_default();
+        config.defense = Defense::Trap;
+        config.num_groups = GROUPS;
+        config.num_servers = GROUPS * 3;
+        config.iterations = 3;
+        config.message_len = 32;
+        config.round = round as u64;
+        let setup = setup_round(&config, &mut rng).expect("setup");
+        let submissions: Vec<_> = (0..messages)
+            .map(|i| {
+                let gid = i % GROUPS;
+                make_trap_submission(
+                    gid,
+                    &setup.groups[gid].public_key,
+                    &setup.trustees.public_key,
+                    config.round,
+                    format!("r{round} m{i}").as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .expect("submission")
+                .0
+            })
+            .collect();
+        jobs.push(RoundJob::new(
+            setup,
+            RoundSubmissions::Trap(submissions),
+            round as u64,
+        ));
+    }
+    jobs
+}
+
+fn main() {
+    let args = parse_args();
+    let jobs = build_jobs(args.rounds, args.messages);
+    let total_messages = args.rounds * args.messages;
+
+    println!(
+        "throughput: {GROUPS}-group trap deployment, {} rounds x {} messages, {}",
+        args.rounds,
+        args.messages,
+        if args.real {
+            "real host compute".to_string()
+        } else {
+            format!("emulated {:?}/iteration group compute", args.delay)
+        }
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>9}",
+        "workers", "wall", "msgs/sec", "speedup"
+    );
+
+    let mut baseline: Option<f64> = None;
+    for workers in WORKER_SWEEP {
+        let mut options = EngineOptions::with_workers(workers);
+        if !args.real {
+            options.stragglers = (0..GROUPS).map(|gid| (gid, args.delay)).collect();
+        }
+        let engine = Engine::new(options);
+
+        let start = Instant::now();
+        let reports = engine.run_rounds(jobs.clone());
+        let wall = start.elapsed();
+
+        let delivered: usize = reports
+            .iter()
+            .map(|r| r.as_ref().expect("round").output.plaintexts.len())
+            .sum();
+        assert_eq!(delivered, total_messages, "no message may be lost");
+
+        let rate = delivered as f64 / wall.as_secs_f64();
+        let speedup = rate / *baseline.get_or_insert(rate);
+        println!("{workers:>8} {:>10.2?} {rate:>12.1} {speedup:>8.2}x", wall);
+    }
+}

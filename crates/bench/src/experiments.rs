@@ -29,8 +29,16 @@ pub fn table3(batch: usize) -> Vec<(&'static str, f64, f64)> {
             measured.shuffle_per_msg,
             paper.shuffle_per_msg,
         ),
-        ("EncProof prove", measured.encproof_prove, paper.encproof_prove),
-        ("EncProof verify", measured.encproof_verify, paper.encproof_verify),
+        (
+            "EncProof prove",
+            measured.encproof_prove,
+            paper.encproof_prove,
+        ),
+        (
+            "EncProof verify",
+            measured.encproof_verify,
+            paper.encproof_verify,
+        ),
         (
             "ReEncProof prove",
             measured.reencproof_prove,
@@ -140,7 +148,10 @@ pub fn fig5(group_size: usize, message_counts: &[usize]) -> Vec<MixingRow> {
 /// Prints Fig. 5.
 pub fn print_fig5(group_size: usize, message_counts: &[usize]) {
     println!("Figure 5: time per mixing iteration vs number of messages (group of {group_size})");
-    println!("{:<12} {:>14} {:>14} {:>8}", "messages", "NIZK (s)", "trap (s)", "ratio");
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "messages", "NIZK (s)", "trap (s)", "ratio"
+    );
     for row in fig5(group_size, message_counts) {
         println!(
             "{:<12} {:>14.3} {:>14.3} {:>8.2}",
@@ -171,7 +182,10 @@ pub fn print_fig6(message_count: usize, group_sizes: &[usize]) {
     println!("Figure 6: time per mixing iteration vs group size ({message_count} messages)");
     println!("{:<12} {:>14} {:>14}", "group size", "NIZK (s)", "trap (s)");
     for row in fig6(message_count, group_sizes) {
-        println!("{:<12} {:>14.3} {:>14.3}", row.x, row.nizk_seconds, row.trap_seconds);
+        println!(
+            "{:<12} {:>14.3} {:>14.3}",
+            row.x, row.nizk_seconds, row.trap_seconds
+        );
     }
     println!("(paper: linear in group size)");
 }
@@ -194,7 +208,10 @@ pub fn fig7(group_size: usize, messages: usize, threads: &[usize]) -> Vec<(usize
 /// Prints Fig. 7.
 pub fn print_fig7(group_size: usize, messages: usize, threads: &[usize]) {
     println!("Figure 7: speed-up vs number of cores (group of {group_size}, {messages} messages)");
-    println!("{:<8} {:>14} {:>14}", "threads", "trap speedup", "NIZK speedup");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "threads", "trap speedup", "NIZK speedup"
+    );
     for (t, trap, nizk) in fig7(group_size, messages, threads) {
         println!("{t:<8} {trap:>14.2} {nizk:>14.2}");
     }
@@ -217,7 +234,10 @@ pub fn fig9(costs: &PrimitiveCosts, user_counts: &[u64]) -> Vec<(u64, f64, f64)>
 /// Prints Fig. 9.
 pub fn print_fig9(costs: &PrimitiveCosts, user_counts: &[u64]) {
     println!("Figure 9: end-to-end latency vs number of messages (1,024 servers)");
-    println!("{:<12} {:>18} {:>18}", "users", "microblogging (s)", "dialing (s)");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "users", "microblogging (s)", "dialing (s)"
+    );
     for (users, micro, dial) in fig9(costs, user_counts) {
         println!("{users:<12} {micro:>18.1} {dial:>18.1}");
     }
@@ -278,7 +298,10 @@ pub fn fig11(costs: &PrimitiveCosts, server_exponents: &[u32]) -> Vec<(usize, f6
 /// Prints Fig. 11.
 pub fn print_fig11(costs: &PrimitiveCosts, server_exponents: &[u32]) {
     println!("Figure 11: simulated speed-up, one billion messages");
-    println!("{:<10} {:>16} {:>10}", "servers", "latency (hours)", "speed-up");
+    println!(
+        "{:<10} {:>16} {:>10}",
+        "servers", "latency (hours)", "speed-up"
+    );
     for (servers, total, speedup) in fig11(costs, server_exponents) {
         println!("{servers:<10} {:>16.1} {speedup:>10.2}", total / 3600.0);
     }
@@ -303,8 +326,8 @@ pub fn table12(costs: &PrimitiveCosts) -> Vec<Table12Row> {
     for servers in [128usize, 256, 512, 1024] {
         let micro = estimate_round(&DeploymentSpec::paper_microblogging(servers, users), costs)
             .total_seconds();
-        let dial = estimate_round(&DeploymentSpec::paper_dialing(servers, users), costs)
-            .total_seconds();
+        let dial =
+            estimate_round(&DeploymentSpec::paper_dialing(servers, users), costs).total_seconds();
         rows.push(Table12Row {
             system: format!("Atom {servers}x mixed"),
             microblog_minutes: Some(micro / 60.0),
@@ -364,7 +387,9 @@ pub fn fig13(max_h: usize) -> Vec<(usize, usize)> {
 
 /// Prints Fig. 13.
 pub fn print_fig13(max_h: usize) {
-    println!("Figure 13: required group size k vs required honest servers h (f=0.2, G=1024, 2^-64)");
+    println!(
+        "Figure 13: required group size k vs required honest servers h (f=0.2, G=1024, 2^-64)"
+    );
     println!("{:<6} {:>6}", "h", "k");
     for (h, k) in fig13(max_h) {
         println!("{h:<6} {k:>6}");
@@ -402,8 +427,8 @@ pub fn print_ablation_topology(groups: usize) {
 /// Ablation: per-iteration mixing time vs message length (number of group
 /// elements per ciphertext).
 pub fn ablation_msgsize(group_size: usize, messages: usize, lens: &[usize]) -> Vec<(usize, f64)> {
-    use atom_core::directory::setup_round;
     use crate::fixtures::{bench_config, encrypted_batch};
+    use atom_core::directory::setup_round;
     lens.iter()
         .map(|&len| {
             let mut config = bench_config(Defense::Trap, 2, group_size);

@@ -57,8 +57,8 @@ pub fn identify_malicious_users(
     let mut group_secrets = Vec::with_capacity(setup.groups.len());
     for group in &setup.groups {
         let shares: Vec<_> = group.shares.iter().collect();
-        let secret = reconstruct_group_secret(&shares[..group.threshold])
-            .map_err(AtomError::Crypto)?;
+        let secret =
+            reconstruct_group_secret(&shares[..group.threshold]).map_err(AtomError::Crypto)?;
         group_secrets.push(SecretKey(secret));
     }
 
@@ -228,11 +228,8 @@ mod tests {
         .to_bytes(padded)
         .unwrap();
         let points = atom_crypto::encoding::encode_message_padded(&payload, padded).unwrap();
-        let (ciphertext, _) = atom_crypto::elgamal::encrypt_message(
-            &setup.groups[gid].public_key,
-            &points,
-            &mut rng,
-        );
+        let (ciphertext, _) =
+            atom_crypto::elgamal::encrypt_message(&setup.groups[gid].public_key, &points, &mut rng);
         submissions[2].ciphertexts[0] = ciphertext.clone();
         submissions[2].ciphertexts[1] = ciphertext;
         let blames = identify_malicious_users(&setup, &submissions).unwrap();
@@ -249,15 +246,22 @@ mod tests {
         let other = 1u32;
         let padded = crate::message::trap_payload_len(24);
         let nonce = [3u8; 16];
-        let trap_payload = MixPayload::Trap { gid: other, nonce }.to_bytes(padded).unwrap();
-        let inner_payload = MixPayload::Inner(vec![5u8; 24 + 48]).to_bytes(padded).unwrap();
+        let trap_payload = MixPayload::Trap { gid: other, nonce }
+            .to_bytes(padded)
+            .unwrap();
+        let inner_payload = MixPayload::Inner(vec![5u8; 24 + 48])
+            .to_bytes(padded)
+            .unwrap();
         let encrypt = |payload: &[u8], rng: &mut StdRng| {
             let points = atom_crypto::encoding::encode_message_padded(payload, padded).unwrap();
             atom_crypto::elgamal::encrypt_message(&setup.groups[gid].public_key, &points, rng).0
         };
         submissions[0] = TrapSubmission {
             entry_group: gid,
-            ciphertexts: [encrypt(&trap_payload, &mut rng), encrypt(&inner_payload, &mut rng)],
+            ciphertexts: [
+                encrypt(&trap_payload, &mut rng),
+                encrypt(&inner_payload, &mut rng),
+            ],
             proofs: submissions[0].proofs.clone(),
             trap_commitment: commit::commit(
                 TRAP_COMMIT_LABEL,

@@ -102,9 +102,7 @@ impl AtomConfig {
     /// Builds the configured topology object.
     pub fn topology(&self) -> Box<dyn Topology + Send + Sync> {
         match self.topology {
-            TopologyKind::Square => {
-                Box::new(SquareNetwork::new(self.num_groups, self.iterations))
-            }
+            TopologyKind::Square => Box::new(SquareNetwork::new(self.num_groups, self.iterations)),
             TopologyKind::Butterfly => {
                 let net = ButterflyNetwork::for_groups(self.num_groups);
                 Box::new(net)
@@ -115,7 +113,9 @@ impl AtomConfig {
     /// Validates internal consistency.
     pub fn validate(&self) -> AtomResult<()> {
         if self.num_servers == 0 || self.num_groups == 0 {
-            return Err(AtomError::Config("need at least one server and group".into()));
+            return Err(AtomError::Config(
+                "need at least one server and group".into(),
+            ));
         }
         if self.group_size == 0 || self.group_size > self.num_servers {
             return Err(AtomError::Config(format!(
@@ -130,7 +130,9 @@ impl AtomConfig {
             )));
         }
         if self.iterations == 0 {
-            return Err(AtomError::Config("need at least one mixing iteration".into()));
+            return Err(AtomError::Config(
+                "need at least one mixing iteration".into(),
+            ));
         }
         if self.message_len == 0 {
             return Err(AtomError::Config("message length must be positive".into()));

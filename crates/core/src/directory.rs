@@ -138,8 +138,7 @@ pub fn setup_round<R: RngCore + CryptoRng>(
     )
     .pop()
     .expect("one trustee group");
-    let trustee_params =
-        DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
+    let trustee_params = DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
     let (trustee_key, trustee_shares) = run_dkg(&trustee_params, rng).map_err(AtomError::Crypto)?;
     let trustees = TrusteeContext {
         members: trustee_assignment.members,

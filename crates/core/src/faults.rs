@@ -49,8 +49,8 @@ pub fn escrow_group_shares<R: RngCore + CryptoRng>(
     let buddy_size = buddy_group.members.len();
     let mut per_member = Vec::with_capacity(group.shares.len());
     for share in &group.shares {
-        let sub_shares = split(share.secret_share, buddy_size, buddy_size, rng)
-            .map_err(AtomError::Crypto)?;
+        let sub_shares =
+            split(share.secret_share, buddy_size, buddy_size, rng).map_err(AtomError::Crypto)?;
         per_member.push(sub_shares);
     }
     Ok(BuddyEscrow {
@@ -66,10 +66,7 @@ pub fn escrow_group_shares<R: RngCore + CryptoRng>(
 /// In a deployment the members of a *newly formed* anytrust group would each
 /// fetch one sub-share from the buddy group and jointly reconstruct; here the
 /// reconstruction is done directly, which is equivalent for correctness.
-pub fn recover_member_share(
-    escrow: &BuddyEscrow,
-    member_position: usize,
-) -> AtomResult<Scalar> {
+pub fn recover_member_share(escrow: &BuddyEscrow, member_position: usize) -> AtomResult<Scalar> {
     let sub_shares = escrow
         .per_member
         .get(member_position)

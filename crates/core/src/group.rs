@@ -151,13 +151,21 @@ fn reencrypt_batch(
             ));
         }
         for (start, handle) in handles {
-            for (offset, value) in handle.join().expect("re-encryption worker panicked").into_iter().enumerate() {
+            for (offset, value) in handle
+                .join()
+                .expect("re-encryption worker panicked")
+                .into_iter()
+                .enumerate()
+            {
                 results[start + offset] = Some(value);
             }
         }
     });
 
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Runs one full mixing iteration of a group (Algorithm 1 / Algorithm 2).
@@ -291,7 +299,10 @@ pub fn group_mix_iteration<R: RngCore + CryptoRng>(
             let mut next: Vec<MessageCiphertext> =
                 reencrypted.into_iter().map(|(ct, _)| ct).collect();
             if last_member && !exit_layer {
-                next = next.iter().map(MessageCiphertext::finalize_handoff).collect();
+                next = next
+                    .iter()
+                    .map(MessageCiphertext::finalize_handoff)
+                    .collect();
             }
             *sub_batch = next;
         }
@@ -393,7 +404,10 @@ mod tests {
             })
             .collect();
         recovered.sort();
-        assert_eq!(recovered, vec![b"alpha".to_vec(), b"bravo".to_vec(), b"charlie".to_vec()]);
+        assert_eq!(
+            recovered,
+            vec![b"alpha".to_vec(), b"bravo".to_vec(), b"charlie".to_vec()]
+        );
     }
 
     #[test]
@@ -454,7 +468,12 @@ mod tests {
         recovered.sort();
         assert_eq!(
             recovered,
-            vec![b"four".to_vec(), b"one".to_vec(), b"three".to_vec(), b"two".to_vec()]
+            vec![
+                b"four".to_vec(),
+                b"one".to_vec(),
+                b"three".to_vec(),
+                b"two".to_vec()
+            ]
         );
     }
 
@@ -491,7 +510,9 @@ mod tests {
             &mut rng,
         );
         match result {
-            Err(AtomError::ProtocolViolation { group: g, member, .. }) => {
+            Err(AtomError::ProtocolViolation {
+                group: g, member, ..
+            }) => {
                 assert_eq!(g, group.id);
                 assert_eq!(member, Some(2));
             }
@@ -538,12 +559,7 @@ mod tests {
         let setup = setup_round(&config, &mut rng).unwrap();
         let group = &setup.groups[0];
         let padded_len = nizk_payload_len(config.message_len);
-        let batch = encrypt_batch(
-            &group.public_key,
-            &[b"a", b"b", b"c"],
-            padded_len,
-            &mut rng,
-        );
+        let batch = encrypt_batch(&group.public_key, &[b"a", b"b", b"c"], padded_len, &mut rng);
         let participating = group.participating(&[]).unwrap();
         let plan = AdversaryPlan {
             group: group.id,

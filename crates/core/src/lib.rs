@@ -18,7 +18,13 @@
 //! * [`directory`] — per-round setup: group formation, DKGs, trustees.
 //! * [`message`] — client-side submissions and the mix-payload wire format.
 //! * [`group`] — the group mixing protocol (Algorithms 1 and 2).
-//! * [`round`] — full-round orchestration, trap checking, trustee release.
+//! * [`actor`] — the re-entrant per-group mixing state machine
+//!   ([`actor::GroupActor`]) with deterministic per-group RNG streams,
+//!   consumed by both the sequential [`round::RoundDriver`] and the parallel
+//!   `atom-runtime` engine.
+//! * [`round`] — full-round orchestration, trap checking, trustee release;
+//!   also exposes the submission-verification and exit-phase helpers the
+//!   parallel runtime shares.
 //! * [`adversary`] — active-attack injection used by tests and benches.
 //! * [`blame`] — identification of malicious users after a disruption (§4.6).
 //! * [`faults`] — buddy-group escrow and catastrophic-failure recovery (§4.5).
@@ -65,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actor;
 pub mod adversary;
 pub mod blame;
 pub mod config;
@@ -75,6 +82,7 @@ pub mod group;
 pub mod message;
 pub mod round;
 
+pub use actor::{group_stream_seed, ActorConfig, ActorOutput, GroupActor, SOURCE};
 pub use adversary::{AdversaryPlan, Misbehavior};
 pub use config::{AtomConfig, Defense, TopologyKind};
 pub use directory::{setup_round, GroupContext, RoundSetup, TrusteeContext};

@@ -105,7 +105,9 @@ impl MixPayload {
         let tag = bytes[0];
         let len = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
         if FRAME_OVERHEAD + len > bytes.len() {
-            return Err(AtomError::Malformed("mix payload length out of range".into()));
+            return Err(AtomError::Malformed(
+                "mix payload length out of range".into(),
+            ));
         }
         let content = &bytes[FRAME_OVERHEAD..FRAME_OVERHEAD + len];
         match tag {
@@ -256,8 +258,7 @@ pub fn make_trap_submission<R: RngCore + CryptoRng>(
     let build = |payload: &[u8], rng: &mut R| -> AtomResult<(MessageCiphertext, EncProof)> {
         let points = encode_message_padded(payload, padded_len)?;
         let (ciphertext, randomness) = encrypt_message(group_pk, &points, rng);
-        let proof =
-            prove_encryption(group_pk, entry_group as u64, &ciphertext, &randomness, rng)?;
+        let proof = prove_encryption(group_pk, entry_group as u64, &ciphertext, &randomness, rng)?;
         Ok((ciphertext, proof))
     };
     let (inner_ct, inner_proof) = build(&inner_payload, rng)?;
@@ -369,19 +370,16 @@ mod tests {
         let group = KeyPair::generate(&mut rng);
         let (submission, receipt) =
             make_nizk_submission(2, &group.public, b"tweet!", 32, &mut rng).unwrap();
-        assert!(verify_encryption(
-            &group.public,
-            2,
-            &submission.ciphertext,
-            &submission.proof
-        )
-        .is_ok());
+        assert!(
+            verify_encryption(&group.public, 2, &submission.ciphertext, &submission.proof).is_ok()
+        );
         assert_eq!(receipt.padded_plaintext.len(), nizk_payload_len(32));
         assert!(receipt.trap_nonce.is_none());
 
         // Proof is bound to the entry group.
-        assert!(verify_encryption(&group.public, 3, &submission.ciphertext, &submission.proof)
-            .is_err());
+        assert!(
+            verify_encryption(&group.public, 3, &submission.ciphertext, &submission.proof).is_err()
+        );
     }
 
     #[test]
@@ -454,8 +452,7 @@ mod tests {
         let padded_len = trap_payload_len(32);
         let mut found_inner = false;
         for ct in &submission.ciphertexts {
-            let points =
-                atom_crypto::elgamal::decrypt_message(&group.secret, ct).unwrap();
+            let points = atom_crypto::elgamal::decrypt_message(&group.secret, ct).unwrap();
             let payload_bytes = atom_crypto::encoding::decode_message(&points).unwrap();
             assert_eq!(payload_bytes.len(), padded_len);
             if let MixPayload::Inner(inner_bytes) = MixPayload::from_bytes(&payload_bytes).unwrap()

@@ -10,7 +10,7 @@
 //! (§4.4). The NIZK variant skips the trap machinery and aborts immediately
 //! when any proof fails (§4.3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use rand::{CryptoRng, RngCore};
@@ -22,11 +22,12 @@ use atom_crypto::elgamal::{MessageCiphertext, SecretKey};
 use atom_crypto::nizk::enc::verify_encryption;
 use atom_net::{InMemoryNetwork, LatencyModel};
 
+use crate::actor::{ActorConfig, ActorOutput, GroupActor, SOURCE};
 use crate::adversary::AdversaryPlan;
 use crate::config::{AtomConfig, Defense};
 use crate::directory::RoundSetup;
 use crate::error::{AtomError, AtomResult};
-use crate::group::{group_mix_iteration, GroupStepOptions};
+use crate::group::GroupStepOptions;
 use crate::message::{
     inner_target_group, nizk_payload_len, trap_payload_len, MixPayload, NizkSubmission,
     TrapSubmission, TRAP_COMMIT_LABEL,
@@ -135,77 +136,72 @@ impl RoundDriver {
         }
     }
 
+    /// The per-actor execution options this driver implies.
+    fn actor_config(&self) -> ActorConfig {
+        let mut config = ActorConfig::new(GroupStepOptions {
+            defense: self.config().defense,
+            parallelism: self.parallelism,
+        });
+        config.adversary = self.adversary;
+        config.failed_servers = self.failed_servers.clone();
+        config
+    }
+
     /// Runs the mixing phase: `T` iterations of every group shuffling,
     /// splitting and forwarding. Returns the per-exit-group payload bytes and
     /// the timings.
+    ///
+    /// Groups execute as [`GroupActor`]s with per-group RNG streams derived
+    /// from one master draw on `rng`, delivered here in deterministic FIFO
+    /// order. The parallel runtime (`atom-runtime`) drives the same actors
+    /// from a worker pool; because each group's stream and batch-assembly
+    /// order are independent of scheduling, both drivers produce
+    /// byte-identical outputs for the same seed.
     fn run_mixing<R: RngCore + CryptoRng>(
         &self,
-        mut batches: Vec<Vec<MessageCiphertext>>,
+        batches: Vec<Vec<MessageCiphertext>>,
         rng: &mut R,
     ) -> AtomResult<(Vec<Vec<Vec<u8>>>, RoundTimings)> {
-        let config = self.config();
-        let topology = config.topology();
-        let groups = &self.setup.groups;
-        let options = GroupStepOptions {
-            defense: config.defense,
-            parallelism: self.parallelism,
-        };
-        let padded_len = self.payload_len();
+        let master_seed = rng.next_u64();
+        let groups = self.setup.groups.len();
         let wall_start = Instant::now();
 
-        let mut timings = RoundTimings::default();
-        let mut exit_payloads: Vec<Vec<Vec<u8>>> = vec![Vec::new(); groups.len()];
-
-        for iteration in 0..topology.iterations() {
-            let mut next_batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); groups.len()];
-            let mut iteration_max = Duration::ZERO;
-            let mut max_hop = Duration::ZERO;
-
-            for (gid, group) in groups.iter().enumerate() {
-                let batch = std::mem::take(&mut batches[gid]);
-                let neighbors = topology.neighbors(gid, iteration);
-                let next_keys: Vec<_> = neighbors
-                    .iter()
-                    .map(|&n| groups[n].public_key)
-                    .collect();
-                let participating = group.participating(&self.failed_servers)?;
-                let adversary = self
-                    .adversary
-                    .filter(|plan| plan.applies_to(gid, iteration));
-
-                let start = Instant::now();
-                let output = group_mix_iteration(
-                    group,
-                    &participating,
-                    batch,
-                    &next_keys,
-                    padded_len,
-                    &options,
-                    adversary.as_ref(),
-                    rng,
-                )?;
-                let elapsed = start.elapsed();
-                timings.total_compute += elapsed;
-                iteration_max = iteration_max.max(elapsed);
-
-                if neighbors.is_empty() {
-                    exit_payloads[gid] = output.plaintexts;
-                } else {
-                    for (neighbor, sub_batch) in neighbors.iter().zip(output.outputs) {
-                        // One hop of network latency between this group's last
-                        // member and the neighbour's first member.
-                        let src = *group.members.last().unwrap_or(&0);
-                        let dst = *groups[*neighbor].members.first().unwrap_or(&0);
-                        max_hop = max_hop.max(self.latency.link(src, dst));
-                        next_batches[*neighbor].extend(sub_batch);
-                    }
-                }
-            }
-            timings.iteration_critical_path.push(iteration_max);
-            timings.network_critical_path += max_hop;
-            batches = next_batches;
+        let mut actors = Vec::with_capacity(groups);
+        for gid in 0..groups {
+            actors.push(GroupActor::new(
+                &self.setup,
+                gid,
+                master_seed,
+                self.actor_config(),
+            )?);
         }
 
+        let mut exit_payloads: Vec<Vec<Vec<u8>>> = vec![Vec::new(); groups];
+        let mut queue: VecDeque<(usize, usize, usize, Vec<MessageCiphertext>)> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(gid, batch)| (gid, 0, SOURCE, batch))
+            .collect();
+
+        while let Some((to, iteration, from, batch)) = queue.pop_front() {
+            for output in actors[to].on_batch(iteration, from, batch)? {
+                match output {
+                    ActorOutput::Forward {
+                        iteration,
+                        to: next,
+                        batch,
+                        ..
+                    } => queue.push_back((next, iteration, to, batch)),
+                    ActorOutput::Exit { plaintexts, .. } => exit_payloads[to] = plaintexts,
+                }
+            }
+        }
+
+        let computes: Vec<Vec<Duration>> = actors
+            .iter()
+            .map(|actor| actor.compute_times().to_vec())
+            .collect();
+        let mut timings = collect_round_timings(&self.setup, &self.latency, &computes);
         timings.wall_clock = wall_start.elapsed();
         Ok((exit_payloads, timings))
     }
@@ -216,58 +212,10 @@ impl RoundDriver {
         submissions: &[NizkSubmission],
         rng: &mut R,
     ) -> AtomResult<RoundOutput> {
-        let config = self.config();
-        if config.defense != Defense::Nizk {
-            return Err(AtomError::Config(
-                "round setup is not configured for the NIZK variant".into(),
-            ));
-        }
-
-        let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
-        for (index, submission) in submissions.iter().enumerate() {
-            let gid = submission.entry_group;
-            if gid >= config.num_groups {
-                return Err(AtomError::SubmissionRejected(format!(
-                    "submission {index} targets unknown group {gid}"
-                )));
-            }
-            let group_pk = &self.setup.groups[gid].public_key;
-            verify_encryption(group_pk, gid as u64, &submission.ciphertext, &submission.proof)
-                .map_err(|e| {
-                    AtomError::SubmissionRejected(format!("submission {index}: {e}"))
-                })?;
-            batches[gid].push(submission.ciphertext.clone());
-        }
-
+        let batches = verify_nizk_submissions(&self.setup, submissions)?;
         let routed = batches.iter().map(Vec::len).sum();
         let (exit_payloads, timings) = self.run_mixing(batches, rng)?;
-
-        let mut per_group = Vec::with_capacity(exit_payloads.len());
-        let mut plaintexts = Vec::new();
-        for payloads in exit_payloads {
-            let mut group_messages = Vec::with_capacity(payloads.len());
-            for bytes in payloads {
-                match MixPayload::from_bytes(&bytes)? {
-                    MixPayload::Inner(content) | MixPayload::Plaintext(content) => {
-                        group_messages.push(content.clone());
-                        plaintexts.push(content);
-                    }
-                    MixPayload::Trap { .. } => {
-                        return Err(AtomError::Malformed(
-                            "unexpected trap payload in a NIZK-variant round".into(),
-                        ))
-                    }
-                }
-            }
-            per_group.push(group_messages);
-        }
-
-        Ok(RoundOutput {
-            per_group,
-            plaintexts,
-            routed_ciphertexts: routed,
-            timings,
-        })
+        finish_nizk_round(exit_payloads, routed, timings)
     }
 
     /// Runs a trap-variant round (§4.4): verify submissions, mix, sort traps
@@ -278,146 +226,14 @@ impl RoundDriver {
         submissions: &[TrapSubmission],
         rng: &mut R,
     ) -> AtomResult<RoundOutput> {
-        let config = self.config();
-        if config.defense != Defense::Trap {
-            return Err(AtomError::Config(
-                "round setup is not configured for the trap variant".into(),
-            ));
-        }
-
-        // --- Submission phase: verify proofs, register trap commitments. ---
-        let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
-        let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); config.num_groups];
-        for (index, submission) in submissions.iter().enumerate() {
-            let gid = submission.entry_group;
-            if gid >= config.num_groups {
-                return Err(AtomError::SubmissionRejected(format!(
-                    "submission {index} targets unknown group {gid}"
-                )));
-            }
-            let group_pk = &self.setup.groups[gid].public_key;
-            for (ct, proof) in submission.ciphertexts.iter().zip(submission.proofs.iter()) {
-                verify_encryption(group_pk, gid as u64, ct, proof).map_err(|e| {
-                    AtomError::SubmissionRejected(format!("submission {index}: {e}"))
-                })?;
-            }
-            batches[gid].push(submission.ciphertexts[0].clone());
-            batches[gid].push(submission.ciphertexts[1].clone());
-            commitments[gid].push(submission.trap_commitment);
-        }
-
-        let routed = batches.iter().map(Vec::len).sum();
+        let intake = verify_trap_submissions(&self.setup, submissions)?;
+        let routed = intake.batches.iter().map(Vec::len).sum();
+        let TrapIntake {
+            batches,
+            commitments,
+        } = intake;
         let (exit_payloads, timings) = self.run_mixing(batches, rng)?;
-
-        // --- Exit sorting: traps back to their entry group, inner ciphertexts
-        //     to their load-balanced holding group. ---
-        let mut traps_received: Vec<Vec<(u32, [u8; 16])>> = vec![Vec::new(); config.num_groups];
-        let mut inners_received: Vec<Vec<Vec<u8>>> = vec![Vec::new(); config.num_groups];
-        let mut malformed = 0usize;
-        for payloads in &exit_payloads {
-            for bytes in payloads {
-                match MixPayload::from_bytes(bytes) {
-                    Ok(MixPayload::Trap { gid, nonce }) => {
-                        let target = (gid as usize).min(config.num_groups - 1);
-                        traps_received[target].push((gid, nonce));
-                    }
-                    Ok(MixPayload::Inner(inner)) | Ok(MixPayload::Plaintext(inner)) => {
-                        let target = inner_target_group(&inner, config.num_groups);
-                        inners_received[target].push(inner);
-                    }
-                    Err(_) => malformed += 1,
-                }
-            }
-        }
-
-        // --- Per-group reports (§4.4): trap/commitment matching, duplicate
-        //     inner ciphertexts, counts. ---
-        let mut all_ok = malformed == 0;
-        let mut total_traps = 0usize;
-        let mut total_inners = 0usize;
-        for gid in 0..config.num_groups {
-            total_traps += traps_received[gid].len();
-            total_inners += inners_received[gid].len();
-
-            // Every commitment must have exactly one matching trap and every
-            // trap must match a commitment held by this group.
-            let mut expected: HashMap<Commitment, usize> = HashMap::new();
-            for commitment in &commitments[gid] {
-                *expected.entry(*commitment).or_default() += 1;
-            }
-            for (trap_gid, nonce) in &traps_received[gid] {
-                if *trap_gid as usize != gid {
-                    all_ok = false;
-                    continue;
-                }
-                let commitment = commit::commit(
-                    TRAP_COMMIT_LABEL,
-                    &MixPayload::trap_commit_bytes(*trap_gid, nonce),
-                );
-                match expected.get_mut(&commitment) {
-                    Some(count) if *count > 0 => *count -= 1,
-                    _ => all_ok = false,
-                }
-            }
-            if expected.values().any(|&count| count > 0) {
-                all_ok = false;
-            }
-
-            // Duplicate inner ciphertexts are grounds for aborting.
-            let mut seen = std::collections::HashSet::new();
-            for inner in &inners_received[gid] {
-                if !seen.insert(commit::commit(b"inner-dup", inner)) {
-                    all_ok = false;
-                }
-            }
-        }
-        if total_traps != total_inners {
-            all_ok = false;
-        }
-
-        // --- Trustee decision: release the key only if every report is clean.
-        if !all_ok {
-            return Err(AtomError::TrapCheckFailed(format!(
-                "round aborted: traps={total_traps} inners={total_inners} malformed={malformed}"
-            )));
-        }
-        let trustee_shares: Vec<_> = self.setup.trustees.shares.iter().collect();
-        let trustee_secret = reconstruct_group_secret(
-            &trustee_shares[..self.setup.trustees.shares[0].params.threshold],
-        )
-        .map_err(AtomError::Crypto)?;
-        let trustee_secret = SecretKey(trustee_secret);
-
-        // --- Decrypt inner ciphertexts. ---
-        let aad = config.round.to_le_bytes();
-        let mut per_group = Vec::with_capacity(config.num_groups);
-        let mut plaintexts = Vec::new();
-        for inners in &inners_received {
-            let mut group_messages = Vec::new();
-            for inner_bytes in inners {
-                let Ok(inner) = HybridCiphertext::from_bytes(inner_bytes) else {
-                    continue; // Malformed submissions from malicious users.
-                };
-                let Ok(message) = cca2::decrypt(
-                    &trustee_secret,
-                    &self.setup.trustees.public_key,
-                    &aad,
-                    &inner,
-                ) else {
-                    continue;
-                };
-                group_messages.push(message.clone());
-                plaintexts.push(message);
-            }
-            per_group.push(group_messages);
-        }
-
-        Ok(RoundOutput {
-            per_group,
-            plaintexts,
-            routed_ciphertexts: routed,
-            timings,
-        })
+        finish_trap_round(&self.setup, &commitments, exit_payloads, routed, timings)
     }
 
     /// Convenience: attaches an [`InMemoryNetwork`] sized for this deployment
@@ -425,6 +241,286 @@ impl RoundDriver {
     pub fn build_network(&self) -> InMemoryNetwork {
         InMemoryNetwork::new(self.config().num_servers, self.latency, Vec::new())
     }
+}
+
+/// The simulated latency of one inter-group hop, charged between the
+/// sender's last member and the receiver's first (the convention every
+/// driver and figure harness shares).
+pub fn hop_latency(setup: &RoundSetup, latency: &LatencyModel, from: usize, to: usize) -> Duration {
+    let src = *setup.groups[from].members.last().unwrap_or(&0);
+    let dst = *setup.groups[to].members.first().unwrap_or(&0);
+    latency.link(src, dst)
+}
+
+/// Assembles [`RoundTimings`] from per-group compute records plus the
+/// analytic per-iteration network critical path (one inter-group hop per
+/// non-exit iteration, barrier model). `computes[gid]` holds group `gid`'s
+/// measured per-iteration compute times. Shared by the sequential driver and
+/// the parallel runtime so the accounting cannot drift between them.
+pub fn collect_round_timings(
+    setup: &RoundSetup,
+    latency: &LatencyModel,
+    computes: &[Vec<Duration>],
+) -> RoundTimings {
+    let topology = setup.config.topology();
+    let iterations = topology.iterations();
+    let mut timings = RoundTimings::default();
+
+    for iteration in 0..iterations {
+        let mut iteration_max = Duration::ZERO;
+        let mut max_hop = Duration::ZERO;
+        for (gid, compute) in computes.iter().enumerate() {
+            if let Some(&elapsed) = compute.get(iteration) {
+                timings.total_compute += elapsed;
+                iteration_max = iteration_max.max(elapsed);
+            }
+            for neighbor in topology.neighbors(gid, iteration) {
+                max_hop = max_hop.max(hop_latency(setup, latency, gid, neighbor));
+            }
+        }
+        timings.iteration_critical_path.push(iteration_max);
+        timings.network_critical_path += max_hop;
+    }
+    timings
+}
+
+/// The result of trap-variant submission intake: per-entry-group batches and
+/// the trap commitments each entry group holds for the final check.
+#[derive(Clone, Debug)]
+pub struct TrapIntake {
+    /// Two ciphertexts per accepted submission, grouped by entry group.
+    pub batches: Vec<Vec<MessageCiphertext>>,
+    /// Trap commitments registered with each entry group.
+    pub commitments: Vec<Vec<Commitment>>,
+}
+
+/// Verifies NIZK-variant submissions and buckets them by entry group
+/// (the submission phase of §4.3). Shared by the sequential driver and the
+/// parallel runtime.
+pub fn verify_nizk_submissions(
+    setup: &RoundSetup,
+    submissions: &[NizkSubmission],
+) -> AtomResult<Vec<Vec<MessageCiphertext>>> {
+    let config = &setup.config;
+    if config.defense != Defense::Nizk {
+        return Err(AtomError::Config(
+            "round setup is not configured for the NIZK variant".into(),
+        ));
+    }
+
+    let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+    for (index, submission) in submissions.iter().enumerate() {
+        let gid = submission.entry_group;
+        if gid >= config.num_groups {
+            return Err(AtomError::SubmissionRejected(format!(
+                "submission {index} targets unknown group {gid}"
+            )));
+        }
+        let group_pk = &setup.groups[gid].public_key;
+        verify_encryption(
+            group_pk,
+            gid as u64,
+            &submission.ciphertext,
+            &submission.proof,
+        )
+        .map_err(|e| AtomError::SubmissionRejected(format!("submission {index}: {e}")))?;
+        batches[gid].push(submission.ciphertext.clone());
+    }
+    Ok(batches)
+}
+
+/// Verifies trap-variant submissions, bucketing ciphertext pairs by entry
+/// group and registering trap commitments (§4.4 submission phase). Shared by
+/// the sequential driver and the parallel runtime.
+pub fn verify_trap_submissions(
+    setup: &RoundSetup,
+    submissions: &[TrapSubmission],
+) -> AtomResult<TrapIntake> {
+    let config = &setup.config;
+    if config.defense != Defense::Trap {
+        return Err(AtomError::Config(
+            "round setup is not configured for the trap variant".into(),
+        ));
+    }
+
+    let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+    let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); config.num_groups];
+    for (index, submission) in submissions.iter().enumerate() {
+        let gid = submission.entry_group;
+        if gid >= config.num_groups {
+            return Err(AtomError::SubmissionRejected(format!(
+                "submission {index} targets unknown group {gid}"
+            )));
+        }
+        let group_pk = &setup.groups[gid].public_key;
+        for (ct, proof) in submission.ciphertexts.iter().zip(submission.proofs.iter()) {
+            verify_encryption(group_pk, gid as u64, ct, proof)
+                .map_err(|e| AtomError::SubmissionRejected(format!("submission {index}: {e}")))?;
+        }
+        batches[gid].push(submission.ciphertexts[0].clone());
+        batches[gid].push(submission.ciphertexts[1].clone());
+        commitments[gid].push(submission.trap_commitment);
+    }
+    Ok(TrapIntake {
+        batches,
+        commitments,
+    })
+}
+
+/// Decodes exit payloads of a NIZK-variant round into the published
+/// plaintexts. Shared by the sequential driver and the parallel runtime.
+pub fn finish_nizk_round(
+    exit_payloads: Vec<Vec<Vec<u8>>>,
+    routed: usize,
+    timings: RoundTimings,
+) -> AtomResult<RoundOutput> {
+    let mut per_group = Vec::with_capacity(exit_payloads.len());
+    let mut plaintexts = Vec::new();
+    for payloads in exit_payloads {
+        let mut group_messages = Vec::with_capacity(payloads.len());
+        for bytes in payloads {
+            match MixPayload::from_bytes(&bytes)? {
+                MixPayload::Inner(content) | MixPayload::Plaintext(content) => {
+                    group_messages.push(content.clone());
+                    plaintexts.push(content);
+                }
+                MixPayload::Trap { .. } => {
+                    return Err(AtomError::Malformed(
+                        "unexpected trap payload in a NIZK-variant round".into(),
+                    ))
+                }
+            }
+        }
+        per_group.push(group_messages);
+    }
+
+    Ok(RoundOutput {
+        per_group,
+        plaintexts,
+        routed_ciphertexts: routed,
+        timings,
+    })
+}
+
+/// Runs the exit phase of a trap-variant round: sorts traps back to their
+/// entry groups and inner ciphertexts to their load-balanced holders, checks
+/// every trap against its commitment, and decrypts the inner ciphertexts only
+/// if the trustees release the key (§4.4). Shared by the sequential driver
+/// and the parallel runtime.
+pub fn finish_trap_round(
+    setup: &RoundSetup,
+    commitments: &[Vec<Commitment>],
+    exit_payloads: Vec<Vec<Vec<u8>>>,
+    routed: usize,
+    timings: RoundTimings,
+) -> AtomResult<RoundOutput> {
+    let config = &setup.config;
+
+    // --- Exit sorting: traps back to their entry group, inner ciphertexts
+    //     to their load-balanced holding group. ---
+    let mut traps_received: Vec<Vec<(u32, [u8; 16])>> = vec![Vec::new(); config.num_groups];
+    let mut inners_received: Vec<Vec<Vec<u8>>> = vec![Vec::new(); config.num_groups];
+    let mut malformed = 0usize;
+    for payloads in &exit_payloads {
+        for bytes in payloads {
+            match MixPayload::from_bytes(bytes) {
+                Ok(MixPayload::Trap { gid, nonce }) => {
+                    let target = (gid as usize).min(config.num_groups - 1);
+                    traps_received[target].push((gid, nonce));
+                }
+                Ok(MixPayload::Inner(inner)) | Ok(MixPayload::Plaintext(inner)) => {
+                    let target = inner_target_group(&inner, config.num_groups);
+                    inners_received[target].push(inner);
+                }
+                Err(_) => malformed += 1,
+            }
+        }
+    }
+
+    // --- Per-group reports (§4.4): trap/commitment matching, duplicate
+    //     inner ciphertexts, counts. ---
+    let mut all_ok = malformed == 0;
+    let mut total_traps = 0usize;
+    let mut total_inners = 0usize;
+    for gid in 0..config.num_groups {
+        total_traps += traps_received[gid].len();
+        total_inners += inners_received[gid].len();
+
+        // Every commitment must have exactly one matching trap and every
+        // trap must match a commitment held by this group.
+        let mut expected: HashMap<Commitment, usize> = HashMap::new();
+        for commitment in &commitments[gid] {
+            *expected.entry(*commitment).or_default() += 1;
+        }
+        for (trap_gid, nonce) in &traps_received[gid] {
+            if *trap_gid as usize != gid {
+                all_ok = false;
+                continue;
+            }
+            let commitment = commit::commit(
+                TRAP_COMMIT_LABEL,
+                &MixPayload::trap_commit_bytes(*trap_gid, nonce),
+            );
+            match expected.get_mut(&commitment) {
+                Some(count) if *count > 0 => *count -= 1,
+                _ => all_ok = false,
+            }
+        }
+        if expected.values().any(|&count| count > 0) {
+            all_ok = false;
+        }
+
+        // Duplicate inner ciphertexts are grounds for aborting.
+        let mut seen = std::collections::HashSet::new();
+        for inner in &inners_received[gid] {
+            if !seen.insert(commit::commit(b"inner-dup", inner)) {
+                all_ok = false;
+            }
+        }
+    }
+    if total_traps != total_inners {
+        all_ok = false;
+    }
+
+    // --- Trustee decision: release the key only if every report is clean.
+    if !all_ok {
+        return Err(AtomError::TrapCheckFailed(format!(
+            "round aborted: traps={total_traps} inners={total_inners} malformed={malformed}"
+        )));
+    }
+    let trustee_shares: Vec<_> = setup.trustees.shares.iter().collect();
+    let trustee_secret =
+        reconstruct_group_secret(&trustee_shares[..setup.trustees.shares[0].params.threshold])
+            .map_err(AtomError::Crypto)?;
+    let trustee_secret = SecretKey(trustee_secret);
+
+    // --- Decrypt inner ciphertexts. ---
+    let aad = config.round.to_le_bytes();
+    let mut per_group = Vec::with_capacity(config.num_groups);
+    let mut plaintexts = Vec::new();
+    for inners in &inners_received {
+        let mut group_messages = Vec::new();
+        for inner_bytes in inners {
+            let Ok(inner) = HybridCiphertext::from_bytes(inner_bytes) else {
+                continue; // Malformed submissions from malicious users.
+            };
+            let Ok(message) =
+                cca2::decrypt(&trustee_secret, &setup.trustees.public_key, &aad, &inner)
+            else {
+                continue;
+            };
+            group_messages.push(message.clone());
+            plaintexts.push(message);
+        }
+        per_group.push(group_messages);
+    }
+
+    Ok(RoundOutput {
+        per_group,
+        plaintexts,
+        routed_ciphertexts: routed,
+        timings,
+    })
 }
 
 #[cfg(test)]
@@ -480,7 +576,12 @@ mod tests {
         let config = trap_config();
         let setup = setup_round(&config, &mut rng).unwrap();
         let driver = RoundDriver::new(setup);
-        let messages = ["protest at noon", "meet at the square", "bring banners", "stay safe"];
+        let messages = [
+            "protest at noon",
+            "meet at the square",
+            "bring banners",
+            "stay safe",
+        ];
         let submissions = make_trap_submissions(driver.setup(), &messages, &mut rng);
 
         let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
@@ -497,7 +598,10 @@ mod tests {
         let mut expected: Vec<String> = messages.iter().map(|m| m.to_string()).collect();
         expected.sort();
         assert_eq!(recovered, expected);
-        assert_eq!(output.timings.iteration_critical_path.len(), config.iterations);
+        assert_eq!(
+            output.timings.iteration_critical_path.len(),
+            config.iterations
+        );
     }
 
     #[test]
@@ -554,7 +658,10 @@ mod tests {
         let submissions =
             make_trap_submissions(driver.setup(), &["a", "b", "c", "d", "e", "f"], &mut rng);
         let result = driver.run_trap_round(&submissions, &mut rng);
-        assert!(matches!(result, Err(AtomError::TrapCheckFailed(_))), "{result:?}");
+        assert!(
+            matches!(result, Err(AtomError::TrapCheckFailed(_))),
+            "{result:?}"
+        );
     }
 
     #[test]
@@ -572,7 +679,10 @@ mod tests {
         let submissions =
             make_trap_submissions(driver.setup(), &["a", "b", "c", "d", "e", "f"], &mut rng);
         let result = driver.run_trap_round(&submissions, &mut rng);
-        assert!(matches!(result, Err(AtomError::TrapCheckFailed(_))), "{result:?}");
+        assert!(
+            matches!(result, Err(AtomError::TrapCheckFailed(_))),
+            "{result:?}"
+        );
     }
 
     #[test]
@@ -687,8 +797,7 @@ mod tests {
         let mut rng = rng();
         let config = trap_config();
         let setup = setup_round(&config, &mut rng).unwrap();
-        let driver =
-            RoundDriver::new(setup).with_latency(LatencyModel::Fixed { millis: 100 });
+        let driver = RoundDriver::new(setup).with_latency(LatencyModel::Fixed { millis: 100 });
         let submissions = make_trap_submissions(driver.setup(), &["a", "b", "c"], &mut rng);
         let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
         // Two iterations: one inter-group hop after the first iteration only

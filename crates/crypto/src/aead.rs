@@ -280,19 +280,15 @@ impl Poly1305 {
 }
 
 /// Computes the Poly1305 tag over the AEAD input layout of RFC 8439.
-fn poly1305_aead_tag(
-    otk: &[u8; 32],
-    aad: &[u8],
-    ciphertext: &[u8],
-) -> [u8; TAG_LEN] {
+fn poly1305_aead_tag(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
     let mut mac = Poly1305::new(otk);
     mac.update(aad);
     let pad = [0u8; 16];
-    if aad.len() % 16 != 0 {
+    if !aad.len().is_multiple_of(16) {
         mac.update(&pad[..16 - aad.len() % 16]);
     }
     mac.update(ciphertext);
-    if ciphertext.len() % 16 != 0 {
+    if !ciphertext.len().is_multiple_of(16) {
         mac.update(&pad[..16 - ciphertext.len() % 16]);
     }
     mac.update(&(aad.len() as u64).to_le_bytes());
@@ -301,12 +297,7 @@ fn poly1305_aead_tag(
 }
 
 /// Encrypts `plaintext` with ChaCha20-Poly1305, returning ciphertext || tag.
-pub fn seal(
-    key: &[u8; KEY_LEN],
-    nonce: &[u8; NONCE_LEN],
-    aad: &[u8],
-    plaintext: &[u8],
-) -> Vec<u8> {
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
     let otk_block = chacha20_block(key, 0, nonce);
     let otk: [u8; 32] = otk_block[..32].try_into().unwrap();
 

@@ -89,7 +89,7 @@ pub fn encrypt<R: RngCore + CryptoRng>(
     rng: &mut R,
 ) -> HybridCiphertext {
     let r = Scalar::random(rng);
-    let encapsulation = &r * RISTRETTO_BASEPOINT_TABLE;
+    let encapsulation = r * RISTRETTO_BASEPOINT_TABLE;
     let shared = r * recipient.0;
     let key = derive_key(&shared, &encapsulation, recipient);
     let nonce = [0u8; aead::NONCE_LEN]; // Fresh key per message, so a fixed nonce is safe.

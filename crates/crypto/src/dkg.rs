@@ -80,11 +80,7 @@ pub struct Dealing {
 }
 
 /// Creates the dealing for participant `dealer_index` (1-based).
-pub fn deal<R: RngCore + CryptoRng>(
-    dealer_index: u64,
-    params: &DkgParams,
-    rng: &mut R,
-) -> Dealing {
+pub fn deal<R: RngCore + CryptoRng>(dealer_index: u64, params: &DkgParams, rng: &mut R) -> Dealing {
     let poly = Polynomial::random(Scalar::random(rng), params.threshold, rng);
     let commitments = poly.feldman_commitments();
     let shares = (1..=params.participants as u64)
@@ -109,8 +105,7 @@ pub struct Complaint {
 
 /// Verifies the share destined for `member_index` inside a dealing.
 pub fn verify_dealing_for(dealing: &Dealing, member_index: u64, params: &DkgParams) -> bool {
-    if dealing.commitments.len() != params.threshold
-        || dealing.shares.len() != params.participants
+    if dealing.commitments.len() != params.threshold || dealing.shares.len() != params.participants
     {
         return false;
     }
@@ -123,7 +118,11 @@ pub fn verify_dealing_for(dealing: &Dealing, member_index: u64, params: &DkgPara
 }
 
 /// Collects complaints from `member_index` against all invalid dealings.
-pub fn complaints_for(dealings: &[Dealing], member_index: u64, params: &DkgParams) -> Vec<Complaint> {
+pub fn complaints_for(
+    dealings: &[Dealing],
+    member_index: u64,
+    params: &DkgParams,
+) -> Vec<Complaint> {
     dealings
         .iter()
         .filter(|d| !verify_dealing_for(d, member_index, params))
@@ -324,12 +323,17 @@ mod tests {
             assert_eq!(share.group_public, group_public);
             assert_eq!(
                 share.own_verification_key(),
-                crate::elgamal::KeyPair::from_secret(share.secret_share).public.0
+                crate::elgamal::KeyPair::from_secret(share.secret_share)
+                    .public
+                    .0
             );
         }
         // Reconstructing from any threshold-sized subset matches the group key.
         let secret = reconstruct_group_secret(&shares.iter().take(3).collect::<Vec<_>>()).unwrap();
-        assert_eq!(crate::elgamal::KeyPair::from_secret(secret).public, group_public);
+        assert_eq!(
+            crate::elgamal::KeyPair::from_secret(secret).public,
+            group_public
+        );
     }
 
     #[test]
@@ -407,7 +411,13 @@ mod tests {
         dealings[1].shares[2].value += Scalar::ONE;
 
         let complaints = complaints_for(&dealings, 3, &params);
-        assert_eq!(complaints, vec![Complaint { member: 3, dealer: 2 }]);
+        assert_eq!(
+            complaints,
+            vec![Complaint {
+                member: 3,
+                dealer: 2
+            }]
+        );
         assert!(complaints_for(&dealings, 1, &params).is_empty());
 
         // Aggregating with the bad dealer present fails; excluding it works.

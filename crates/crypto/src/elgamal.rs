@@ -59,7 +59,7 @@ impl KeyPair {
 
     /// Builds a keypair from an existing secret scalar.
     pub fn from_secret(x: Scalar) -> Self {
-        let public = PublicKey(&x * RISTRETTO_BASEPOINT_TABLE);
+        let public = PublicKey(x * RISTRETTO_BASEPOINT_TABLE);
         Self {
             secret: SecretKey(x),
             public,
@@ -142,7 +142,7 @@ pub fn encrypt<R: RngCore + CryptoRng>(
 ) -> (Ciphertext, Scalar) {
     let r = Scalar::random(rng);
     let ct = Ciphertext {
-        r: &r * RISTRETTO_BASEPOINT_TABLE,
+        r: r * RISTRETTO_BASEPOINT_TABLE,
         c: m + r * pk.0,
         y: None,
     };
@@ -239,11 +239,7 @@ pub fn reencrypt_with(
         r += fresh * RISTRETTO_BASEPOINT_TABLE;
         c += fresh * next.0;
     }
-    Ciphertext {
-        r,
-        c,
-        y: Some(y),
-    }
+    Ciphertext { r, c, y: Some(y) }
 }
 
 /// The public "swap view" of a ciphertext as seen by a re-encryption proof:
@@ -282,7 +278,11 @@ impl MessageCiphertext {
     /// Applies [`Ciphertext::finalize_handoff`] to every component.
     pub fn finalize_handoff(&self) -> MessageCiphertext {
         MessageCiphertext {
-            components: self.components.iter().map(Ciphertext::finalize_handoff).collect(),
+            components: self
+                .components
+                .iter()
+                .map(Ciphertext::finalize_handoff)
+                .collect(),
         }
     }
 }

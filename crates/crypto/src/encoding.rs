@@ -85,7 +85,10 @@ pub fn encode_message(message: &[u8]) -> CryptoResult<Vec<RistrettoPoint>> {
     if message.is_empty() {
         return Ok(vec![encode_chunk(&[])?]);
     }
-    message.chunks(PAYLOAD_PER_POINT).map(encode_chunk).collect()
+    message
+        .chunks(PAYLOAD_PER_POINT)
+        .map(encode_chunk)
+        .collect()
 }
 
 /// Recovers a byte message from a vector of points produced by

@@ -106,7 +106,10 @@ pub struct KeccakSponge {
 impl KeccakSponge {
     /// Creates a sponge with the given byte rate and padding byte.
     pub fn new(rate: usize, pad: u8) -> Self {
-        assert!(rate > 0 && rate < 200 && rate % 8 == 0, "invalid Keccak rate");
+        assert!(
+            rate > 0 && rate < 200 && rate.is_multiple_of(8),
+            "invalid Keccak rate"
+        );
         Self {
             state: [0u64; 25],
             rate,

@@ -71,7 +71,12 @@ fn transcript(stmt: &ReEncStatement<'_>) -> Transcript {
         None => t.append_bytes(b"next-pk", b"bottom"),
     }
     t.append_u64(b"components", stmt.input.components.len() as u64);
-    for ct in stmt.input.components.iter().chain(stmt.output.components.iter()) {
+    for ct in stmt
+        .input
+        .components
+        .iter()
+        .chain(stmt.output.components.iter())
+    {
         t.append_point(b"R", &ct.r);
         t.append_point(b"c", &ct.c);
         match &ct.y {
@@ -92,7 +97,12 @@ fn check_structure(
         ));
     }
     let mut views = Vec::with_capacity(stmt.input.components.len());
-    for (inp, out) in stmt.input.components.iter().zip(stmt.output.components.iter()) {
+    for (inp, out) in stmt
+        .input
+        .components
+        .iter()
+        .zip(stmt.output.components.iter())
+    {
         let (r0, y0) = swap_view(inp);
         if out.y != Some(y0) {
             return Err(CryptoError::ProofInvalid(
@@ -135,14 +145,14 @@ pub fn prove_reencryption<R: RngCore + CryptoRng>(
     let mut t = transcript(stmt);
 
     let alpha = Scalar::random(rng);
-    let announce_key = &alpha * RISTRETTO_BASEPOINT_TABLE;
+    let announce_key = alpha * RISTRETTO_BASEPOINT_TABLE;
     t.append_point(b"announce-key", &announce_key);
 
     let mut betas = Vec::with_capacity(views.len());
     let mut component_proofs = Vec::with_capacity(views.len());
     for (_, y0) in &views {
         let beta = Scalar::random(rng);
-        let announce_fresh = &beta * RISTRETTO_BASEPOINT_TABLE;
+        let announce_fresh = beta * RISTRETTO_BASEPOINT_TABLE;
         let announce_payload = match stmt.next_pk {
             Some(next) => alpha * y0 - beta * next.0,
             None => alpha * y0,
@@ -159,11 +169,13 @@ pub fn prove_reencryption<R: RngCore + CryptoRng>(
         .into_iter()
         .zip(betas.iter())
         .zip(witnesses.iter())
-        .map(|(((announce_fresh, announce_payload), beta), witness)| ReEncComponentProof {
-            announce_fresh,
-            announce_payload,
-            response_fresh: beta + challenge * witness.fresh_randomness,
-        })
+        .map(
+            |(((announce_fresh, announce_payload), beta), witness)| ReEncComponentProof {
+                announce_fresh,
+                announce_payload,
+                response_fresh: beta + challenge * witness.fresh_randomness,
+            },
+        )
         .collect();
 
     Ok(ReEncProof {
@@ -191,7 +203,7 @@ pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Cry
     let challenge = t.challenge_scalar(b"challenge");
 
     // Peeling key relation.
-    if &proof.response_key * RISTRETTO_BASEPOINT_TABLE
+    if proof.response_key * RISTRETTO_BASEPOINT_TABLE
         != proof.announce_key + challenge * stmt.peel_public
     {
         return Err(CryptoError::ProofInvalid("peel-key check failed".into()));
@@ -208,7 +220,7 @@ pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Cry
         // Fresh-randomness relation (skipped when the next key is ⊥: the
         // structural check already forced R' = R₀ and f = 0).
         if stmt.next_pk.is_some()
-            && &comp.response_fresh * RISTRETTO_BASEPOINT_TABLE
+            && comp.response_fresh * RISTRETTO_BASEPOINT_TABLE
                 != comp.announce_fresh + challenge * (out.r - r0)
         {
             return Err(CryptoError::ProofInvalid(
@@ -230,9 +242,7 @@ pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Cry
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::elgamal::{
-        encrypt_message, reencrypt_message, KeyPair, PublicKey,
-    };
+    use crate::elgamal::{encrypt_message, reencrypt_message, KeyPair, PublicKey};
     use crate::encoding::encode_message;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -266,12 +276,8 @@ mod tests {
     #[test]
     fn honest_reencryption_proof_verifies() {
         let mut f = fixture();
-        let (output, witnesses) = reencrypt_message(
-            &f.server.secret.0,
-            Some(&f.next_pk),
-            &f.input,
-            &mut f.rng,
-        );
+        let (output, witnesses) =
+            reencrypt_message(&f.server.secret.0, Some(&f.next_pk), &f.input, &mut f.rng);
         let stmt = ReEncStatement {
             peel_public: &f.server.public.0,
             next_pk: Some(&f.next_pk),
@@ -288,8 +294,7 @@ mod tests {
         let single = KeyPair::generate(&mut f.rng);
         let points = encode_message(b"exit layer").unwrap();
         let (input, _) = encrypt_message(&single.public, &points, &mut f.rng);
-        let (output, witnesses) =
-            reencrypt_message(&single.secret.0, None, &input, &mut f.rng);
+        let (output, witnesses) = reencrypt_message(&single.secret.0, None, &input, &mut f.rng);
         let stmt = ReEncStatement {
             peel_public: &single.public.0,
             next_pk: None,
@@ -321,12 +326,8 @@ mod tests {
     fn tampered_output_detected() {
         // The server replaces one payload component after proving.
         let mut f = fixture();
-        let (output, witnesses) = reencrypt_message(
-            &f.server.secret.0,
-            Some(&f.next_pk),
-            &f.input,
-            &mut f.rng,
-        );
+        let (output, witnesses) =
+            reencrypt_message(&f.server.secret.0, Some(&f.next_pk), &f.input, &mut f.rng);
         let stmt = ReEncStatement {
             peel_public: &f.server.public.0,
             next_pk: Some(&f.next_pk),
@@ -349,12 +350,8 @@ mod tests {
     #[test]
     fn dropped_y_component_detected() {
         let mut f = fixture();
-        let (output, witnesses) = reencrypt_message(
-            &f.server.secret.0,
-            Some(&f.next_pk),
-            &f.input,
-            &mut f.rng,
-        );
+        let (output, witnesses) =
+            reencrypt_message(&f.server.secret.0, Some(&f.next_pk), &f.input, &mut f.rng);
         let mut tampered = output.clone();
         tampered.components[0].y = None;
         let stmt = ReEncStatement {
@@ -378,12 +375,8 @@ mod tests {
     fn proof_not_valid_for_different_group_key() {
         // Binding to the next group's key: verifying against another key fails.
         let mut f = fixture();
-        let (output, witnesses) = reencrypt_message(
-            &f.server.secret.0,
-            Some(&f.next_pk),
-            &f.input,
-            &mut f.rng,
-        );
+        let (output, witnesses) =
+            reencrypt_message(&f.server.secret.0, Some(&f.next_pk), &f.input, &mut f.rng);
         let stmt = ReEncStatement {
             peel_public: &f.server.public.0,
             next_pk: Some(&f.next_pk),

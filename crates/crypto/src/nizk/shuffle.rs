@@ -319,7 +319,7 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
             acc_rand += power_nonces[j] * output.components[l].r;
             acc_payload += power_nonces[j] * output.components[l].c;
         }
-        acc_rand -= &t_nonce * RISTRETTO_BASEPOINT_TABLE;
+        acc_rand -= t_nonce * RISTRETTO_BASEPOINT_TABLE;
         acc_payload -= t_nonce * pk.0;
         rho_nonces.push(t_nonce);
         announce_rand.push(acc_rand);
@@ -437,7 +437,11 @@ pub fn verify_shuffle(
     for a in &proof.announce_powers {
         t.append_point(b"announce-powers", a);
     }
-    for a in proof.announce_rand.iter().chain(proof.announce_payload.iter()) {
+    for a in proof
+        .announce_rand
+        .iter()
+        .chain(proof.announce_payload.iter())
+    {
         t.append_point(b"announce-multiexp", a);
     }
     let challenge = t.challenge_scalar(b"challenge");
@@ -493,8 +497,10 @@ pub fn verify_shuffle(
 
     // Multi-exponentiation argument.
     for j in 0..n {
-        if key.commit(&proof.response_powers[j], &proof.response_power_blindings[j])
-            != proof.announce_powers[j] + challenge * proof.commit_powers[j]
+        if key.commit(
+            &proof.response_powers[j],
+            &proof.response_power_blindings[j],
+        ) != proof.announce_powers[j] + challenge * proof.commit_powers[j]
         {
             return Err(CryptoError::ProofInvalid(
                 "multi-exponentiation: power opening failed".into(),
@@ -509,7 +515,7 @@ pub fn verify_shuffle(
             acc_rand += proof.response_powers[j] * output.components[l].r;
             acc_payload += proof.response_powers[j] * output.components[l].c;
         }
-        acc_rand -= &proof.response_rho[l] * RISTRETTO_BASEPOINT_TABLE;
+        acc_rand -= proof.response_rho[l] * RISTRETTO_BASEPOINT_TABLE;
         acc_payload -= proof.response_rho[l] * pk.0;
 
         if acc_rand != proof.announce_rand[l] + challenge * t_rand[l] {
@@ -652,8 +658,7 @@ mod tests {
             permutation: (0..4).collect(),
             randomness: vec![vec![Scalar::ZERO; inputs[0].components.len()]; 4],
         };
-        let proof =
-            prove_shuffle(&kp.public, &inputs, &fake_outputs, &witness, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &fake_outputs, &witness, &mut rng).unwrap();
         assert!(verify_shuffle(&kp.public, &inputs, &fake_outputs, &proof).is_err());
     }
 

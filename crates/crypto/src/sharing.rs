@@ -146,7 +146,7 @@ pub fn reconstruct(shares: &[Share]) -> CryptoResult<Scalar> {
 /// `share.value · B == Σ_m index^m · A_m`.
 pub fn verify_share(share: &Share, commitments: &[RistrettoPoint]) -> bool {
     let expected = evaluate_commitments(commitments, share.index);
-    &share.value * RISTRETTO_BASEPOINT_TABLE == expected
+    share.value * RISTRETTO_BASEPOINT_TABLE == expected
 }
 
 /// Evaluates Feldman commitments at `index`, yielding `f(index) · B` without

@@ -11,6 +11,7 @@
 //! the end-to-end latency figures (Fig. 9–11) report on top of measured
 //! compute time.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,7 +32,9 @@ pub struct Envelope {
     /// Receiving node.
     pub to: NodeId,
     /// Application-level label (used for tracing and per-phase accounting).
-    pub label: String,
+    /// Static labels — the common case on the mixing hot path — are borrowed
+    /// rather than allocated per message.
+    pub label: Cow<'static, str>,
     /// Serialized payload.
     pub payload: Vec<u8>,
     /// Simulated network delay this message experienced.
@@ -120,8 +123,12 @@ impl InMemoryNetwork {
             latency,
             classes,
             mailboxes: (0..nodes).map(|_| Mutex::new(Mailbox::default())).collect(),
-            sent: (0..nodes).map(|_| Mutex::new(TrafficStats::default())).collect(),
-            received: (0..nodes).map(|_| Mutex::new(TrafficStats::default())).collect(),
+            sent: (0..nodes)
+                .map(|_| Mutex::new(TrafficStats::default()))
+                .collect(),
+            received: (0..nodes)
+                .map(|_| Mutex::new(TrafficStats::default()))
+                .collect(),
         };
         Self {
             inner: Arc::new(inner),
@@ -140,7 +147,18 @@ impl InMemoryNetwork {
 
     /// Sends `payload` from `from` to `to`, returning the simulated network
     /// delay charged to this message (propagation + transmission).
-    pub fn send(&self, from: NodeId, to: NodeId, label: &str, payload: Vec<u8>) -> Duration {
+    ///
+    /// Sent-side statistics are credited immediately; received-side
+    /// statistics only when the message is actually delivered through
+    /// [`Self::try_receive`] or [`Self::drain`], so in-flight messages are
+    /// never counted as received.
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        label: impl Into<Cow<'static, str>>,
+        payload: Vec<u8>,
+    ) -> Duration {
         assert!(from < self.nodes() && to < self.nodes(), "unknown node");
         let bytes = payload.len() as u64;
         let propagation = self.inner.latency.link(from, to);
@@ -152,30 +170,44 @@ impl InMemoryNetwork {
             stats.messages += 1;
             stats.bytes += bytes;
         }
-        {
-            let mut stats = self.inner.received[to].lock();
-            stats.messages += 1;
-            stats.bytes += bytes;
-        }
         self.inner.mailboxes[to].lock().queue.push_back(Envelope {
             from,
             to,
-            label: label.to_string(),
+            label: label.into(),
             payload,
             delay,
         });
         delay
     }
 
+    fn credit_received(&self, node: NodeId, envelopes: &[Envelope]) {
+        if envelopes.is_empty() {
+            return;
+        }
+        let mut stats = self.inner.received[node].lock();
+        for envelope in envelopes {
+            stats.messages += 1;
+            stats.bytes += envelope.payload.len() as u64;
+        }
+    }
+
     /// Receives the next message queued for `node`, if any.
     pub fn try_receive(&self, node: NodeId) -> Option<Envelope> {
-        self.inner.mailboxes[node].lock().queue.pop_front()
+        let envelope = self.inner.mailboxes[node].lock().queue.pop_front();
+        if let Some(envelope) = &envelope {
+            self.credit_received(node, std::slice::from_ref(envelope));
+        }
+        envelope
     }
 
     /// Drains every queued message for `node`.
     pub fn drain(&self, node: NodeId) -> Vec<Envelope> {
-        let mut mailbox = self.inner.mailboxes[node].lock();
-        mailbox.queue.drain(..).collect()
+        let drained: Vec<Envelope> = {
+            let mut mailbox = self.inner.mailboxes[node].lock();
+            mailbox.queue.drain(..).collect()
+        };
+        self.credit_received(node, &drained);
+        drained
     }
 
     /// Number of messages waiting for `node`.
@@ -238,6 +270,8 @@ mod tests {
         net.send(0, 1, "a", vec![0u8; 100]);
         net.send(0, 1, "b", vec![0u8; 50]);
         net.send(1, 0, "c", vec![0u8; 10]);
+        net.drain(1);
+        net.drain(0);
         assert_eq!(
             net.sent_stats(0),
             TrafficStats {
@@ -255,6 +289,52 @@ mod tests {
         assert_eq!(net.sent_stats(1).bytes, 10);
         assert_eq!(net.total_sent().bytes, 160);
         assert_eq!(net.total_sent().messages, 3);
+    }
+
+    #[test]
+    fn received_stats_credit_on_delivery_not_send() {
+        // Regression test: received-side stats used to be credited at send
+        // time, counting in-flight messages as received.
+        let net = InMemoryNetwork::local(2);
+        net.send(0, 1, "inflight", vec![0u8; 64]);
+        net.send(0, 1, "inflight", vec![0u8; 36]);
+        assert_eq!(net.received_stats(1), TrafficStats::default());
+
+        let first = net.try_receive(1).unwrap();
+        assert_eq!(first.payload.len(), 64);
+        assert_eq!(
+            net.received_stats(1),
+            TrafficStats {
+                messages: 1,
+                bytes: 64
+            }
+        );
+
+        let rest = net.drain(1);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(
+            net.received_stats(1),
+            TrafficStats {
+                messages: 2,
+                bytes: 100
+            }
+        );
+
+        // Draining an empty mailbox credits nothing further.
+        assert!(net.drain(1).is_empty());
+        assert_eq!(net.received_stats(1).messages, 2);
+    }
+
+    #[test]
+    fn static_labels_are_borrowed_not_allocated() {
+        let net = InMemoryNetwork::local(2);
+        net.send(0, 1, "static-label", Vec::new());
+        let envelope = net.try_receive(1).unwrap();
+        assert!(matches!(envelope.label, std::borrow::Cow::Borrowed(_)));
+        // Owned labels still work for dynamic tracing.
+        net.send(0, 1, format!("round-{}", 7), Vec::new());
+        let envelope = net.try_receive(1).unwrap();
+        assert_eq!(envelope.label, "round-7");
     }
 
     #[test]

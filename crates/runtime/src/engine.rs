@@ -1,0 +1,760 @@
+//! The parallel group-actor execution engine.
+//!
+//! [`Engine::run_rounds`] executes one or more Atom rounds over a scoped
+//! worker pool. Each anytrust group of each round is a
+//! [`GroupActor`](atom_core::actor::GroupActor) behind a mutex; workers pull
+//! tasks from a shared queue and exchange serialized sub-batches through an
+//! [`InMemoryNetwork`] mailbox per group. There is no barrier anywhere:
+//!
+//! * **Within a round**, a group steps mixing iteration `i + 1` as soon as
+//!   all of its inbound sub-batches for `i + 1` have arrived, so fast groups
+//!   pipeline ahead of stragglers.
+//! * **Across rounds**, every round's submission intake is a queue task like
+//!   any other, so round `r + 1`'s proof verification and entry mixing
+//!   overlap round `r`'s tail.
+//!
+//! Determinism: all randomness of round `r` derives from
+//! `RoundJob::seed` — the master draw mirrors the sequential
+//! [`RoundDriver`](atom_core::round::RoundDriver) consuming the first
+//! `next_u64` of `StdRng::seed_from_u64(seed)`, and each group actor owns the
+//! stream `group_stream_seed(master, round, gid)`. Scheduling therefore
+//! cannot influence any byte produced; for equal seeds the engine's
+//! [`RoundOutput`] is identical to the sequential driver's.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use atom_core::actor::{ActorConfig, ActorOutput, GroupActor, SOURCE};
+use atom_core::adversary::AdversaryPlan;
+use atom_core::config::Defense;
+use atom_core::directory::RoundSetup;
+use atom_core::error::{AtomError, AtomResult};
+use atom_core::group::GroupStepOptions;
+use atom_core::message::{NizkSubmission, TrapSubmission};
+use atom_core::round::{
+    collect_round_timings, finish_nizk_round, finish_trap_round, hop_latency,
+    verify_nizk_submissions, verify_trap_submissions, RoundOutput, RoundTimings,
+};
+use atom_crypto::commit::Commitment;
+use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats};
+
+use crate::wire;
+
+/// Envelope label of serialized mixing sub-batches (static: no per-message
+/// allocation on the hot path).
+pub const MIX_LABEL: &str = "atom/mix";
+
+/// Engine-wide execution options.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Worker threads driving group actors.
+    pub workers: usize,
+    /// Latency model for inter-group hops (virtual-clock accounting).
+    pub latency: LatencyModel,
+    /// Intra-group re-encryption threads (see `GroupStepOptions`).
+    pub parallelism: usize,
+    /// Artificial per-iteration compute delay per group id, used to emulate
+    /// slow groups (stragglers) and per-group server hardware.
+    pub stragglers: Vec<(usize, Duration)>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            latency: LatencyModel::Zero,
+            parallelism: 1,
+            stragglers: Vec::new(),
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// The submissions of one round.
+#[derive(Clone, Debug)]
+pub enum RoundSubmissions {
+    /// NIZK-variant submissions (§4.3).
+    Nizk(Vec<NizkSubmission>),
+    /// Trap-variant submissions (§4.4).
+    Trap(Vec<TrapSubmission>),
+}
+
+/// One round to execute.
+#[derive(Clone)]
+pub struct RoundJob {
+    /// The round's directory setup.
+    pub setup: RoundSetup,
+    /// User submissions.
+    pub submissions: RoundSubmissions,
+    /// Seed of all round randomness (equal seeds ⇒ byte-identical output to
+    /// `RoundDriver` with `StdRng::seed_from_u64(seed)`).
+    pub seed: u64,
+    /// Optional active adversary.
+    pub adversary: Option<AdversaryPlan>,
+    /// Servers failed before the round starts.
+    pub failed_servers: Vec<usize>,
+    /// Mid-round churn: `(iteration, server)` failures applied as groups
+    /// reach `iteration`.
+    pub churn: Vec<(usize, usize)>,
+}
+
+impl RoundJob {
+    /// A job with no adversary, failures or churn.
+    pub fn new(setup: RoundSetup, submissions: RoundSubmissions, seed: u64) -> Self {
+        Self {
+            setup,
+            submissions,
+            seed,
+            adversary: None,
+            failed_servers: Vec::new(),
+            churn: Vec::new(),
+        }
+    }
+}
+
+/// The result of one engine-executed round.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// The protocol output, byte-identical to the sequential driver's.
+    pub output: RoundOutput,
+    /// Pipelined end-to-end latency: the latest group exit on the virtual
+    /// clock (arrival-gated, no per-iteration barrier). Compare with
+    /// `output.timings.end_to_end()`, the barrier model.
+    pub pipelined_latency: Duration,
+    /// Wall-clock time from intake to the last exit.
+    pub wall_clock: Duration,
+    /// Mixing messages this round pushed through the transport.
+    pub mix_messages: u64,
+    /// Mixing bytes this round pushed through the transport.
+    pub mix_bytes: u64,
+}
+
+enum Task {
+    Intake { round: usize },
+    Deliver { gid: usize },
+}
+
+struct ExitState {
+    payloads: Vec<Option<Vec<Vec<u8>>>>,
+    exits_done: usize,
+    routed: usize,
+    commitments: Vec<Vec<Commitment>>,
+    started: Option<Instant>,
+    pipelined: Duration,
+}
+
+struct JobState {
+    setup: RoundSetup,
+    submissions: RoundSubmissions,
+    actors: Vec<Mutex<GroupActor>>,
+    exit: Mutex<ExitState>,
+    result: Mutex<Option<AtomResult<RoundReport>>>,
+    mix_messages: AtomicU64,
+    mix_bytes: AtomicU64,
+}
+
+impl JobState {
+    fn num_groups(&self) -> usize {
+        self.setup.config.num_groups
+    }
+
+    fn failed(&self) -> bool {
+        matches!(*self.result.lock(), Some(Err(_)))
+    }
+
+    fn finalized(&self) -> bool {
+        self.result.lock().is_some()
+    }
+}
+
+struct Shared<'a> {
+    jobs: &'a [JobState],
+    // The queue/condvar pair uses `std::sync` directly (parking_lot's
+    // `Condvar::wait` has a different signature, and keeping the vendored
+    // stand-in drop-in-replaceable by the real crate matters more than the
+    // fairness benefits here).
+    queue: std::sync::Mutex<VecDeque<Task>>,
+    ready: std::sync::Condvar,
+    pending_jobs: AtomicUsize,
+    network: InMemoryNetwork,
+    latency: LatencyModel,
+    orchestrator: usize,
+}
+
+impl Shared<'_> {
+    fn queue_lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_task(&self, task: Task) {
+        self.queue_lock().push_back(task);
+        self.ready.notify_one();
+    }
+
+    fn job_done(&self) {
+        if self.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Hold the queue lock while notifying: a worker that observed
+            // the old pending count cannot slip into its wait between the
+            // decrement and this notification.
+            let _guard = self.queue_lock();
+            self.ready.notify_all();
+        }
+    }
+
+    fn fail_job(&self, round: usize, error: AtomError) {
+        let job = &self.jobs[round];
+        let mut result = job.result.lock();
+        if result.is_none() {
+            *result = Some(Err(error));
+            drop(result);
+            self.job_done();
+        }
+    }
+
+    /// Fails every unresolved round. Used when a worker panics or an
+    /// envelope cannot even name its round: continuing would leave waiters
+    /// blocked forever, so convert the hang into per-round errors.
+    fn fail_all(&self, reason: &str) {
+        for round in 0..self.jobs.len() {
+            self.fail_job(round, AtomError::Malformed(reason.to_string()));
+        }
+    }
+}
+
+/// The parallel execution engine. See the module docs.
+pub struct Engine {
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// An engine with the given options.
+    pub fn new(options: EngineOptions) -> Self {
+        Self { options }
+    }
+
+    /// An engine with default options and `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(EngineOptions::with_workers(workers))
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    fn actor_config(&self, job: &RoundJob, gid: usize) -> ActorConfig {
+        let defense = match job.submissions {
+            RoundSubmissions::Nizk(_) => Defense::Nizk,
+            RoundSubmissions::Trap(_) => Defense::Trap,
+        };
+        let mut config = ActorConfig::new(GroupStepOptions {
+            defense,
+            parallelism: self.options.parallelism.max(1),
+        });
+        config.adversary = job.adversary;
+        config.failed_servers = job.failed_servers.clone();
+        config.churn = job.churn.clone();
+        config.compute_delay = self
+            .options
+            .stragglers
+            .iter()
+            .find(|(slow, _)| *slow == gid)
+            .map(|(_, delay)| *delay)
+            .unwrap_or(Duration::ZERO);
+        config
+    }
+
+    /// Runs a single round.
+    pub fn run_round(&self, job: RoundJob) -> AtomResult<RoundReport> {
+        self.run_rounds(vec![job])
+            .pop()
+            .expect("one result per job")
+    }
+
+    /// Runs `jobs` with all rounds in flight at once, returning one result
+    /// per job in order.
+    pub fn run_rounds(&self, jobs: Vec<RoundJob>) -> Vec<AtomResult<RoundReport>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let max_groups = jobs
+            .iter()
+            .map(|job| job.setup.config.num_groups)
+            .max()
+            .unwrap_or(1);
+
+        // Build per-job state up front; actor construction failures (e.g.
+        // too many pre-failed servers) resolve the job immediately.
+        let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            // The master draw mirrors RoundDriver::run_mixing's first use of
+            // the caller RNG, keeping seed semantics identical across
+            // drivers.
+            let master_seed = StdRng::seed_from_u64(job.seed).next_u64();
+            let num_groups = job.setup.config.num_groups;
+            let mut actors = Vec::with_capacity(num_groups);
+            let mut construction_error = None;
+            for gid in 0..num_groups {
+                match GroupActor::new(&job.setup, gid, master_seed, self.actor_config(&job, gid)) {
+                    Ok(actor) => actors.push(Mutex::new(actor)),
+                    Err(error) => {
+                        construction_error = Some(error);
+                        break;
+                    }
+                }
+            }
+            let state = JobState {
+                exit: Mutex::new(ExitState {
+                    payloads: vec![None; num_groups],
+                    exits_done: 0,
+                    routed: 0,
+                    commitments: Vec::new(),
+                    started: None,
+                    pipelined: Duration::ZERO,
+                }),
+                result: Mutex::new(construction_error.map(Err)),
+                mix_messages: AtomicU64::new(0),
+                mix_bytes: AtomicU64::new(0),
+                setup: job.setup,
+                submissions: job.submissions,
+                actors,
+            };
+            states.push(state);
+        }
+
+        let pending = states.iter().filter(|s| !s.finalized()).count();
+        let shared = Shared {
+            jobs: &states,
+            queue: std::sync::Mutex::new(VecDeque::new()),
+            ready: std::sync::Condvar::new(),
+            pending_jobs: AtomicUsize::new(pending),
+            // One mailbox per group id plus the orchestrator; rounds share
+            // mailboxes and are distinguished by the wire header.
+            network: InMemoryNetwork::new(max_groups + 1, LatencyModel::Zero, Vec::new()),
+            latency: self.options.latency,
+            orchestrator: max_groups,
+        };
+        for (round, state) in states.iter().enumerate() {
+            if !state.finalized() {
+                shared.queue_lock().push_back(Task::Intake { round });
+            }
+        }
+
+        if shared.pending_jobs.load(Ordering::SeqCst) > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..self.options.workers.max(1) {
+                    scope.spawn(|| worker_loop(&shared));
+                }
+            });
+        }
+
+        states
+            .into_iter()
+            .map(|state| {
+                state
+                    .result
+                    .into_inner()
+                    .unwrap_or_else(|| Err(AtomError::Malformed("round never completed".into())))
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    loop {
+        let task = {
+            let mut queue = shared.queue_lock();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                if shared.pending_jobs.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // A panicking task (e.g. a poisoned intra-group re-encryption
+        // worker) must not strand the other workers in their condvar wait:
+        // resolve every open round with an error, then re-raise the panic so
+        // the scope surfaces it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
+            Task::Intake { round } => run_intake(shared, round),
+            Task::Deliver { gid } => run_deliver(shared, gid),
+        }));
+        if let Err(panic) = result {
+            shared.fail_all("engine worker panicked; round abandoned");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Verifies a round's submissions and injects the iteration-0 batches.
+fn run_intake(shared: &Shared<'_>, round: usize) {
+    let job = &shared.jobs[round];
+    if job.failed() {
+        return;
+    }
+    job.exit.lock().started = Some(Instant::now());
+
+    let (batches, commitments) = match &job.submissions {
+        RoundSubmissions::Nizk(submissions) => {
+            match verify_nizk_submissions(&job.setup, submissions) {
+                Ok(batches) => (batches, Vec::new()),
+                Err(error) => return shared.fail_job(round, error),
+            }
+        }
+        RoundSubmissions::Trap(submissions) => {
+            match verify_trap_submissions(&job.setup, submissions) {
+                Ok(intake) => (intake.batches, intake.commitments),
+                Err(error) => return shared.fail_job(round, error),
+            }
+        }
+    };
+
+    {
+        let mut exit = job.exit.lock();
+        exit.routed = batches.iter().map(Vec::len).sum();
+        exit.commitments = commitments;
+    }
+
+    for (gid, batch) in batches.into_iter().enumerate() {
+        let payload = wire::encode(round, 0, SOURCE, Duration::ZERO, &batch);
+        job.mix_messages.fetch_add(1, Ordering::Relaxed);
+        job.mix_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        shared
+            .network
+            .send(shared.orchestrator, gid, MIX_LABEL, payload);
+        shared.push_task(Task::Deliver { gid });
+    }
+}
+
+/// The simulated latency of one inter-group hop (shared accounting from
+/// `atom_core::round::hop_latency`). Orchestrator injections are free: the
+/// submission phase is accounted separately in the paper's figures.
+fn inbound_hop(shared: &Shared<'_>, setup: &RoundSetup, from: usize, to: usize) -> Duration {
+    if from == SOURCE {
+        return Duration::ZERO;
+    }
+    hop_latency(setup, &shared.latency, from, to)
+}
+
+/// Drains a group mailbox and feeds its actor, forwarding whatever the actor
+/// emits.
+fn run_deliver(shared: &Shared<'_>, gid: usize) {
+    for envelope in shared.network.drain(gid) {
+        let decoded = match wire::decode(&envelope.payload) {
+            Ok(decoded) => decoded,
+            Err(error) => {
+                // Every envelope on this network is engine-generated, so a
+                // decode failure means format skew, not foreign traffic.
+                // Dropping it would strand the receiving actor forever;
+                // fail the named round (the header's round field survives
+                // most corruptions) or, failing that, everything.
+                match wire::decode_round(&envelope.payload) {
+                    Some(round) if round < shared.jobs.len() => shared.fail_job(round, error),
+                    _ => shared.fail_all("undecodable mix envelope"),
+                }
+                continue;
+            }
+        };
+        let round = decoded.round;
+        let Some(job) = shared.jobs.get(round) else {
+            shared.fail_all("mix envelope names an unknown round");
+            continue;
+        };
+        if job.failed() {
+            continue;
+        }
+
+        let arrival = decoded.sent_virtual + inbound_hop(shared, &job.setup, decoded.from, gid);
+        let outputs = {
+            let mut actor = job.actors[gid].lock();
+            actor.note_arrival(decoded.iteration, arrival);
+            match actor.on_batch(decoded.iteration, decoded.from, decoded.batch) {
+                Ok(outputs) => outputs,
+                Err(error) => {
+                    shared.fail_job(round, error);
+                    continue;
+                }
+            }
+        };
+
+        for output in outputs {
+            match output {
+                ActorOutput::Forward {
+                    iteration,
+                    to,
+                    batch,
+                    sent_virtual,
+                } => {
+                    let payload = wire::encode(round, iteration, gid, sent_virtual, &batch);
+                    job.mix_messages.fetch_add(1, Ordering::Relaxed);
+                    job.mix_bytes
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    shared.network.send(gid, to, MIX_LABEL, payload);
+                    shared.push_task(Task::Deliver { gid: to });
+                }
+                ActorOutput::Exit {
+                    plaintexts,
+                    finished_virtual,
+                } => {
+                    let complete = {
+                        let mut exit = job.exit.lock();
+                        if exit.payloads[gid].is_none() {
+                            exit.payloads[gid] = Some(plaintexts);
+                            exit.exits_done += 1;
+                        }
+                        exit.pipelined = exit.pipelined.max(finished_virtual);
+                        exit.exits_done == job.num_groups()
+                    };
+                    if complete {
+                        finalize_round(shared, round);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects timings, runs the variant-specific exit phase and resolves the
+/// job.
+fn finalize_round(shared: &Shared<'_>, round: usize) {
+    let job = &shared.jobs[round];
+
+    let mut timings = collect_timings(shared, job);
+    let (payloads, routed, commitments, started, pipelined) = {
+        let mut exit = job.exit.lock();
+        let payloads: Vec<Vec<Vec<u8>>> = exit
+            .payloads
+            .iter_mut()
+            .map(|slot| slot.take().unwrap_or_default())
+            .collect();
+        (
+            payloads,
+            exit.routed,
+            std::mem::take(&mut exit.commitments),
+            exit.started,
+            exit.pipelined,
+        )
+    };
+    // Same field semantics as the sequential driver: end-to-end wall time of
+    // the in-process round.
+    let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
+    timings.wall_clock = wall_clock;
+
+    let output = match &job.submissions {
+        RoundSubmissions::Nizk(_) => finish_nizk_round(payloads, routed, timings),
+        RoundSubmissions::Trap(_) => {
+            finish_trap_round(&job.setup, &commitments, payloads, routed, timings)
+        }
+    };
+
+    let report = output.map(|output| RoundReport {
+        pipelined_latency: pipelined,
+        wall_clock,
+        mix_messages: job.mix_messages.load(Ordering::Relaxed),
+        mix_bytes: job.mix_bytes.load(Ordering::Relaxed),
+        output,
+    });
+
+    let mut result = job.result.lock();
+    if result.is_none() {
+        *result = Some(report);
+        drop(result);
+        shared.job_done();
+    }
+}
+
+/// Per-iteration compute critical path from the actors plus the analytic
+/// barrier-model network critical path, via the accounting helper shared
+/// with the sequential driver.
+fn collect_timings(shared: &Shared<'_>, job: &JobState) -> RoundTimings {
+    let computes: Vec<Vec<Duration>> = job
+        .actors
+        .iter()
+        .map(|actor| actor.lock().compute_times().to_vec())
+        .collect();
+    collect_round_timings(&job.setup, &shared.latency, &computes)
+}
+
+/// Aggregate transport statistics helper for reports and scenarios.
+pub fn total_traffic(reports: &[AtomResult<RoundReport>]) -> TrafficStats {
+    let mut total = TrafficStats::default();
+    for report in reports.iter().flatten() {
+        total.messages += report.mix_messages;
+        total.bytes += report.mix_bytes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_core::config::AtomConfig;
+    use atom_core::directory::setup_round;
+    use atom_core::message::make_trap_submission;
+    use atom_core::round::RoundDriver;
+
+    fn trap_jobs(rounds: usize, seed: u64) -> (Vec<RoundJob>, Vec<Vec<String>>) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut jobs = Vec::new();
+        let mut expected = Vec::new();
+        for round in 0..rounds {
+            let mut config = AtomConfig::test_default();
+            config.num_groups = 3;
+            config.iterations = 2;
+            config.message_len = 24;
+            config.round = round as u64;
+            let setup = setup_round(&config, &mut rng).unwrap();
+            let messages: Vec<String> = (0..4).map(|i| format!("round {round} msg {i}")).collect();
+            let submissions: Vec<TrapSubmission> = messages
+                .iter()
+                .enumerate()
+                .map(|(i, message)| {
+                    let gid = i % config.num_groups;
+                    make_trap_submission(
+                        gid,
+                        &setup.groups[gid].public_key,
+                        &setup.trustees.public_key,
+                        config.round,
+                        message.as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .0
+                })
+                .collect();
+            jobs.push(RoundJob::new(
+                setup,
+                RoundSubmissions::Trap(submissions),
+                seed + round as u64,
+            ));
+            expected.push(messages);
+        }
+        (jobs, expected)
+    }
+
+    fn recovered(output: &RoundOutput) -> Vec<String> {
+        let mut messages: Vec<String> = output
+            .plaintexts
+            .iter()
+            .map(|p| {
+                String::from_utf8(p.iter().copied().take_while(|&b| b != 0).collect()).unwrap()
+            })
+            .collect();
+        messages.sort();
+        messages
+    }
+
+    #[test]
+    fn single_round_delivers_and_matches_sequential_driver() {
+        let (jobs, expected) = trap_jobs(1, 1000);
+        let sequential = RoundDriver::new(jobs[0].setup.clone());
+        let submissions = match &jobs[0].submissions {
+            RoundSubmissions::Trap(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let mut driver_rng = StdRng::seed_from_u64(jobs[0].seed);
+        let sequential_output = sequential
+            .run_trap_round(&submissions, &mut driver_rng)
+            .unwrap();
+
+        let engine = Engine::with_workers(3);
+        let report = engine.run_round(jobs.into_iter().next().unwrap()).unwrap();
+
+        let mut want = expected[0].clone();
+        want.sort();
+        assert_eq!(recovered(&report.output), want);
+        // Byte equivalence, not just set equivalence.
+        assert_eq!(report.output.plaintexts, sequential_output.plaintexts);
+        assert_eq!(report.output.per_group, sequential_output.per_group);
+        assert_eq!(
+            report.output.routed_ciphertexts,
+            sequential_output.routed_ciphertexts
+        );
+        assert!(report.mix_messages > 0);
+        assert!(report.mix_bytes > 0);
+    }
+
+    #[test]
+    fn multiple_rounds_pipeline_in_one_run() {
+        let (jobs, expected) = trap_jobs(3, 2000);
+        let engine = Engine::with_workers(4);
+        let reports = engine.run_rounds(jobs);
+        assert_eq!(reports.len(), 3);
+        for (report, want) in reports.into_iter().zip(expected) {
+            let report = report.unwrap();
+            let mut want = want;
+            want.sort();
+            assert_eq!(recovered(&report.output), want);
+        }
+    }
+
+    #[test]
+    fn engine_reports_per_round_failures_without_poisoning_others() {
+        let (mut jobs, expected) = trap_jobs(2, 3000);
+        jobs[0].adversary = Some(AdversaryPlan {
+            group: 1,
+            member: 1,
+            iteration: 0,
+            action: atom_core::adversary::Misbehavior::DropMessage { slot: 0 },
+        });
+        let engine = Engine::with_workers(2);
+        let reports = engine.run_rounds(jobs);
+        assert!(matches!(reports[0], Err(AtomError::TrapCheckFailed(_))));
+        let ok = reports[1].as_ref().unwrap();
+        let mut want = expected[1].clone();
+        want.sort();
+        assert_eq!(recovered(&ok.output), want);
+    }
+
+    #[test]
+    fn straggler_group_does_not_block_others() {
+        let (jobs, expected) = trap_jobs(1, 4000);
+        let mut options = EngineOptions::with_workers(3);
+        options.stragglers = vec![(0, Duration::from_millis(30))];
+        let engine = Engine::new(options);
+        let report = engine.run_round(jobs.into_iter().next().unwrap()).unwrap();
+        let mut want = expected[0].clone();
+        want.sort();
+        assert_eq!(recovered(&report.output), want);
+        // The straggler inflates its own iterations; the pipelined latency
+        // must track it.
+        assert!(report.pipelined_latency >= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn latency_model_produces_pipelined_latency() {
+        let (jobs, _) = trap_jobs(1, 5000);
+        let mut options = EngineOptions::with_workers(2);
+        options.latency = LatencyModel::Fixed { millis: 40 };
+        let engine = Engine::new(options);
+        let report = engine.run_round(jobs.into_iter().next().unwrap()).unwrap();
+        // Two iterations ⇒ one charged hop layer.
+        assert!(report.pipelined_latency >= Duration::from_millis(40));
+        assert!(report.output.timings.network_critical_path >= Duration::from_millis(40));
+    }
+}

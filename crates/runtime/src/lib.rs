@@ -1,0 +1,113 @@
+//! # atom-runtime
+//!
+//! The parallel group-actor execution engine for the Atom reproduction:
+//! anytrust groups run as actors on a scoped worker pool, exchanging
+//! serialized sub-batches through [`atom_net::InMemoryNetwork`] envelopes,
+//! with **barrier-free pipelined mixing** within a round and **multiple
+//! rounds in flight** across rounds. This is the subsystem that lets the
+//! reproduction exhibit the paper's headline property — horizontal scaling —
+//! instead of executing every group on one thread with a hard barrier
+//! between iterations.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                         ┌────────────────────────────┐
+//!   RoundJob (seed,       │          Engine            │
+//!   setup, submissions) ─▶│  task queue + worker pool  │
+//!                         └─────┬───────────────┬──────┘
+//!             Intake(round)     │               │    Deliver(gid)
+//!        verify proofs, inject  │               │  drain mailbox, step actor
+//!                               ▼               ▼
+//!   ┌─────────────┐   wire::encode   ┌──────────────────────────┐
+//!   │ orchestrator│ ───────────────▶ │ InMemoryNetwork mailboxes │
+//!   │  (node G)   │    envelopes     │  one per group id (0..G) │
+//!   └─────────────┘                  └──────┬───────────▲───────┘
+//!                                           │ drain     │ send
+//!                                           ▼           │
+//!                              ┌────────────────────────┴─┐
+//!                              │ GroupActor (per round×gid)│
+//!                              │  · buffers sub-batches    │
+//!                              │  · steps iteration i once │
+//!                              │    all inputs arrived     │
+//!                              │  · per-group RNG stream   │
+//!                              │  · virtual-clock tracking │
+//!                              └──────────┬────────────────┘
+//!                                         │ Exit outputs
+//!                                         ▼
+//!                       finish_{nizk,trap}_round → RoundReport
+//! ```
+//!
+//! **Pipeline stages.** A round flows through: submission intake (proof
+//! verification, batching) → iteration 0 → … → iteration T−1 (exit layer) →
+//! exit phase (trap checking / decryption). Every stage is a queue task, so
+//! the pool interleaves: group 3 of round 0 can run iteration 4 while group
+//! 1 is still on iteration 2, and round 1's intake verifies proofs while
+//! round 0 mixes. The per-iteration barrier of the sequential driver exists
+//! nowhere; a group only waits for *its own* inbound sub-batches.
+//!
+//! **Determinism.** All round randomness derives from `RoundJob::seed`;
+//! each group actor owns the stream `group_stream_seed(master, round, gid)`
+//! and batch assembly orders inbound sub-batches by sender id, so scheduling
+//! cannot influence output bytes. For equal seeds the engine is
+//! byte-equivalent to [`atom_core::round::RoundDriver`] — asserted by the
+//! `runtime_equivalence` integration suite.
+//!
+//! **Accounting.** Sent-side traffic is metered by the transport as
+//! envelopes leave a group; the engine reports per-round message and byte
+//! counts. Latency is tracked on two models: the barrier model
+//! (`RoundTimings::end_to_end`, matching the sequential driver and
+//! Fig. 9–11) and the pipelined model (the virtual-clock time of the latest
+//! group exit), whose gap quantifies what the barrier costs.
+//!
+//! ## Example
+//!
+//! ```
+//! use atom_runtime::{Engine, RoundJob, RoundSubmissions};
+//! use atom_core::config::AtomConfig;
+//! use atom_core::directory::setup_round;
+//! use atom_core::message::make_trap_submission;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut config = AtomConfig::test_default();
+//! config.message_len = 24;
+//! let setup = setup_round(&config, &mut rng).unwrap();
+//! let submissions: Vec<_> = ["hello", "world"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, msg)| {
+//!         let gid = i % config.num_groups;
+//!         make_trap_submission(
+//!             gid,
+//!             &setup.groups[gid].public_key,
+//!             &setup.trustees.public_key,
+//!             config.round,
+//!             msg.as_bytes(),
+//!             config.message_len,
+//!             &mut rng,
+//!         )
+//!         .unwrap()
+//!         .0
+//!     })
+//!     .collect();
+//!
+//! let engine = Engine::with_workers(2);
+//! let report = engine
+//!     .run_round(RoundJob::new(setup, RoundSubmissions::Trap(submissions), 7))
+//!     .unwrap();
+//! assert_eq!(report.output.plaintexts.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod scenarios;
+pub mod wire;
+
+pub use engine::{
+    total_traffic, Engine, EngineOptions, RoundJob, RoundReport, RoundSubmissions, MIX_LABEL,
+};
+pub use scenarios::{ScenarioOptions, ScenarioReport};

@@ -1,0 +1,416 @@
+//! Workload scenarios driving the engine end to end.
+//!
+//! Each scenario builds a deployment, generates submissions, runs the
+//! parallel engine and verifies delivery, returning a [`ScenarioReport`]
+//! that tests, examples and the throughput harness consume. Covered shapes:
+//!
+//! * [`microblog`] — multi-round anonymous microblogging (§5.1) with all
+//!   rounds in flight at once.
+//! * [`dialing`] — Vuvuzela-style dialing (§5.2): sealed caller keys land in
+//!   per-recipient mailboxes.
+//! * [`server_churn`] — fault-tolerant groups lose a member mid-round and
+//!   finish anyway (§4.5).
+//! * [`stragglers`] — one slow group; pipelining keeps the other groups
+//!   productive and the report exposes barrier vs. pipelined latency.
+//! * [`defense_matrix`] — the same workload under both the NIZK and trap
+//!   variants.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_core::config::{AtomConfig, Defense};
+use atom_core::directory::setup_round;
+use atom_core::error::{AtomError, AtomResult};
+use atom_core::message::{make_nizk_submission, make_trap_submission};
+use atom_core::round::RoundDriver;
+use atom_net::LatencyModel;
+
+use atom_apps::dialing::{make_dial_submission, DialIdentity, Mailboxes};
+
+use crate::engine::{Engine, EngineOptions, RoundJob, RoundReport, RoundSubmissions};
+
+/// Common knobs for every scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioOptions {
+    /// Worker threads for the engine.
+    pub workers: usize,
+    /// Deterministic seed for deployment setup, submissions and mixing.
+    pub seed: u64,
+    /// Latency model for virtual-clock accounting.
+    pub latency: LatencyModel,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            seed: 7,
+            latency: LatencyModel::Zero,
+        }
+    }
+}
+
+/// What a scenario did and observed.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Messages submitted across all rounds.
+    pub submitted: usize,
+    /// Messages delivered across all rounds.
+    pub delivered: usize,
+    /// Largest per-round pipelined end-to-end latency.
+    pub pipelined_latency: Duration,
+    /// Largest per-round barrier-model end-to-end latency
+    /// (`RoundTimings::end_to_end`).
+    pub barrier_latency: Duration,
+    /// Total mixing traffic (messages) through the transport.
+    pub mix_messages: u64,
+    /// Total mixing traffic (bytes) through the transport.
+    pub mix_bytes: u64,
+}
+
+impl ScenarioReport {
+    fn from_reports(reports: &[RoundReport], submitted: usize) -> Self {
+        Self {
+            rounds: reports.len(),
+            submitted,
+            delivered: reports.iter().map(|r| r.output.plaintexts.len()).sum(),
+            pipelined_latency: reports
+                .iter()
+                .map(|r| r.pipelined_latency)
+                .max()
+                .unwrap_or_default(),
+            barrier_latency: reports
+                .iter()
+                .map(|r| r.output.timings.end_to_end())
+                .max()
+                .unwrap_or_default(),
+            mix_messages: reports.iter().map(|r| r.mix_messages).sum(),
+            mix_bytes: reports.iter().map(|r| r.mix_bytes).sum(),
+        }
+    }
+}
+
+fn small_config(defense: Defense, groups: usize, round: u64, seed: u64) -> AtomConfig {
+    let mut config = AtomConfig::test_default();
+    config.defense = defense;
+    config.num_groups = groups;
+    config.num_servers = (groups * 2).max(config.group_size);
+    config.iterations = 2;
+    config.message_len = 32;
+    config.round = round;
+    config.beacon_seed = seed ^ round;
+    config
+}
+
+fn engine(options: &ScenarioOptions) -> Engine {
+    let mut engine_options = EngineOptions::with_workers(options.workers);
+    engine_options.latency = options.latency;
+    Engine::new(engine_options)
+}
+
+fn collect(reports: Vec<AtomResult<RoundReport>>) -> AtomResult<Vec<RoundReport>> {
+    reports.into_iter().collect()
+}
+
+/// Decodes zero-padded plaintexts into strings for delivery checks.
+fn decode_texts(report: &RoundReport) -> Vec<String> {
+    let mut texts: Vec<String> = report
+        .output
+        .plaintexts
+        .iter()
+        .map(|p| String::from_utf8_lossy(p.split(|&b| b == 0).next().unwrap_or(&[])).into_owned())
+        .collect();
+    texts.sort();
+    texts
+}
+
+/// Multi-round anonymous microblogging: `rounds` rounds of `posts_per_round`
+/// fixed-length posts each, all rounds in flight at once. Fails if any round
+/// aborts or any post is lost.
+pub fn microblog(
+    groups: usize,
+    posts_per_round: usize,
+    rounds: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut jobs = Vec::with_capacity(rounds);
+    let mut expected = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let config = small_config(Defense::Trap, groups, round as u64, options.seed);
+        let setup = setup_round(&config, &mut rng)?;
+        let posts: Vec<String> = (0..posts_per_round)
+            .map(|i| format!("r{round} post {i}"))
+            .collect();
+        let submissions = posts
+            .iter()
+            .enumerate()
+            .map(|(i, post)| {
+                make_trap_submission(
+                    i % groups,
+                    &setup.groups[i % groups].public_key,
+                    &setup.trustees.public_key,
+                    config.round,
+                    post.as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .map(|(submission, _)| submission)
+            })
+            .collect::<AtomResult<Vec<_>>>()?;
+        jobs.push(RoundJob::new(
+            setup,
+            RoundSubmissions::Trap(submissions),
+            options.seed.wrapping_add(round as u64),
+        ));
+        let mut posts_sorted = posts;
+        posts_sorted.sort();
+        expected.push(posts_sorted);
+    }
+
+    let reports = collect(engine(options).run_rounds(jobs))?;
+    for (report, want) in reports.iter().zip(&expected) {
+        let got = decode_texts(report);
+        if &got != want {
+            return Err(AtomError::Malformed(format!(
+                "microblog round lost posts: got {got:?}, want {want:?}"
+            )));
+        }
+    }
+    Ok(ScenarioReport::from_reports(
+        &reports,
+        posts_per_round * rounds,
+    ))
+}
+
+/// Dialing: `callers` users dial distinct callees through one trap round;
+/// every sealed caller key must land in the callee's mailbox.
+pub fn dialing(
+    groups: usize,
+    callers: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut config = small_config(Defense::Trap, groups, 0, options.seed);
+    // Room for `mailbox (2B) ‖ sealed key (32B KEM + 16B tag + 32B key)`.
+    config.message_len = 96;
+    let setup = setup_round(&config, &mut rng)?;
+    // The submission builder wants a driver for setup access; the round
+    // itself runs on the engine.
+    let driver = RoundDriver::new(setup.clone());
+    let mailboxes = (callers * 4).max(8);
+
+    let mut pairs = Vec::with_capacity(callers);
+    let mut submissions = Vec::with_capacity(callers);
+    for i in 0..callers {
+        let caller = DialIdentity::generate(&mut rng);
+        let callee = DialIdentity::generate(&mut rng);
+        submissions.push(make_dial_submission(
+            &driver,
+            &caller,
+            &callee.keys.public,
+            mailboxes,
+            i % groups,
+            &mut rng,
+        )?);
+        pairs.push((caller, callee));
+    }
+
+    let report = engine(options).run_round(RoundJob::new(
+        setup,
+        RoundSubmissions::Trap(submissions),
+        options.seed,
+    ))?;
+
+    let boxes = Mailboxes::from_round(&report.output, mailboxes);
+    for (caller, callee) in &pairs {
+        let sealed = boxes.check_mailbox(callee);
+        if !sealed.contains(&caller.keys.public) {
+            return Err(AtomError::Malformed(
+                "a dial request missed its mailbox".into(),
+            ));
+        }
+    }
+    Ok(ScenarioReport::from_reports(
+        std::slice::from_ref(&report),
+        callers,
+    ))
+}
+
+/// Server churn mid-round: fault-tolerant groups (`h = 2`) lose one member
+/// while mixing is underway and the round still delivers everything.
+pub fn server_churn(
+    groups: usize,
+    messages: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut config = small_config(Defense::Trap, groups, 0, options.seed);
+    config.required_honest = 2; // tolerate one failure per group
+    let setup = setup_round(&config, &mut rng)?;
+    let texts: Vec<String> = (0..messages).map(|i| format!("churn {i}")).collect();
+    let submissions = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            make_trap_submission(
+                i % groups,
+                &setup.groups[i % groups].public_key,
+                &setup.trustees.public_key,
+                config.round,
+                text.as_bytes(),
+                config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    // A member of group 0 dies between iterations 0 and 1.
+    let victim = setup.groups[0].members[0];
+    let mut job = RoundJob::new(setup, RoundSubmissions::Trap(submissions), options.seed);
+    job.churn = vec![(1, victim)];
+
+    let report = engine(options).run_round(job)?;
+    let got = decode_texts(&report);
+    let mut want = texts;
+    want.sort();
+    if got != want {
+        return Err(AtomError::Malformed(format!(
+            "churn round lost messages: got {got:?}, want {want:?}"
+        )));
+    }
+    Ok(ScenarioReport::from_reports(
+        std::slice::from_ref(&report),
+        messages,
+    ))
+}
+
+/// One group is `delay` slower per iteration than the rest. Delivery must
+/// be unaffected; the report's pipelined latency shows the straggler's cost
+/// without a per-iteration barrier.
+pub fn stragglers(
+    groups: usize,
+    messages: usize,
+    delay: Duration,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let config = small_config(Defense::Trap, groups, 0, options.seed);
+    let setup = setup_round(&config, &mut rng)?;
+    let texts: Vec<String> = (0..messages).map(|i| format!("slow {i}")).collect();
+    let submissions = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            make_trap_submission(
+                i % groups,
+                &setup.groups[i % groups].public_key,
+                &setup.trustees.public_key,
+                config.round,
+                text.as_bytes(),
+                config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    let mut engine_options = EngineOptions::with_workers(options.workers);
+    engine_options.latency = options.latency;
+    engine_options.stragglers = vec![(0, delay)];
+    let report = Engine::new(engine_options).run_round(RoundJob::new(
+        setup,
+        RoundSubmissions::Trap(submissions),
+        options.seed,
+    ))?;
+
+    let got = decode_texts(&report);
+    let mut want = texts;
+    want.sort();
+    if got != want {
+        return Err(AtomError::Malformed("straggler round lost messages".into()));
+    }
+    Ok(ScenarioReport::from_reports(
+        std::slice::from_ref(&report),
+        messages,
+    ))
+}
+
+/// The same workload under both defences. Returns `(nizk, trap)` reports;
+/// both must deliver everything.
+pub fn defense_matrix(
+    groups: usize,
+    messages: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<(ScenarioReport, ScenarioReport)> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // NIZK round.
+    let nizk_config = small_config(Defense::Nizk, groups, 0, options.seed);
+    let nizk_setup = setup_round(&nizk_config, &mut rng)?;
+    let nizk_submissions = (0..messages)
+        .map(|i| {
+            make_nizk_submission(
+                i % groups,
+                &nizk_setup.groups[i % groups].public_key,
+                format!("both {i}").as_bytes(),
+                nizk_config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    // Trap round over the same texts.
+    let trap_config = small_config(Defense::Trap, groups, 1, options.seed);
+    let trap_setup = setup_round(&trap_config, &mut rng)?;
+    let trap_submissions = (0..messages)
+        .map(|i| {
+            make_trap_submission(
+                i % groups,
+                &trap_setup.groups[i % groups].public_key,
+                &trap_setup.trustees.public_key,
+                trap_config.round,
+                format!("both {i}").as_bytes(),
+                trap_config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    let reports = collect(engine(options).run_rounds(vec![
+        RoundJob::new(
+            nizk_setup,
+            RoundSubmissions::Nizk(nizk_submissions),
+            options.seed,
+        ),
+        RoundJob::new(
+            trap_setup,
+            RoundSubmissions::Trap(trap_submissions),
+            options.seed + 1,
+        ),
+    ]))?;
+
+    let mut want: Vec<String> = (0..messages).map(|i| format!("both {i}")).collect();
+    want.sort();
+    for report in &reports {
+        if decode_texts(report) != want {
+            return Err(AtomError::Malformed(
+                "a defence variant lost messages".into(),
+            ));
+        }
+    }
+    let mut iter = reports.into_iter();
+    let nizk = iter.next().expect("nizk report");
+    let trap = iter.next().expect("trap report");
+    Ok((
+        ScenarioReport::from_reports(std::slice::from_ref(&nizk), messages),
+        ScenarioReport::from_reports(std::slice::from_ref(&trap), messages),
+    ))
+}

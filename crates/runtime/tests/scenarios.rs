@@ -1,0 +1,53 @@
+//! Scenario-harness integration tests: diverse workloads through the
+//! parallel engine.
+
+use std::time::Duration;
+
+use atom_runtime::scenarios::{self, ScenarioOptions};
+
+fn options(seed: u64) -> ScenarioOptions {
+    ScenarioOptions {
+        workers: 3,
+        seed,
+        ..ScenarioOptions::default()
+    }
+}
+
+#[test]
+fn microblog_rounds_pipeline_and_deliver() {
+    let report = scenarios::microblog(3, 4, 3, &options(11)).unwrap();
+    assert_eq!(report.rounds, 3);
+    assert_eq!(report.submitted, 12);
+    assert_eq!(report.delivered, 12);
+    assert!(report.mix_messages > 0);
+}
+
+#[test]
+fn dialing_requests_reach_their_mailboxes() {
+    let report = scenarios::dialing(2, 4, &options(13)).unwrap();
+    assert_eq!(report.rounds, 1);
+    assert_eq!(report.delivered, 4);
+}
+
+#[test]
+fn server_churn_mid_round_is_survivable() {
+    let report = scenarios::server_churn(2, 4, &options(17)).unwrap();
+    assert_eq!(report.delivered, 4);
+}
+
+#[test]
+fn straggler_groups_do_not_stall_the_round() {
+    let report = scenarios::stragglers(3, 4, Duration::from_millis(25), &options(19)).unwrap();
+    assert_eq!(report.delivered, 4);
+    // Two iterations of a 25 ms straggler are on the critical path.
+    assert!(report.pipelined_latency >= Duration::from_millis(50));
+}
+
+#[test]
+fn both_defense_variants_deliver_the_same_workload() {
+    let (nizk, trap) = scenarios::defense_matrix(2, 3, &options(23)).unwrap();
+    assert_eq!(nizk.delivered, 3);
+    assert_eq!(trap.delivered, 3);
+    // The trap variant routes two ciphertexts per message.
+    assert!(trap.mix_bytes > nizk.mix_bytes / 2);
+}

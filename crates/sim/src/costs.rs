@@ -12,9 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use atom_crypto::elgamal::{
-    encrypt, encrypt_message, reencrypt, shuffle, KeyPair,
-};
+use atom_crypto::elgamal::{encrypt, encrypt_message, reencrypt, shuffle, KeyPair};
 use atom_crypto::encoding::encode_message;
 use atom_crypto::nizk::enc::{prove_encryption, verify_encryption};
 use atom_crypto::nizk::reenc::{prove_reencryption, verify_reencryption, ReEncStatement};

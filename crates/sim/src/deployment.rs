@@ -125,10 +125,9 @@ impl RoundEstimate {
 /// Average number of cores and bandwidth across the heterogeneous fleet.
 fn fleet_averages(num_servers: usize) -> (f64, f64) {
     let classes: Vec<ServerClass> = assign_server_classes(num_servers, &paper_server_mix(), 17);
-    let cores: f64 =
-        classes.iter().map(|c| c.cores as f64).sum::<f64>() / num_servers as f64;
-    let bandwidth: f64 = classes.iter().map(|c| c.bandwidth_mbps as f64).sum::<f64>()
-        / num_servers as f64;
+    let cores: f64 = classes.iter().map(|c| c.cores as f64).sum::<f64>() / num_servers as f64;
+    let bandwidth: f64 =
+        classes.iter().map(|c| c.bandwidth_mbps as f64).sum::<f64>() / num_servers as f64;
     (cores, bandwidth)
 }
 
@@ -174,9 +173,8 @@ pub fn estimate_round(spec: &DeploymentSpec, costs: &PrimitiveCosts) -> RoundEst
     // --- Large-scale overheads (Fig. 11). ---
     // Each group maintains connections to every group of the next layer:
     // G connections per group per iteration, set up/managed serially.
-    let connection_seconds = spec.iterations as f64
-        * spec.num_groups as f64
-        * spec.connection_setup;
+    let connection_seconds =
+        spec.iterations as f64 * spec.num_groups as f64 * spec.connection_setup;
     // The single trustee group receives one report per server per round and
     // hands out key shares; this serializes at the trustees.
     let trustee_seconds =
@@ -203,15 +201,21 @@ mod tests {
     fn latency_is_linear_in_messages() {
         let costs = PrimitiveCosts::paper_table3();
         let one = estimate_round(&DeploymentSpec::paper_microblogging(1024, 500_000), &costs);
-        let two = estimate_round(&DeploymentSpec::paper_microblogging(1024, 1_000_000), &costs);
-        let four = estimate_round(&DeploymentSpec::paper_microblogging(1024, 2_000_000), &costs);
+        let two = estimate_round(
+            &DeploymentSpec::paper_microblogging(1024, 1_000_000),
+            &costs,
+        );
+        let four = estimate_round(
+            &DeploymentSpec::paper_microblogging(1024, 2_000_000),
+            &costs,
+        );
         assert!(two.compute_seconds > one.compute_seconds);
         assert!(four.compute_seconds > 1.8 * two.compute_seconds);
         assert!(four.compute_seconds < 2.2 * two.compute_seconds);
     }
 
     #[test]
-    fn speedup_is_roughly_linear_up_to_1024_servers(){
+    fn speedup_is_roughly_linear_up_to_1024_servers() {
         // Fig. 10: doubling the servers roughly halves the latency.
         let costs = PrimitiveCosts::paper_table3();
         let base = DeploymentSpec::paper_microblogging(128, 1_000_000);

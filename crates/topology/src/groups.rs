@@ -56,7 +56,10 @@ fn ln_binomial(n: u64, k: u64) -> f64 {
 /// probability `f`:
 /// `Σ_{i=0}^{h−1} C(k, i) · (1−f)^i · f^(k−i)`.
 pub fn log2_group_failure_probability(k: usize, f: f64, h: usize) -> f64 {
-    assert!((0.0..1.0).contains(&f), "adversarial fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&f),
+        "adversarial fraction must be in [0,1)"
+    );
     if h == 0 {
         return f64::NEG_INFINITY;
     }
@@ -277,7 +280,10 @@ mod tests {
             let mut distinct = load.positions.clone();
             distinct.sort_unstable();
             distinct.dedup();
-            assert!(distinct.len() > 8, "positions too concentrated: {distinct:?}");
+            assert!(
+                distinct.len() > 8,
+                "positions too concentrated: {distinct:?}"
+            );
         }
     }
 

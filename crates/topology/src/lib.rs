@@ -17,8 +17,6 @@ pub mod groups;
 pub mod mixing;
 pub mod network;
 
-pub use groups::{
-    assign_buddies, form_groups, required_group_size, Group, GroupSecurityParams,
-};
+pub use groups::{assign_buddies, form_groups, required_group_size, Group, GroupSecurityParams};
 pub use mixing::{outcome_permutation, simulate_mixing, MixOutcome};
 pub use network::{ButterflyNetwork, SquareNetwork, Topology};

@@ -182,7 +182,7 @@ mod tests {
         let assignment = round_robin_assignment(messages, 8);
         let outcome = simulate_mixing(&topology, &assignment, 7);
 
-        let mut exit_groups_of_entry0 = vec![0usize; 8];
+        let mut exit_groups_of_entry0 = [0usize; 8];
         for (message, &entry) in assignment.iter().enumerate() {
             if entry == 0 {
                 exit_groups_of_entry0[outcome.exits[message].group] += 1;

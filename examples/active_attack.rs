@@ -57,7 +57,10 @@ fn main() {
     }
     // The users were honest, so the blame protocol clears them all.
     let blames = identify_malicious_users(driver.setup(), &submissions).unwrap();
-    println!("[trap variant] blame protocol flags {} user(s) (expected 0)", blames.len());
+    println!(
+        "[trap variant] blame protocol flags {} user(s) (expected 0)",
+        blames.len()
+    );
 
     // --- NIZK variant: the cheating server is identified on the spot. ---
     let mut config = AtomConfig::test_default();
@@ -81,7 +84,11 @@ fn main() {
         })
         .collect();
     match driver.run_nizk_round(&submissions, &mut rng) {
-        Err(AtomError::ProtocolViolation { group, member, reason }) => {
+        Err(AtomError::ProtocolViolation {
+            group,
+            member,
+            reason,
+        }) => {
             println!("[nizk variant] caught cheating server: group {group}, member {member:?}");
             println!("[nizk variant] reason: {reason}");
         }

@@ -46,11 +46,12 @@ fn main() {
     // (the paper uses mu = 13,000 per trustee; scaled down here).
     let dummies = dummy_count(6.0, 2.0, &mut rng);
     println!("adding {dummies} dummy dial requests for cover");
-    submissions.extend(
-        make_dummy_submissions(&driver, mailboxes, dummies, &mut rng).expect("dummies"),
-    );
+    submissions
+        .extend(make_dummy_submissions(&driver, mailboxes, dummies, &mut rng).expect("dummies"));
 
-    let output = driver.run_trap_round(&submissions, &mut rng).expect("round");
+    let output = driver
+        .run_trap_round(&submissions, &mut rng)
+        .expect("round");
     let boxes = Mailboxes::from_round(&output, mailboxes);
     println!(
         "round complete: {} requests distributed over {} mailboxes",
@@ -59,7 +60,10 @@ fn main() {
     );
 
     let callers = boxes.check_mailbox(&bob);
-    println!("Bob downloads his mailbox and recognizes {} caller(s):", callers.len());
+    println!(
+        "Bob downloads his mailbox and recognizes {} caller(s):",
+        callers.len()
+    );
     for caller in &callers {
         let who = if *caller == alice.keys.public {
             "Alice"
@@ -71,5 +75,8 @@ fn main() {
         println!("  - {who}");
     }
     let alices = boxes.check_mailbox(&alice);
-    println!("Alice recognizes {} caller(s) (Bob dialing back)", alices.len());
+    println!(
+        "Alice recognizes {} caller(s) (Bob dialing back)",
+        alices.len()
+    );
 }

@@ -63,8 +63,13 @@ fn main() {
             .0
         })
         .collect();
-    let output = driver.run_trap_round(&submissions, &mut rng).expect("round survives");
-    println!("round completed despite the failure: {} messages delivered", output.plaintexts.len());
+    let output = driver
+        .run_trap_round(&submissions, &mut rng)
+        .expect("round survives");
+    println!(
+        "round completed despite the failure: {} messages delivered",
+        output.plaintexts.len()
+    );
 
     // Catastrophe: group 0 loses two servers (more than it tolerates).
     let group = &driver.setup().groups[0];
@@ -79,5 +84,8 @@ fn main() {
         &recovered.members[..2],
         recovered.public_key == group.public_key
     );
-    println!("recovered group can participate again: {:?}", recovered.participating(&[]).is_ok());
+    println!(
+        "recovered group can participate again: {:?}",
+        recovered.participating(&[]).is_ok()
+    );
 }

@@ -46,7 +46,10 @@ fn main() {
         println!("[exit group {}] {}", post.published_by, post.text);
     }
 
-    println!("\nsearch for \"publish\": {} hit(s)", board.search("publish").len());
+    println!(
+        "\nsearch for \"publish\": {} hit(s)",
+        board.search("publish").len()
+    );
     println!(
         "round stats: {} ciphertexts routed, compute {:.2?}, network (simulated) {:.2?}",
         output.routed_ciphertexts,

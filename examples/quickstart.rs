@@ -21,7 +21,10 @@ fn main() {
     config.message_len = 32;
     config.num_groups = 4;
     config.iterations = 3;
-    println!("setting up {} groups of {} servers ...", config.num_groups, config.group_size);
+    println!(
+        "setting up {} groups of {} servers ...",
+        config.num_groups, config.group_size
+    );
     let setup = setup_round(&config, &mut rng).expect("round setup");
     let driver = RoundDriver::new(setup);
 
@@ -55,12 +58,18 @@ fn main() {
         })
         .collect();
 
-    println!("routing {} ciphertexts (messages + traps) ...", 2 * submissions.len());
+    println!(
+        "routing {} ciphertexts (messages + traps) ...",
+        2 * submissions.len()
+    );
     let output = driver
         .run_trap_round(&submissions, &mut rng)
         .expect("round should complete");
 
-    println!("\nanonymized output ({} messages):", output.plaintexts.len());
+    println!(
+        "\nanonymized output ({} messages):",
+        output.plaintexts.len()
+    );
     for (group, messages) in output.per_group.iter().enumerate() {
         for message in messages {
             let text: String = message

@@ -14,6 +14,8 @@
 //! * [`net`] — the in-process transport substrate and latency models.
 //! * [`core`] — the Atom protocol: clients, groups, rounds, trustees,
 //!   fault tolerance and blame.
+//! * [`runtime`] — the parallel group-actor execution engine with
+//!   barrier-free pipelined mixing and multi-round execution.
 //! * [`apps`] — microblogging and dialing built on the public API.
 //! * [`baselines`] — simplified Riposte and Vuvuzela/Alpenhorn comparators.
 //! * [`sim`] — the calibrated large-scale deployment simulator.
@@ -29,6 +31,7 @@ pub use atom_baselines as baselines;
 pub use atom_core as core;
 pub use atom_crypto as crypto;
 pub use atom_net as net;
+pub use atom_runtime as runtime;
 pub use atom_sim as sim;
 pub use atom_topology as topology;
 

@@ -28,7 +28,9 @@ fn trap_round_with_many_users_delivers_every_message() {
     let setup = setup_round(&config, &mut rng).unwrap();
     let driver = RoundDriver::new(setup);
 
-    let messages: Vec<String> = (0..24).map(|i| format!("integration message {i:02}")).collect();
+    let messages: Vec<String> = (0..24)
+        .map(|i| format!("integration message {i:02}"))
+        .collect();
     let submissions: Vec<_> = messages
         .iter()
         .enumerate()
@@ -73,7 +75,13 @@ fn microblogging_app_works_over_both_defenses_and_topologies() {
             config.topology = topology;
             let setup = setup_round(&config, &mut rng).unwrap();
             let driver = RoundDriver::new(setup);
-            let posts = ["post one", "post two", "post three", "post four", "post five"];
+            let posts = [
+                "post one",
+                "post two",
+                "post three",
+                "post four",
+                "post five",
+            ];
             let (board, _) = run_microblog_round(&driver, &posts, &mut rng).unwrap();
             assert_eq!(board.len(), posts.len(), "{defense:?}/{topology:?}");
             let mut texts: Vec<&str> = board.posts.iter().map(|p| p.text.as_str()).collect();
@@ -110,7 +118,10 @@ fn latency_model_contributes_to_end_to_end_estimate() {
     let output = driver.run_trap_round(&submissions, &mut rng).unwrap();
     // Two non-exit iterations of 40-160 ms hops each.
     let network = output.timings.network_critical_path;
-    assert!(network >= std::time::Duration::from_millis(80), "{network:?}");
+    assert!(
+        network >= std::time::Duration::from_millis(80),
+        "{network:?}"
+    );
     assert!(output.timings.end_to_end() > network);
 }
 

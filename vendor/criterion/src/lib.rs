@@ -1,0 +1,281 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with `iter`/`iter_batched`,
+//! [`BenchmarkId`], [`BatchSize`] and the `criterion_group!`/
+//! `criterion_main!` macros — as a simple wall-clock runner: each benchmark
+//! is warmed up once, timed over a fixed number of samples, and reported as
+//! mean time per iteration on stdout. No statistics, plotting or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted and ignored; every
+/// batch is of size one in this runner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            total: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up run.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup time is
+    /// not counted).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iterations == 0 {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mean = self.total / self.iterations as u32;
+        println!("{id:<40} {mean:>12.2?}/iter ({} samples)", self.iterations);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.samples = samples.max(1);
+        self
+    }
+
+    /// Accepted and ignored (this runner has no statistical warm-up phase).
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (sampling is bounded by `sample_size` alone).
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line-style configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = id.to_string();
+        self.run_one(&full, f);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// Declares a group of benchmark functions (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { samples: 3 };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion { samples: 2 };
+        let mut setups = 0u32;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::new("b", 1), &5u32, |b, &five| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        five
+                    },
+                    |v| v * 2,
+                    BatchSize::LargeInput,
+                )
+            });
+        group.finish();
+        assert_eq!(setups, 3); // warm-up + 2 samples
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixed group constants (mirror of `curve25519_dalek::constants`).
+
+use crate::field::U256;
+use crate::ristretto::{RistrettoBasepointTable, RistrettoPoint};
+
+/// The basepoint: the residue `4 = 2²`, a quadratic residue generating the
+/// whole prime-order group.
+pub const RISTRETTO_BASEPOINT_POINT: RistrettoPoint = RistrettoPoint(U256([4, 0, 0, 0]));
+
+/// The "precomputed" basepoint table (scalar multiplication against the
+/// fixed basepoint).
+pub static RISTRETTO_BASEPOINT_TABLE: &RistrettoBasepointTable = &RistrettoBasepointTable {
+    point: RISTRETTO_BASEPOINT_POINT,
+};

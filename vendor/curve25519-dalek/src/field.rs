@@ -1,0 +1,328 @@
+//! 256-bit modular arithmetic for moduli of the form `2^k − c` (small `c`).
+//!
+//! Both moduli used by this crate — the group prime `p = 2^255 − 46545` and
+//! the scalar prime `q = 2^254 − 23273` — admit fast reduction because
+//! `2^256 mod m` is a small constant (`FOLD`): a 512-bit product folds down
+//! with two multiply-accumulate passes and at most a few conditional
+//! subtractions.
+
+/// A 256-bit unsigned integer in four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds a value from a `u64`.
+    pub const fn from_u64(v: u64) -> U256 {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Builds a value from a `u128`.
+    pub const fn from_u128(v: u128) -> U256 {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Parses canonical little-endian bytes.
+    pub fn from_le_bytes(bytes: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        U256(limbs)
+    }
+
+    /// Canonical little-endian byte representation.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        let mut bytes = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// `self >= other` as integers.
+    pub fn geq(&self, other: &U256) -> bool {
+        for i in (0..4).rev() {
+            if self.0[i] != other.0[i] {
+                return self.0[i] > other.0[i];
+            }
+        }
+        true
+    }
+
+    /// Full addition with carry-out.
+    pub fn add_carry(&self, other: &U256) -> (U256, bool) {
+        let mut limbs = [0u64; 4];
+        let mut carry = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let sum = self.0[i] as u128 + other.0[i] as u128 + carry as u128;
+            *limb = sum as u64;
+            carry = (sum >> 64) as u64;
+        }
+        (U256(limbs), carry != 0)
+    }
+
+    /// Full subtraction with borrow-out.
+    pub fn sub_borrow(&self, other: &U256) -> (U256, bool) {
+        let mut limbs = [0u64; 4];
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 || b2) as u64;
+        }
+        (U256(limbs), borrow != 0)
+    }
+
+    /// Adds a small value with carry-out.
+    pub fn add_small(&self, v: u64) -> (U256, bool) {
+        self.add_carry(&U256::from_u64(v))
+    }
+
+    /// The bit at position `i` (little-endian).
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+/// A prime modulus `m` with `2^256 ≡ fold (mod m)` for a small `fold`.
+#[derive(Clone, Copy, Debug)]
+pub struct Modulus {
+    /// The modulus.
+    pub modulus: U256,
+    /// `2^256 mod modulus` (fits far below one limb).
+    pub fold: u64,
+}
+
+impl Modulus {
+    /// Creates a modulus descriptor.
+    pub const fn new(modulus: U256, fold: u64) -> Self {
+        Self { modulus, fold }
+    }
+
+    /// Reduces a value below `2^256` into canonical `[0, m)` form.
+    fn canonical(&self, mut v: U256) -> U256 {
+        // v < 2^256 < 4m for both moduli, so a handful of subtractions
+        // suffice.
+        while v.geq(&self.modulus) {
+            v = v.sub_borrow(&self.modulus).0;
+        }
+        v
+    }
+
+    /// `a + b mod m` for canonical inputs.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (mut sum, carry) = a.add_carry(b);
+        if carry {
+            let (folded, again) = sum.add_small(self.fold);
+            debug_assert!(!again);
+            sum = folded;
+        }
+        self.canonical(sum)
+    }
+
+    /// `a − b mod m` for canonical inputs.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (diff, borrow) = a.sub_borrow(b);
+        if borrow {
+            diff.add_carry(&self.modulus).0
+        } else {
+            diff
+        }
+    }
+
+    /// `−a mod m` for canonical input.
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.modulus.sub_borrow(a).0
+        }
+    }
+
+    /// `a · b mod m` for canonical inputs.
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        // Schoolbook 4×4 → 8-limb product.
+        let mut w = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let t = w[i + j] as u128 + a.0[i] as u128 * b.0[j] as u128 + carry;
+                w[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            w[i + 4] = carry as u64;
+        }
+        self.reduce_wide(&w)
+    }
+
+    /// Reduces an arbitrary 512-bit value (eight little-endian limbs).
+    pub fn reduce_wide(&self, w: &[u64; 8]) -> U256 {
+        // Pass 1: value = lo + hi · fold (2^256 ≡ fold).
+        let mut t = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let v = w[i] as u128 + w[i + 4] as u128 * self.fold as u128 + carry;
+            t[i] = v as u64;
+            carry = v >> 64;
+        }
+        t[4] = carry as u64;
+
+        // Pass 2: fold the (tiny) fifth limb back in. t[4] · fold stays far
+        // below 2^64 because both factors are below 2^20.
+        let (mut r, carry) = U256([t[0], t[1], t[2], t[3]]).add_small(t[4] * self.fold);
+        if carry {
+            let (folded, again) = r.add_small(self.fold);
+            debug_assert!(!again);
+            r = folded;
+        }
+        self.canonical(r)
+    }
+
+    /// Reduces 64 little-endian bytes (a 512-bit value) modulo `m`.
+    pub fn reduce_bytes_wide(&self, bytes: &[u8; 64]) -> U256 {
+        let mut w = [0u64; 8];
+        for (i, limb) in w.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        self.reduce_wide(&w)
+    }
+
+    /// `base^exp mod m` by square-and-multiply.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        let mut acc = U256::ONE;
+        let mut started = false;
+        for i in (0..256).rev() {
+            if started {
+                acc = self.mul(&acc, &acc);
+            }
+            if exp.bit(i) {
+                if started {
+                    acc = self.mul(&acc, base);
+                } else {
+                    acc = *base;
+                    started = true;
+                }
+            }
+        }
+        if started {
+            acc
+        } else {
+            U256::ONE
+        }
+    }
+
+    /// `a^(−1) mod m` via Fermat (requires `m` prime, `a ≠ 0`).
+    pub fn inv(&self, a: &U256) -> U256 {
+        let exp = self.modulus.sub_borrow(&U256::from_u64(2)).0;
+        self.pow(a, &exp)
+    }
+}
+
+/// The group prime `p = 2^255 − 46545`.
+pub const P: Modulus = Modulus::new(
+    U256([
+        0xffff_ffff_ffff_4a2f,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x7fff_ffff_ffff_ffff,
+    ]),
+    2 * 46545,
+);
+
+/// The scalar prime `q = (p − 1) / 2 = 2^254 − 23273`.
+pub const Q: Modulus = Modulus::new(
+    U256([
+        0xffff_ffff_ffff_a517,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x3fff_ffff_ffff_ffff,
+    ]),
+    4 * 23273,
+);
+
+/// True iff `v` is a non-zero quadratic residue modulo `p` (Euler's
+/// criterion: `v^((p−1)/2) = 1`).
+pub fn is_group_element(v: &U256) -> bool {
+    if v.is_zero() || !P.modulus.geq(v) || *v == P.modulus {
+        return false;
+    }
+    P.pow(v, &Q.modulus) == U256::ONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256([u64::MAX, 5, 0, 1]);
+        let b = U256([7, 0, u64::MAX, 0]);
+        let sum = P.add(&a, &b);
+        assert_eq!(P.sub(&sum, &b), a);
+        assert_eq!(P.sub(&sum, &a), b);
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        let a = U256::from_u64(1 << 40);
+        let b = U256::from_u64(1 << 30);
+        assert_eq!(P.mul(&a, &b), U256::from_u128(1u128 << 70));
+    }
+
+    #[test]
+    fn fold_constant_is_correct() {
+        // 2^255 ≡ 46545 (mod p): compute 2^255 via repeated doubling.
+        let mut v = U256::ONE;
+        for _ in 0..255 {
+            v = P.add(&v, &v);
+        }
+        assert_eq!(v, U256::from_u64(46545));
+        // And mod q: 2^254 ≡ 23273.
+        let mut v = U256::ONE;
+        for _ in 0..254 {
+            v = Q.add(&v, &v);
+        }
+        assert_eq!(v, U256::from_u64(23273));
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let a = U256([12345, 678, 9, 0]);
+        let inv = P.inv(&a);
+        assert_eq!(P.mul(&a, &inv), U256::ONE);
+        let inv_q = Q.inv(&a);
+        assert_eq!(Q.mul(&a, &inv_q), U256::ONE);
+    }
+
+    #[test]
+    fn squares_are_residues() {
+        for base in [2u64, 3, 5, 12345, 987654321] {
+            let v = U256::from_u64(base);
+            let sq = P.mul(&v, &v);
+            assert!(is_group_element(&sq), "{base}^2 must be a QR");
+        }
+        assert!(!is_group_element(&U256::ZERO));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let base = U256::from_u64(4);
+        let mut expected = U256::ONE;
+        for _ in 0..17 {
+            expected = P.mul(&expected, &base);
+        }
+        assert_eq!(P.pow(&base, &U256::from_u64(17)), expected);
+        assert_eq!(P.pow(&base, &U256::ZERO), U256::ONE);
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `curve25519-dalek`.
+//!
+//! This build environment has no crates.io access, so the real Ristretto255
+//! implementation cannot be fetched. This crate reimplements the API surface
+//! the workspace uses over a different prime-order group with the same
+//! abstract properties:
+//!
+//! * **Group**: the quadratic residues modulo the 255-bit safe prime
+//!   `p = 2^255 − 46545`, written additively to match the dalek API. The
+//!   group has prime order `q = (p − 1) / 2 = 2^254 − 23273`, so every
+//!   non-identity element is a generator and scalar arithmetic happens in
+//!   the field `Z_q` exactly as with Ristretto's `Z_ℓ`.
+//! * **Encoding**: an element is its canonical 32-byte little-endian
+//!   residue. `decompress` accepts a byte string iff it denotes a non-zero
+//!   quadratic residue below `p` — about half of all candidate strings —
+//!   matching Ristretto's property that a constant fraction of random
+//!   strings decode, which the message-embedding layer (`atom-crypto`'s
+//!   try-and-increment encoder) relies on. `compress ∘ decompress` is the
+//!   identity on valid encodings.
+//! * **Basepoint**: the residue `4 = 2²`.
+//!
+//! Discrete logs in a ~255-bit Schnorr group are within reach of
+//! well-resourced index-calculus attacks that the elliptic-curve group
+//! resists, so this stand-in weakens concrete security while preserving
+//! every algebraic identity (rerandomization, out-of-order re-encryption,
+//! homomorphic proof relations) that the Atom reproduction exercises.
+//! Swapping the real dalek crate back in requires no source changes.
+
+#![forbid(unsafe_code)]
+
+mod field;
+
+pub mod constants;
+pub mod ristretto;
+pub mod scalar;
+pub mod traits;
+
+pub use ristretto::RistrettoPoint;
+pub use scalar::Scalar;

@@ -1,0 +1,329 @@
+//! The group: quadratic residues modulo `p = 2^255 − 46545`, presented
+//! through the additive `RistrettoPoint` API.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use rand::{CryptoRng, RngCore};
+
+use crate::field::{is_group_element, P, U256};
+use crate::scalar::Scalar;
+use crate::traits::Identity;
+
+/// A group element (mirror of `curve25519_dalek::ristretto::RistrettoPoint`).
+///
+/// The additive notation of the API maps onto multiplicative arithmetic in
+/// the residue group: `A + B` is `a·b mod p`, `s * A` is `a^s mod p`, and the
+/// identity is the residue `1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RistrettoPoint(pub(crate) U256);
+
+/// The canonical 32-byte encoding of a group element (mirror of
+/// `CompressedRistretto`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct CompressedRistretto(pub [u8; 32]);
+
+impl CompressedRistretto {
+    /// The encoded bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// The encoded bytes, by value.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Decodes the bytes if they denote a valid group element: a non-zero
+    /// quadratic residue below `p`. About half of all 255-bit strings
+    /// qualify, the property the try-and-increment message embedding in
+    /// `atom-crypto` relies on.
+    pub fn decompress(&self) -> Option<RistrettoPoint> {
+        let v = U256::from_le_bytes(&self.0);
+        if is_group_element(&v) {
+            Some(RistrettoPoint(v))
+        } else {
+            None
+        }
+    }
+}
+
+impl RistrettoPoint {
+    /// The canonical encoding of this element.
+    pub fn compress(&self) -> CompressedRistretto {
+        CompressedRistretto(self.0.to_le_bytes())
+    }
+
+    /// A uniformly random group element.
+    pub fn random<R: RngCore + CryptoRng + ?Sized>(rng: &mut R) -> RistrettoPoint {
+        let mut wide = [0u8; 64];
+        rng.fill_bytes(&mut wide);
+        RistrettoPoint::from_uniform_bytes(&wide)
+    }
+
+    /// Maps 64 uniform bytes onto the group (stand-in for the double
+    /// Elligator map): reduce modulo `p` and square, which lands uniformly
+    /// on the quadratic residues.
+    pub fn from_uniform_bytes(bytes: &[u8; 64]) -> RistrettoPoint {
+        let x = P.reduce_bytes_wide(bytes);
+        if x.is_zero() {
+            // Probability 2^-255; map to the basepoint rather than the
+            // (invalid) zero residue.
+            return crate::constants::RISTRETTO_BASEPOINT_POINT;
+        }
+        RistrettoPoint(P.mul(&x, &x))
+    }
+
+    fn scalar_mul(&self, scalar: &Scalar) -> RistrettoPoint {
+        RistrettoPoint(P.pow(&self.0, &scalar.to_u256()))
+    }
+
+    fn group_inverse(&self) -> RistrettoPoint {
+        RistrettoPoint(P.inv(&self.0))
+    }
+}
+
+impl Identity for RistrettoPoint {
+    fn identity() -> RistrettoPoint {
+        RistrettoPoint(U256::ONE)
+    }
+}
+
+impl Default for RistrettoPoint {
+    fn default() -> Self {
+        <RistrettoPoint as Identity>::identity()
+    }
+}
+
+macro_rules! point_binop_variants {
+    ($trait:ident, $method:ident) => {
+        impl<'a> $trait<RistrettoPoint> for &'a RistrettoPoint {
+            type Output = RistrettoPoint;
+            fn $method(self, rhs: RistrettoPoint) -> RistrettoPoint {
+                self.$method(&rhs)
+            }
+        }
+        impl<'b> $trait<&'b RistrettoPoint> for RistrettoPoint {
+            type Output = RistrettoPoint;
+            fn $method(self, rhs: &'b RistrettoPoint) -> RistrettoPoint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<RistrettoPoint> for RistrettoPoint {
+            type Output = RistrettoPoint;
+            fn $method(self, rhs: RistrettoPoint) -> RistrettoPoint {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl<'b> Add<&'b RistrettoPoint> for &RistrettoPoint {
+    type Output = RistrettoPoint;
+    fn add(self, rhs: &'b RistrettoPoint) -> RistrettoPoint {
+        RistrettoPoint(P.mul(&self.0, &rhs.0))
+    }
+}
+point_binop_variants!(Add, add);
+
+impl<'b> Sub<&'b RistrettoPoint> for &RistrettoPoint {
+    type Output = RistrettoPoint;
+    fn sub(self, rhs: &'b RistrettoPoint) -> RistrettoPoint {
+        RistrettoPoint(P.mul(&self.0, &rhs.group_inverse().0))
+    }
+}
+point_binop_variants!(Sub, sub);
+
+impl AddAssign<RistrettoPoint> for RistrettoPoint {
+    fn add_assign(&mut self, rhs: RistrettoPoint) {
+        *self = *self + rhs;
+    }
+}
+impl<'a> AddAssign<&'a RistrettoPoint> for RistrettoPoint {
+    fn add_assign(&mut self, rhs: &'a RistrettoPoint) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign<RistrettoPoint> for RistrettoPoint {
+    fn sub_assign(&mut self, rhs: RistrettoPoint) {
+        *self = *self - rhs;
+    }
+}
+impl<'a> SubAssign<&'a RistrettoPoint> for RistrettoPoint {
+    fn sub_assign(&mut self, rhs: &'a RistrettoPoint) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for RistrettoPoint {
+    type Output = RistrettoPoint;
+    fn neg(self) -> RistrettoPoint {
+        self.group_inverse()
+    }
+}
+impl Neg for &RistrettoPoint {
+    type Output = RistrettoPoint;
+    fn neg(self) -> RistrettoPoint {
+        self.group_inverse()
+    }
+}
+
+impl Sum for RistrettoPoint {
+    fn sum<I: Iterator<Item = RistrettoPoint>>(iter: I) -> RistrettoPoint {
+        iter.fold(<RistrettoPoint as Identity>::identity(), |acc, x| acc + x)
+    }
+}
+impl<'a> Sum<&'a RistrettoPoint> for RistrettoPoint {
+    fn sum<I: Iterator<Item = &'a RistrettoPoint>>(iter: I) -> RistrettoPoint {
+        iter.fold(<RistrettoPoint as Identity>::identity(), |acc, x| acc + x)
+    }
+}
+
+macro_rules! scalar_point_mul {
+    ($scalar:ty, $point:ty) => {
+        impl Mul<$point> for $scalar {
+            type Output = RistrettoPoint;
+            fn mul(self, point: $point) -> RistrettoPoint {
+                point.scalar_mul(&self)
+            }
+        }
+        impl Mul<$scalar> for $point {
+            type Output = RistrettoPoint;
+            fn mul(self, scalar: $scalar) -> RistrettoPoint {
+                self.scalar_mul(&scalar)
+            }
+        }
+    };
+}
+
+scalar_point_mul!(Scalar, RistrettoPoint);
+scalar_point_mul!(Scalar, &RistrettoPoint);
+scalar_point_mul!(&Scalar, RistrettoPoint);
+scalar_point_mul!(&Scalar, &RistrettoPoint);
+
+/// Precomputed-basepoint stand-in: scalar multiplication against the fixed
+/// basepoint (mirror of `RistrettoBasepointTable`).
+#[derive(Clone, Copy, Debug)]
+pub struct RistrettoBasepointTable {
+    pub(crate) point: RistrettoPoint,
+}
+
+impl RistrettoBasepointTable {
+    /// Builds a table for a basepoint.
+    pub fn create(point: &RistrettoPoint) -> Self {
+        Self { point: *point }
+    }
+
+    /// The basepoint this table multiplies.
+    pub fn basepoint(&self) -> RistrettoPoint {
+        self.point
+    }
+}
+
+impl<'b> Mul<&'b RistrettoBasepointTable> for &Scalar {
+    type Output = RistrettoPoint;
+    fn mul(self, table: &'b RistrettoBasepointTable) -> RistrettoPoint {
+        table.point.scalar_mul(self)
+    }
+}
+impl<'b> Mul<&'b RistrettoBasepointTable> for Scalar {
+    type Output = RistrettoPoint;
+    fn mul(self, table: &'b RistrettoBasepointTable) -> RistrettoPoint {
+        table.point.scalar_mul(&self)
+    }
+}
+impl<'b> Mul<&'b Scalar> for &RistrettoBasepointTable {
+    type Output = RistrettoPoint;
+    fn mul(self, scalar: &'b Scalar) -> RistrettoPoint {
+        self.point.scalar_mul(scalar)
+    }
+}
+impl Mul<Scalar> for &RistrettoBasepointTable {
+    type Output = RistrettoPoint;
+    fn mul(self, scalar: Scalar) -> RistrettoPoint {
+        self.point.scalar_mul(&scalar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::{RISTRETTO_BASEPOINT_POINT, RISTRETTO_BASEPOINT_TABLE};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_axioms_hold() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = RistrettoPoint::random(&mut rng);
+        let b = RistrettoPoint::random(&mut rng);
+        let c = RistrettoPoint::random(&mut rng);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a + b, b + a);
+        assert_eq!(a - a, RistrettoPoint::identity());
+        assert_eq!(a + RistrettoPoint::identity(), a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn scalar_mul_is_a_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = RistrettoPoint::random(&mut rng);
+        let x = Scalar::random(&mut rng);
+        let y = Scalar::random(&mut rng);
+        assert_eq!(x * a + y * a, (x + y) * a);
+        assert_eq!(x * (y * a), (x * y) * a);
+        assert_eq!(Scalar::ONE * a, a);
+        assert_eq!(Scalar::ZERO * a, RistrettoPoint::identity());
+    }
+
+    #[test]
+    fn compression_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..16 {
+            let a = RistrettoPoint::random(&mut rng);
+            let compressed = a.compress();
+            let back = compressed.decompress().expect("valid encoding");
+            assert_eq!(back, a);
+            assert_eq!(back.compress().to_bytes(), compressed.to_bytes());
+        }
+    }
+
+    #[test]
+    fn invalid_encodings_rejected() {
+        assert!(CompressedRistretto([0u8; 32]).decompress().is_none());
+        let mut over = [0xffu8; 32];
+        over[31] = 0xff; // ≥ p
+        assert!(CompressedRistretto(over).decompress().is_none());
+    }
+
+    #[test]
+    fn roughly_half_of_random_strings_decode() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ok = 0;
+        let total = 200;
+        for _ in 0..total {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            bytes[31] &= 0x7e; // keep below 2^255 like the embedding layer
+            if CompressedRistretto(bytes).decompress().is_some() {
+                ok += 1;
+            }
+        }
+        assert!(
+            (60..=140).contains(&ok),
+            "acceptance rate off: {ok}/{total}"
+        );
+    }
+
+    #[test]
+    fn basepoint_table_matches_direct_multiplication() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Scalar::random(&mut rng);
+        assert_eq!(x * RISTRETTO_BASEPOINT_TABLE, x * RISTRETTO_BASEPOINT_POINT);
+        assert_eq!(
+            RISTRETTO_BASEPOINT_TABLE.basepoint(),
+            RISTRETTO_BASEPOINT_POINT
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Scalars: the field `Z_q` for the group order `q = 2^254 − 23273`.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::{CryptoRng, RngCore};
+
+use crate::field::{Q, U256};
+
+/// An element of the scalar field `Z_q`, stored as canonical little-endian
+/// bytes (mirror of `curve25519_dalek::scalar::Scalar`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Scalar {
+    bytes: [u8; 32],
+}
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar { bytes: [0; 32] };
+    /// The scalar 1.
+    pub const ONE: Scalar = Scalar {
+        bytes: {
+            let mut b = [0u8; 32];
+            b[0] = 1;
+            b
+        },
+    };
+
+    pub(crate) fn from_u256(v: U256) -> Scalar {
+        Scalar {
+            bytes: v.to_le_bytes(),
+        }
+    }
+
+    pub(crate) fn to_u256(self) -> U256 {
+        U256::from_le_bytes(&self.bytes)
+    }
+
+    /// A uniformly random scalar.
+    pub fn random<R: RngCore + CryptoRng + ?Sized>(rng: &mut R) -> Scalar {
+        let mut wide = [0u8; 64];
+        rng.fill_bytes(&mut wide);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Reduces 32 little-endian bytes modulo `q`.
+    pub fn from_bytes_mod_order(bytes: [u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&bytes);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Reduces 64 little-endian bytes modulo `q`.
+    pub fn from_bytes_mod_order_wide(input: &[u8; 64]) -> Scalar {
+        Scalar::from_u256(Q.reduce_bytes_wide(input))
+    }
+
+    /// The canonical little-endian byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    /// The canonical little-endian byte encoding, by value.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+
+    /// The multiplicative inverse (panics on zero, as a misuse guard).
+    pub fn invert(&self) -> Scalar {
+        assert!(!self.to_u256().is_zero(), "inverting the zero scalar");
+        Scalar::from_u256(Q.inv(&self.to_u256()))
+    }
+}
+
+macro_rules! scalar_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Scalar {
+            fn from(v: $t) -> Scalar {
+                // Any value below 2^128 is already canonical modulo
+                // q ≈ 2^254.
+                Scalar::from_u256(U256::from_u128(v as u128))
+            }
+        }
+    )*};
+}
+scalar_from_uint!(u8, u16, u32, u64, u128);
+
+macro_rules! scalar_binop {
+    ($trait:ident, $method:ident, $op:ident) => {
+        impl<'a, 'b> $trait<&'b Scalar> for &'a Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: &'b Scalar) -> Scalar {
+                Scalar::from_u256(Q.$op(&self.to_u256(), &rhs.to_u256()))
+            }
+        }
+        impl<'a> $trait<Scalar> for &'a Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: Scalar) -> Scalar {
+                self.$method(&rhs)
+            }
+        }
+        impl<'b> $trait<&'b Scalar> for Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: &'b Scalar) -> Scalar {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Scalar> for Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: Scalar) -> Scalar {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+scalar_binop!(Add, add, add);
+scalar_binop!(Sub, sub, sub);
+scalar_binop!(Mul, mul, mul);
+
+impl AddAssign<Scalar> for Scalar {
+    fn add_assign(&mut self, rhs: Scalar) {
+        *self = *self + rhs;
+    }
+}
+impl<'a> AddAssign<&'a Scalar> for Scalar {
+    fn add_assign(&mut self, rhs: &'a Scalar) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign<Scalar> for Scalar {
+    fn sub_assign(&mut self, rhs: Scalar) {
+        *self = *self - rhs;
+    }
+}
+impl<'a> SubAssign<&'a Scalar> for Scalar {
+    fn sub_assign(&mut self, rhs: &'a Scalar) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign<Scalar> for Scalar {
+    fn mul_assign(&mut self, rhs: Scalar) {
+        *self = *self * rhs;
+    }
+}
+impl<'a> MulAssign<&'a Scalar> for Scalar {
+    fn mul_assign(&mut self, rhs: &'a Scalar) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar::from_u256(Q.neg(&self.to_u256()))
+    }
+}
+impl Neg for &Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        -*self
+    }
+}
+
+impl Sum for Scalar {
+    fn sum<I: Iterator<Item = Scalar>>(iter: I) -> Scalar {
+        iter.fold(Scalar::ZERO, |acc, x| acc + x)
+    }
+}
+impl<'a> Sum<&'a Scalar> for Scalar {
+    fn sum<I: Iterator<Item = &'a Scalar>>(iter: I) -> Scalar {
+        iter.fold(Scalar::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_axioms_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let c = Scalar::random(&mut rng);
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a - a, Scalar::ZERO);
+            assert_eq!(a + (-a), Scalar::ZERO);
+            assert_eq!(a * Scalar::ONE, a);
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let a = Scalar::random(&mut rng);
+            assert_eq!(a * a.invert(), Scalar::ONE);
+        }
+    }
+
+    #[test]
+    fn from_uint_roundtrip() {
+        assert_eq!(Scalar::from(0u64), Scalar::ZERO);
+        assert_eq!(Scalar::from(1u64), Scalar::ONE);
+        assert_eq!(Scalar::from(5u64) + Scalar::from(7u64), Scalar::from(12u64));
+        assert_eq!(Scalar::from(3u32) * Scalar::from(4u8), Scalar::from(12u16));
+    }
+
+    #[test]
+    fn wide_reduction_is_uniform_in_range() {
+        let wide = [0xffu8; 64];
+        let s = Scalar::from_bytes_mod_order_wide(&wide);
+        // Must be canonical: adding zero keeps it fixed.
+        assert_eq!(s + Scalar::ZERO, s);
+    }
+
+    #[test]
+    fn sum_of_scalars() {
+        let xs = [Scalar::from(1u64), Scalar::from(2u64), Scalar::from(3u64)];
+        let total: Scalar = xs.iter().sum();
+        assert_eq!(total, Scalar::from(6u64));
+        let total_owned: Scalar = xs.into_iter().sum();
+        assert_eq!(total_owned, Scalar::from(6u64));
+    }
+}

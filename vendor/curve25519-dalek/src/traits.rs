@@ -1,0 +1,17 @@
+//! Trait mirrors of `curve25519_dalek::traits`.
+
+/// Types with a distinguished identity element.
+pub trait Identity {
+    /// The identity element.
+    fn identity() -> Self;
+}
+
+/// Types that can report whether they are the identity.
+pub trait IsIdentity: Identity + Sized + PartialEq {
+    /// True if `self` is the identity element.
+    fn is_identity(&self) -> bool {
+        *self == Self::identity()
+    }
+}
+
+impl<T: Identity + PartialEq> IsIdentity for T {}

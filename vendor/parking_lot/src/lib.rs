@@ -1,0 +1,177 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Provides the `parking_lot` API shape the workspace uses — [`Mutex`] and
+//! [`RwLock`] whose lock methods do not return poison `Result`s — plus a
+//! [`Condvar`] implemented over the standard-library primitive. One deliberate
+//! deviation: `Condvar::wait` uses the guard-consuming `std` signature rather
+//! than `parking_lot`'s `&mut guard` one (bridging the two safely requires a
+//! sentinel guard value that `std` cannot provide). Workspace code therefore
+//! only uses the lock types from this crate — condvar users go straight to
+//! `std::sync` — so swapping the real `parking_lot` back in needs no source
+//! changes.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion primitive (mirror of `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock (mirror of `parking_lot::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable over [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while waiting and
+    /// reacquiring it before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `timeout` elapses. The boolean is `true` if
+    /// the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        (guard, result.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(0);
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_reads() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let clone = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*clone;
+            let mut started = lock.lock();
+            while !*started {
+                started = cv.wait(started);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        handle.join().unwrap();
+    }
+}

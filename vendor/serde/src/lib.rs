@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! This repository builds in an environment with no crates.io access, so the
+//! real `serde` cannot be fetched. Nothing in the workspace serializes through
+//! serde at runtime (the wire formats are hand-rolled), but many types carry
+//! `#[derive(Serialize, Deserialize)]` for API fidelity with the upstream
+//! ecosystem. This stand-in keeps those derives compiling:
+//!
+//! * [`Serialize`] and [`Deserialize`] are marker traits with blanket
+//!   implementations covering every type.
+//! * The derive macros (from the sibling `serde_derive` stand-in) emit no
+//!   code at all.
+//!
+//! If real serialization is ever needed, swap this vendored crate for the
+//! real `serde` by restoring registry access; no source changes are required.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` exposing the owned-deserialization marker.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real `serde`/`serde_derive` cannot be fetched. The vendored `serde`
+//! crate provides blanket implementations of its marker traits, which means
+//! the derive macros have nothing to generate: they accept the input (and any
+//! `#[serde(...)]` attributes) and emit an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing; the vendored `serde`
+/// crate's blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing; the vendored `serde`
+/// crate's blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
