@@ -20,11 +20,12 @@
 use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 
+use atom_crypto::batch::verify_reencryption_batch;
 use atom_crypto::elgamal::{
     encrypt_message, reencrypt_message, shuffle, MessageCiphertext, PublicKey,
 };
 use atom_crypto::encoding::{decode_message, encode_message_padded};
-use atom_crypto::nizk::reenc::{prove_reencryption, verify_reencryption, ReEncStatement};
+use atom_crypto::nizk::reenc::{prove_reencryption, ReEncStatement};
 use atom_crypto::nizk::shuffle::{prove_shuffle, verify_shuffle};
 
 use crate::adversary::{AdversaryPlan, Misbehavior};
@@ -277,22 +278,34 @@ pub fn group_mix_iteration<R: RngCore + CryptoRng>(
             let reencrypted = reencrypt_batch(&peel, next_pk, sub_batch, options.parallelism, rng);
 
             if options.defense == Defense::Nizk {
-                for (input, (output, witnesses)) in sub_batch.iter().zip(reencrypted.iter()) {
-                    let statement = ReEncStatement {
+                // Prove every message first (same RNG order as proving and
+                // verifying one by one), then verify the whole sub-batch
+                // through one RLC check. On batch failure the verifier falls
+                // back to per-proof checks and reports the first failing
+                // message, so the blamed member and reason match the
+                // sequential verifier exactly.
+                let statements: Vec<ReEncStatement<'_>> = sub_batch
+                    .iter()
+                    .zip(reencrypted.iter())
+                    .map(|(input, (output, _))| ReEncStatement {
                         peel_public: &peel_public,
                         next_pk,
                         input,
                         output,
-                    };
-                    let proof = prove_reencryption(&statement, witnesses, rng)
-                        .map_err(AtomError::Crypto)?;
-                    if let Err(err) = verify_reencryption(&statement, &proof) {
-                        return Err(AtomError::ProtocolViolation {
-                            group: group.id,
-                            member: Some(member as usize),
-                            reason: format!("re-encryption proof rejected: {err}"),
-                        });
-                    }
+                    })
+                    .collect();
+                let mut proofs = Vec::with_capacity(statements.len());
+                for (statement, (_, witnesses)) in statements.iter().zip(reencrypted.iter()) {
+                    proofs.push(
+                        prove_reencryption(statement, witnesses, rng).map_err(AtomError::Crypto)?,
+                    );
+                }
+                if let Err((_, err)) = verify_reencryption_batch(&statements, &proofs) {
+                    return Err(AtomError::ProtocolViolation {
+                        group: group.id,
+                        member: Some(member as usize),
+                        reason: format!("re-encryption proof rejected: {err}"),
+                    });
                 }
             }
 

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use rand::{CryptoRng, RngCore};
 
+use atom_crypto::batch::{verify_encryption_batch, EncVerification};
 use atom_crypto::cca2::{self, HybridCiphertext};
 use atom_crypto::commit::{self, Commitment};
 use atom_crypto::dkg::reconstruct_group_secret;
@@ -301,6 +302,21 @@ pub fn verify_nizk_submissions(
     setup: &RoundSetup,
     submissions: &[NizkSubmission],
 ) -> AtomResult<Vec<Vec<MessageCiphertext>>> {
+    verify_nizk_submissions_range(setup, submissions, 0)
+}
+
+/// Verifies a contiguous range of NIZK-variant submissions, with
+/// `first_index` naming the global index of `submissions[0]` so error
+/// messages match the whole-batch verifier. Proofs are checked with one
+/// RLC batch verification (`atom_crypto::batch`); on any failure the exact
+/// sequential loop re-runs, so the reported verdict — including *which*
+/// submission is rejected — is identical to the sequential driver's.
+/// Chunked intake in `atom-runtime` calls this per chunk.
+pub fn verify_nizk_submissions_range(
+    setup: &RoundSetup,
+    submissions: &[NizkSubmission],
+    first_index: usize,
+) -> AtomResult<Vec<Vec<MessageCiphertext>>> {
     let config = &setup.config;
     if config.defense != Defense::Nizk {
         return Err(AtomError::Config(
@@ -308,8 +324,44 @@ pub fn verify_nizk_submissions(
         ));
     }
 
+    // Fast path: batch-verify every proof at once. Falls through to the
+    // sequential loop when any structural check fails, so a bad entry-group
+    // id is reported in the same order relative to proof failures.
+    let mut items = Vec::with_capacity(submissions.len());
+    for submission in submissions {
+        let gid = submission.entry_group;
+        if gid >= config.num_groups {
+            items.clear();
+            break;
+        }
+        items.push(EncVerification {
+            pk: &setup.groups[gid].public_key,
+            group_id: gid as u64,
+            ciphertext: &submission.ciphertext,
+            proof: &submission.proof,
+        });
+    }
+    if items.len() == submissions.len() && !submissions.is_empty() {
+        return match verify_encryption_batch(&items) {
+            Ok(()) => {
+                let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+                for submission in submissions {
+                    batches[submission.entry_group].push(submission.ciphertext.clone());
+                }
+                Ok(batches)
+            }
+            Err((offset, e)) => {
+                let index = first_index + offset;
+                Err(AtomError::SubmissionRejected(format!(
+                    "submission {index}: {e}"
+                )))
+            }
+        };
+    }
+
     let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
-    for (index, submission) in submissions.iter().enumerate() {
+    for (offset, submission) in submissions.iter().enumerate() {
+        let index = first_index + offset;
         let gid = submission.entry_group;
         if gid >= config.num_groups {
             return Err(AtomError::SubmissionRejected(format!(
@@ -336,6 +388,18 @@ pub fn verify_trap_submissions(
     setup: &RoundSetup,
     submissions: &[TrapSubmission],
 ) -> AtomResult<TrapIntake> {
+    verify_trap_submissions_range(setup, submissions, 0)
+}
+
+/// Verifies a contiguous range of trap-variant submissions (both proofs per
+/// submission batched through one RLC check; sequential re-run on failure
+/// for verdict identity). `first_index` names the global index of
+/// `submissions[0]`. Chunked intake in `atom-runtime` calls this per chunk.
+pub fn verify_trap_submissions_range(
+    setup: &RoundSetup,
+    submissions: &[TrapSubmission],
+    first_index: usize,
+) -> AtomResult<TrapIntake> {
     let config = &setup.config;
     if config.defense != Defense::Trap {
         return Err(AtomError::Config(
@@ -343,9 +407,53 @@ pub fn verify_trap_submissions(
         ));
     }
 
+    // Fast path: one RLC batch over both proofs of every submission.
+    let mut items = Vec::with_capacity(submissions.len() * 2);
+    for submission in submissions {
+        let gid = submission.entry_group;
+        if gid >= config.num_groups {
+            items.clear();
+            break;
+        }
+        for (ct, proof) in submission.ciphertexts.iter().zip(submission.proofs.iter()) {
+            items.push(EncVerification {
+                pk: &setup.groups[gid].public_key,
+                group_id: gid as u64,
+                ciphertext: ct,
+                proof,
+            });
+        }
+    }
+    if items.len() == submissions.len() * 2 && !submissions.is_empty() {
+        return match verify_encryption_batch(&items) {
+            Ok(()) => {
+                let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
+                let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); config.num_groups];
+                for submission in submissions {
+                    let gid = submission.entry_group;
+                    batches[gid].push(submission.ciphertexts[0].clone());
+                    batches[gid].push(submission.ciphertexts[1].clone());
+                    commitments[gid].push(submission.trap_commitment);
+                }
+                Ok(TrapIntake {
+                    batches,
+                    commitments,
+                })
+            }
+            Err((flat, e)) => {
+                // Two proofs per submission: flat item index → submission.
+                let index = first_index + flat / 2;
+                Err(AtomError::SubmissionRejected(format!(
+                    "submission {index}: {e}"
+                )))
+            }
+        };
+    }
+
     let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); config.num_groups];
     let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); config.num_groups];
-    for (index, submission) in submissions.iter().enumerate() {
+    for (offset, submission) in submissions.iter().enumerate() {
+        let index = first_index + offset;
         let gid = submission.entry_group;
         if gid >= config.num_groups {
             return Err(AtomError::SubmissionRejected(format!(

@@ -140,10 +140,20 @@ pub fn encrypt<R: RngCore + CryptoRng>(
     m: &RistrettoPoint,
     rng: &mut R,
 ) -> (Ciphertext, Scalar) {
+    encrypt_with_table(&crate::batch::fixed_base_table(&pk.0), m, rng)
+}
+
+/// [`encrypt`] against an already-fetched key table (one cache lookup per
+/// batch instead of per component).
+fn encrypt_with_table<R: RngCore + CryptoRng>(
+    pk_table: &curve25519_dalek::ristretto::RistrettoBasepointTable,
+    m: &RistrettoPoint,
+    rng: &mut R,
+) -> (Ciphertext, Scalar) {
     let r = Scalar::random(rng);
     let ct = Ciphertext {
         r: r * RISTRETTO_BASEPOINT_TABLE,
-        c: m + r * pk.0,
+        c: m + pk_table.mul_scalar(&r),
         y: None,
     };
     (ct, r)
@@ -156,7 +166,9 @@ pub fn decrypt(sk: &SecretKey, ct: &Ciphertext) -> CryptoResult<RistrettoPoint> 
     if ct.y.is_some() {
         return Err(CryptoError::UnexpectedAuxComponent);
     }
-    Ok(ct.c - sk.0 * ct.r)
+    // `c + (−x)·R` rather than `c − x·R`: point subtraction costs a Fermat
+    // inversion in the vendored group, scalar negation is free.
+    Ok(ct.c + -sk.0 * ct.r)
 }
 
 /// Rerandomizes a ciphertext for public key `pk`, returning the fresh
@@ -175,9 +187,18 @@ pub fn rerandomize<R: RngCore + CryptoRng>(
 
 /// Rerandomizes a ciphertext with caller-provided randomness.
 pub fn rerandomize_with(pk: &PublicKey, ct: &Ciphertext, r: &Scalar) -> Ciphertext {
+    rerandomize_with_table(&crate::batch::fixed_base_table(&pk.0), ct, r)
+}
+
+/// [`rerandomize_with`] against an already-fetched key table.
+fn rerandomize_with_table(
+    pk_table: &curve25519_dalek::ristretto::RistrettoBasepointTable,
+    ct: &Ciphertext,
+    r: &Scalar,
+) -> Ciphertext {
     Ciphertext {
         r: ct.r + r * RISTRETTO_BASEPOINT_TABLE,
-        c: ct.c + r * pk.0,
+        c: ct.c + pk_table.mul_scalar(r),
         y: ct.y,
     }
 }
@@ -207,11 +228,22 @@ pub fn reencrypt<R: RngCore + CryptoRng>(
     ct: &Ciphertext,
     rng: &mut R,
 ) -> (Ciphertext, ReEncWitness) {
-    let fresh = match next_pk {
+    let next_table = next_pk.map(|next| crate::batch::fixed_base_table(&next.0));
+    reencrypt_with_table(peel_secret, next_table.as_deref(), ct, rng)
+}
+
+/// [`reencrypt`] against an already-fetched next-key table.
+fn reencrypt_with_table<R: RngCore + CryptoRng>(
+    peel_secret: &Scalar,
+    next_table: Option<&curve25519_dalek::ristretto::RistrettoBasepointTable>,
+    ct: &Ciphertext,
+    rng: &mut R,
+) -> (Ciphertext, ReEncWitness) {
+    let fresh = match next_table {
         Some(_) => Scalar::random(rng),
         None => Scalar::ZERO,
     };
-    let out = reencrypt_with(peel_secret, next_pk, ct, &fresh);
+    let out = reencrypt_with_table_core(peel_secret, next_table, ct, &fresh);
     let witness = ReEncWitness {
         peel_secret: *peel_secret,
         fresh_randomness: fresh,
@@ -227,17 +259,28 @@ pub fn reencrypt_with(
     ct: &Ciphertext,
     fresh: &Scalar,
 ) -> Ciphertext {
+    let next_table = next_pk.map(|next| crate::batch::fixed_base_table(&next.0));
+    reencrypt_with_table_core(peel_secret, next_table.as_deref(), ct, fresh)
+}
+
+fn reencrypt_with_table_core(
+    peel_secret: &Scalar,
+    next_table: Option<&curve25519_dalek::ristretto::RistrettoBasepointTable>,
+    ct: &Ciphertext,
+    fresh: &Scalar,
+) -> Ciphertext {
     // Step 1: if Y = ⊥, move the current randomness into Y and reset R.
     let (mut r, y) = match ct.y {
         Some(y) => (ct.r, y),
         None => (RistrettoPoint::identity(), ct.r),
     };
-    // Step 2: peel one layer of the current group's encryption.
-    let mut c = ct.c - peel_secret * y;
+    // Step 2: peel one layer of the current group's encryption
+    // (`c + (−x)·Y` avoids the point-subtraction inversion).
+    let mut c = ct.c + -*peel_secret * y;
     // Step 3: add a layer toward the next group's key (if any).
-    if let Some(next) = next_pk {
+    if let Some(next) = next_table {
         r += fresh * RISTRETTO_BASEPOINT_TABLE;
-        c += fresh * next.0;
+        c += next.mul_scalar(fresh);
     }
     Ciphertext { r, c, y: Some(y) }
 }
@@ -294,10 +337,11 @@ pub fn encrypt_message<R: RngCore + CryptoRng>(
     points: &[RistrettoPoint],
     rng: &mut R,
 ) -> (MessageCiphertext, Vec<Scalar>) {
+    let pk_table = crate::batch::fixed_base_table(&pk.0);
     let mut components = Vec::with_capacity(points.len());
     let mut randomness = Vec::with_capacity(points.len());
     for point in points {
-        let (ct, r) = encrypt(pk, point, rng);
+        let (ct, r) = encrypt_with_table(&pk_table, point, rng);
         components.push(ct);
         randomness.push(r);
     }
@@ -319,10 +363,12 @@ pub fn reencrypt_message<R: RngCore + CryptoRng>(
     ct: &MessageCiphertext,
     rng: &mut R,
 ) -> (MessageCiphertext, Vec<ReEncWitness>) {
+    let next_table = next_pk.map(|next| crate::batch::fixed_base_table(&next.0));
     let mut components = Vec::with_capacity(ct.components.len());
     let mut witnesses = Vec::with_capacity(ct.components.len());
     for component in &ct.components {
-        let (out, witness) = reencrypt(peel_secret, next_pk, component, rng);
+        let (out, witness) =
+            reencrypt_with_table(peel_secret, next_table.as_deref(), component, rng);
         components.push(out);
         witnesses.push(witness);
     }
@@ -361,6 +407,7 @@ pub fn shuffle<R: RngCore + CryptoRng>(
         permutation.swap(i, j);
     }
 
+    let pk_table = crate::batch::fixed_base_table(&pk.0);
     let mut output = Vec::with_capacity(n);
     let mut randomness = Vec::with_capacity(n);
     for &src in &permutation {
@@ -368,7 +415,7 @@ pub fn shuffle<R: RngCore + CryptoRng>(
         let mut rs = Vec::with_capacity(batch[src].components.len());
         for component in &batch[src].components {
             let r = Scalar::random(rng);
-            components.push(rerandomize_with(pk, component, &r));
+            components.push(rerandomize_with_table(&pk_table, component, &r));
             rs.push(r);
         }
         output.push(MessageCiphertext { components });

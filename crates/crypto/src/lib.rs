@@ -8,6 +8,9 @@
 //! * [`elgamal`] — rerandomizable ElGamal with **out-of-order decryption and
 //!   re-encryption**, the key primitive that lets a group peel its layers
 //!   while already re-encrypting toward the next (unknown-to-the-user) group.
+//! * [`batch`] — the batched public-key engine: precomputed fixed-base
+//!   tables, Straus multi-exponentiation, and random-linear-combination
+//!   batch verification of `EncProof`/`ReEncProof` with per-proof fallback.
 //! * [`nizk`] — the three NIZK families the paper requires: `EncProof`,
 //!   `ReEncProof` and `ShufProof` (verifiable shuffle).
 //! * [`dkg`] / [`sharing`] — dealer-less distributed key generation and
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod aead;
+pub mod batch;
 pub mod cca2;
 pub mod commit;
 pub mod dkg;

@@ -47,6 +47,21 @@ fn transcript(pk: &PublicKey, group_id: u64, ct: &MessageCiphertext) -> Transcri
     t
 }
 
+/// Recomputes a proof's Fiat-Shamir challenge from its statement and
+/// announcements (shared with the batch verifier in [`crate::batch`]).
+pub(crate) fn batch_challenge(
+    pk: &PublicKey,
+    group_id: u64,
+    ct: &MessageCiphertext,
+    proof: &EncProof,
+) -> Scalar {
+    let mut t = transcript(pk, group_id, ct);
+    for a in &proof.announcements {
+        t.append_point(b"announcement", a);
+    }
+    t.challenge_scalar(b"challenge")
+}
+
 /// Produces an `EncProof` for a ciphertext encrypted with `randomness`
 /// (the per-component scalars returned by [`crate::elgamal::encrypt_message`]).
 pub fn prove_encryption<R: RngCore + CryptoRng>(

@@ -87,8 +87,20 @@ fn transcript(stmt: &ReEncStatement<'_>) -> Transcript {
     t
 }
 
+/// Recomputes a proof's Fiat-Shamir challenge from its statement and
+/// announcements (shared with the batch verifier in [`crate::batch`]).
+pub(crate) fn batch_challenge(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Scalar {
+    let mut t = transcript(stmt);
+    t.append_point(b"announce-key", &proof.announce_key);
+    for comp in &proof.components {
+        t.append_point(b"announce-fresh", &comp.announce_fresh);
+        t.append_point(b"announce-payload", &comp.announce_payload);
+    }
+    t.challenge_scalar(b"challenge")
+}
+
 /// Structural checks shared by prover and verifier; returns the swap views.
-fn check_structure(
+pub(crate) fn check_structure(
     stmt: &ReEncStatement<'_>,
 ) -> CryptoResult<Vec<(RistrettoPoint, RistrettoPoint)>> {
     if stmt.input.components.len() != stmt.output.components.len() {
@@ -154,7 +166,9 @@ pub fn prove_reencryption<R: RngCore + CryptoRng>(
         let beta = Scalar::random(rng);
         let announce_fresh = beta * RISTRETTO_BASEPOINT_TABLE;
         let announce_payload = match stmt.next_pk {
-            Some(next) => alpha * y0 - beta * next.0,
+            // One joint two-term exponentiation; the negated coefficient
+            // sidesteps the point-subtraction inversion.
+            Some(next) => RistrettoPoint::multiscalar_mul(&[alpha, -beta], &[*y0, next.0]),
             None => alpha * y0,
         };
         t.append_point(b"announce-fresh", &announce_fresh);
@@ -218,10 +232,14 @@ pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Cry
         .zip(proof.components.iter())
     {
         // Fresh-randomness relation (skipped when the next key is ⊥: the
-        // structural check already forced R' = R₀ and f = 0).
+        // structural check already forced R' = R₀ and f = 0). The
+        // `challenge·(R' − R₀)` term is evaluated as a joint
+        // exponentiation with a negated coefficient, avoiding the
+        // point-subtraction inversion of the vendored group.
         if stmt.next_pk.is_some()
             && comp.response_fresh * RISTRETTO_BASEPOINT_TABLE
-                != comp.announce_fresh + challenge * (out.r - r0)
+                != comp.announce_fresh
+                    + RistrettoPoint::multiscalar_mul(&[challenge, -challenge], &[out.r, *r0])
         {
             return Err(CryptoError::ProofInvalid(
                 "fresh-randomness check failed".into(),
@@ -229,10 +247,16 @@ pub fn verify_reencryption(stmt: &ReEncStatement<'_>, proof: &ReEncProof) -> Cry
         }
         // Payload relation.
         let lhs = match stmt.next_pk {
-            Some(next) => proof.response_key * y0 - comp.response_fresh * next.0,
+            Some(next) => RistrettoPoint::multiscalar_mul(
+                &[proof.response_key, -comp.response_fresh],
+                &[*y0, next.0],
+            ),
             None => proof.response_key * y0,
         };
-        if lhs != comp.announce_payload + challenge * (inp.c - out.c) {
+        if lhs
+            != comp.announce_payload
+                + RistrettoPoint::multiscalar_mul(&[challenge, -challenge], &[inp.c, out.c])
+        {
             return Err(CryptoError::ProofInvalid("payload check failed".into()));
         }
     }

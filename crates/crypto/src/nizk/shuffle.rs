@@ -36,7 +36,6 @@
 use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
 use curve25519_dalek::ristretto::RistrettoPoint;
 use curve25519_dalek::scalar::Scalar;
-use curve25519_dalek::traits::Identity;
 use rand::{CryptoRng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -166,15 +165,19 @@ fn public_targets(
     components: usize,
     x: &Scalar,
 ) -> (Vec<RistrettoPoint>, Vec<RistrettoPoint>) {
-    let mut t_rand = vec![RistrettoPoint::identity(); components];
-    let mut t_payload = vec![RistrettoPoint::identity(); components];
+    let mut x_powers = Vec::with_capacity(inputs.len());
     let mut x_power = Scalar::ONE;
-    for message in inputs {
+    for _ in inputs {
         x_power *= x;
-        for (l, ct) in message.components.iter().enumerate() {
-            t_rand[l] += x_power * ct.r;
-            t_payload[l] += x_power * ct.c;
-        }
+        x_powers.push(x_power);
+    }
+    let mut t_rand = Vec::with_capacity(components);
+    let mut t_payload = Vec::with_capacity(components);
+    for l in 0..components {
+        let rs: Vec<RistrettoPoint> = inputs.iter().map(|m| m.components[l].r).collect();
+        let cs: Vec<RistrettoPoint> = inputs.iter().map(|m| m.components[l].c).collect();
+        t_rand.push(RistrettoPoint::multiscalar_mul(&x_powers, &rs));
+        t_payload.push(RistrettoPoint::multiscalar_mul(&x_powers, &cs));
     }
     (t_rand, t_payload)
 }
@@ -249,10 +252,13 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
         .zip(power_blindings.iter())
         .map(|(ra, rb)| y * ra + rb)
         .collect();
+    // `−z·G` is constant across the batch: one fixed-base walk, no
+    // per-element subtraction (each `Sub` costs a Fermat inversion).
+    let neg_z_g = crate::batch::mul_fixed(&key.g, &-z);
     let v_commitments: Vec<RistrettoPoint> = commit_perm
         .iter()
         .zip(commit_powers.iter())
-        .map(|(ca, cb)| y * ca + cb - z * key.g)
+        .map(|(ca, cb)| y * ca + cb + neg_z_g)
         .collect();
 
     // Partial products p_j and their commitments (p_0 reuses c_v[0]).
@@ -272,7 +278,9 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
         t.append_point(b"commit-partial", c);
     }
 
-    // Announcements for the per-step multiplication proofs.
+    // Announcements for the per-step multiplication proofs. The blinding
+    // generator's window table is looked up once for the whole loop.
+    let h_table = crate::batch::fixed_base_table(&key.h);
     let mut step_secrets = Vec::with_capacity(n.saturating_sub(1));
     let mut step_announcements = Vec::with_capacity(n.saturating_sub(1));
     for j in 1..n {
@@ -285,7 +293,7 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
         let beta = Scalar::random(rng);
         let gamma = Scalar::random(rng);
         let announce_value = key.commit(&alpha, &beta);
-        let announce_step = alpha * prev_commit + gamma * key.h;
+        let announce_step = alpha * prev_commit + h_table.mul_scalar(&gamma);
         t.append_point(b"product-announce-value", &announce_value);
         t.append_point(b"product-announce-step", &announce_step);
         step_secrets.push((alpha, beta, gamma, prev_commit));
@@ -294,7 +302,7 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
 
     // Final opening announcement: c_p[n−1] − P·G = r·H.
     let final_secret = Scalar::random(rng);
-    let announce_final = final_secret * key.h;
+    let announce_final = crate::batch::mul_fixed(&key.h, &final_secret);
     t.append_point(b"final-announce", &announce_final);
 
     // Step 4: multi-exponentiation announcements.
@@ -313,14 +321,12 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
     let mut announce_payload = Vec::with_capacity(components);
     for l in 0..components {
         let t_nonce = Scalar::random(rng);
-        let mut acc_rand = RistrettoPoint::identity();
-        let mut acc_payload = RistrettoPoint::identity();
-        for (j, output) in outputs.iter().enumerate() {
-            acc_rand += power_nonces[j] * output.components[l].r;
-            acc_payload += power_nonces[j] * output.components[l].c;
-        }
-        acc_rand -= t_nonce * RISTRETTO_BASEPOINT_TABLE;
-        acc_payload -= t_nonce * pk.0;
+        let rs: Vec<RistrettoPoint> = outputs.iter().map(|m| m.components[l].r).collect();
+        let cs: Vec<RistrettoPoint> = outputs.iter().map(|m| m.components[l].c).collect();
+        let acc_rand = RistrettoPoint::multiscalar_mul(&power_nonces, &rs)
+            + -t_nonce * RISTRETTO_BASEPOINT_TABLE;
+        let acc_payload = RistrettoPoint::multiscalar_mul(&power_nonces, &cs)
+            + crate::batch::mul_fixed(&pk.0, &-t_nonce);
         rho_nonces.push(t_nonce);
         announce_rand.push(acc_rand);
         announce_payload.push(acc_payload);
@@ -446,15 +452,19 @@ pub fn verify_shuffle(
     }
     let challenge = t.challenge_scalar(b"challenge");
 
-    // Homomorphically derived commitments to v_j.
+    // Homomorphically derived commitments to v_j (`−z·G` hoisted: one
+    // fixed-base walk instead of an inversion per element).
+    let neg_z_g = crate::batch::mul_fixed(&key.g, &-z);
     let v_commitments: Vec<RistrettoPoint> = proof
         .commit_perm
         .iter()
         .zip(proof.commit_powers.iter())
-        .map(|(ca, cb)| y * ca + cb - z * key.g)
+        .map(|(ca, cb)| y * ca + cb + neg_z_g)
         .collect();
 
-    // Product argument: each multiplicative step.
+    // Product argument: each multiplicative step (the blinding generator's
+    // window table is looked up once for the whole loop).
+    let h_table = crate::batch::fixed_base_table(&key.h);
     for j in 1..n {
         let step = &proof.product_steps[j - 1];
         let prev_commit = if j == 1 {
@@ -471,7 +481,7 @@ pub fn verify_shuffle(
                 "product argument: value opening failed".into(),
             ));
         }
-        if step.response_value * prev_commit + step.response_step_blinding * key.h
+        if step.response_value * prev_commit + h_table.mul_scalar(&step.response_step_blinding)
             != step.announce_step + challenge * current_commit
         {
             return Err(CryptoError::ProofInvalid(
@@ -480,15 +490,18 @@ pub fn verify_shuffle(
         }
     }
 
-    // Final opening: the last partial product equals the public product.
+    // Final opening: the last partial product equals the public product
+    // (`challenge·(c_p − P·G)` expanded so the `G` share stays fixed-base).
     let product = public_product(n, &x, &y, &z);
     let last_commit = if n == 1 {
         v_commitments[0]
     } else {
         proof.commit_partial[n - 2]
     };
-    if proof.response_final * key.h
-        != proof.announce_final + challenge * (last_commit - product * key.g)
+    if crate::batch::mul_fixed(&key.h, &proof.response_final)
+        != proof.announce_final
+            + challenge * last_commit
+            + crate::batch::mul_fixed(&key.g, &-(challenge * product))
     {
         return Err(CryptoError::ProofInvalid(
             "product argument: final opening failed".into(),
@@ -509,14 +522,12 @@ pub fn verify_shuffle(
     }
     let (t_rand, t_payload) = public_targets(inputs, components, &x);
     for l in 0..components {
-        let mut acc_rand = RistrettoPoint::identity();
-        let mut acc_payload = RistrettoPoint::identity();
-        for (j, output) in outputs.iter().enumerate() {
-            acc_rand += proof.response_powers[j] * output.components[l].r;
-            acc_payload += proof.response_powers[j] * output.components[l].c;
-        }
-        acc_rand -= proof.response_rho[l] * RISTRETTO_BASEPOINT_TABLE;
-        acc_payload -= proof.response_rho[l] * pk.0;
+        let rs: Vec<RistrettoPoint> = outputs.iter().map(|m| m.components[l].r).collect();
+        let cs: Vec<RistrettoPoint> = outputs.iter().map(|m| m.components[l].c).collect();
+        let acc_rand = RistrettoPoint::multiscalar_mul(&proof.response_powers, &rs)
+            + -proof.response_rho[l] * RISTRETTO_BASEPOINT_TABLE;
+        let acc_payload = RistrettoPoint::multiscalar_mul(&proof.response_powers, &cs)
+            + crate::batch::mul_fixed(&pk.0, &-proof.response_rho[l]);
 
         if acc_rand != proof.announce_rand[l] + challenge * t_rand[l] {
             return Err(CryptoError::ProofInvalid(

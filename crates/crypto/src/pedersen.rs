@@ -47,7 +47,9 @@ impl CommitmentKey {
 
     /// Commits to `value` with blinding factor `blinding`.
     pub fn commit(&self, value: &Scalar, blinding: &Scalar) -> RistrettoPoint {
-        value * self.g + blinding * self.h
+        // Both generators are fixed for the lifetime of the process, so the
+        // precomputed window tables make this two table walks.
+        crate::batch::mul_fixed(&self.g, value) + crate::batch::mul_fixed(&self.h, blinding)
     }
 
     /// Commits to `value` with fresh randomness, returning the blinding.

@@ -122,6 +122,41 @@ pub fn lagrange_coefficient(indices: &[u64], index: u64) -> CryptoResult<Scalar>
     Ok(numerator * denominator.invert())
 }
 
+/// Computes the Lagrange coefficients for *every* index of the
+/// participating set at once, with a single Fermat inversion for all
+/// denominators (Montgomery's trick) instead of one per index. The result
+/// is ordered like `indices`; duplicate indices are rejected.
+pub fn lagrange_coefficients(indices: &[u64]) -> CryptoResult<Vec<Scalar>> {
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(CryptoError::Sharing("duplicate share indices".into()));
+    }
+    let mut numerators = Vec::with_capacity(indices.len());
+    let mut denominators = Vec::with_capacity(indices.len());
+    for &index in indices {
+        let xi = Scalar::from(index);
+        let mut numerator = Scalar::ONE;
+        let mut denominator = Scalar::ONE;
+        for &other in indices {
+            if other == index {
+                continue;
+            }
+            let xj = Scalar::from(other);
+            numerator *= xj;
+            denominator *= xj - xi;
+        }
+        numerators.push(numerator);
+        denominators.push(denominator);
+    }
+    let inverses = Scalar::batch_invert(&denominators);
+    Ok(numerators
+        .into_iter()
+        .zip(inverses)
+        .map(|(n, d)| n * d)
+        .collect())
+}
+
 /// Reconstructs the secret from at least `threshold` distinct shares.
 pub fn reconstruct(shares: &[Share]) -> CryptoResult<Scalar> {
     if shares.is_empty() {
@@ -135,8 +170,7 @@ pub fn reconstruct(shares: &[Share]) -> CryptoResult<Scalar> {
         return Err(CryptoError::Sharing("duplicate share indices".into()));
     }
     let mut secret = Scalar::ZERO;
-    for share in shares {
-        let lambda = lagrange_coefficient(&indices, share.index)?;
+    for (share, lambda) in shares.iter().zip(lagrange_coefficients(&indices)?) {
         secret += lambda * share.value;
     }
     Ok(secret)
@@ -255,6 +289,16 @@ mod tests {
     #[test]
     fn lagrange_requires_membership() {
         assert!(lagrange_coefficient(&[1, 2, 3], 5).is_err());
+    }
+
+    #[test]
+    fn batched_lagrange_matches_individual_coefficients() {
+        let indices = [2u64, 5, 6, 9, 13];
+        let batched = lagrange_coefficients(&indices).unwrap();
+        for (&index, lambda) in indices.iter().zip(batched.iter()) {
+            assert_eq!(*lambda, lagrange_coefficient(&indices, index).unwrap());
+        }
+        assert!(lagrange_coefficients(&[1, 1, 2]).is_err());
     }
 
     #[test]

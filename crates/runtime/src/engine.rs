@@ -9,9 +9,14 @@
 //! * **Within a round**, a group steps mixing iteration `i + 1` as soon as
 //!   all of its inbound sub-batches for `i + 1` have arrived, so fast groups
 //!   pipeline ahead of stragglers.
-//! * **Across rounds**, every round's submission intake is a queue task like
-//!   any other, so round `r + 1`'s proof verification and entry mixing
-//!   overlap round `r`'s tail.
+//! * **Across rounds**, every round's submission intake is a set of queue
+//!   tasks like any other, so round `r + 1`'s proof verification and entry
+//!   mixing overlap round `r`'s tail.
+//! * **Within an intake**, a round's submissions split into
+//!   [`IntakeChunk`](EngineOptions::intake_chunk)-sized verification tasks,
+//!   so proof checking parallelizes across workers inside a single round;
+//!   chunk results merge deterministically (in submission order, first
+//!   failure wins) before the iteration-0 batches are released.
 //!
 //! Determinism: all randomness of round `r` derives from
 //! `RoundJob::seed` — the master draw mirrors the sequential
@@ -39,9 +44,10 @@ use atom_core::group::GroupStepOptions;
 use atom_core::message::{NizkSubmission, TrapSubmission};
 use atom_core::round::{
     collect_round_timings, finish_nizk_round, finish_trap_round, hop_latency,
-    verify_nizk_submissions, verify_trap_submissions, RoundOutput, RoundTimings,
+    verify_nizk_submissions_range, verify_trap_submissions_range, RoundOutput, RoundTimings,
 };
 use atom_crypto::commit::Commitment;
+use atom_crypto::elgamal::MessageCiphertext;
 use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats};
 
 use crate::wire;
@@ -62,6 +68,14 @@ pub struct EngineOptions {
     /// Artificial per-iteration compute delay per group id, used to emulate
     /// slow groups (stragglers) and per-group server hardware.
     pub stragglers: Vec<(usize, Duration)>,
+    /// Submissions per intake-verification chunk. A round's intake splits
+    /// into `⌈n / intake_chunk⌉` independent queue tasks so proof
+    /// verification parallelizes across workers *within* a round; chunk
+    /// results merge deterministically before batch release, so the
+    /// produced `RoundOutput` is byte-identical for any chunking. `0`
+    /// (default) auto-sizes to spread one round's intake evenly across the
+    /// worker pool.
+    pub intake_chunk: usize,
 }
 
 impl Default for EngineOptions {
@@ -73,6 +87,7 @@ impl Default for EngineOptions {
             latency: LatencyModel::Zero,
             parallelism: 1,
             stragglers: Vec::new(),
+            intake_chunk: 0,
         }
     }
 }
@@ -147,8 +162,24 @@ pub struct RoundReport {
 }
 
 enum Task {
-    Intake { round: usize },
+    IntakeChunk { round: usize, chunk: usize },
     Deliver { gid: usize },
+}
+
+/// Verified intake of one submission chunk: per-entry-group sub-batches and
+/// (trap variant) commitments, covering `IntakeChunk`'s submission range.
+struct ChunkIntake {
+    batches: Vec<Vec<MessageCiphertext>>,
+    commitments: Vec<Vec<Commitment>>,
+}
+
+struct IntakeState {
+    /// Chunks not yet verified; the worker that takes this to zero merges
+    /// and releases the round's iteration-0 batches.
+    pending: usize,
+    /// Per-chunk verification results, merged in chunk order (so the first
+    /// failing submission wins, exactly like the sequential driver).
+    results: Vec<Option<AtomResult<ChunkIntake>>>,
 }
 
 struct ExitState {
@@ -164,6 +195,9 @@ struct JobState {
     setup: RoundSetup,
     submissions: RoundSubmissions,
     actors: Vec<Mutex<GroupActor>>,
+    /// Submission index ranges of the intake chunks.
+    chunks: Vec<(usize, usize)>,
+    intake: Mutex<IntakeState>,
     exit: Mutex<ExitState>,
     result: Mutex<Option<AtomResult<RoundReport>>>,
     mix_messages: AtomicU64,
@@ -300,6 +334,7 @@ impl Engine {
             .max()
             .unwrap_or(1);
 
+        let workers = self.options.workers.max(1);
         // Build per-job state up front; actor construction failures (e.g.
         // too many pre-failed servers) resolve the job immediately.
         let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
@@ -320,7 +355,16 @@ impl Engine {
                     }
                 }
             }
+            let submissions_len = match &job.submissions {
+                RoundSubmissions::Nizk(s) => s.len(),
+                RoundSubmissions::Trap(s) => s.len(),
+            };
+            let chunks = chunk_ranges(submissions_len, self.options.intake_chunk, workers);
             let state = JobState {
+                intake: Mutex::new(IntakeState {
+                    pending: chunks.len(),
+                    results: (0..chunks.len()).map(|_| None).collect(),
+                }),
                 exit: Mutex::new(ExitState {
                     payloads: vec![None; num_groups],
                     exits_done: 0,
@@ -335,6 +379,7 @@ impl Engine {
                 setup: job.setup,
                 submissions: job.submissions,
                 actors,
+                chunks,
             };
             states.push(state);
         }
@@ -353,7 +398,10 @@ impl Engine {
         };
         for (round, state) in states.iter().enumerate() {
             if !state.finalized() {
-                shared.queue_lock().push_back(Task::Intake { round });
+                let mut queue = shared.queue_lock();
+                for chunk in 0..state.chunks.len() {
+                    queue.push_back(Task::IntakeChunk { round, chunk });
+                }
             }
         }
 
@@ -399,7 +447,7 @@ fn worker_loop(shared: &Shared<'_>) {
         // resolve every open round with an error, then re-raise the panic so
         // the scope surfaces it.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
-            Task::Intake { round } => run_intake(shared, round),
+            Task::IntakeChunk { round, chunk } => run_intake_chunk(shared, round, chunk),
             Task::Deliver { gid } => run_deliver(shared, gid),
         }));
         if let Err(panic) = result {
@@ -409,28 +457,107 @@ fn worker_loop(shared: &Shared<'_>) {
     }
 }
 
-/// Verifies a round's submissions and injects the iteration-0 batches.
-fn run_intake(shared: &Shared<'_>, round: usize) {
+/// The submission ranges of a round's intake chunks. `chunk` is the
+/// configured submissions-per-chunk (`0` = auto: spread the round evenly
+/// over the worker pool). A round with no submissions still gets one
+/// (empty) chunk so the release path runs.
+fn chunk_ranges(submissions: usize, chunk: usize, workers: usize) -> Vec<(usize, usize)> {
+    if submissions == 0 {
+        return vec![(0, 0)];
+    }
+    let size = if chunk > 0 {
+        chunk
+    } else {
+        submissions.div_ceil(workers)
+    }
+    .max(1);
+    (0..submissions)
+        .step_by(size)
+        .map(|start| (start, start.saturating_add(size).min(submissions)))
+        .collect()
+}
+
+/// Verifies one intake chunk of a round's submissions; the worker that
+/// completes the round's last chunk merges the results and releases the
+/// iteration-0 batches ([`finish_intake`]).
+fn run_intake_chunk(shared: &Shared<'_>, round: usize, chunk: usize) {
     let job = &shared.jobs[round];
     if job.failed() {
         return;
     }
-    job.exit.lock().started = Some(Instant::now());
+    {
+        let mut exit = job.exit.lock();
+        if exit.started.is_none() {
+            exit.started = Some(Instant::now());
+        }
+    }
 
-    let (batches, commitments) = match &job.submissions {
+    let (start, end) = job.chunks[chunk];
+    let result = match &job.submissions {
         RoundSubmissions::Nizk(submissions) => {
-            match verify_nizk_submissions(&job.setup, submissions) {
-                Ok(batches) => (batches, Vec::new()),
-                Err(error) => return shared.fail_job(round, error),
-            }
+            verify_nizk_submissions_range(&job.setup, &submissions[start..end], start).map(
+                |batches| ChunkIntake {
+                    batches,
+                    commitments: Vec::new(),
+                },
+            )
         }
         RoundSubmissions::Trap(submissions) => {
-            match verify_trap_submissions(&job.setup, submissions) {
-                Ok(intake) => (intake.batches, intake.commitments),
-                Err(error) => return shared.fail_job(round, error),
-            }
+            verify_trap_submissions_range(&job.setup, &submissions[start..end], start).map(
+                |intake| ChunkIntake {
+                    batches: intake.batches,
+                    commitments: intake.commitments,
+                },
+            )
         }
     };
+
+    let release = {
+        let mut intake = job.intake.lock();
+        intake.results[chunk] = Some(result);
+        intake.pending -= 1;
+        intake.pending == 0
+    };
+    if release {
+        finish_intake(shared, round);
+    }
+}
+
+/// Merges the verified intake chunks in chunk order and injects the
+/// iteration-0 batches. Ranges are contiguous and ascending, so the merged
+/// per-group batches equal the single-task (and sequential-driver)
+/// bucketing byte for byte; the first failed chunk — which contains the
+/// lowest-indexed rejected submission — decides the round's error.
+fn finish_intake(shared: &Shared<'_>, round: usize) {
+    let job = &shared.jobs[round];
+    if job.failed() {
+        return;
+    }
+    let results: Vec<AtomResult<ChunkIntake>> = {
+        let mut intake = job.intake.lock();
+        intake
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("every chunk recorded a result"))
+            .collect()
+    };
+
+    let num_groups = job.num_groups();
+    let mut batches: Vec<Vec<MessageCiphertext>> = vec![Vec::new(); num_groups];
+    let mut commitments: Vec<Vec<Commitment>> = vec![Vec::new(); num_groups];
+    for result in results {
+        match result {
+            Ok(chunk) => {
+                for (gid, mut sub) in chunk.batches.into_iter().enumerate() {
+                    batches[gid].append(&mut sub);
+                }
+                for (gid, mut sub) in chunk.commitments.into_iter().enumerate() {
+                    commitments[gid].append(&mut sub);
+                }
+            }
+            Err(error) => return shared.fail_job(round, error),
+        }
+    }
 
     {
         let mut exit = job.exit.lock();
@@ -729,6 +856,137 @@ mod tests {
         let mut want = expected[1].clone();
         want.sort();
         assert_eq!(recovered(&ok.output), want);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_contiguously() {
+        assert_eq!(chunk_ranges(0, 0, 4), vec![(0, 0)]);
+        assert_eq!(chunk_ranges(7, 2, 4), vec![(0, 2), (2, 4), (4, 6), (6, 7)]);
+        assert_eq!(chunk_ranges(7, usize::MAX, 4), vec![(0, 7)]);
+        // Auto sizing spreads across the worker pool.
+        assert_eq!(chunk_ranges(8, 0, 4), vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+        assert_eq!(chunk_ranges(3, 0, 8), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn chunked_intake_output_is_byte_identical_across_chunkings() {
+        let (jobs, _) = trap_jobs(1, 6000);
+        let job = jobs.into_iter().next().unwrap();
+        let mut reference: Option<RoundOutput> = None;
+        for chunk in [1usize, 2, 3, usize::MAX] {
+            let mut options = EngineOptions::with_workers(3);
+            options.intake_chunk = chunk;
+            let report = Engine::new(options).run_round(job.clone()).unwrap();
+            match &reference {
+                None => reference = Some(report.output),
+                Some(want) => {
+                    assert_eq!(report.output.plaintexts, want.plaintexts, "chunk={chunk}");
+                    assert_eq!(report.output.per_group, want.per_group, "chunk={chunk}");
+                    assert_eq!(
+                        report.output.routed_ciphertexts, want.routed_ciphertexts,
+                        "chunk={chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_intake_reports_the_same_rejection_as_the_sequential_driver() {
+        let (mut jobs, _) = trap_jobs(1, 7000);
+        // Rebind submission 2 to another entry group without re-proving: the
+        // batch check must fail, fall back, and name submission 2.
+        if let RoundSubmissions::Trap(subs) = &mut jobs[0].submissions {
+            subs[2].entry_group = (subs[2].entry_group + 1) % 3;
+        }
+        let submissions = match &jobs[0].submissions {
+            RoundSubmissions::Trap(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let driver = RoundDriver::new(jobs[0].setup.clone());
+        let mut driver_rng = StdRng::seed_from_u64(jobs[0].seed);
+        let sequential_err = driver
+            .run_trap_round(&submissions, &mut driver_rng)
+            .unwrap_err();
+
+        for chunk in [1usize, 2, usize::MAX] {
+            let mut options = EngineOptions::with_workers(3);
+            options.intake_chunk = chunk;
+            let err = Engine::new(options).run_round(jobs[0].clone()).unwrap_err();
+            assert_eq!(
+                format!("{err:?}"),
+                format!("{sequential_err:?}"),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn nizk_adversary_verdict_matches_sequential_driver() {
+        use atom_core::message::make_nizk_submission;
+
+        let mut rng = StdRng::seed_from_u64(88);
+        let mut config = AtomConfig::test_default();
+        config.defense = atom_core::config::Defense::Nizk;
+        config.num_groups = 3;
+        config.iterations = 2;
+        config.message_len = 24;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let submissions: Vec<_> = (0..6)
+            .map(|i| {
+                let gid = i % config.num_groups;
+                make_nizk_submission(
+                    gid,
+                    &setup.groups[gid].public_key,
+                    format!("msg {i}").as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        let plan = AdversaryPlan {
+            group: 2,
+            member: 3,
+            iteration: 1,
+            action: atom_core::adversary::Misbehavior::ReplaceMessage { slot: 0 },
+        };
+
+        let driver = RoundDriver::new(setup.clone()).with_adversary(plan);
+        let mut driver_rng = StdRng::seed_from_u64(4321);
+        let sequential_err = driver
+            .run_nizk_round(&submissions, &mut driver_rng)
+            .unwrap_err();
+
+        let mut job = RoundJob::new(setup, RoundSubmissions::Nizk(submissions), 4321);
+        job.adversary = Some(plan);
+        let mut options = EngineOptions::with_workers(3);
+        options.intake_chunk = 2;
+        let engine_err = Engine::new(options).run_round(job).unwrap_err();
+
+        // Batched re-encryption verification must fall back and blame the
+        // exact same server for the exact same reason.
+        match (&engine_err, &sequential_err) {
+            (
+                AtomError::ProtocolViolation {
+                    group: g1,
+                    member: m1,
+                    reason: r1,
+                },
+                AtomError::ProtocolViolation {
+                    group: g2,
+                    member: m2,
+                    reason: r2,
+                },
+            ) => {
+                assert_eq!((g1, m1), (g2, m2));
+                assert_eq!(r1, r2);
+                assert_eq!(*g1, 2);
+                assert_eq!(*m1, Some(3));
+            }
+            other => panic!("expected matching protocol violations, got {other:?}"),
+        }
     }
 
     #[test]

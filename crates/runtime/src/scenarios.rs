@@ -14,6 +14,9 @@
 //!   productive and the report exposes barrier vs. pipelined latency.
 //! * [`defense_matrix`] — the same workload under both the NIZK and trap
 //!   variants.
+//! * [`batched_intake`] — chunked parallel submission intake: per-submission
+//!   chunks, a single intake task, and the sequential driver must all
+//!   produce byte-identical round outputs.
 
 use std::time::Duration;
 
@@ -337,6 +340,64 @@ pub fn stragglers(
     }
     Ok(ScenarioReport::from_reports(
         std::slice::from_ref(&report),
+        messages,
+    ))
+}
+
+/// Chunked-intake equivalence: the same NIZK-variant round executed with
+/// per-submission intake chunks, with one monolithic intake task, and on the
+/// sequential [`RoundDriver`] must produce byte-identical outputs — chunking
+/// only changes *where* proof verification runs, never what the round says.
+pub fn batched_intake(
+    groups: usize,
+    messages: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let config = small_config(Defense::Nizk, groups, 0, options.seed);
+    let setup = setup_round(&config, &mut rng)?;
+    let submissions = (0..messages)
+        .map(|i| {
+            make_nizk_submission(
+                i % groups,
+                &setup.groups[i % groups].public_key,
+                format!("intake {i}").as_bytes(),
+                config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    let run = |intake_chunk: usize| -> AtomResult<RoundReport> {
+        let mut engine_options = EngineOptions::with_workers(options.workers);
+        engine_options.latency = options.latency;
+        engine_options.intake_chunk = intake_chunk;
+        Engine::new(engine_options).run_round(RoundJob::new(
+            setup.clone(),
+            RoundSubmissions::Nizk(submissions.clone()),
+            options.seed,
+        ))
+    };
+    let chunked = run(1)?;
+    let single = run(usize::MAX)?;
+
+    let driver = RoundDriver::new(setup.clone());
+    let mut driver_rng = StdRng::seed_from_u64(options.seed);
+    let sequential = driver.run_nizk_round(&submissions, &mut driver_rng)?;
+
+    for (label, output) in [("single-task", &single.output), ("sequential", &sequential)] {
+        if chunked.output.plaintexts != output.plaintexts
+            || chunked.output.per_group != output.per_group
+            || chunked.output.routed_ciphertexts != output.routed_ciphertexts
+        {
+            return Err(AtomError::Malformed(format!(
+                "chunked intake diverged from the {label} round"
+            )));
+        }
+    }
+    Ok(ScenarioReport::from_reports(
+        std::slice::from_ref(&chunked),
         messages,
     ))
 }

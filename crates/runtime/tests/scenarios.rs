@@ -44,6 +44,12 @@ fn straggler_groups_do_not_stall_the_round() {
 }
 
 #[test]
+fn chunked_intake_matches_single_task_and_sequential_outputs() {
+    let report = scenarios::batched_intake(3, 6, &options(29)).unwrap();
+    assert_eq!(report.delivered, 6);
+}
+
+#[test]
 fn both_defense_variants_deliver_the_same_workload() {
     let (nizk, trap) = scenarios::defense_matrix(2, 3, &options(23)).unwrap();
     assert_eq!(nizk.delivered, 3);

@@ -1,5 +1,7 @@
 //! Fixed group constants (mirror of `curve25519_dalek::constants`).
 
+use std::sync::OnceLock;
+
 use crate::field::U256;
 use crate::ristretto::{RistrettoBasepointTable, RistrettoPoint};
 
@@ -7,8 +9,11 @@ use crate::ristretto::{RistrettoBasepointTable, RistrettoPoint};
 /// whole prime-order group.
 pub const RISTRETTO_BASEPOINT_POINT: RistrettoPoint = RistrettoPoint(U256([4, 0, 0, 0]));
 
-/// The "precomputed" basepoint table (scalar multiplication against the
-/// fixed basepoint).
-pub static RISTRETTO_BASEPOINT_TABLE: &RistrettoBasepointTable = &RistrettoBasepointTable {
+static BASEPOINT_TABLE: RistrettoBasepointTable = RistrettoBasepointTable {
     point: RISTRETTO_BASEPOINT_POINT,
+    windows: OnceLock::new(),
 };
+
+/// The precomputed basepoint table (4-bit fixed windows, built lazily on
+/// first use and shared process-wide).
+pub static RISTRETTO_BASEPOINT_TABLE: &RistrettoBasepointTable = &BASEPOINT_TABLE;

@@ -93,6 +93,36 @@ impl U256 {
     pub fn bit(&self, i: usize) -> bool {
         (self.0[i / 64] >> (i % 64)) & 1 == 1
     }
+
+    /// Number of significant bits: the position of the highest set bit plus
+    /// one, or zero for the value zero. Skips leading zero limbs, so short
+    /// values cost proportionally less in the exponentiation loops below.
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return i * 64 + 64 - self.0[i].leading_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// The 4-bit window (nibble) at position `i` (little-endian, `i < 64`).
+    pub fn nibble(&self, i: usize) -> usize {
+        ((self.0[i / 16] >> ((i % 16) * 4)) & 0xf) as usize
+    }
+}
+
+/// `−m⁻¹ mod 2^64` for odd `m` (Newton–Hensel lifting: each iteration
+/// doubles the number of correct low bits, starting from the trivial
+/// inverse modulo 2).
+const fn neg_inv_u64(m: u64) -> u64 {
+    let mut x: u64 = 1;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+        i += 1;
+    }
+    x.wrapping_neg()
 }
 
 /// A prime modulus `m` with `2^256 ≡ fold (mod m)` for a small `fold`.
@@ -102,12 +132,18 @@ pub struct Modulus {
     pub modulus: U256,
     /// `2^256 mod modulus` (fits far below one limb).
     pub fold: u64,
+    /// `−modulus⁻¹ mod 2^64`, the Montgomery reduction constant.
+    pub m_prime: u64,
 }
 
 impl Modulus {
     /// Creates a modulus descriptor.
     pub const fn new(modulus: U256, fold: u64) -> Self {
-        Self { modulus, fold }
+        Self {
+            modulus,
+            fold,
+            m_prime: neg_inv_u64(modulus.0[0]),
+        }
     }
 
     /// Reduces a value below `2^256` into canonical `[0, m)` form.
@@ -198,34 +234,307 @@ impl Modulus {
         self.reduce_wide(&w)
     }
 
-    /// `base^exp mod m` by square-and-multiply.
+    /// `a² mod m` for canonical input. Exploits the symmetry of the square
+    /// (off-diagonal partial products computed once and doubled), saving
+    /// roughly a third of the 64×64 multiplies of [`Self::mul`]. The
+    /// exponentiation loops below are dominated by squarings.
+    pub fn sqr(&self, a: &U256) -> U256 {
+        // Off-diagonal products a_i·a_j for i < j.
+        let mut w = [0u64; 8];
+        for i in 0..3 {
+            let mut carry: u128 = 0;
+            for j in (i + 1)..4 {
+                let t = w[i + j] as u128 + a.0[i] as u128 * a.0[j] as u128 + carry;
+                w[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            w[i + 4] = carry as u64;
+        }
+        // Double them (the top bit cannot carry out: the cross-product sum
+        // is below 2^510).
+        let mut carry = 0u64;
+        for limb in w.iter_mut() {
+            let d = ((*limb as u128) << 1) | carry as u128;
+            *limb = d as u64;
+            carry = (d >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0);
+        // Add the diagonal a_i².
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let d = a.0[i] as u128 * a.0[i] as u128;
+            let v = w[2 * i] as u128 + (d as u64) as u128 + carry;
+            w[2 * i] = v as u64;
+            carry = v >> 64;
+            let v = w[2 * i + 1] as u128 + (d >> 64) + carry;
+            w[2 * i + 1] = v as u64;
+            carry = v >> 64;
+        }
+        debug_assert_eq!(carry, 0);
+        self.reduce_wide(&w)
+    }
+
+    /// Montgomery form of `a`: `a · 2^256 mod m`. Since `2^256 ≡ fold`, this
+    /// is a single small multiplication.
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mul(a, &U256::from_u64(self.fold))
+    }
+
+    /// Converts back from Montgomery form: `a · 2^{−256} mod m`.
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        let mut w = [0u64; 8];
+        w[..4].copy_from_slice(&a.0);
+        self.redc(&w)
+    }
+
+    /// Montgomery multiplication: for inputs in Montgomery form, returns the
+    /// Montgomery form of the product (`a · b · 2^{−256} mod m`).
+    ///
+    /// Kept for reference and benchmarking: for these special moduli the
+    /// `2^256 ≡ fold` reduction of [`Self::mul`] needs ~20 word multiplies
+    /// against REDC's ~36, so the hot paths use the fold form. See
+    /// `atom_crypto::batch` for the measurement.
+    pub fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        let mut w = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let t = w[i + j] as u128 + a.0[i] as u128 * b.0[j] as u128 + carry;
+                w[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            w[i + 4] = carry as u64;
+        }
+        self.redc(&w)
+    }
+
+    /// Montgomery reduction (REDC) of a 512-bit value: `w · 2^{−256} mod m`.
+    fn redc(&self, w: &[u64; 8]) -> U256 {
+        let m = &self.modulus.0;
+        let mut t = [0u64; 9];
+        t[..8].copy_from_slice(w);
+        for i in 0..4 {
+            let u = t[i].wrapping_mul(self.m_prime);
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = t[i + j] as u128 + u as u128 * m[j] as u128 + carry;
+                t[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            let mut k = i + 4;
+            while carry != 0 {
+                let v = t[k] as u128 + carry;
+                t[k] = v as u64;
+                carry = v >> 64;
+                k += 1;
+            }
+        }
+        // The reduced value is t[4..8] plus a possible ninth-limb carry,
+        // which folds back in via 2^256 ≡ fold.
+        let (mut r, carry) = {
+            let base = U256([t[4], t[5], t[6], t[7]]);
+            if t[8] != 0 {
+                base.add_small(t[8] * self.fold)
+            } else {
+                (base, false)
+            }
+        };
+        if carry {
+            let (folded, again) = r.add_small(self.fold);
+            debug_assert!(!again);
+            r = folded;
+        }
+        self.canonical(r)
+    }
+
+    /// `base^exp mod m` by 4-bit fixed-window exponentiation.
+    ///
+    /// Skips leading zero windows entirely (a 17-bit exponent costs five
+    /// windows, not 64) and uses the dedicated squaring. Very short
+    /// exponents take a plain square-and-multiply ladder to avoid paying
+    /// for the window table.
     pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        let bits = exp.bits();
+        if bits == 0 {
+            return U256::ONE;
+        }
+        if bits <= 8 {
+            // Table build (14 multiplies) would dominate: plain ladder.
+            let mut acc = self.canonical(*base);
+            for i in (0..bits - 1).rev() {
+                acc = self.sqr(&acc);
+                if exp.bit(i) {
+                    acc = self.mul(&acc, base);
+                }
+            }
+            return acc;
+        }
+
+        // tbl[j] = base^j for j in 0..16.
+        let mut tbl = [U256::ONE; 16];
+        tbl[1] = self.canonical(*base);
+        for j in 2..16 {
+            tbl[j] = self.mul(&tbl[j - 1], &tbl[1]);
+        }
+
+        let top = (bits - 1) / 4;
+        let mut acc = tbl[exp.nibble(top)];
+        for i in (0..top).rev() {
+            acc = self.sqr(&acc);
+            acc = self.sqr(&acc);
+            acc = self.sqr(&acc);
+            acc = self.sqr(&acc);
+            let d = exp.nibble(i);
+            if d != 0 {
+                acc = self.mul(&acc, &tbl[d]);
+            }
+        }
+        acc
+    }
+
+    /// Simultaneous multi-exponentiation (Straus/Shamir interleaving):
+    /// `∏_k bases[k]^exps[k] mod m`.
+    ///
+    /// All exponents share one squaring chain, so `n` joint exponentiations
+    /// cost one chain of squarings plus window multiplies instead of `n`
+    /// full chains. Bases with a zero exponent (or equal to one) contribute
+    /// nothing and are skipped, including their table build.
+    pub fn multi_pow(&self, bases: &[U256], exps: &[U256]) -> U256 {
+        assert_eq!(
+            bases.len(),
+            exps.len(),
+            "multi_pow needs one exponent per base"
+        );
+        let mut tables: Vec<([U256; 16], &U256)> = Vec::with_capacity(bases.len());
+        let mut max_bits = 0;
+        for (base, exp) in bases.iter().zip(exps.iter()) {
+            let bits = exp.bits();
+            if bits == 0 || *base == U256::ONE {
+                continue;
+            }
+            let mut tbl = [U256::ONE; 16];
+            tbl[1] = self.canonical(*base);
+            for j in 2..16 {
+                tbl[j] = self.mul(&tbl[j - 1], &tbl[1]);
+            }
+            tables.push((tbl, exp));
+            max_bits = max_bits.max(bits);
+        }
+        if max_bits == 0 {
+            return U256::ONE;
+        }
+
+        let top = (max_bits - 1) / 4;
         let mut acc = U256::ONE;
         let mut started = false;
-        for i in (0..256).rev() {
+        for i in (0..=top).rev() {
             if started {
-                acc = self.mul(&acc, &acc);
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
             }
-            if exp.bit(i) {
-                if started {
-                    acc = self.mul(&acc, base);
-                } else {
-                    acc = *base;
-                    started = true;
+            for (tbl, exp) in &tables {
+                let d = exp.nibble(i);
+                if d != 0 {
+                    if started {
+                        acc = self.mul(&acc, &tbl[d]);
+                    } else {
+                        acc = tbl[d];
+                        started = true;
+                    }
                 }
             }
         }
-        if started {
-            acc
-        } else {
-            U256::ONE
-        }
+        acc
     }
 
     /// `a^(−1) mod m` via Fermat (requires `m` prime, `a ≠ 0`).
     pub fn inv(&self, a: &U256) -> U256 {
         let exp = self.modulus.sub_borrow(&U256::from_u64(2)).0;
         self.pow(a, &exp)
+    }
+
+    /// Batch inversion by Montgomery's trick: `n` inverses for the price of
+    /// one Fermat exponentiation plus `3(n−1)` multiplications. Zero inputs
+    /// are passed through as zero (they have no inverse).
+    pub fn inv_batch(&self, values: &[U256]) -> Vec<U256> {
+        // Prefix products over the non-zero values.
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = U256::ONE;
+        for v in values {
+            prefix.push(acc);
+            if !v.is_zero() {
+                acc = self.mul(&acc, v);
+            }
+        }
+        // One inversion of the full product, then peel backwards.
+        let mut inv_acc = if acc == U256::ONE {
+            U256::ONE
+        } else {
+            self.inv(&acc)
+        };
+        let mut out = vec![U256::ZERO; values.len()];
+        for (i, v) in values.iter().enumerate().rev() {
+            if v.is_zero() {
+                continue;
+            }
+            out[i] = self.mul(&inv_acc, &prefix[i]);
+            inv_acc = self.mul(&inv_acc, v);
+        }
+        out
+    }
+}
+
+/// A precomputed fixed-base exponentiation table: `rows[i][j]` holds
+/// `base^(j · 16^i)`, so `base^e` is a product of at most 64 table entries —
+/// no runtime squarings at all. Building the table costs ~64·15 multiplies
+/// and pays for itself after three or four exponentiations; the group
+/// generator and per-round DKG public keys are reused thousands of times.
+#[derive(Clone, Debug)]
+pub struct PowTable {
+    rows: Vec<[U256; 16]>,
+}
+
+impl PowTable {
+    /// Builds the table for `base` under `modulus`.
+    pub fn new(modulus: &Modulus, base: &U256) -> Self {
+        let mut rows = Vec::with_capacity(64);
+        let mut row_base = modulus.canonical(*base);
+        for _ in 0..64 {
+            let mut row = [U256::ONE; 16];
+            row[1] = row_base;
+            for j in 2..16 {
+                row[j] = modulus.mul(&row[j - 1], &row_base);
+            }
+            // Next row's unit: base^(16^{i+1}) = (base^(16^i))^16.
+            row_base = modulus.mul(&row[15], &row[1]);
+            rows.push(row);
+        }
+        Self { rows }
+    }
+
+    /// `base^exp mod m` from the table.
+    pub fn pow(&self, modulus: &Modulus, exp: &U256) -> U256 {
+        let bits = exp.bits();
+        if bits == 0 {
+            return U256::ONE;
+        }
+        let top = (bits - 1) / 4;
+        let mut acc = U256::ONE;
+        let mut started = false;
+        for (i, row) in self.rows.iter().enumerate().take(top + 1) {
+            let d = exp.nibble(i);
+            if d != 0 {
+                if started {
+                    acc = modulus.mul(&acc, &row[d]);
+                } else {
+                    acc = row[d];
+                    started = true;
+                }
+            }
+        }
+        acc
     }
 }
 
@@ -324,5 +633,144 @@ mod tests {
         }
         assert_eq!(P.pow(&base, &U256::from_u64(17)), expected);
         assert_eq!(P.pow(&base, &U256::ZERO), U256::ONE);
+    }
+
+    /// Reference square-and-multiply over all 256 bits (the pre-window
+    /// implementation), used to pin the optimized ladder's semantics.
+    fn pow_naive(m: &Modulus, base: &U256, exp: &U256) -> U256 {
+        let mut acc = U256::ONE;
+        for i in (0..256).rev() {
+            acc = m.mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = m.mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn windowed_pow_matches_naive_for_short_exponents() {
+        // Regression for the leading-zero-limb skip: a 17-bit exponent must
+        // not be treated as a 256-bit one (and must still be correct).
+        let base = U256([0x1234_5678_9abc_def0, 77, 3, 0]);
+        let exp17 = U256::from_u64(0x1_5a3b); // 17 bits
+        assert_eq!(exp17.bits(), 17);
+        assert_eq!(P.pow(&base, &exp17), pow_naive(&P, &base, &exp17));
+        // Boundary cases around the short-ladder cutoff and word edges.
+        for e in [1u64, 2, 3, 0xff, 0x100, 0x1_0000, u64::MAX] {
+            let e = U256::from_u64(e);
+            assert_eq!(P.pow(&base, &e), pow_naive(&P, &base, &e), "exp {e:?}");
+            assert_eq!(Q.pow(&base, &e), pow_naive(&Q, &base, &e), "exp {e:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_pow_matches_naive_for_full_width_exponents() {
+        let base = U256([0xdead_beef, 0xfeed, 0x1357_9bdf_0246_8ace, 0x0fff]);
+        for seed in 1u64..6 {
+            let exp = U256([
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                seed.wrapping_mul(0xbf58_476d_1ce4_e5b9),
+                seed.wrapping_mul(0x94d0_49bb_1331_11eb),
+                seed.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 2,
+            ]);
+            assert_eq!(P.pow(&base, &exp), pow_naive(&P, &base, &exp));
+        }
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        for seed in 0u64..8 {
+            let a = U256([
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(3),
+                seed.wrapping_mul(0xbf58_476d_1ce4_e5b9),
+                !seed,
+                seed << 40,
+            ]);
+            let a = P.reduce_wide(&[a.0[0], a.0[1], a.0[2], a.0[3], 0, 0, 0, 0]);
+            assert_eq!(P.sqr(&a), P.mul(&a, &a));
+            assert_eq!(Q.sqr(&a), Q.mul(&a, &a));
+        }
+    }
+
+    #[test]
+    fn montgomery_constants_and_roundtrip() {
+        for m in [P, Q] {
+            assert_eq!(
+                m.modulus.0[0].wrapping_mul(m.m_prime.wrapping_neg()),
+                1,
+                "m_prime must invert the low limb"
+            );
+            let a = U256([0xabcdef, 42, 7, 0x1fff]);
+            let a = m.canonical(a);
+            assert_eq!(m.from_mont(&m.to_mont(&a)), a);
+        }
+    }
+
+    #[test]
+    fn montgomery_multiplication_matches_fold_multiplication() {
+        let a = U256([99, 0xffff_ffff, 5, 0x0123_4567]);
+        let b = U256([0xfedc_ba98, 1, u64::MAX, 0x7fff]);
+        for m in [P, Q] {
+            let (a, b) = (m.canonical(a), m.canonical(b));
+            let mont = m.mont_mul(&m.to_mont(&a), &m.to_mont(&b));
+            assert_eq!(m.from_mont(&mont), m.mul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn batch_inversion_matches_individual_inverses() {
+        let values: Vec<U256> = (1u64..10)
+            .map(|i| U256([i * 12345, i, 0, i << 10]))
+            .collect();
+        let inverses = P.inv_batch(&values);
+        for (v, inv) in values.iter().zip(inverses.iter()) {
+            assert_eq!(P.mul(v, inv), U256::ONE);
+            assert_eq!(*inv, P.inv(v));
+        }
+        // Zero entries pass through as zero without breaking neighbours.
+        let with_zero = vec![values[0], U256::ZERO, values[1]];
+        let inverses = Q.inv_batch(&with_zero);
+        assert_eq!(inverses[1], U256::ZERO);
+        assert_eq!(Q.mul(&with_zero[0], &inverses[0]), U256::ONE);
+        assert_eq!(Q.mul(&with_zero[2], &inverses[2]), U256::ONE);
+        assert!(P.inv_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn multi_pow_matches_product_of_pows() {
+        let bases = [
+            U256::from_u64(4),
+            U256([123, 456, 789, 0]),
+            U256([0xdead, 0, 0xbeef, 0x3f]),
+            U256::ONE,
+        ];
+        let exps = [
+            U256::from_u64(17),
+            U256([u64::MAX, u64::MAX, 1, 0]),
+            U256::ZERO,
+            U256::from_u64(999),
+        ];
+        let mut expected = U256::ONE;
+        for (b, e) in bases.iter().zip(exps.iter()) {
+            expected = P.mul(&expected, &P.pow(b, e));
+        }
+        assert_eq!(P.multi_pow(&bases, &exps), expected);
+        assert_eq!(P.multi_pow(&[], &[]), U256::ONE);
+    }
+
+    #[test]
+    fn pow_table_matches_direct_pow() {
+        let base = U256([0x1111, 0x2222, 0x3333, 0x0444]);
+        let table = PowTable::new(&P, &base);
+        for exp in [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(0x1_5a3b),
+            U256([u64::MAX, 0, u64::MAX, 0x0fff_ffff]),
+            Q.modulus.sub_borrow(&U256::ONE).0,
+        ] {
+            assert_eq!(table.pow(&P, &exp), P.pow(&base, &exp), "exp {exp:?}");
+        }
     }
 }

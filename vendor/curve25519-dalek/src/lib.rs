@@ -28,7 +28,10 @@
 
 #![forbid(unsafe_code)]
 
-mod field;
+// Public so the workspace's microbenches can compare the raw field
+// arithmetic paths (naive vs windowed vs Montgomery); the real dalek crate
+// has no such module, and nothing outside benches may depend on it.
+pub mod field;
 
 pub mod constants;
 pub mod ristretto;

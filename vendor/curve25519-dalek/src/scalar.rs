@@ -70,6 +70,24 @@ impl Scalar {
         assert!(!self.to_u256().is_zero(), "inverting the zero scalar");
         Scalar::from_u256(Q.inv(&self.to_u256()))
     }
+
+    /// Inverts every scalar with Montgomery's trick: one Fermat
+    /// exponentiation plus three multiplications per element, instead of one
+    /// exponentiation each. Panics on zero, like [`Self::invert`].
+    pub fn batch_invert(scalars: &[Scalar]) -> Vec<Scalar> {
+        let values: Vec<crate::field::U256> = scalars
+            .iter()
+            .map(|s| {
+                let v = s.to_u256();
+                assert!(!v.is_zero(), "inverting the zero scalar");
+                v
+            })
+            .collect();
+        Q.inv_batch(&values)
+            .into_iter()
+            .map(Scalar::from_u256)
+            .collect()
+    }
 }
 
 macro_rules! scalar_from_uint {
@@ -202,6 +220,19 @@ mod tests {
             let a = Scalar::random(&mut rng);
             assert_eq!(a * a.invert(), Scalar::ONE);
         }
+    }
+
+    #[test]
+    fn batch_inversion_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scalars: Vec<Scalar> = (0..9).map(|_| Scalar::random(&mut rng)).collect();
+        let inverses = Scalar::batch_invert(&scalars);
+        assert_eq!(inverses.len(), scalars.len());
+        for (s, inv) in scalars.iter().zip(inverses.iter()) {
+            assert_eq!(*inv, s.invert());
+            assert_eq!(s * inv, Scalar::ONE);
+        }
+        assert!(Scalar::batch_invert(&[]).is_empty());
     }
 
     #[test]
