@@ -1,0 +1,127 @@
+//! `atom-node` — one process of a multi-process Atom deployment.
+//!
+//! Each invocation hosts a subset of the anytrust groups of a
+//! deterministically derived workload (see `atom_bench::netbench`) and
+//! talks to its peers over `TcpTransport`. Process 0 is the coordinator:
+//! it verifies submission intake, injects the iteration-0 batches,
+//! collects every group's exit frame and reports the round outputs.
+//! Groups are assigned round-robin over all processes (coordinator
+//! included).
+//!
+//! A two-process loopback run:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin atom-node -- \
+//!     --index 1 --addrs 127.0.0.1:7401,127.0.0.1:7402 --groups 4 &
+//! cargo run --release -p atom-bench --bin atom-node -- \
+//!     --index 0 --addrs 127.0.0.1:7401,127.0.0.1:7402 --groups 4 \
+//!     --out /tmp/atom_node_output.bin
+//! ```
+//!
+//! Every process must receive the same `--addrs`, `--groups`, `--rounds`,
+//! `--messages`, `--iterations` and `--seed`; the workload derivation is a
+//! pure function of those, which is what makes the run coordination-free.
+//! With `--out`, the coordinator writes the canonical serialization of the
+//! round outputs — the TCP equivalence test diffs it byte-for-byte against
+//! a single-process in-memory run of the same spec.
+
+use std::time::{Duration, Instant};
+
+use atom_bench::netbench::{self, NetSpec};
+
+struct Args {
+    spec: NetSpec,
+    addrs: Vec<String>,
+    index: usize,
+    workers: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: NetSpec::default(),
+        addrs: Vec::new(),
+        index: 0,
+        workers: 2,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut grab = |name: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs an argument"))
+        };
+        let num = |name: &str, value: String| -> u64 {
+            value
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("{name} needs a numeric argument"))
+        };
+        match flag.as_str() {
+            "--index" => args.index = num("--index", grab("--index")) as usize,
+            "--addrs" => {
+                args.addrs = grab("--addrs")
+                    .split(',')
+                    .map(|addr| addr.trim().to_string())
+                    .filter(|addr| !addr.is_empty())
+                    .collect()
+            }
+            "--groups" => args.spec.groups = num("--groups", grab("--groups")) as usize,
+            "--rounds" => args.spec.rounds = num("--rounds", grab("--rounds")) as usize,
+            "--messages" => args.spec.messages = num("--messages", grab("--messages")) as usize,
+            "--iterations" => {
+                args.spec.iterations = num("--iterations", grab("--iterations")) as usize
+            }
+            "--seed" => args.spec.seed = num("--seed", grab("--seed")),
+            "--delay-ms" => {
+                args.spec.delay = Duration::from_millis(num("--delay-ms", grab("--delay-ms")))
+            }
+            "--workers" => args.workers = num("--workers", grab("--workers")) as usize,
+            "--out" => args.out = Some(grab("--out")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(
+        args.addrs.len() >= 2,
+        "--addrs needs at least coordinator + one member (got {})",
+        args.addrs.len()
+    );
+    assert!(
+        args.index < args.addrs.len(),
+        "--index {} out of range for {} addresses",
+        args.index,
+        args.addrs.len()
+    );
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let start = Instant::now();
+    let reports = netbench::run_process(&args.spec, args.addrs.clone(), args.index, args.workers);
+    let wall = start.elapsed();
+
+    if args.index == 0 {
+        let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();
+        let expected = args.spec.rounds * args.spec.messages;
+        assert_eq!(delivered, expected, "no message may be lost");
+        let rate = delivered as f64 / wall.as_secs_f64();
+        println!(
+            "atom-node coordinator: {} processes, {} groups, {} rounds x {} messages \
+             -> {delivered} delivered in {wall:.2?} ({rate:.1} msgs/sec)",
+            args.addrs.len(),
+            args.spec.groups,
+            args.spec.rounds,
+            args.spec.messages,
+        );
+        if let Some(path) = &args.out {
+            std::fs::write(path, netbench::serialize_reports(&reports))
+                .expect("write round outputs");
+            println!("atom-node coordinator: outputs written to {path}");
+        }
+    } else {
+        println!(
+            "atom-node member {}: hosted its groups to completion in {wall:.2?}",
+            args.index
+        );
+    }
+}

@@ -13,27 +13,58 @@
 //! * **`--real`**: no emulation — raw curve arithmetic on the host. The
 //!   scaling then tracks the machine's physical core count.
 //!
+//! Two transports:
+//!
+//! * **`--transport mem`** (default): every group in this process over
+//!   `InMemoryNetwork`.
+//! * **`--transport tcp`**: the same deployment split across **two OS
+//!   processes on loopback** (coordinator + one member, groups round-robin;
+//!   the member is this binary re-executed with the internal `--tcp-member`
+//!   flag), exchanging frames through `TcpTransport`.
+//!
+//! With `--out PATH` the bin instead runs both transports at 1/2/4 workers
+//! and writes `BENCH_net.json` recording in-memory vs. TCP-loopback
+//! msgs/sec side by side — the transport's overhead, kept on record next to
+//! `BENCH_crypto.json`.
+//!
 //! Usage: `cargo run --release -p atom-bench --bin throughput --
-//! [--real] [--rounds N] [--messages M] [--delay-ms D]`
+//! [--real] [--rounds N] [--messages M] [--delay-ms D] [--transport mem|tcp]
+//! [--out PATH]`
 
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use atom_core::config::{AtomConfig, Defense};
-use atom_core::directory::setup_round;
-use atom_core::message::make_trap_submission;
-use atom_runtime::{Engine, EngineOptions, RoundJob, RoundSubmissions};
+use atom_bench::netbench::{self, NetSpec};
+use atom_runtime::Engine;
 
 const GROUPS: usize = 8;
+const ITERATIONS: usize = 3;
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const JSON_SWEEP: [usize; 3] = [1, 2, 4];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    Mem,
+    Tcp,
+}
 
 struct Args {
     real: bool,
     rounds: usize,
     messages: usize,
     delay: Duration,
+    transport: TransportKind,
+    out: Option<String>,
+    /// Internal: run as the member process of a TCP sweep.
+    member: Option<MemberArgs>,
+}
+
+struct MemberArgs {
+    index: usize,
+    addrs: Vec<String>,
+    workers: usize,
+    seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -45,75 +76,171 @@ fn parse_args() -> Args {
         rounds: 2,
         messages: 64,
         delay: Duration::from_millis(10),
+        transport: TransportKind::Mem,
+        out: None,
+        member: None,
     };
+    let mut member = MemberArgs {
+        index: 0,
+        addrs: Vec::new(),
+        workers: 1,
+        seed: 0xBE_AC0,
+    };
+    let mut is_member = false;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
-        let mut grab = |name: &str| {
+        let mut grab_str = |name: &str| -> String {
             iter.next()
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+                .unwrap_or_else(|| panic!("{name} needs an argument"))
+        };
+        let grab = |name: &str, value: String| -> u64 {
+            value
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("{name} needs a numeric argument"))
         };
         match flag.as_str() {
             "--real" => args.real = true,
-            "--rounds" => args.rounds = grab("--rounds") as usize,
-            "--messages" => args.messages = grab("--messages") as usize,
-            "--delay-ms" => args.delay = Duration::from_millis(grab("--delay-ms")),
+            "--rounds" => args.rounds = grab("--rounds", grab_str("--rounds")) as usize,
+            "--messages" => args.messages = grab("--messages", grab_str("--messages")) as usize,
+            "--delay-ms" => {
+                args.delay = Duration::from_millis(grab("--delay-ms", grab_str("--delay-ms")))
+            }
+            "--transport" => {
+                args.transport = match grab_str("--transport").as_str() {
+                    "mem" => TransportKind::Mem,
+                    "tcp" => TransportKind::Tcp,
+                    other => panic!("unknown transport {other} (expected mem or tcp)"),
+                }
+            }
+            "--out" => args.out = Some(grab_str("--out")),
+            "--tcp-member" => is_member = true,
+            "--index" => member.index = grab("--index", grab_str("--index")) as usize,
+            "--addrs" => {
+                member.addrs = grab_str("--addrs").split(',').map(str::to_string).collect()
+            }
+            "--workers" => member.workers = grab("--workers", grab_str("--workers")) as usize,
+            "--seed" => member.seed = grab("--seed", grab_str("--seed")),
             other => panic!("unknown flag {other}"),
         }
+    }
+    if is_member {
+        args.member = Some(member);
     }
     args
 }
 
-fn build_jobs(rounds: usize, messages: usize) -> Vec<RoundJob> {
-    let mut rng = StdRng::seed_from_u64(0xBE_AC0);
-    let mut jobs = Vec::with_capacity(rounds);
-    for round in 0..rounds {
-        let mut config = AtomConfig::test_default();
-        config.defense = Defense::Trap;
-        config.num_groups = GROUPS;
-        config.num_servers = GROUPS * 3;
-        config.iterations = 3;
-        config.message_len = 32;
-        config.round = round as u64;
-        let setup = setup_round(&config, &mut rng).expect("setup");
-        let submissions: Vec<_> = (0..messages)
-            .map(|i| {
-                let gid = i % GROUPS;
-                make_trap_submission(
-                    gid,
-                    &setup.groups[gid].public_key,
-                    &setup.trustees.public_key,
-                    config.round,
-                    format!("r{round} m{i}").as_bytes(),
-                    config.message_len,
-                    &mut rng,
-                )
-                .expect("submission")
-                .0
-            })
-            .collect();
-        jobs.push(RoundJob::new(
-            setup,
-            RoundSubmissions::Trap(submissions),
-            round as u64,
-        ));
+fn spec(args: &Args, seed: u64) -> NetSpec {
+    NetSpec {
+        groups: GROUPS,
+        rounds: args.rounds,
+        messages: args.messages,
+        iterations: ITERATIONS,
+        seed,
+        delay: if args.real {
+            Duration::ZERO
+        } else {
+            args.delay
+        },
     }
-    jobs
 }
 
-fn main() {
-    let args = parse_args();
-    let jobs = build_jobs(args.rounds, args.messages);
-    let total_messages = args.rounds * args.messages;
+/// One in-memory run; returns (wall, delivered).
+fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize) {
+    use atom_runtime::EngineOptions;
+    let jobs = netbench::build_jobs(spec);
+    let mut options = EngineOptions::with_workers(workers);
+    if !spec.delay.is_zero() {
+        options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
+    }
+    let engine = Engine::new(options);
+    let start = Instant::now();
+    let reports = engine.run_rounds(jobs);
+    let wall = start.elapsed();
+    let delivered: usize = reports
+        .iter()
+        .map(|r| r.as_ref().expect("round").output.plaintexts.len())
+        .sum();
+    (wall, delivered)
+}
 
+/// The line a `--tcp-member` child prints once its setup (job derivation,
+/// bind, connect) is done and its engine is about to run. The coordinator
+/// waits for it so the timed region compares like with like.
+const MEMBER_READY: &str = "tcp-member-ready";
+
+fn spawn_member(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) -> Child {
+    Command::new(std::env::current_exe().expect("own binary path"))
+        .arg("--tcp-member")
+        .arg("--index")
+        .arg(index.to_string())
+        .arg("--addrs")
+        .arg(addrs.join(","))
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--seed")
+        .arg(spec.seed.to_string())
+        .arg("--rounds")
+        .arg(spec.rounds.to_string())
+        .arg("--messages")
+        .arg(spec.messages.to_string())
+        .arg("--delay-ms")
+        .arg(spec.delay.as_millis().to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn tcp member process")
+}
+
+/// One TCP-loopback run: this process coordinates, a freshly spawned child
+/// process hosts its share of the groups. Returns (wall, delivered). The
+/// timed region covers only the engine run — job derivation, binds and the
+/// connect retry loop happen before the clock starts on both sides (the
+/// member signals readiness over its stdout) — mirroring `run_memory`,
+/// which also derives jobs untimed. What remains in the TCP column is the
+/// genuine transport cost: frame encode/decode, socket hops, the process
+/// split.
+fn run_tcp(spec: &NetSpec, workers: usize) -> (Duration, usize) {
+    let addrs = netbench::free_addrs(2);
+    let mut member = spawn_member(spec, &addrs, 1, workers);
+    let member_stdout = member.stdout.take().expect("member stdout piped");
+    let mut lines = BufReader::new(member_stdout).lines();
+    // Coordinator setup overlaps the member's; the member's listener is up
+    // before `spawn` returns control here only by luck, but Process::start
+    // retries connects, so order does not matter.
+    let process = netbench::Process::start(spec, addrs, 0, workers);
+    loop {
+        let line = lines
+            .next()
+            .expect("member exited before signalling readiness")
+            .expect("read member stdout");
+        if line == MEMBER_READY {
+            break;
+        }
+    }
+    let start = Instant::now();
+    let reports = process.run();
+    let wall = start.elapsed();
+    let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();
+    let status = member.wait_with_output().expect("member process");
+    assert!(status.status.success(), "tcp member failed");
+    (wall, delivered)
+}
+
+fn print_sweep(args: &Args) {
+    let spec = spec(args, 0xBE_AC0);
+    let total_messages = args.rounds * args.messages;
     println!(
-        "throughput: {GROUPS}-group trap deployment, {} rounds x {} messages, {}",
+        "throughput: {GROUPS}-group trap deployment, {} rounds x {} messages, {}, {} transport",
         args.rounds,
         args.messages,
         if args.real {
             "real host compute".to_string()
         } else {
             format!("emulated {:?}/iteration group compute", args.delay)
+        },
+        match args.transport {
+            TransportKind::Mem => "in-memory",
+            TransportKind::Tcp => "tcp-loopback (2 processes)",
         }
     );
     println!(
@@ -123,24 +250,79 @@ fn main() {
 
     let mut baseline: Option<f64> = None;
     for workers in WORKER_SWEEP {
-        let mut options = EngineOptions::with_workers(workers);
-        if !args.real {
-            options.stragglers = (0..GROUPS).map(|gid| (gid, args.delay)).collect();
-        }
-        let engine = Engine::new(options);
-
-        let start = Instant::now();
-        let reports = engine.run_rounds(jobs.clone());
-        let wall = start.elapsed();
-
-        let delivered: usize = reports
-            .iter()
-            .map(|r| r.as_ref().expect("round").output.plaintexts.len())
-            .sum();
+        let (wall, delivered) = match args.transport {
+            TransportKind::Mem => run_memory(&spec, workers),
+            TransportKind::Tcp => run_tcp(&spec, workers),
+        };
         assert_eq!(delivered, total_messages, "no message may be lost");
-
         let rate = delivered as f64 / wall.as_secs_f64();
         let speedup = rate / *baseline.get_or_insert(rate);
         println!("{workers:>8} {:>10.2?} {rate:>12.1} {speedup:>8.2}x", wall);
+    }
+}
+
+/// Runs both transports at 1/2/4 workers-per-process and writes
+/// `BENCH_net.json`. Thread parity: the TCP run spreads the deployment
+/// over 2 processes of `workers` engine threads each, so the in-memory
+/// run gets the combined `2 * workers` threads — both sides spend the
+/// same compute, and the recorded gap is the transport's genuine cost
+/// (frame encode/decode, socket hops, the process split).
+fn write_net_baseline(args: &Args, path: &str) {
+    let spec = spec(args, 0xBE_AC0);
+    let total_messages = args.rounds * args.messages;
+    let mut rows = Vec::new();
+    println!(
+        "net baseline: {GROUPS}-group trap deployment, {} rounds x {} messages",
+        args.rounds, args.messages
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "workers", "mem msgs/s", "tcp msgs/s", "overhead"
+    );
+    for workers in JSON_SWEEP {
+        let (mem_wall, mem_delivered) = run_memory(&spec, 2 * workers);
+        let (tcp_wall, tcp_delivered) = run_tcp(&spec, workers);
+        assert_eq!(mem_delivered, total_messages);
+        assert_eq!(tcp_delivered, total_messages);
+        let mem_rate = mem_delivered as f64 / mem_wall.as_secs_f64();
+        let tcp_rate = tcp_delivered as f64 / tcp_wall.as_secs_f64();
+        let overhead = (mem_rate / tcp_rate - 1.0) * 100.0;
+        println!("{workers:>8} {mem_rate:>14.1} {tcp_rate:>14.1} {overhead:>9.1}%");
+        rows.push(format!(
+            "    {{\"workers_per_process\": {workers}, \"in_memory_msgs_per_sec\": {mem_rate:.1}, \
+             \"tcp_msgs_per_sec\": {tcp_rate:.1}, \"tcp_overhead_pct\": {overhead:.1}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"groups\": {GROUPS},\n  \"rounds\": {},\n  \"messages\": {},\n  \
+         \"iterations\": {ITERATIONS},\n  \"delay_ms\": {},\n  \"tcp_processes\": 2,\n  \
+         \"thread_parity\": \"in-memory runs 2x workers_per_process\",\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        args.rounds,
+        args.messages,
+        spec.delay.as_millis(),
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(member) = &args.member {
+        // Internal mode: one member process of a TCP sweep. Setup runs
+        // before the readiness signal so the parent's timed region starts
+        // with both engines ready.
+        let spec = spec(&args, member.seed);
+        let process =
+            netbench::Process::start(&spec, member.addrs.clone(), member.index, member.workers);
+        println!("{MEMBER_READY}");
+        std::io::stdout().flush().expect("flush readiness signal");
+        process.run();
+        return;
+    }
+    match &args.out {
+        Some(path) => write_net_baseline(&args, path),
+        None => print_sweep(&args),
     }
 }

@@ -17,5 +17,6 @@
 
 pub mod experiments;
 pub mod fixtures;
+pub mod netbench;
 
 pub use experiments::*;

@@ -1,0 +1,266 @@
+//! Shared pieces of the multi-process (TCP transport) harnesses.
+//!
+//! A multi-process run has no shared memory, so every process derives the
+//! *same* rounds — setups, submissions, seeds — from a [`NetSpec`] it was
+//! handed on the command line, and the node→process assignment is a pure
+//! function of `(groups, processes)`. This module owns that derivation plus
+//! a canonical byte serialization of round outputs, which is what the TCP
+//! loopback equivalence test compares against a single-process run —
+//! byte-for-byte, not just set-equal.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_core::config::{AtomConfig, Defense};
+use atom_core::directory::setup_round;
+use atom_core::message::make_trap_submission;
+use atom_net::{NodeId, TcpOptions, TcpTransport};
+use atom_runtime::{Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions};
+
+/// Everything a process needs to derive a multi-process workload
+/// deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetSpec {
+    /// Anytrust groups in the deployment.
+    pub groups: usize,
+    /// Rounds, all in flight at once.
+    pub rounds: usize,
+    /// Submissions per round.
+    pub messages: usize,
+    /// Mixing iterations.
+    pub iterations: usize,
+    /// Deterministic seed for setup, submissions and mixing.
+    pub seed: u64,
+    /// Per-iteration emulated group compute (zero = real compute only);
+    /// stands in for each group's own hardware, as in the throughput bin.
+    pub delay: Duration,
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        Self {
+            groups: 4,
+            rounds: 2,
+            messages: 16,
+            iterations: 2,
+            seed: 0xA70,
+            delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Derives the spec's rounds: a trap-variant deployment with fixed-length
+/// messages, identical in every process for equal specs.
+pub fn build_jobs(spec: &NetSpec) -> Vec<RoundJob> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.rounds)
+        .map(|round| {
+            let mut config = AtomConfig::test_default();
+            config.defense = Defense::Trap;
+            config.num_groups = spec.groups;
+            config.num_servers = (spec.groups * 3).max(config.group_size);
+            config.iterations = spec.iterations;
+            config.message_len = 32;
+            config.round = round as u64;
+            config.beacon_seed = spec.seed ^ round as u64;
+            let setup = setup_round(&config, &mut rng).expect("derive round setup");
+            let submissions: Vec<_> = (0..spec.messages)
+                .map(|i| {
+                    let gid = i % spec.groups;
+                    make_trap_submission(
+                        gid,
+                        &setup.groups[gid].public_key,
+                        &setup.trustees.public_key,
+                        config.round,
+                        format!("net r{round} m{i}").as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )
+                    .expect("derive submission")
+                    .0
+                })
+                .collect();
+            RoundJob::new(
+                setup,
+                RoundSubmissions::Trap(submissions),
+                spec.seed.wrapping_add(round as u64),
+            )
+        })
+        .collect()
+}
+
+/// The node→process assignment: groups round-robin over every process
+/// (coordinator included), the orchestrator node (always last) on process
+/// 0. Every process must compute the identical map.
+pub fn owner_map(groups: usize, processes: usize) -> Vec<usize> {
+    assert!(processes >= 1, "at least the coordinator process");
+    let mut owner: Vec<usize> = (0..groups).map(|gid| gid % processes).collect();
+    owner.push(0);
+    owner
+}
+
+/// The group ids process `index` hosts under [`owner_map`].
+pub fn hosted_groups(owner: &[NodeId], index: usize) -> Vec<usize> {
+    let groups = owner.len() - 1; // last node is the orchestrator
+    (0..groups).filter(|&gid| owner[gid] == index).collect()
+}
+
+/// Canonical bytes of the deterministic fields of round outputs
+/// (`plaintexts`, `per_group`, `routed_ciphertexts`). Two runs of the same
+/// spec — whatever the transport, worker count or process layout — must
+/// serialize identically; timings and traffic are excluded because wall
+/// clocks are not reproducible.
+pub fn serialize_reports(reports: &[RoundReport]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let put_bytes = |out: &mut Vec<u8>, bytes: &[u8]| {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    };
+    out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+    for report in reports {
+        let output = &report.output;
+        out.extend_from_slice(&(output.routed_ciphertexts as u32).to_le_bytes());
+        out.extend_from_slice(&(output.per_group.len() as u32).to_le_bytes());
+        for group in &output.per_group {
+            out.extend_from_slice(&(group.len() as u32).to_le_bytes());
+            for payload in group {
+                put_bytes(&mut out, payload);
+            }
+        }
+        out.extend_from_slice(&(output.plaintexts.len() as u32).to_le_bytes());
+        for payload in &output.plaintexts {
+            put_bytes(&mut out, payload);
+        }
+    }
+    out
+}
+
+/// Reserves `count` distinct loopback addresses by briefly binding port-0
+/// listeners. Racy in principle — the listeners are dropped before the
+/// processes rebind — but the window is milliseconds, a collision fails
+/// loudly, and addresses must be known *before* the child processes spawn
+/// (the race-free `TcpTransport::bind_any` + `set_peer_addr` dance only
+/// works within one process).
+pub fn free_addrs(count: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..count)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve loopback port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|listener| listener.local_addr().expect("resolve port").to_string())
+        .collect()
+}
+
+/// One process's share of a multi-process run, split into an untimed setup
+/// phase ([`Process::start`]: derive jobs, bind, connect) and the run
+/// itself ([`Process::run`]) — so benchmarks can time the engine without
+/// charging it for workload derivation or connection churn.
+///
+/// Panics on transport setup failure or if any round errors — the callers
+/// are benchmarks and CLI harnesses where loud is right.
+pub struct Process {
+    transport: TcpTransport,
+    role: EngineRole,
+    options: EngineOptions,
+    jobs: Vec<RoundJob>,
+}
+
+impl Process {
+    /// Derives the spec's jobs, binds node `index` of `addrs` and connects
+    /// to every peer (retrying while they start up).
+    pub fn start(spec: &NetSpec, addrs: Vec<String>, index: usize, workers: usize) -> Self {
+        let owner = owner_map(spec.groups, addrs.len());
+        let hosted = hosted_groups(&owner, index);
+        let transport = TcpTransport::bind(addrs, owner, index, TcpOptions::default())
+            .expect("bind tcp transport");
+        transport.connect_peers().expect("connect tcp peers");
+        let role = if index == 0 {
+            EngineRole::coordinator(hosted)
+        } else {
+            EngineRole::member(hosted)
+        };
+        let mut options = EngineOptions::with_workers(workers);
+        if !spec.delay.is_zero() {
+            options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
+        }
+        Self {
+            transport,
+            role,
+            options,
+            jobs: build_jobs(spec),
+        }
+    }
+
+    /// Plays the role to completion and returns the engine's reports
+    /// (authoritative on process 0, stubs elsewhere).
+    pub fn run(self) -> Vec<RoundReport> {
+        let reports = Engine::new(self.options)
+            .run_rounds_on(self.jobs, &self.transport, &self.role)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("multi-process round failed");
+        self.transport.shutdown();
+        reports
+    }
+}
+
+/// [`Process::start`] + [`Process::run`] in one call, for harnesses that
+/// do their own timing (or none).
+pub fn run_process(
+    spec: &NetSpec,
+    addrs: Vec<String>,
+    index: usize,
+    workers: usize,
+) -> Vec<RoundReport> {
+    Process::start(spec, addrs, index, workers).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_map_round_robins_groups_and_pins_the_orchestrator() {
+        assert_eq!(owner_map(4, 2), vec![0, 1, 0, 1, 0]);
+        assert_eq!(owner_map(3, 1), vec![0, 0, 0, 0]);
+        assert_eq!(hosted_groups(&owner_map(4, 2), 0), vec![0, 2]);
+        assert_eq!(hosted_groups(&owner_map(4, 2), 1), vec![1, 3]);
+        assert_eq!(hosted_groups(&owner_map(4, 3), 2), vec![2]);
+    }
+
+    #[test]
+    fn job_derivation_is_deterministic() {
+        let spec = NetSpec::default();
+        let a = build_jobs(&spec);
+        let b = build_jobs(&spec);
+        assert_eq!(a.len(), b.len());
+        for (ja, jb) in a.iter().zip(&b) {
+            assert_eq!(ja.seed, jb.seed);
+            assert_eq!(
+                ja.setup.groups[0].public_key.0,
+                jb.setup.groups[0].public_key.0
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_covers_every_deterministic_field() {
+        let spec = NetSpec {
+            groups: 2,
+            rounds: 1,
+            messages: 4,
+            ..NetSpec::default()
+        };
+        let reports: Vec<_> = Engine::with_workers(2)
+            .run_rounds(build_jobs(&spec))
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let bytes = serialize_reports(&reports);
+        let again = serialize_reports(&reports);
+        assert_eq!(bytes, again);
+        assert!(bytes.len() > 4, "serialization must not be empty");
+    }
+}

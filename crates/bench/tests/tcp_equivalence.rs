@@ -1,0 +1,95 @@
+//! The acceptance test of the TCP transport: a scenario executed across
+//! **two OS processes** on localhost must produce a `RoundOutput` that is
+//! byte-identical to the same scenario run in-process over
+//! `InMemoryNetwork`. Spawns the `atom-node` binary (coordinator + one
+//! member), reads the coordinator's canonical output serialization and
+//! diffs it against the in-memory run — whole bytes, not summaries.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use atom_bench::netbench::{self, NetSpec};
+use atom_runtime::Engine;
+
+fn spawn_node(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>) -> Child {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_atom-node"));
+    command
+        .arg("--index")
+        .arg(index.to_string())
+        .arg("--addrs")
+        .arg(addrs.join(","))
+        .arg("--groups")
+        .arg(spec.groups.to_string())
+        .arg("--rounds")
+        .arg(spec.rounds.to_string())
+        .arg("--messages")
+        .arg(spec.messages.to_string())
+        .arg("--iterations")
+        .arg(spec.iterations.to_string())
+        .arg("--seed")
+        .arg(spec.seed.to_string())
+        .arg("--workers")
+        .arg("2")
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit());
+    if let Some(path) = out {
+        command.arg("--out").arg(path);
+    }
+    command.spawn().expect("spawn atom-node")
+}
+
+/// Waits for `child` with a deadline so a wedged multi-process run fails
+/// the test instead of hanging CI forever.
+fn wait_with_deadline(mut child: Child, what: &str, deadline: Instant) {
+    loop {
+        match child.try_wait().expect("wait on atom-node") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what} did not finish before the deadline");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn two_process_tcp_run_is_byte_identical_to_in_memory() {
+    let spec = NetSpec {
+        groups: 4,
+        rounds: 2,
+        messages: 12,
+        iterations: 2,
+        seed: 0xEC_0FF,
+        delay: Duration::ZERO,
+    };
+
+    // Reference: the same spec, single process, in-memory transport.
+    let in_memory: Vec<_> = Engine::with_workers(3)
+        .run_rounds(netbench::build_jobs(&spec))
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("in-memory reference run");
+    let want = netbench::serialize_reports(&in_memory);
+
+    let addrs = netbench::free_addrs(2);
+    let out = std::env::temp_dir().join(format!("atom_tcp_equivalence_{}.bin", std::process::id()));
+    let out_path = out.to_str().unwrap().to_string();
+
+    let member = spawn_node(&spec, &addrs, 1, None);
+    let coordinator = spawn_node(&spec, &addrs, 0, Some(&out_path));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    wait_with_deadline(coordinator, "coordinator", deadline);
+    wait_with_deadline(member, "member", deadline);
+
+    let got = std::fs::read(&out_path).expect("coordinator output file");
+    let _ = std::fs::remove_file(&out_path);
+    assert!(!want.is_empty());
+    assert_eq!(
+        got, want,
+        "TCP two-process output differs from the in-memory run"
+    );
+}

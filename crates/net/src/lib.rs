@@ -1,24 +1,36 @@
 //! # atom-net
 //!
-//! In-process transport substrate for the Rust reproduction of
-//! *Atom: Horizontally Scaling Strong Anonymity* (SOSP 2017).
+//! Transport substrate for the Rust reproduction of *Atom: Horizontally
+//! Scaling Strong Anonymity* (SOSP 2017).
 //!
 //! The paper deploys Atom on 1,024 EC2 machines talking TLS with 40–160 ms
 //! of injected pairwise latency and a Tor-derived bandwidth distribution
-//! (§6). Here the servers run in one process; this crate provides the pieces
-//! that stand in for the wire:
+//! (§6). This crate abstracts the wire behind the [`Transport`] trait — a
+//! mailbox-per-node send/receive API with traffic metering and a delivery
+//! hook for scheduler wake-ups — with two backends:
 //!
-//! * [`latency`] — per-link latency models, the heterogeneous server-class
-//!   mix, and transmission-time accounting.
-//! * [`transport`] — a metered in-memory network with mailboxes per node and
-//!   a virtual clock for accumulating simulated network time along the
-//!   protocol's critical path.
+//! * [`transport::InMemoryNetwork`] — every node in one process; sends are
+//!   charged simulated propagation latency and transmission time, which a
+//!   [`VirtualClock`] accumulates along the protocol's critical path.
+//! * [`tcp::TcpTransport`] — nodes partitioned across OS processes; the
+//!   same envelopes travel as length-delimited frames over blocking TCP
+//!   sockets (frame layout in the [`tcp`] module docs). Simulated-latency
+//!   accounting stays with the caller, so virtual-clock figures are
+//!   identical across backends.
+//!
+//! [`latency`] provides the per-link latency models, the heterogeneous
+//! server-class mix, and transmission-time accounting both backends and the
+//! figure harnesses share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod tcp;
 pub mod transport;
 
 pub use latency::{assign_server_classes, paper_server_mix, LatencyModel, ServerClass};
-pub use transport::{Envelope, InMemoryNetwork, NodeId, TrafficStats, VirtualClock};
+pub use tcp::{TcpOptions, TcpTransport};
+pub use transport::{
+    DeliveryHook, Envelope, InMemoryNetwork, NodeId, TrafficStats, Transport, VirtualClock,
+};

@@ -1,0 +1,608 @@
+//! Multi-process [`Transport`] backend over blocking TCP sockets.
+//!
+//! [`TcpTransport`] lets the node ids of one logical deployment span
+//! several OS processes: each process hosts the mailboxes of the nodes
+//! assigned to it and forwards everything else to the process that owns the
+//! destination. The build environment has no async runtime (the vendored
+//! dependency set is `std`-only), so the backend is deliberately classic:
+//! blocking sockets, one listener per process, one reader thread per
+//! inbound connection and one lazily-established outbound stream per peer
+//! process.
+//!
+//! ## Frame layout
+//!
+//! Envelopes travel as length-delimited frames (all integers
+//! little-endian):
+//!
+//! ```text
+//! magic    u32  = 0x4D4F5441 ("ATOM")
+//! version  u8   = 1
+//! from     u32  sending node id
+//! to       u32  receiving node id
+//! label_len u16 ‖ payload_len u32
+//! label    [u8; label_len]   (UTF-8, validated)
+//! payload  [u8; payload_len]
+//! ```
+//!
+//! The frame header is the *transport's* validation boundary: magic and
+//! version are checked, `label_len`/`payload_len` are bounded
+//! ([`TcpOptions::max_frame`]) before any allocation, and `to` must be a
+//! node this process hosts. A malformed frame poisons only its connection —
+//! the reader logs and hangs up, exactly what a real deployment does with a
+//! misbehaving peer. The *payload* stays opaque here; protocol-level
+//! validation of untrusted bytes happens in `atom_runtime::wire`, which
+//! treats every decoded field as adversarial.
+//!
+//! ## Lifecycle
+//!
+//! [`TcpTransport::bind`] starts the listener (an address of port `0`
+//! picks a free port, see [`TcpTransport::local_addr`]),
+//! [`TcpTransport::connect_peers`] establishes outbound streams with a
+//! retry loop so processes may start in any order, and
+//! [`TcpTransport::shutdown`] tears the sockets down and joins the
+//! listener. Sends that hit a dead peer panic with context: the runtime
+//! converts worker panics into per-round failures, which is strictly
+//! better than silently dropping protocol traffic and deadlocking the
+//! round.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::transport::{DeliveryHook, Envelope, NodeId, TrafficStats, Transport};
+
+const FRAME_MAGIC: u32 = 0x4D4F_5441; // "ATOM" in little-endian byte order.
+const FRAME_VERSION: u8 = 1;
+const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 4 + 2 + 4;
+const MAX_LABEL_LEN: usize = 1024;
+
+/// Tuning knobs of a [`TcpTransport`].
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// Total retry budget when establishing an outbound connection to a
+    /// peer process (peers may start later than we do).
+    pub connect_timeout: Duration,
+    /// Upper bound on a frame's payload length; larger claims are rejected
+    /// before any allocation.
+    pub max_frame: usize,
+    /// Sets `TCP_NODELAY` on every stream (mixing batches are
+    /// latency-sensitive and already coalesced).
+    pub nodelay: bool,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(10),
+            max_frame: 64 << 20,
+            nodelay: true,
+        }
+    }
+}
+
+struct TcpInner {
+    /// `owner[node]` is the index (into `peer_addrs`) of the process
+    /// hosting `node`'s mailbox.
+    owner: Vec<usize>,
+    /// This process's index.
+    me: usize,
+    /// One outbound stream slot per process (slot `me` stays empty).
+    outbound: Vec<Mutex<Option<TcpStream>>>,
+    /// Listen address of every process. Entries other than `me`'s may be
+    /// filled in after construction ([`TcpTransport::set_peer_addr`]) so a
+    /// mesh can bind every listener on port `0` first and exchange the
+    /// resolved addresses afterwards — no reserve-then-rebind races.
+    peer_addrs: Mutex<Vec<String>>,
+    mailboxes: Vec<Mutex<VecDeque<Envelope>>>,
+    sent: Vec<Mutex<TrafficStats>>,
+    received: Vec<Mutex<TrafficStats>>,
+    hook: Mutex<Option<DeliveryHook>>,
+    options: TcpOptions,
+    closing: AtomicBool,
+}
+
+impl TcpInner {
+    fn deliver_local(&self, envelope: Envelope) {
+        let to = envelope.to;
+        self.mailboxes[to].lock().push_back(envelope);
+        let hook = self.hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(to);
+        }
+    }
+
+    fn credit_received(&self, node: NodeId, envelopes: &[Envelope]) {
+        if envelopes.is_empty() {
+            return;
+        }
+        let mut stats = self.received[node].lock();
+        for envelope in envelopes {
+            stats.messages += 1;
+            stats.bytes += envelope.payload.len() as u64;
+        }
+    }
+}
+
+/// A [`Transport`] whose nodes are partitioned across OS processes. See the
+/// module docs for the frame layout and lifecycle.
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+    local_addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Binds the listener of process `me` and starts accepting inbound
+    /// connections.
+    ///
+    /// `peer_addrs[p]` is the listen address of process `p` (as passed to
+    /// `TcpListener::bind`; `me`'s entry may use port `0` to pick a free
+    /// port). `owner[node]` names the process hosting each node id; every
+    /// node whose owner is `me` gets a local mailbox.
+    pub fn bind(
+        peer_addrs: Vec<String>,
+        owner: Vec<usize>,
+        me: usize,
+        options: TcpOptions,
+    ) -> io::Result<Self> {
+        assert!(me < peer_addrs.len(), "own process index out of range");
+        assert!(
+            owner.iter().all(|&p| p < peer_addrs.len()),
+            "node owner names an unknown process"
+        );
+        let listener = TcpListener::bind(&peer_addrs[me])?;
+        let local_addr = listener.local_addr()?;
+        let nodes = owner.len();
+        let inner = Arc::new(TcpInner {
+            owner,
+            me,
+            outbound: (0..peer_addrs.len()).map(|_| Mutex::new(None)).collect(),
+            peer_addrs: Mutex::new(peer_addrs),
+            mailboxes: (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sent: (0..nodes)
+                .map(|_| Mutex::new(TrafficStats::default()))
+                .collect(),
+            received: (0..nodes)
+                .map(|_| Mutex::new(TrafficStats::default()))
+                .collect(),
+            hook: Mutex::new(None),
+            options,
+            closing: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_inner));
+        Ok(Self {
+            inner,
+            local_addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// Binds on a free loopback port with peer addresses unknown:
+    /// `processes` empty slots, to be filled via
+    /// [`TcpTransport::set_peer_addr`] once the other listeners have bound.
+    /// This is how in-process tests and harnesses build a race-free mesh;
+    /// multi-process deployments know their addresses up front and use
+    /// [`TcpTransport::bind`].
+    pub fn bind_any(
+        processes: usize,
+        owner: Vec<usize>,
+        me: usize,
+        options: TcpOptions,
+    ) -> io::Result<Self> {
+        let mut peer_addrs = vec![String::new(); processes];
+        peer_addrs[me] = "127.0.0.1:0".to_string();
+        let transport = Self::bind(peer_addrs, owner, me, options)?;
+        transport.set_peer_addr(me, transport.local_addr().to_string());
+        Ok(transport)
+    }
+
+    /// Records the (resolved) listen address of peer `process`, replacing
+    /// whatever was configured. Outbound connections established later use
+    /// the new address; existing streams are untouched.
+    pub fn set_peer_addr(&self, process: usize, addr: String) {
+        self.inner.peer_addrs.lock()[process] = addr;
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This process's index.
+    pub fn process_index(&self) -> usize {
+        self.inner.me
+    }
+
+    /// Node ids hosted by this process.
+    pub fn local_nodes(&self) -> Vec<NodeId> {
+        (0..self.inner.owner.len())
+            .filter(|&n| self.inner.owner[n] == self.inner.me)
+            .collect()
+    }
+
+    /// Eagerly connects to every peer process, retrying each until
+    /// [`TcpOptions::connect_timeout`] elapses (peers may not have bound
+    /// their listeners yet). Sends connect lazily as a fallback, but
+    /// calling this first keeps connection churn off the mixing path.
+    pub fn connect_peers(&self) -> io::Result<()> {
+        let processes = self.inner.peer_addrs.lock().len();
+        for process in 0..processes {
+            if process != self.inner.me {
+                connect_retry(&self.inner, process)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes every stream and joins the listener thread. Idempotent; also
+    /// run on drop.
+    pub fn shutdown(&self) {
+        if self.inner.closing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for slot in &self.inner.outbound {
+            if let Some(stream) = slot.lock().take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Wake the accept loop so it observes `closing`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn connect_retry(inner: &Arc<TcpInner>, process: usize) -> io::Result<()> {
+    let mut slot = inner.outbound[process].lock();
+    if slot.is_some() {
+        return Ok(());
+    }
+    let deadline = Instant::now() + inner.options.connect_timeout;
+    loop {
+        // Re-read each attempt: the address may be filled in concurrently
+        // by `set_peer_addr` while we retry.
+        let addr = inner.peer_addrs.lock()[process].clone();
+        match TcpStream::connect(&addr) {
+            Ok(stream) => {
+                if inner.options.nodelay {
+                    let _ = stream.set_nodelay(true);
+                }
+                *slot = Some(stream);
+                return Ok(());
+            }
+            Err(error) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        error.kind(),
+                        format!("connecting to peer process {process} at {addr}: {error}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                if inner.options.nodelay {
+                    let _ = stream.set_nodelay(true);
+                }
+                let reader_inner = Arc::clone(&inner);
+                // Reader threads are detached: they exit on EOF, which
+                // `shutdown` forces by closing the peer streams (and a
+                // vanishing peer process forces by itself).
+                std::thread::spawn(move || reader_loop(stream, reader_inner));
+            }
+            Err(_) => {
+                if inner.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>) {
+    loop {
+        match read_frame(&mut stream, &inner.options) {
+            Ok(Some(envelope)) => {
+                if inner.owner.get(envelope.to) != Some(&inner.me) {
+                    eprintln!(
+                        "atom-net: dropping connection after a frame for node {} \
+                         not hosted by process {}",
+                        envelope.to, inner.me
+                    );
+                    return;
+                }
+                inner.deliver_local(envelope);
+            }
+            Ok(None) => return, // clean EOF
+            Err(error) => {
+                if !inner.closing.load(Ordering::SeqCst) {
+                    eprintln!("atom-net: dropping connection on malformed frame: {error}");
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, envelope: &Envelope) -> io::Result<()> {
+    let label = envelope.label.as_bytes();
+    assert!(label.len() <= MAX_LABEL_LEN, "envelope label too long");
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + label.len() + envelope.payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    frame.push(FRAME_VERSION);
+    frame.extend_from_slice(&(envelope.from as u32).to_le_bytes());
+    frame.extend_from_slice(&(envelope.to as u32).to_le_bytes());
+    frame.extend_from_slice(&(label.len() as u16).to_le_bytes());
+    frame.extend_from_slice(&(envelope.payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(label);
+    frame.extend_from_slice(&envelope.payload);
+    stream.write_all(&frame)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary. Length
+/// fields are untrusted: both are bounds-checked before any allocation.
+fn read_frame(stream: &mut TcpStream, options: &TcpOptions) -> io::Result<Option<Envelope>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(error) => return Err(error),
+    }
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    if u32::from_le_bytes(header[0..4].try_into().unwrap()) != FRAME_MAGIC {
+        return Err(malformed("bad frame magic"));
+    }
+    if header[4] != FRAME_VERSION {
+        return Err(malformed("unsupported frame version"));
+    }
+    let from = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    let to = u32::from_le_bytes(header[9..13].try_into().unwrap()) as usize;
+    let label_len = u16::from_le_bytes(header[13..15].try_into().unwrap()) as usize;
+    let payload_len = u32::from_le_bytes(header[15..19].try_into().unwrap()) as usize;
+    if label_len > MAX_LABEL_LEN {
+        return Err(malformed("frame label too long"));
+    }
+    if payload_len > options.max_frame {
+        return Err(malformed("frame payload exceeds max_frame"));
+    }
+    let mut label = vec![0u8; label_len];
+    stream.read_exact(&mut label)?;
+    let label = String::from_utf8(label).map_err(|_| malformed("frame label is not UTF-8"))?;
+    let mut payload = vec![0u8; payload_len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Envelope {
+        from,
+        to,
+        label: Cow::Owned(label),
+        payload,
+        delay: Duration::ZERO,
+    }))
+}
+
+impl Transport for TcpTransport {
+    fn nodes(&self) -> usize {
+        self.inner.owner.len()
+    }
+
+    fn is_local(&self, node: NodeId) -> bool {
+        self.inner.owner.get(node) == Some(&self.inner.me)
+    }
+
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        label: Cow<'static, str>,
+        payload: Vec<u8>,
+    ) -> Duration {
+        assert!(
+            from < self.nodes() && to < self.nodes(),
+            "unknown node in TCP send"
+        );
+        {
+            let mut stats = self.inner.sent[from].lock();
+            stats.messages += 1;
+            stats.bytes += payload.len() as u64;
+        }
+        let envelope = Envelope {
+            from,
+            to,
+            label,
+            payload,
+            delay: Duration::ZERO,
+        };
+        let process = self.inner.owner[to];
+        if process == self.inner.me {
+            self.inner.deliver_local(envelope);
+            return Duration::ZERO;
+        }
+        if self.inner.outbound[process].lock().is_none() {
+            connect_retry(&self.inner, process)
+                .unwrap_or_else(|error| panic!("tcp transport: {error}"));
+        }
+        let mut slot = self.inner.outbound[process].lock();
+        let stream = slot.as_mut().expect("peer stream established above");
+        write_frame(stream, &envelope).unwrap_or_else(|error| {
+            panic!(
+                "tcp transport: sending {} -> {} via process {process} failed: {error}",
+                envelope.from, envelope.to
+            )
+        });
+        Duration::ZERO
+    }
+
+    fn try_receive(&self, node: NodeId) -> Option<Envelope> {
+        let envelope = self.inner.mailboxes[node].lock().pop_front();
+        if let Some(envelope) = &envelope {
+            self.inner
+                .credit_received(node, std::slice::from_ref(envelope));
+        }
+        envelope
+    }
+
+    fn drain(&self, node: NodeId) -> Vec<Envelope> {
+        let drained: Vec<Envelope> = {
+            let mut mailbox = self.inner.mailboxes[node].lock();
+            mailbox.drain(..).collect()
+        };
+        self.inner.credit_received(node, &drained);
+        drained
+    }
+
+    fn pending(&self, node: NodeId) -> usize {
+        self.inner.mailboxes[node].lock().len()
+    }
+
+    fn sent_stats(&self, node: NodeId) -> TrafficStats {
+        *self.inner.sent[node].lock()
+    }
+
+    fn received_stats(&self, node: NodeId) -> TrafficStats {
+        *self.inner.received[node].lock()
+    }
+
+    fn set_delivery_hook(&self, hook: Option<DeliveryHook>) {
+        *self.inner.hook.lock() = hook;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two transports in one process, exercising both the loopback and the
+    /// socket path. Both listeners bind port 0 and exchange resolved
+    /// addresses afterwards, so concurrent tests cannot race on ports.
+    fn pair(owner: Vec<usize>) -> (TcpTransport, TcpTransport) {
+        let a = TcpTransport::bind_any(2, owner.clone(), 0, TcpOptions::default()).unwrap();
+        let b = TcpTransport::bind_any(2, owner, 1, TcpOptions::default()).unwrap();
+        a.set_peer_addr(1, b.local_addr().to_string());
+        b.set_peer_addr(0, a.local_addr().to_string());
+        a.connect_peers().unwrap();
+        b.connect_peers().unwrap();
+        (a, b)
+    }
+
+    fn wait_pending(transport: &TcpTransport, node: NodeId) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Transport::pending(transport, node) == 0 {
+            assert!(Instant::now() < deadline, "message never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn local_and_remote_sends_deliver() {
+        let (a, b) = pair(vec![0, 0, 1]);
+        // Loopback within process 0.
+        Transport::send(&a, 0, 1, "local".into(), vec![1, 2]);
+        let envelope = Transport::try_receive(&a, 1).unwrap();
+        assert_eq!(envelope.payload, vec![1, 2]);
+        assert_eq!(envelope.from, 0);
+        // Across the socket to process 1.
+        Transport::send(&a, 0, 2, "remote".into(), vec![3, 4, 5]);
+        wait_pending(&b, 2);
+        let envelope = Transport::try_receive(&b, 2).unwrap();
+        assert_eq!(envelope.label, "remote");
+        assert_eq!(envelope.payload, vec![3, 4, 5]);
+        assert_eq!(envelope.delay, Duration::ZERO);
+        // Metering: sent credited at process 0, received at process 1.
+        assert_eq!(Transport::sent_stats(&a, 0).messages, 2);
+        assert_eq!(Transport::received_stats(&b, 2).bytes, 3);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn delivery_hook_fires_for_remote_arrivals() {
+        let (a, b) = pair(vec![0, 1]);
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let sink = hits.clone();
+        Transport::set_delivery_hook(&b, Some(Arc::new(move |node| sink.lock().push(node))));
+        Transport::send(&a, 0, 1, "hooked".into(), vec![9]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hits.lock().is_empty() {
+            assert!(Instant::now() < deadline, "hook never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*hits.lock(), vec![1]);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_poison_only_their_connection() {
+        let (a, b) = pair(vec![0, 1]);
+        // A raw connection writing garbage: the reader must hang up without
+        // panicking or allocating the claimed length.
+        let mut rogue = TcpStream::connect(b.local_addr()).unwrap();
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        bogus.push(FRAME_VERSION);
+        bogus.extend_from_slice(&0u32.to_le_bytes()); // from
+        bogus.extend_from_slice(&1u32.to_le_bytes()); // to
+        bogus.extend_from_slice(&0u16.to_le_bytes()); // label_len
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+        rogue.write_all(&bogus).unwrap();
+        // The healthy connection keeps working.
+        Transport::send(&a, 0, 1, "still-fine".into(), vec![7]);
+        wait_pending(&b, 1);
+        assert_eq!(Transport::drain(&b, 1).len(), 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn frames_for_foreign_nodes_are_rejected() {
+        let (a, b) = pair(vec![0, 1]);
+        // Process 0 hosts node 0; a frame addressed to it arriving at
+        // process 1 is a routing violation and drops the connection.
+        let mut rogue = TcpStream::connect(b.local_addr()).unwrap();
+        let envelope = Envelope {
+            from: 1,
+            to: 0,
+            label: "misrouted".into(),
+            payload: vec![1],
+            delay: Duration::ZERO,
+        };
+        write_frame(&mut rogue, &envelope).unwrap();
+        // Give the reader a moment; node 0's mailbox lives in `a` and must
+        // stay empty in `b` (which doesn't even host it).
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(Transport::pending(&a, 0), 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_the_listener() {
+        let (a, b) = pair(vec![0, 1]);
+        a.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+}

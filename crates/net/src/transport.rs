@@ -1,15 +1,23 @@
-//! In-process transport with traffic metering and a virtual clock.
+//! The [`Transport`] abstraction and its in-process backend.
 //!
 //! Atom's servers communicate over authenticated channels (TLS in the
-//! paper's deployment). For this reproduction the servers run in one process
-//! and exchange serialized protocol messages through an [`InMemoryNetwork`]:
-//! every send is metered (bytes and message counts per node), charged
-//! propagation latency from a [`LatencyModel`](crate::latency::LatencyModel)
-//! and transmission time from the sender's bandwidth class, and delivered
-//! through a lock-protected mailbox. A [`VirtualClock`] accumulates the
-//! simulated network time along the protocol's critical path, which is what
-//! the end-to-end latency figures (Fig. 9–11) report on top of measured
-//! compute time.
+//! paper's deployment). This reproduction routes every protocol message
+//! through the [`Transport`] trait — a mailbox-per-node send/receive API
+//! with traffic metering — so the same engine code runs against:
+//!
+//! * [`InMemoryNetwork`] (this module): a single-process backend whose
+//!   sends are metered (bytes and message counts per node), charged
+//!   propagation latency from a
+//!   [`LatencyModel`](crate::latency::LatencyModel) and transmission time
+//!   from the sender's bandwidth class, and delivered through a
+//!   lock-protected mailbox.
+//! * [`TcpTransport`](crate::tcp::TcpTransport): a multi-process backend
+//!   shipping the same envelopes as length-delimited frames over blocking
+//!   TCP sockets.
+//!
+//! A [`VirtualClock`] accumulates the simulated network time along the
+//! protocol's critical path, which is what the end-to-end latency figures
+//! (Fig. 9–11) report on top of measured compute time.
 
 use std::borrow::Cow;
 use std::collections::VecDeque;
@@ -48,6 +56,72 @@ pub struct TrafficStats {
     pub messages: u64,
     /// Total payload bytes sent.
     pub bytes: u64,
+}
+
+/// Callback a [`Transport`] invokes every time an envelope lands in one of
+/// its *local* mailboxes (whether the sender was local or a remote peer).
+/// The runtime registers one to turn arrivals into scheduler wake-ups
+/// instead of polling; transports with no hook registered just enqueue.
+pub type DeliveryHook = Arc<dyn Fn(NodeId) + Send + Sync>;
+
+/// A mailbox-per-node message substrate.
+///
+/// Endpoints are dense ids `0..nodes()`. A backend may host only a subset
+/// of them locally ([`Transport::is_local`]); sends to non-local nodes are
+/// forwarded to the backend that hosts them (over TCP, say), and only local
+/// mailboxes can be received from. All methods are callable from any
+/// thread.
+///
+/// Metering contract (shared by every backend): sent-side statistics are
+/// credited when [`Transport::send`] accepts the payload; received-side
+/// statistics only when an envelope is actually handed out through
+/// [`Transport::try_receive`] or [`Transport::drain`], so in-flight
+/// messages are never counted as received.
+///
+/// The returned [`Duration`] of a send is the *simulated* network delay
+/// charged to the message (propagation + transmission under the backend's
+/// latency model). Real-network backends return [`Duration::ZERO`]: their
+/// cost shows up on the wall clock instead, and virtual-clock accounting
+/// stays with the caller (the runtime charges hops from its own
+/// [`LatencyModel`], so simulated latency figures are identical across
+/// backends).
+pub trait Transport: Send + Sync {
+    /// Number of endpoints.
+    fn nodes(&self) -> usize;
+
+    /// Whether `node`'s mailbox lives in this process.
+    fn is_local(&self, node: NodeId) -> bool;
+
+    /// Sends `payload` from `from` to `to`, returning the simulated delay
+    /// charged to the message.
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        label: Cow<'static, str>,
+        payload: Vec<u8>,
+    ) -> Duration;
+
+    /// Receives the next envelope queued for local node `node`, if any.
+    fn try_receive(&self, node: NodeId) -> Option<Envelope>;
+
+    /// Drains every queued envelope for local node `node`.
+    fn drain(&self, node: NodeId) -> Vec<Envelope>;
+
+    /// Number of envelopes waiting for local node `node`.
+    fn pending(&self, node: NodeId) -> usize;
+
+    /// Traffic sent by `node` so far (local nodes only).
+    fn sent_stats(&self, node: NodeId) -> TrafficStats;
+
+    /// Traffic delivered to `node` so far (local nodes only).
+    fn received_stats(&self, node: NodeId) -> TrafficStats;
+
+    /// Registers (or, with `None`, removes) the delivery hook. At most one
+    /// hook is active; setting replaces. The hook may be invoked
+    /// concurrently from multiple threads and must not call back into the
+    /// transport.
+    fn set_delivery_hook(&self, hook: Option<DeliveryHook>);
 }
 
 /// A monotonically advancing virtual clock tracking simulated elapsed time.
@@ -94,6 +168,7 @@ struct NetworkInner {
     mailboxes: Vec<Mutex<Mailbox>>,
     sent: Vec<Mutex<TrafficStats>>,
     received: Vec<Mutex<TrafficStats>>,
+    hook: Mutex<Option<DeliveryHook>>,
 }
 
 /// An in-process network connecting `nodes` endpoints.
@@ -129,6 +204,7 @@ impl InMemoryNetwork {
             received: (0..nodes)
                 .map(|_| Mutex::new(TrafficStats::default()))
                 .collect(),
+            hook: Mutex::new(None),
         };
         Self {
             inner: Arc::new(inner),
@@ -177,6 +253,12 @@ impl InMemoryNetwork {
             payload,
             delay,
         });
+        // Outside the mailbox lock: the hook may fan out into scheduler
+        // state that itself sends.
+        let hook = self.inner.hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(to);
+        }
         delay
     }
 
@@ -244,6 +326,50 @@ impl InMemoryNetwork {
     /// The latency model in force.
     pub fn latency_model(&self) -> LatencyModel {
         self.inner.latency
+    }
+}
+
+impl Transport for InMemoryNetwork {
+    fn nodes(&self) -> usize {
+        InMemoryNetwork::nodes(self)
+    }
+
+    fn is_local(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        label: Cow<'static, str>,
+        payload: Vec<u8>,
+    ) -> Duration {
+        InMemoryNetwork::send(self, from, to, label, payload)
+    }
+
+    fn try_receive(&self, node: NodeId) -> Option<Envelope> {
+        InMemoryNetwork::try_receive(self, node)
+    }
+
+    fn drain(&self, node: NodeId) -> Vec<Envelope> {
+        InMemoryNetwork::drain(self, node)
+    }
+
+    fn pending(&self, node: NodeId) -> usize {
+        InMemoryNetwork::pending(self, node)
+    }
+
+    fn sent_stats(&self, node: NodeId) -> TrafficStats {
+        InMemoryNetwork::sent_stats(self, node)
+    }
+
+    fn received_stats(&self, node: NodeId) -> TrafficStats {
+        InMemoryNetwork::received_stats(self, node)
+    }
+
+    fn set_delivery_hook(&self, hook: Option<DeliveryHook>) {
+        *self.inner.hook.lock() = hook;
     }
 }
 
@@ -384,5 +510,22 @@ mod tests {
     fn sending_to_unknown_node_panics() {
         let net = InMemoryNetwork::local(1);
         net.send(0, 3, "x", Vec::new());
+    }
+
+    #[test]
+    fn delivery_hook_fires_per_enqueued_envelope() {
+        let net = InMemoryNetwork::local(3);
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let sink = hits.clone();
+        net.set_delivery_hook(Some(Arc::new(move |node| sink.lock().push(node))));
+        net.send(0, 2, "a", vec![1]);
+        net.send(1, 2, "b", vec![2]);
+        net.send(2, 0, "c", vec![3]);
+        assert_eq!(*hits.lock(), vec![2, 2, 0]);
+        // Removing the hook stops notifications; mailboxes still fill.
+        net.set_delivery_hook(None);
+        net.send(0, 1, "d", vec![4]);
+        assert_eq!(hits.lock().len(), 3);
+        assert_eq!(net.pending(1), 1);
     }
 }

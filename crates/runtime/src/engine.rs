@@ -3,8 +3,12 @@
 //! [`Engine::run_rounds`] executes one or more Atom rounds over a scoped
 //! worker pool. Each anytrust group of each round is a
 //! [`GroupActor`](atom_core::actor::GroupActor) behind a mutex; workers pull
-//! tasks from a shared queue and exchange serialized sub-batches through an
-//! [`InMemoryNetwork`] mailbox per group. There is no barrier anywhere:
+//! tasks from a shared queue and exchange serialized sub-batches through a
+//! [`Transport`] mailbox per group — an [`InMemoryNetwork`] by default, or
+//! any other backend (e.g. [`atom_net::TcpTransport`]) via
+//! [`Engine::run_rounds_on`], which also lets one engine instance host only
+//! a *subset* of the groups so a round spans several OS processes (see
+//! [`EngineRole`]). There is no barrier anywhere:
 //!
 //! * **Within a round**, a group steps mixing iteration `i + 1` as soon as
 //!   all of its inbound sub-batches for `i + 1` have arrived, so fast groups
@@ -28,7 +32,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::PoisonError;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -48,13 +52,20 @@ use atom_core::round::{
 };
 use atom_crypto::commit::Commitment;
 use atom_crypto::elgamal::MessageCiphertext;
-use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats};
+use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats, Transport};
 
 use crate::wire;
+use crate::wire::{ExitFrame, Frame};
 
 /// Envelope label of serialized mixing sub-batches (static: no per-message
 /// allocation on the hot path).
 pub const MIX_LABEL: &str = "atom/mix";
+
+/// Envelope label of exit frames (group → orchestrator).
+pub const EXIT_LABEL: &str = "atom/exit";
+
+/// Envelope label of abort notifications.
+pub const ABORT_LABEL: &str = "atom/abort";
 
 /// Engine-wide execution options.
 #[derive(Clone, Debug)]
@@ -76,6 +87,13 @@ pub struct EngineOptions {
     /// (default) auto-sizes to spread one round's intake evenly across the
     /// worker pool.
     pub intake_chunk: usize,
+    /// Stall detector: if rounds are pending, no task is executing and no
+    /// task has *finished* for this long, the engine fails every
+    /// unresolved round instead of waiting forever. In a single process a
+    /// stall is a bug; in a multi-process run it is how a peer process
+    /// dying without a word (crash, OOM-kill) surfaces — TCP gives the
+    /// survivor no abort frame, only silence. Default 120 s.
+    pub stall_timeout: Duration,
 }
 
 impl Default for EngineOptions {
@@ -88,6 +106,7 @@ impl Default for EngineOptions {
             parallelism: 1,
             stragglers: Vec::new(),
             intake_chunk: 0,
+            stall_timeout: Duration::from_secs(120),
         }
     }
 }
@@ -99,6 +118,60 @@ impl EngineOptions {
             workers: workers.max(1),
             ..Self::default()
         }
+    }
+}
+
+/// What part a process plays in a (possibly multi-process) engine run.
+///
+/// Node-id convention on the transport: group `g` owns mailbox `g`, and the
+/// round orchestrator owns the transport's **last** node
+/// (`transport.nodes() - 1`). The orchestrator's process — the
+/// *coordinator* — verifies submission intake, injects the iteration-0
+/// batches, collects every group's exit frame and produces the round's
+/// [`RoundReport`]. Every process hosts the actors of its `hosted` group
+/// ids; a group's mailbox must be local to the process hosting its actor.
+#[derive(Clone, Debug)]
+pub struct EngineRole {
+    /// Group ids whose actors run in this process.
+    pub hosted: Vec<usize>,
+    /// Whether this process is the coordinator (runs intake, collects
+    /// exits, reports results).
+    pub coordinator: bool,
+}
+
+impl EngineRole {
+    /// The classic single-process role: coordinator hosting every group.
+    pub fn standalone(num_groups: usize) -> Self {
+        Self {
+            hosted: (0..num_groups).collect(),
+            coordinator: true,
+        }
+    }
+
+    /// A coordinator hosting `hosted` groups (possibly none).
+    pub fn coordinator(hosted: Vec<usize>) -> Self {
+        Self {
+            hosted,
+            coordinator: true,
+        }
+    }
+
+    /// A non-coordinator member hosting `hosted` groups.
+    pub fn member(hosted: Vec<usize>) -> Self {
+        Self {
+            hosted,
+            coordinator: false,
+        }
+    }
+
+    fn hosts(&self, gid: usize) -> bool {
+        self.hosted.contains(&gid)
+    }
+
+    /// How many of this role's groups participate in a round of
+    /// `num_groups` groups.
+    fn hosted_in_round(&self, num_groups: usize) -> usize {
+        self.hosted.iter().filter(|&&g| g < num_groups).count()
     }
 }
 
@@ -145,6 +218,13 @@ impl RoundJob {
 }
 
 /// The result of one engine-executed round.
+///
+/// The coordinator's report is authoritative: its `output` is the round's
+/// protocol output and its traffic counters cover the whole round (intake
+/// injections plus every group's forwards, reported in the groups' exit
+/// frames). A non-coordinator member resolves each round with a *stub*
+/// report — empty `output`, traffic counters covering only its local groups
+/// — since the protocol result lives with the coordinator.
 #[derive(Clone, Debug)]
 pub struct RoundReport {
     /// The protocol output, byte-identical to the sequential driver's.
@@ -163,7 +243,7 @@ pub struct RoundReport {
 
 enum Task {
     IntakeChunk { round: usize, chunk: usize },
-    Deliver { gid: usize },
+    Deliver { node: usize },
 }
 
 /// Verified intake of one submission chunk: per-entry-group sub-batches and
@@ -184,24 +264,39 @@ struct IntakeState {
 
 struct ExitState {
     payloads: Vec<Option<Vec<Vec<u8>>>>,
+    /// Exit frames the coordinator has collected (counts every group of the
+    /// round, local and remote).
     exits_done: usize,
+    /// Local actors that reached their exit layer (what a member resolves
+    /// its rounds on).
+    local_exits: usize,
     routed: usize,
     commitments: Vec<Vec<Commitment>>,
+    /// Per-group measured compute times, as reported in exit frames.
+    computes: Vec<Vec<Duration>>,
     started: Option<Instant>,
     pipelined: Duration,
+    /// Mixing traffic accumulated from the groups' exit frames.
+    group_mix_messages: u64,
+    group_mix_bytes: u64,
 }
 
 struct JobState {
     setup: RoundSetup,
     submissions: RoundSubmissions,
-    actors: Vec<Mutex<GroupActor>>,
+    /// One slot per group id; `None` for groups hosted by another process.
+    actors: Vec<Option<Mutex<GroupActor>>>,
     /// Submission index ranges of the intake chunks.
     chunks: Vec<(usize, usize)>,
     intake: Mutex<IntakeState>,
     exit: Mutex<ExitState>,
     result: Mutex<Option<AtomResult<RoundReport>>>,
-    mix_messages: AtomicU64,
-    mix_bytes: AtomicU64,
+    /// Iteration-0 injections by the local intake (coordinator only).
+    intake_mix_messages: AtomicU64,
+    intake_mix_bytes: AtomicU64,
+    /// Forward traffic per locally hosted group, shipped to the
+    /// coordinator in the group's exit frame.
+    group_mix: Vec<(AtomicU64, AtomicU64)>,
 }
 
 impl JobState {
@@ -218,21 +313,25 @@ impl JobState {
     }
 }
 
-struct Shared<'a> {
-    jobs: &'a [JobState],
-    // The queue/condvar pair uses `std::sync` directly (parking_lot's
-    // `Condvar::wait` has a different signature, and keeping the vendored
-    // stand-in drop-in-replaceable by the real crate matters more than the
-    // fairness benefits here).
+/// The queue/condvar trio workers and the transport delivery hook share.
+/// `Arc`ed (not borrowed) because the hook handed to the transport must be
+/// `'static`. Uses `std::sync` directly: parking_lot's `Condvar::wait` has
+/// a different signature, and keeping the vendored stand-in
+/// drop-in-replaceable by the real crate matters more than the fairness
+/// benefits here.
+struct Scheduler {
     queue: std::sync::Mutex<VecDeque<Task>>,
     ready: std::sync::Condvar,
     pending_jobs: AtomicUsize,
-    network: InMemoryNetwork,
-    latency: LatencyModel,
-    orchestrator: usize,
+    /// Tasks currently being executed by a worker. Feeds the stall
+    /// detector: a long-running healthy task must not look like a stall to
+    /// the idle workers.
+    executing: AtomicUsize,
+    /// When a worker last finished a task (stall detector's clock).
+    last_progress: Mutex<Instant>,
 }
 
-impl Shared<'_> {
+impl Scheduler {
     fn queue_lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -241,24 +340,79 @@ impl Shared<'_> {
         self.queue_lock().push_back(task);
         self.ready.notify_one();
     }
+}
 
+struct Shared<'a> {
+    jobs: &'a [JobState],
+    sched: Arc<Scheduler>,
+    transport: &'a dyn Transport,
+    latency: LatencyModel,
+    orchestrator: usize,
+    role: &'a EngineRole,
+}
+
+impl Shared<'_> {
     fn job_done(&self) {
-        if self.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.sched.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Hold the queue lock while notifying: a worker that observed
             // the old pending count cannot slip into its wait between the
             // decrement and this notification.
-            let _guard = self.queue_lock();
-            self.ready.notify_all();
+            let _guard = self.sched.queue_lock();
+            self.sched.ready.notify_all();
         }
     }
 
     fn fail_job(&self, round: usize, error: AtomError) {
+        let reason = format!("{error:?}");
         let job = &self.jobs[round];
-        let mut result = job.result.lock();
-        if result.is_none() {
-            *result = Some(Err(error));
-            drop(result);
+        let newly_failed = {
+            let mut result = job.result.lock();
+            if result.is_none() {
+                *result = Some(Err(error));
+                true
+            } else {
+                false
+            }
+        };
+        if newly_failed {
             self.job_done();
+            self.broadcast_abort(round, &reason);
+        }
+    }
+
+    /// Tells the other processes of a multi-process run that `round` died,
+    /// so none of them waits forever on batches that will never come. The
+    /// coordinator fans out to every remote group; a member informs the
+    /// coordinator (which then fans out). Single-process runs have no
+    /// remote nodes and send nothing. Best-effort: a peer that already
+    /// vanished must not take down our remaining rounds.
+    fn broadcast_abort(&self, round: usize, reason: &str) {
+        let targets: Vec<usize> = if self.role.coordinator {
+            (0..self.orchestrator)
+                .filter(|&node| !self.transport.is_local(node))
+                .collect()
+        } else if !self.transport.is_local(self.orchestrator) {
+            vec![self.orchestrator]
+        } else {
+            Vec::new()
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let from = if self.role.coordinator {
+            self.orchestrator
+        } else {
+            self.role.hosted.first().copied().unwrap_or(0)
+        };
+        let payload = wire::encode_abort(round, reason);
+        for node in targets {
+            let send = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.transport
+                    .send(from, node, ABORT_LABEL.into(), payload.clone());
+            }));
+            if send.is_err() {
+                eprintln!("atom-runtime: abort notification to node {node} failed");
+            }
         }
     }
 
@@ -323,7 +477,8 @@ impl Engine {
     }
 
     /// Runs `jobs` with all rounds in flight at once, returning one result
-    /// per job in order.
+    /// per job in order. Single-process convenience: builds an
+    /// [`InMemoryNetwork`] and runs as the standalone coordinator.
     pub fn run_rounds(&self, jobs: Vec<RoundJob>) -> Vec<AtomResult<RoundReport>> {
         if jobs.is_empty() {
             return Vec::new();
@@ -333,22 +488,75 @@ impl Engine {
             .map(|job| job.setup.config.num_groups)
             .max()
             .unwrap_or(1);
+        // One mailbox per group id plus the orchestrator; rounds share
+        // mailboxes and are distinguished by the wire header.
+        let network = InMemoryNetwork::new(max_groups + 1, LatencyModel::Zero, Vec::new());
+        self.run_rounds_on(jobs, &network, &EngineRole::standalone(max_groups))
+    }
+
+    /// Runs `jobs` over an explicit [`Transport`], playing `role`.
+    ///
+    /// The transport must expose one node per group id (of the widest
+    /// round) plus the orchestrator as its **last** node, and `role` must
+    /// agree with the transport's locality: this process must host exactly
+    /// the mailboxes of its `hosted` groups (plus the orchestrator's iff
+    /// coordinator). Every participating process derives the same `jobs`
+    /// (identical setups, submissions and seeds) and calls this
+    /// concurrently; the coordinator's returned reports carry the round
+    /// outputs, byte-identical to a single-process run of the same jobs.
+    pub fn run_rounds_on(
+        &self,
+        jobs: Vec<RoundJob>,
+        transport: &dyn Transport,
+        role: &EngineRole,
+    ) -> Vec<AtomResult<RoundReport>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let max_groups = jobs
+            .iter()
+            .map(|job| job.setup.config.num_groups)
+            .max()
+            .unwrap_or(1);
+        assert!(
+            transport.nodes() > max_groups,
+            "transport exposes {} nodes; the deployment needs {} groups + orchestrator",
+            transport.nodes(),
+            max_groups
+        );
+        let orchestrator = transport.nodes() - 1;
+        assert_eq!(
+            transport.is_local(orchestrator),
+            role.coordinator,
+            "the orchestrator mailbox must be local exactly on the coordinator"
+        );
+        for &gid in &role.hosted {
+            assert!(
+                transport.is_local(gid),
+                "hosted group {gid}'s mailbox is not local to this process"
+            );
+        }
 
         let workers = self.options.workers.max(1);
         // Build per-job state up front; actor construction failures (e.g.
         // too many pre-failed servers) resolve the job immediately.
         let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
-        for job in jobs {
+        let mut construction_failures: Vec<(usize, String)> = Vec::new();
+        for (round, job) in jobs.into_iter().enumerate() {
             // The master draw mirrors RoundDriver::run_mixing's first use of
             // the caller RNG, keeping seed semantics identical across
             // drivers.
             let master_seed = StdRng::seed_from_u64(job.seed).next_u64();
             let num_groups = job.setup.config.num_groups;
-            let mut actors = Vec::with_capacity(num_groups);
+            let mut actors: Vec<Option<Mutex<GroupActor>>> = Vec::with_capacity(num_groups);
             let mut construction_error = None;
             for gid in 0..num_groups {
+                if !role.hosts(gid) {
+                    actors.push(None);
+                    continue;
+                }
                 match GroupActor::new(&job.setup, gid, master_seed, self.actor_config(&job, gid)) {
-                    Ok(actor) => actors.push(Mutex::new(actor)),
+                    Ok(actor) => actors.push(Some(Mutex::new(actor))),
                     Err(error) => {
                         construction_error = Some(error);
                         break;
@@ -360,6 +568,18 @@ impl Engine {
                 RoundSubmissions::Trap(s) => s.len(),
             };
             let chunks = chunk_ranges(submissions_len, self.options.intake_chunk, workers);
+            if let Some(error) = &construction_error {
+                construction_failures.push((round, format!("{error:?}")));
+            }
+            // A member whose groups all sit outside this round has nothing
+            // to do for it: resolve immediately with an empty stub.
+            let result = match construction_error {
+                Some(error) => Some(Err(error)),
+                None if !role.coordinator && role.hosted_in_round(num_groups) == 0 => {
+                    Some(Ok(member_stub_report(Duration::ZERO, 0, 0, Duration::ZERO)))
+                }
+                None => None,
+            };
             let state = JobState {
                 intake: Mutex::new(IntakeState {
                     pending: chunks.len(),
@@ -368,14 +588,21 @@ impl Engine {
                 exit: Mutex::new(ExitState {
                     payloads: vec![None; num_groups],
                     exits_done: 0,
+                    local_exits: 0,
                     routed: 0,
                     commitments: Vec::new(),
+                    computes: vec![Vec::new(); num_groups],
                     started: None,
                     pipelined: Duration::ZERO,
+                    group_mix_messages: 0,
+                    group_mix_bytes: 0,
                 }),
-                result: Mutex::new(construction_error.map(Err)),
-                mix_messages: AtomicU64::new(0),
-                mix_bytes: AtomicU64::new(0),
+                result: Mutex::new(result),
+                intake_mix_messages: AtomicU64::new(0),
+                intake_mix_bytes: AtomicU64::new(0),
+                group_mix: (0..num_groups)
+                    .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                    .collect(),
                 setup: job.setup,
                 submissions: job.submissions,
                 actors,
@@ -385,33 +612,63 @@ impl Engine {
         }
 
         let pending = states.iter().filter(|s| !s.finalized()).count();
-        let shared = Shared {
-            jobs: &states,
+        let sched = Arc::new(Scheduler {
             queue: std::sync::Mutex::new(VecDeque::new()),
             ready: std::sync::Condvar::new(),
             pending_jobs: AtomicUsize::new(pending),
-            // One mailbox per group id plus the orchestrator; rounds share
-            // mailboxes and are distinguished by the wire header.
-            network: InMemoryNetwork::new(max_groups + 1, LatencyModel::Zero, Vec::new()),
+            executing: AtomicUsize::new(0),
+            last_progress: Mutex::new(Instant::now()),
+        });
+        let shared = Shared {
+            jobs: &states,
+            sched: Arc::clone(&sched),
+            transport,
             latency: self.options.latency,
-            orchestrator: max_groups,
+            orchestrator,
+            role,
         };
-        for (round, state) in states.iter().enumerate() {
-            if !state.finalized() {
-                let mut queue = shared.queue_lock();
-                for chunk in 0..state.chunks.len() {
-                    queue.push_back(Task::IntakeChunk { round, chunk });
+
+        // A round this process cannot even set up must not leave the other
+        // processes waiting on its groups.
+        for (round, reason) in &construction_failures {
+            shared.broadcast_abort(*round, reason);
+        }
+
+        if role.coordinator {
+            let mut queue = sched.queue_lock();
+            for (round, state) in states.iter().enumerate() {
+                if !state.finalized() {
+                    for chunk in 0..state.chunks.len() {
+                        queue.push_back(Task::IntakeChunk { round, chunk });
+                    }
                 }
             }
         }
 
-        if shared.pending_jobs.load(Ordering::SeqCst) > 0 {
+        // Arrivals wake the pool through the delivery hook; a sweep over
+        // already-queued mailboxes covers envelopes that raced in between
+        // transport setup and this point.
+        let hook_sched = Arc::clone(&sched);
+        transport.set_delivery_hook(Some(Arc::new(move |node| {
+            hook_sched.push_task(Task::Deliver { node });
+        })));
+        for node in 0..transport.nodes() {
+            if transport.is_local(node) && transport.pending(node) > 0 {
+                sched.push_task(Task::Deliver { node });
+            }
+        }
+
+        if sched.pending_jobs.load(Ordering::SeqCst) > 0 {
+            let stall_timeout = self.options.stall_timeout.max(Duration::from_millis(10));
             std::thread::scope(|scope| {
-                for _ in 0..self.options.workers.max(1) {
-                    scope.spawn(|| worker_loop(&shared));
+                for _ in 0..workers {
+                    scope.spawn(|| worker_loop(&shared, stall_timeout));
                 }
             });
         }
+        // Detach the hook: late arrivals (e.g. duplicate aborts) still land
+        // in mailboxes but no longer reach this run's queue.
+        transport.set_delivery_hook(None);
 
         states
             .into_iter()
@@ -425,31 +682,79 @@ impl Engine {
     }
 }
 
-fn worker_loop(shared: &Shared<'_>) {
+/// The resolution a non-coordinator member records for a round once all of
+/// its local groups have exited: local traffic and latency only, empty
+/// protocol output (the coordinator holds the authoritative report).
+fn member_stub_report(
+    pipelined: Duration,
+    mix_messages: u64,
+    mix_bytes: u64,
+    wall_clock: Duration,
+) -> RoundReport {
+    RoundReport {
+        output: RoundOutput {
+            per_group: Vec::new(),
+            plaintexts: Vec::new(),
+            routed_ciphertexts: 0,
+            timings: RoundTimings::default(),
+        },
+        pipelined_latency: pipelined,
+        wall_clock,
+        mix_messages,
+        mix_bytes,
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
     loop {
         let task = {
-            let mut queue = shared.queue_lock();
+            let mut queue = shared.sched.queue_lock();
             loop {
                 if let Some(task) = queue.pop_front() {
                     break task;
                 }
-                if shared.pending_jobs.load(Ordering::SeqCst) == 0 {
+                if shared.sched.pending_jobs.load(Ordering::SeqCst) == 0 {
                     return;
                 }
-                queue = shared
+                // Stall detector: rounds pending, queue empty, nobody
+                // executing, and nothing has finished for stall_timeout —
+                // a remote peer died silently (or a local bug lost a
+                // wake-up). Fail the unresolved rounds rather than wait
+                // forever; resolved rounds keep their results.
+                let idle = shared.sched.executing.load(Ordering::SeqCst) == 0;
+                let elapsed = shared.sched.last_progress.lock().elapsed();
+                if idle && elapsed >= stall_timeout {
+                    drop(queue);
+                    shared.fail_all(&format!(
+                        "engine stalled: no task progress for {elapsed:?} \
+                         (remote peer lost?)"
+                    ));
+                    return;
+                }
+                let wait = if idle {
+                    stall_timeout - elapsed
+                } else {
+                    stall_timeout
+                };
+                let (guard, _) = shared
+                    .sched
                     .ready
-                    .wait(queue)
+                    .wait_timeout(queue, wait)
                     .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
             }
         };
         // A panicking task (e.g. a poisoned intra-group re-encryption
         // worker) must not strand the other workers in their condvar wait:
         // resolve every open round with an error, then re-raise the panic so
         // the scope surfaces it.
+        shared.sched.executing.fetch_add(1, Ordering::SeqCst);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
             Task::IntakeChunk { round, chunk } => run_intake_chunk(shared, round, chunk),
-            Task::Deliver { gid } => run_deliver(shared, gid),
+            Task::Deliver { node } => run_deliver(shared, node),
         }));
+        *shared.sched.last_progress.lock() = Instant::now();
+        shared.sched.executing.fetch_sub(1, Ordering::SeqCst);
         if let Err(panic) = result {
             shared.fail_all("engine worker panicked; round abandoned");
             std::panic::resume_unwind(panic);
@@ -566,14 +871,15 @@ fn finish_intake(shared: &Shared<'_>, round: usize) {
     }
 
     for (gid, batch) in batches.into_iter().enumerate() {
-        let payload = wire::encode(round, 0, SOURCE, Duration::ZERO, &batch);
-        job.mix_messages.fetch_add(1, Ordering::Relaxed);
-        job.mix_bytes
+        let payload = wire::encode_mix(round, 0, SOURCE, Duration::ZERO, &batch);
+        job.intake_mix_messages.fetch_add(1, Ordering::Relaxed);
+        job.intake_mix_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // The transport's delivery hook wakes the pool for local
+        // destinations; remote ones wake their own process.
         shared
-            .network
-            .send(shared.orchestrator, gid, MIX_LABEL, payload);
-        shared.push_task(Task::Deliver { gid });
+            .transport
+            .send(shared.orchestrator, gid, MIX_LABEL.into(), payload);
     }
 }
 
@@ -587,47 +893,93 @@ fn inbound_hop(shared: &Shared<'_>, setup: &RoundSetup, from: usize, to: usize) 
     hop_latency(setup, &shared.latency, from, to)
 }
 
-/// Drains a group mailbox and feeds its actor, forwarding whatever the actor
-/// emits.
-fn run_deliver(shared: &Shared<'_>, gid: usize) {
-    for envelope in shared.network.drain(gid) {
+/// Drains a local mailbox and dispatches its frames: mix batches feed the
+/// node's group actor, exit frames accumulate at the orchestrator, abort
+/// frames fail their round.
+fn run_deliver(shared: &Shared<'_>, node: usize) {
+    for envelope in shared.transport.drain(node) {
         let decoded = match wire::decode(&envelope.payload) {
             Ok(decoded) => decoded,
             Err(error) => {
-                // Every envelope on this network is engine-generated, so a
-                // decode failure means format skew, not foreign traffic.
-                // Dropping it would strand the receiving actor forever;
-                // fail the named round (the header's round field survives
-                // most corruptions) or, failing that, everything.
+                // Within one process every envelope is engine-generated, so
+                // a decode failure means format skew; over TCP it means a
+                // corrupt or hostile peer. Either way, dropping it would
+                // strand the receiving actor forever: fail the named round
+                // (the header's round field survives most corruptions) or,
+                // failing that, everything.
                 match wire::decode_round(&envelope.payload) {
                     Some(round) if round < shared.jobs.len() => shared.fail_job(round, error),
-                    _ => shared.fail_all("undecodable mix envelope"),
+                    _ => shared.fail_all("undecodable protocol frame"),
                 }
                 continue;
             }
         };
-        let round = decoded.round;
-        let Some(job) = shared.jobs.get(round) else {
-            shared.fail_all("mix envelope names an unknown round");
-            continue;
-        };
-        if job.failed() {
-            continue;
-        }
-
-        let arrival = decoded.sent_virtual + inbound_hop(shared, &job.setup, decoded.from, gid);
-        let outputs = {
-            let mut actor = job.actors[gid].lock();
-            actor.note_arrival(decoded.iteration, arrival);
-            match actor.on_batch(decoded.iteration, decoded.from, decoded.batch) {
-                Ok(outputs) => outputs,
-                Err(error) => {
-                    shared.fail_job(round, error);
+        match decoded {
+            Frame::Mix(mix) => on_mix_frame(shared, node, mix),
+            Frame::Exit(exit) => on_exit_frame(shared, node, exit),
+            Frame::Abort(abort) => {
+                let Some(_job) = shared.jobs.get(abort.round) else {
+                    shared.fail_all("abort frame names an unknown round");
                     continue;
-                }
+                };
+                shared.fail_job(
+                    abort.round,
+                    AtomError::Malformed(format!("round aborted by a peer: {}", abort.reason)),
+                );
+            }
+        }
+    }
+}
+
+/// Feeds one mixing sub-batch to the local actor of group `gid` and routes
+/// whatever the actor emits.
+fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
+    let round = mix.round;
+    let Some(job) = shared.jobs.get(round) else {
+        shared.fail_all("mix envelope names an unknown round");
+        return;
+    };
+    if job.failed() {
+        return;
+    }
+    {
+        // Members start their round clock at the first local delivery (the
+        // coordinator starts it at intake).
+        let mut exit = job.exit.lock();
+        if exit.started.is_none() {
+            exit.started = Some(Instant::now());
+        }
+    }
+    let Some(actor_slot) = job.actors.get(gid).and_then(Option::as_ref) else {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!(
+                "mix envelope for group {gid}, which this process does not host"
+            )),
+        );
+        return;
+    };
+
+    let arrival = mix.sent_virtual + inbound_hop(shared, &job.setup, mix.from, gid);
+    // Frames are encoded and traffic counters updated while the actor lock
+    // is held: the lock serializes the group's iterations, so by the time
+    // the exit frame snapshots the group's counters every earlier forward
+    // of this group has been counted — another worker draining a later
+    // batch cannot observe a partial count. Only the sends happen outside
+    // the lock.
+    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut exit_send: Option<(Vec<u8>, Duration)> = None;
+    {
+        let mut actor = actor_slot.lock();
+        actor.note_arrival(mix.iteration, arrival);
+        let outputs = match actor.on_batch(mix.iteration, mix.from, mix.batch) {
+            Ok(outputs) => outputs,
+            Err(error) => {
+                drop(actor);
+                shared.fail_job(round, error);
+                return;
             }
         };
-
         for output in outputs {
             match output {
                 ActorOutput::Forward {
@@ -636,42 +988,142 @@ fn run_deliver(shared: &Shared<'_>, gid: usize) {
                     batch,
                     sent_virtual,
                 } => {
-                    let payload = wire::encode(round, iteration, gid, sent_virtual, &batch);
-                    job.mix_messages.fetch_add(1, Ordering::Relaxed);
-                    job.mix_bytes
-                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                    shared.network.send(gid, to, MIX_LABEL, payload);
-                    shared.push_task(Task::Deliver { gid: to });
+                    let payload = wire::encode_mix(round, iteration, gid, sent_virtual, &batch);
+                    let (messages, bytes) = &job.group_mix[gid];
+                    messages.fetch_add(1, Ordering::Relaxed);
+                    bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    sends.push((to, payload));
                 }
                 ActorOutput::Exit {
                     plaintexts,
                     finished_virtual,
                 } => {
-                    let complete = {
-                        let mut exit = job.exit.lock();
-                        if exit.payloads[gid].is_none() {
-                            exit.payloads[gid] = Some(plaintexts);
-                            exit.exits_done += 1;
-                        }
-                        exit.pipelined = exit.pipelined.max(finished_virtual);
-                        exit.exits_done == job.num_groups()
+                    // The group's final products travel to the orchestrator
+                    // as an exit frame — across the loopback in a
+                    // single-process run, across TCP when the coordinator
+                    // is remote.
+                    let (messages, bytes) = &job.group_mix[gid];
+                    let frame = ExitFrame {
+                        round,
+                        gid,
+                        finished_virtual,
+                        mix_messages: messages.load(Ordering::Relaxed),
+                        mix_bytes: bytes.load(Ordering::Relaxed),
+                        compute: actor.compute_times().to_vec(),
+                        payloads: plaintexts,
                     };
-                    if complete {
-                        finalize_round(shared, round);
-                    }
+                    exit_send = Some((wire::encode_exit(&frame), finished_virtual));
                 }
             }
         }
     }
+
+    for (to, payload) in sends {
+        shared.transport.send(gid, to, MIX_LABEL.into(), payload);
+    }
+    if let Some((payload, finished_virtual)) = exit_send {
+        shared
+            .transport
+            .send(gid, shared.orchestrator, EXIT_LABEL.into(), payload);
+        note_local_exit(shared, round, finished_virtual);
+    }
+}
+
+/// Member-side bookkeeping of a local group reaching its exit layer: once
+/// every locally hosted group of the round is done, a non-coordinator has
+/// nothing left to compute and resolves the round with a stub report.
+fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration) {
+    let job = &shared.jobs[round];
+    let all_local_done = {
+        let mut exit = job.exit.lock();
+        exit.local_exits += 1;
+        exit.pipelined = exit.pipelined.max(finished_virtual);
+        exit.local_exits == shared.role.hosted_in_round(job.num_groups())
+    };
+    if shared.role.coordinator || !all_local_done {
+        return;
+    }
+    let (pipelined, wall_clock) = {
+        let exit = job.exit.lock();
+        (
+            exit.pipelined,
+            exit.started.map(|at| at.elapsed()).unwrap_or_default(),
+        )
+    };
+    let mix_messages: u64 = job
+        .group_mix
+        .iter()
+        .map(|(m, _)| m.load(Ordering::Relaxed))
+        .sum();
+    let mix_bytes: u64 = job
+        .group_mix
+        .iter()
+        .map(|(_, b)| b.load(Ordering::Relaxed))
+        .sum();
+    let mut result = job.result.lock();
+    if result.is_none() {
+        *result = Some(Ok(member_stub_report(
+            pipelined,
+            mix_messages,
+            mix_bytes,
+            wall_clock,
+        )));
+        drop(result);
+        shared.job_done();
+    }
+}
+
+/// Collects one group's exit frame at the orchestrator; the frame carrying
+/// the round's last outstanding group triggers finalization.
+fn on_exit_frame(shared: &Shared<'_>, node: usize, frame: ExitFrame) {
+    if node != shared.orchestrator || !shared.role.coordinator {
+        shared.fail_all("exit frame delivered to a non-orchestrator node");
+        return;
+    }
+    let round = frame.round;
+    let Some(job) = shared.jobs.get(round) else {
+        shared.fail_all("exit frame names an unknown round");
+        return;
+    };
+    if job.failed() {
+        return;
+    }
+    if frame.gid >= job.num_groups() {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!("exit frame from unknown group {}", frame.gid)),
+        );
+        return;
+    }
+    let complete = {
+        let mut exit = job.exit.lock();
+        if exit.payloads[frame.gid].is_some() {
+            drop(exit);
+            shared.fail_job(
+                round,
+                AtomError::Malformed(format!("duplicate exit frame from group {}", frame.gid)),
+            );
+            return;
+        }
+        exit.payloads[frame.gid] = Some(frame.payloads);
+        exit.computes[frame.gid] = frame.compute;
+        exit.group_mix_messages += frame.mix_messages;
+        exit.group_mix_bytes += frame.mix_bytes;
+        exit.exits_done += 1;
+        exit.pipelined = exit.pipelined.max(frame.finished_virtual);
+        exit.exits_done == job.num_groups()
+    };
+    if complete {
+        finalize_round(shared, round);
+    }
 }
 
 /// Collects timings, runs the variant-specific exit phase and resolves the
-/// job.
+/// job (coordinator only; members resolve through [`note_local_exit`]).
 fn finalize_round(shared: &Shared<'_>, round: usize) {
     let job = &shared.jobs[round];
 
-    let mut timings = collect_timings(shared, job);
-    let (payloads, routed, commitments, started, pipelined) = {
+    let (payloads, routed, commitments, computes, started, pipelined, group_mix) = {
         let mut exit = job.exit.lock();
         let payloads: Vec<Vec<Vec<u8>>> = exit
             .payloads
@@ -682,12 +1134,18 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
             payloads,
             exit.routed,
             std::mem::take(&mut exit.commitments),
+            std::mem::take(&mut exit.computes),
             exit.started,
             exit.pipelined,
+            (exit.group_mix_messages, exit.group_mix_bytes),
         )
     };
+    // Per-iteration compute critical path as reported in the groups' exit
+    // frames, plus the analytic barrier-model network critical path, via
+    // the accounting helper shared with the sequential driver.
+    let mut timings = collect_round_timings(&job.setup, &shared.latency, &computes);
     // Same field semantics as the sequential driver: end-to-end wall time of
-    // the in-process round.
+    // the round in the coordinator process.
     let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
     timings.wall_clock = wall_clock;
 
@@ -701,29 +1159,28 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
     let report = output.map(|output| RoundReport {
         pipelined_latency: pipelined,
         wall_clock,
-        mix_messages: job.mix_messages.load(Ordering::Relaxed),
-        mix_bytes: job.mix_bytes.load(Ordering::Relaxed),
+        mix_messages: job.intake_mix_messages.load(Ordering::Relaxed) + group_mix.0,
+        mix_bytes: job.intake_mix_bytes.load(Ordering::Relaxed) + group_mix.1,
         output,
     });
 
+    // The exit phase itself can reject a round (trap-check failure,
+    // malformed payloads). Remote members have usually resolved the round
+    // locally by then, but a stray notification is harmless and a member
+    // still mixing must not be left waiting.
+    let exit_failure = match &report {
+        Err(error) => Some(format!("{error:?}")),
+        Ok(_) => None,
+    };
     let mut result = job.result.lock();
     if result.is_none() {
         *result = Some(report);
         drop(result);
+        if let Some(reason) = exit_failure {
+            shared.broadcast_abort(round, &reason);
+        }
         shared.job_done();
     }
-}
-
-/// Per-iteration compute critical path from the actors plus the analytic
-/// barrier-model network critical path, via the accounting helper shared
-/// with the sequential driver.
-fn collect_timings(shared: &Shared<'_>, job: &JobState) -> RoundTimings {
-    let computes: Vec<Vec<Duration>> = job
-        .actors
-        .iter()
-        .map(|actor| actor.lock().compute_times().to_vec())
-        .collect();
-    collect_round_timings(&job.setup, &shared.latency, &computes)
 }
 
 /// Aggregate transport statistics helper for reports and scenarios.

@@ -2,12 +2,22 @@
 //!
 //! The parallel group-actor execution engine for the Atom reproduction:
 //! anytrust groups run as actors on a scoped worker pool, exchanging
-//! serialized sub-batches through [`atom_net::InMemoryNetwork`] envelopes,
-//! with **barrier-free pipelined mixing** within a round and **multiple
-//! rounds in flight** across rounds. This is the subsystem that lets the
+//! serialized sub-batches through [`atom_net::Transport`] envelopes, with
+//! **barrier-free pipelined mixing** within a round and **multiple rounds
+//! in flight** across rounds. This is the subsystem that lets the
 //! reproduction exhibit the paper's headline property — horizontal scaling —
 //! instead of executing every group on one thread with a hard barrier
 //! between iterations.
+//!
+//! The engine is transport-generic: [`Engine::run_rounds`] runs every group
+//! in-process over an [`atom_net::InMemoryNetwork`], while
+//! [`Engine::run_rounds_on`] accepts any [`atom_net::Transport`] plus an
+//! [`EngineRole`], so the *same* engine hosts a subset of the groups in
+//! each of several OS processes connected by
+//! [`atom_net::TcpTransport`] — the multi-process mode the `atom-node`
+//! binary (in `atom-bench`) drives. For equal jobs and seeds the
+//! coordinator's [`RoundOutput`](atom_core::round::RoundOutput) is
+//! byte-identical across transports and process layouts.
 //!
 //! ## Architecture
 //!
@@ -16,24 +26,25 @@
 //!   RoundJob (seed,       │          Engine            │
 //!   setup, submissions) ─▶│  task queue + worker pool  │
 //!                         └─────┬───────────────┬──────┘
-//!             Intake(round)     │               │    Deliver(gid)
+//!             Intake(round)     │               │    Deliver(node)
 //!        verify proofs, inject  │               │  drain mailbox, step actor
 //!                               ▼               ▼
-//!   ┌─────────────┐   wire::encode   ┌──────────────────────────┐
-//!   │ orchestrator│ ───────────────▶ │ InMemoryNetwork mailboxes │
-//!   │  (node G)   │    envelopes     │  one per group id (0..G) │
-//!   └─────────────┘                  └──────┬───────────▲───────┘
-//!                                           │ drain     │ send
-//!                                           ▼           │
-//!                              ┌────────────────────────┴─┐
-//!                              │ GroupActor (per round×gid)│
-//!                              │  · buffers sub-batches    │
-//!                              │  · steps iteration i once │
-//!                              │    all inputs arrived     │
-//!                              │  · per-group RNG stream   │
-//!                              │  · virtual-clock tracking │
-//!                              └──────────┬────────────────┘
-//!                                         │ Exit outputs
+//!   ┌─────────────┐  wire::encode_mix ┌──────────────────────────┐
+//!   │ orchestrator│ ────────────────▶ │   Transport mailboxes    │
+//!   │ (node G, on │     envelopes     │  one per group id (0..G) │
+//!   │ coordinator)│ ◀──────────────── │  in-memory or TCP frames │
+//!   └─────────────┘ wire::encode_exit └──────┬───────────▲───────┘
+//!                                            │ drain     │ send
+//!                                            ▼           │
+//!                              ┌─────────────────────────┴─┐
+//!                              │ GroupActor (per round×gid) │
+//!                              │  · buffers sub-batches     │
+//!                              │  · steps iteration i once  │
+//!                              │    all inputs arrived      │
+//!                              │  · per-group RNG stream    │
+//!                              │  · virtual-clock tracking  │
+//!                              └──────────┬─────────────────┘
+//!                                         │ Exit frames
 //!                                         ▼
 //!                       finish_{nizk,trap}_round → RoundReport
 //! ```
@@ -108,6 +119,7 @@ pub mod scenarios;
 pub mod wire;
 
 pub use engine::{
-    total_traffic, Engine, EngineOptions, RoundJob, RoundReport, RoundSubmissions, MIX_LABEL,
+    total_traffic, Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions,
+    ABORT_LABEL, EXIT_LABEL, MIX_LABEL,
 };
 pub use scenarios::{ScenarioOptions, ScenarioReport};

@@ -17,6 +17,9 @@
 //! * [`batched_intake`] — chunked parallel submission intake: per-submission
 //!   chunks, a single intake task, and the sequential driver must all
 //!   produce byte-identical round outputs.
+//! * [`tcp_loopback`] — the microblog workload split across two engine
+//!   instances talking `TcpTransport` on localhost; the coordinator's round
+//!   outputs must be byte-identical to the in-memory run.
 
 use std::time::Duration;
 
@@ -28,11 +31,11 @@ use atom_core::directory::setup_round;
 use atom_core::error::{AtomError, AtomResult};
 use atom_core::message::{make_nizk_submission, make_trap_submission};
 use atom_core::round::RoundDriver;
-use atom_net::LatencyModel;
+use atom_net::{LatencyModel, TcpOptions, TcpTransport};
 
 use atom_apps::dialing::{make_dial_submission, DialIdentity, Mailboxes};
 
-use crate::engine::{Engine, EngineOptions, RoundJob, RoundReport, RoundSubmissions};
+use crate::engine::{Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions};
 
 /// Common knobs for every scenario.
 #[derive(Clone, Debug)]
@@ -131,15 +134,16 @@ fn decode_texts(report: &RoundReport) -> Vec<String> {
     texts
 }
 
-/// Multi-round anonymous microblogging: `rounds` rounds of `posts_per_round`
-/// fixed-length posts each, all rounds in flight at once. Fails if any round
-/// aborts or any post is lost.
-pub fn microblog(
+/// Builds the microblog workload: `rounds` rounds of `posts_per_round`
+/// fixed-length posts each, plus the sorted expected texts per round.
+/// Shared by [`microblog`] and [`tcp_loopback`], which must execute the
+/// identical jobs.
+fn microblog_jobs(
     groups: usize,
     posts_per_round: usize,
     rounds: usize,
     options: &ScenarioOptions,
-) -> AtomResult<ScenarioReport> {
+) -> AtomResult<(Vec<RoundJob>, Vec<Vec<String>>)> {
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut jobs = Vec::with_capacity(rounds);
     let mut expected = Vec::with_capacity(rounds);
@@ -174,7 +178,19 @@ pub fn microblog(
         posts_sorted.sort();
         expected.push(posts_sorted);
     }
+    Ok((jobs, expected))
+}
 
+/// Multi-round anonymous microblogging: `rounds` rounds of `posts_per_round`
+/// fixed-length posts each, all rounds in flight at once. Fails if any round
+/// aborts or any post is lost.
+pub fn microblog(
+    groups: usize,
+    posts_per_round: usize,
+    rounds: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let (jobs, expected) = microblog_jobs(groups, posts_per_round, rounds, options)?;
     let reports = collect(engine(options).run_rounds(jobs))?;
     for (report, want) in reports.iter().zip(&expected) {
         let got = decode_texts(report);
@@ -399,6 +415,76 @@ pub fn batched_intake(
     Ok(ScenarioReport::from_reports(
         std::slice::from_ref(&chunked),
         messages,
+    ))
+}
+
+/// TCP loopback equivalence: the microblog workload executed once
+/// in-process over `InMemoryNetwork` and once split across two engine
+/// instances talking [`TcpTransport`] on localhost (run as threads here;
+/// the `atom-node` binary in `atom-bench` covers separate OS processes).
+/// The coordinator hosts the even group ids, the member the odd ones. The
+/// coordinator's `RoundOutput`s must be **byte-identical** to the
+/// in-memory run's; returns the TCP run's report.
+pub fn tcp_loopback(
+    groups: usize,
+    posts_per_round: usize,
+    rounds: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let (jobs, _) = microblog_jobs(groups, posts_per_round, rounds, options)?;
+    let reference = collect(engine(options).run_rounds(jobs.clone()))?;
+
+    let net_error = |what: &str, error: std::io::Error| {
+        AtomError::Malformed(format!("tcp loopback scenario: {what}: {error}"))
+    };
+    // Even gids (and the orchestrator, last node) on the coordinator side,
+    // odd gids on the member side. Both listeners bind free ports and
+    // exchange the resolved addresses afterwards, so concurrent tests
+    // cannot race on ports.
+    let mut owner: Vec<usize> = (0..groups).map(|gid| gid % 2).collect();
+    owner.push(0);
+    let coordinator_net = TcpTransport::bind_any(2, owner.clone(), 0, TcpOptions::default())
+        .map_err(|e| net_error("binding coordinator", e))?;
+    let member_net = TcpTransport::bind_any(2, owner, 1, TcpOptions::default())
+        .map_err(|e| net_error("binding member", e))?;
+    coordinator_net.set_peer_addr(1, member_net.local_addr().to_string());
+    member_net.set_peer_addr(0, coordinator_net.local_addr().to_string());
+
+    let hosted_even: Vec<usize> = (0..groups).step_by(2).collect();
+    let hosted_odd: Vec<usize> = (1..groups).step_by(2).collect();
+    let member_jobs = jobs.clone();
+    let member_options = options.clone();
+    let member_thread = std::thread::spawn(move || {
+        engine(&member_options).run_rounds_on(
+            member_jobs,
+            &member_net,
+            &EngineRole::member(hosted_odd),
+        )
+    });
+    let reports = collect(engine(options).run_rounds_on(
+        jobs,
+        &coordinator_net,
+        &EngineRole::coordinator(hosted_even),
+    ))?;
+    member_thread
+        .join()
+        .map_err(|_| AtomError::Malformed("tcp loopback member thread panicked".into()))?
+        .into_iter()
+        .collect::<AtomResult<Vec<_>>>()?;
+
+    for (round, (tcp, reference)) in reports.iter().zip(&reference).enumerate() {
+        if tcp.output.plaintexts != reference.output.plaintexts
+            || tcp.output.per_group != reference.output.per_group
+            || tcp.output.routed_ciphertexts != reference.output.routed_ciphertexts
+        {
+            return Err(AtomError::Malformed(format!(
+                "tcp round {round} diverged from the in-memory run"
+            )));
+        }
+    }
+    Ok(ScenarioReport::from_reports(
+        &reports,
+        posts_per_round * rounds,
     ))
 }
 

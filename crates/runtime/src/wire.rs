@@ -1,25 +1,35 @@
-//! The serialized batch format exchanged between group actors.
+//! The serialized frame formats exchanged between group actors and the
+//! round orchestrator.
 //!
-//! The engine ships sub-batches through [`atom_net::InMemoryNetwork`]
-//! envelopes rather than passing `Vec<MessageCiphertext>` by reference, so
-//! traffic metering sees the true wire size and a future TCP transport can
-//! reuse the format unchanged. Layout (all integers little-endian):
+//! The engine ships everything through [`atom_net::Transport`] envelopes
+//! rather than passing Rust values by reference, so traffic metering sees
+//! the true wire size and the TCP transport ships the identical bytes
+//! between processes. Three frame kinds, discriminated by the leading
+//! byte (all integers little-endian):
 //!
 //! ```text
-//! header:  round u32 ‖ iteration u32 ‖ from u32 ‖ sent_virtual_nanos u64 ‖ count u32
-//! message: components u16 ‖ component*
-//! component: flags u8 (bit0: Y present) ‖ R 32B ‖ c 32B ‖ [Y 32B]
+//! mix:   0x01 ‖ round u32 ‖ iteration u32 ‖ from u32 ‖ sent_virtual_nanos u64 ‖ count u32
+//!        message:   components u16 ‖ component*
+//!        component: flags u8 (bit0: Y present) ‖ R 32B ‖ c 32B ‖ [Y 32B]
+//! exit:  0x02 ‖ round u32 ‖ gid u32 ‖ finished_virtual_nanos u64
+//!        ‖ mix_messages u64 ‖ mix_bytes u64
+//!        ‖ compute_count u32 ‖ compute_nanos u64 *
+//!        ‖ payload_count u32 ‖ (len u32 ‖ bytes) *
+//! abort: 0x03 ‖ round u32 ‖ reason_len u32 ‖ reason (UTF-8)
 //! ```
 //!
-//! `from == u32::MAX` encodes the round orchestrator ([`SOURCE`]).
+//! `from == u32::MAX` in a mix frame encodes the round orchestrator
+//! ([`SOURCE`]).
 //!
-//! Decoding validates every point (group-membership check included), and
-//! length fields are bounds-checked before any allocation. In-process this
-//! re-validates engine-generated traffic — a deliberate cost: it models what
-//! a real group must do with bytes from a neighbour it does not trust, keeps
-//! the engine's throughput numbers honest about it, and means the planned
-//! TCP transport can reuse the decoder unchanged at an actual trust
-//! boundary.
+//! This codec is the protocol's trust boundary: over [`TcpTransport`]
+//! (`atom_net::tcp`) these bytes arrive from another process, and a real
+//! deployment's neighbour group is not trusted at all. Decoding therefore
+//! validates every field — group-membership checks on every point, length
+//! fields bounds-checked against the actual body *before* any allocation —
+//! and returns [`AtomError`] rather than panicking on anything adversarial.
+//! The in-process engine runs the same decoder on its own traffic, a
+//! deliberate cost that keeps throughput numbers honest about the work a
+//! real group must do.
 
 use std::time::Duration;
 
@@ -29,7 +39,7 @@ use atom_crypto::elgamal::{Ciphertext, MessageCiphertext};
 use atom_crypto::RistrettoPoint;
 use curve25519_dalek::ristretto::CompressedRistretto;
 
-/// A decoded mixing message.
+/// A decoded mixing frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MixEnvelope {
     /// Index of the round this batch belongs to (within one engine run).
@@ -44,8 +54,58 @@ pub struct MixEnvelope {
     pub batch: Vec<MessageCiphertext>,
 }
 
-const HEADER_LEN: usize = 4 + 4 + 4 + 8 + 4;
+/// A decoded exit frame: one group's final products, sent to the round
+/// orchestrator when the group finishes its last iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExitFrame {
+    /// Index of the round within the engine run.
+    pub round: usize,
+    /// The exiting group.
+    pub gid: usize,
+    /// The group's virtual clock at the end of its last iteration.
+    pub finished_virtual: Duration,
+    /// Mixing messages this group pushed through the transport.
+    pub mix_messages: u64,
+    /// Mixing bytes this group pushed through the transport.
+    pub mix_bytes: u64,
+    /// Measured compute time of each of the group's iterations.
+    pub compute: Vec<Duration>,
+    /// The decoded exit payloads (traps and inner ciphertexts, or
+    /// plaintexts in the NIZK variant).
+    pub payloads: Vec<Vec<u8>>,
+}
+
+/// A decoded abort frame: a process observed a round failure and is telling
+/// its peers so nobody waits on batches that will never come.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbortFrame {
+    /// Index of the failed round within the engine run.
+    pub round: usize,
+    /// Human-readable failure description (the authoritative error object
+    /// lives with the process that produced it).
+    pub reason: String,
+}
+
+/// Any frame of the inter-group protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A mixing sub-batch.
+    Mix(MixEnvelope),
+    /// A group's exit products.
+    Exit(ExitFrame),
+    /// A round-failure notification.
+    Abort(AbortFrame),
+}
+
+const KIND_MIX: u8 = 1;
+const KIND_EXIT: u8 = 2;
+const KIND_ABORT: u8 = 3;
+
+const MIX_HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 4;
 const POINT_LEN: usize = 32;
+/// Hard cap on `reason` strings so a corrupt length cannot force a large
+/// allocation before the bounds check against the body runs.
+const MAX_ABORT_REASON: usize = 4096;
 
 fn put_point(out: &mut Vec<u8>, point: &RistrettoPoint) {
     out.extend_from_slice(&point.compress().to_bytes());
@@ -64,8 +124,24 @@ fn get_point(bytes: &[u8], offset: &mut usize) -> AtomResult<RistrettoPoint> {
         .ok_or_else(|| AtomError::Malformed("mix envelope carries an invalid point".into()))
 }
 
-/// Serializes a sub-batch for transmission.
-pub fn encode(
+fn get_u32(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u32> {
+    let slice = bytes
+        .get(*offset..*offset + 4)
+        .ok_or_else(|| AtomError::Malformed(format!("frame truncated at {what}")))?;
+    *offset += 4;
+    Ok(u32::from_le_bytes(slice.try_into().unwrap()))
+}
+
+fn get_u64(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u64> {
+    let slice = bytes
+        .get(*offset..*offset + 8)
+        .ok_or_else(|| AtomError::Malformed(format!("frame truncated at {what}")))?;
+    *offset += 8;
+    Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+}
+
+/// Serializes a mixing sub-batch for transmission.
+pub fn encode_mix(
     round: usize,
     iteration: usize,
     from: usize,
@@ -74,7 +150,8 @@ pub fn encode(
 ) -> Vec<u8> {
     let components: usize = batch.iter().map(|m| m.components.len()).sum();
     let mut out =
-        Vec::with_capacity(HEADER_LEN + batch.len() * 2 + components * (1 + 3 * POINT_LEN));
+        Vec::with_capacity(MIX_HEADER_LEN + batch.len() * 2 + components * (1 + 3 * POINT_LEN));
+    out.push(KIND_MIX);
     out.extend_from_slice(&(round as u32).to_le_bytes());
     out.extend_from_slice(&(iteration as u32).to_le_bytes());
     let from_wire: u32 = if from == SOURCE {
@@ -101,44 +178,106 @@ pub fn encode(
     out
 }
 
+/// Serializes an exit frame.
+pub fn encode_exit(frame: &ExitFrame) -> Vec<u8> {
+    let payload_bytes: usize = frame.payloads.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(
+        1 + 4
+            + 4
+            + 8
+            + 8
+            + 8
+            + 4
+            + frame.compute.len() * 8
+            + 4
+            + frame.payloads.len() * 4
+            + payload_bytes,
+    );
+    out.push(KIND_EXIT);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.gid as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.finished_virtual.as_nanos() as u64).to_le_bytes());
+    out.extend_from_slice(&frame.mix_messages.to_le_bytes());
+    out.extend_from_slice(&frame.mix_bytes.to_le_bytes());
+    out.extend_from_slice(&(frame.compute.len() as u32).to_le_bytes());
+    for compute in &frame.compute {
+        out.extend_from_slice(&(compute.as_nanos() as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(frame.payloads.len() as u32).to_le_bytes());
+    for payload in &frame.payloads {
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Serializes an abort frame. Reasons longer than the decoder's cap are
+/// truncated at a character boundary.
+pub fn encode_abort(round: usize, reason: &str) -> Vec<u8> {
+    let mut reason = reason;
+    if reason.len() > MAX_ABORT_REASON {
+        let mut cut = MAX_ABORT_REASON;
+        while !reason.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        reason = &reason[..cut];
+    }
+    let mut out = Vec::with_capacity(1 + 4 + 4 + reason.len());
+    out.push(KIND_ABORT);
+    out.extend_from_slice(&(round as u32).to_le_bytes());
+    out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+    out.extend_from_slice(reason.as_bytes());
+    out
+}
+
 /// Best-effort extraction of the round index from a (possibly corrupt)
-/// envelope, so a decode failure can still be attributed to its round.
+/// frame, so a decode failure can still be attributed to its round. Every
+/// frame kind stores the round as a `u32` right after the kind byte.
 pub fn decode_round(bytes: &[u8]) -> Option<usize> {
     bytes
-        .get(..4)
+        .get(1..5)
         .map(|s| u32::from_le_bytes(s.try_into().unwrap()) as usize)
 }
 
-/// Parses a serialized sub-batch.
-pub fn decode(bytes: &[u8]) -> AtomResult<MixEnvelope> {
-    if bytes.len() < HEADER_LEN {
+/// Parses any serialized frame.
+pub fn decode(bytes: &[u8]) -> AtomResult<Frame> {
+    match bytes.first() {
+        Some(&KIND_MIX) => decode_mix(bytes).map(Frame::Mix),
+        Some(&KIND_EXIT) => decode_exit(bytes).map(Frame::Exit),
+        Some(&KIND_ABORT) => decode_abort(bytes).map(Frame::Abort),
+        Some(kind) => Err(AtomError::Malformed(format!("unknown frame kind {kind}"))),
+        None => Err(AtomError::Malformed("empty frame".into())),
+    }
+}
+
+fn decode_mix(bytes: &[u8]) -> AtomResult<MixEnvelope> {
+    if bytes.len() < MIX_HEADER_LEN {
         return Err(AtomError::Malformed(
             "mix envelope shorter than header".into(),
         ));
     }
     let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-    let round = u32_at(0) as usize;
-    let iteration = u32_at(4) as usize;
-    let from_wire = u32_at(8);
+    let round = u32_at(1) as usize;
+    let iteration = u32_at(5) as usize;
+    let from_wire = u32_at(9);
     let from = if from_wire == u32::MAX {
         SOURCE
     } else {
         from_wire as usize
     };
-    let sent_virtual = Duration::from_nanos(u64::from_le_bytes(bytes[12..20].try_into().unwrap()));
-    let count = u32_at(20) as usize;
-    // Length fields are untrusted (this format is the trust boundary for the
-    // planned TCP transport): never pre-allocate more than the body could
-    // possibly hold — each message needs at least its 2-byte component
-    // count, each component at least flags + two points.
-    let body_len = bytes.len() - HEADER_LEN;
+    let sent_virtual = Duration::from_nanos(u64::from_le_bytes(bytes[13..21].try_into().unwrap()));
+    let count = u32_at(21) as usize;
+    // Length fields are untrusted: never pre-allocate more than the body
+    // could possibly hold — each message needs at least its 2-byte
+    // component count, each component at least flags + two points.
+    let body_len = bytes.len() - MIX_HEADER_LEN;
     if count > body_len / 2 {
         return Err(AtomError::Malformed(format!(
             "mix envelope claims {count} messages in a {body_len}-byte body"
         )));
     }
 
-    let mut offset = HEADER_LEN;
+    let mut offset = MIX_HEADER_LEN;
     let mut batch = Vec::with_capacity(count);
     for _ in 0..count {
         let components_len = bytes
@@ -157,6 +296,11 @@ pub fn decode(bytes: &[u8]) -> AtomResult<MixEnvelope> {
                 .get(offset)
                 .ok_or_else(|| AtomError::Malformed("mix envelope truncated at flags".into()))?;
             offset += 1;
+            if flags & !1 != 0 {
+                return Err(AtomError::Malformed(format!(
+                    "mix envelope carries unknown component flags {flags:#04x}"
+                )));
+            }
             let r = get_point(bytes, &mut offset)?;
             let c = get_point(bytes, &mut offset)?;
             let y = if flags & 1 == 1 {
@@ -181,6 +325,89 @@ pub fn decode(bytes: &[u8]) -> AtomResult<MixEnvelope> {
         sent_virtual,
         batch,
     })
+}
+
+fn decode_exit(bytes: &[u8]) -> AtomResult<ExitFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "exit round")? as usize;
+    let gid = get_u32(bytes, &mut offset, "exit gid")? as usize;
+    let finished_virtual =
+        Duration::from_nanos(get_u64(bytes, &mut offset, "exit finished_virtual")?);
+    let mix_messages = get_u64(bytes, &mut offset, "exit mix_messages")?;
+    let mix_bytes = get_u64(bytes, &mut offset, "exit mix_bytes")?;
+
+    let compute_count = get_u32(bytes, &mut offset, "exit compute count")? as usize;
+    // Each compute entry occupies 8 bytes of body; bound before allocating.
+    if compute_count > bytes.len().saturating_sub(offset) / 8 {
+        return Err(AtomError::Malformed(format!(
+            "exit frame claims {compute_count} compute entries past its end"
+        )));
+    }
+    let mut compute = Vec::with_capacity(compute_count);
+    for _ in 0..compute_count {
+        compute.push(Duration::from_nanos(get_u64(
+            bytes,
+            &mut offset,
+            "exit compute entry",
+        )?));
+    }
+
+    let payload_count = get_u32(bytes, &mut offset, "exit payload count")? as usize;
+    // Each payload occupies at least its 4-byte length prefix.
+    if payload_count > bytes.len().saturating_sub(offset) / 4 {
+        return Err(AtomError::Malformed(format!(
+            "exit frame claims {payload_count} payloads past its end"
+        )));
+    }
+    let mut payloads = Vec::with_capacity(payload_count);
+    for _ in 0..payload_count {
+        let len = get_u32(bytes, &mut offset, "exit payload length")? as usize;
+        let slice = bytes.get(offset..offset + len).ok_or_else(|| {
+            AtomError::Malformed(format!("exit frame payload of {len} bytes past its end"))
+        })?;
+        offset += len;
+        payloads.push(slice.to_vec());
+    }
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "exit frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(ExitFrame {
+        round,
+        gid,
+        finished_virtual,
+        mix_messages,
+        mix_bytes,
+        compute,
+        payloads,
+    })
+}
+
+fn decode_abort(bytes: &[u8]) -> AtomResult<AbortFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "abort round")? as usize;
+    let len = get_u32(bytes, &mut offset, "abort reason length")? as usize;
+    if len > MAX_ABORT_REASON {
+        return Err(AtomError::Malformed(format!(
+            "abort reason claims {len} bytes (cap {MAX_ABORT_REASON})"
+        )));
+    }
+    let slice = bytes
+        .get(offset..offset + len)
+        .ok_or_else(|| AtomError::Malformed("abort frame truncated in its reason".into()))?;
+    offset += len;
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "abort frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    let reason = std::str::from_utf8(slice)
+        .map_err(|_| AtomError::Malformed("abort reason is not UTF-8".into()))?
+        .to_string();
+    Ok(AbortFrame { round, reason })
 }
 
 #[cfg(test)]
@@ -210,12 +437,19 @@ mod tests {
             .collect()
     }
 
+    fn decode_mix_frame(bytes: &[u8]) -> AtomResult<MixEnvelope> {
+        match decode(bytes)? {
+            Frame::Mix(envelope) => Ok(envelope),
+            other => panic!("expected a mix frame, got {other:?}"),
+        }
+    }
+
     #[test]
     fn roundtrip_fresh_and_inflight_batches() {
         for fresh in [true, false] {
             let batch = sample_batch(fresh);
-            let bytes = encode(3, 5, 2, Duration::from_millis(250), &batch);
-            let envelope = decode(&bytes).unwrap();
+            let bytes = encode_mix(3, 5, 2, Duration::from_millis(250), &batch);
+            let envelope = decode_mix_frame(&bytes).unwrap();
             assert_eq!(envelope.round, 3);
             assert_eq!(envelope.iteration, 5);
             assert_eq!(envelope.from, 2);
@@ -226,18 +460,71 @@ mod tests {
 
     #[test]
     fn source_sender_roundtrips() {
-        let bytes = encode(0, 0, SOURCE, Duration::ZERO, &[]);
-        let envelope = decode(&bytes).unwrap();
+        let bytes = encode_mix(0, 0, SOURCE, Duration::ZERO, &[]);
+        let envelope = decode_mix_frame(&bytes).unwrap();
         assert_eq!(envelope.from, SOURCE);
         assert!(envelope.batch.is_empty());
     }
 
     #[test]
+    fn exit_frame_roundtrips() {
+        let frame = ExitFrame {
+            round: 7,
+            gid: 3,
+            finished_virtual: Duration::from_micros(1234),
+            mix_messages: 42,
+            mix_bytes: 98765,
+            compute: vec![Duration::from_millis(3), Duration::from_millis(5)],
+            payloads: vec![vec![1, 2, 3], Vec::new(), vec![0; 64]],
+        };
+        let bytes = encode_exit(&frame);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Exit(frame));
+    }
+
+    #[test]
+    fn abort_frame_roundtrips_and_caps_reasons() {
+        let bytes = encode_abort(9, "trap check failed");
+        match decode(&bytes).unwrap() {
+            Frame::Abort(frame) => {
+                assert_eq!(frame.round, 9);
+                assert_eq!(frame.reason, "trap check failed");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        // Over-long reasons are truncated on encode, never rejected.
+        let long = "x".repeat(3 * MAX_ABORT_REASON);
+        let bytes = encode_abort(1, &long);
+        match decode(&bytes).unwrap() {
+            Frame::Abort(frame) => assert_eq!(frame.reason.len(), MAX_ABORT_REASON),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_round_works_for_every_kind() {
+        let mix = encode_mix(3, 0, SOURCE, Duration::ZERO, &[]);
+        let exit = encode_exit(&ExitFrame {
+            round: 4,
+            gid: 0,
+            finished_virtual: Duration::ZERO,
+            mix_messages: 0,
+            mix_bytes: 0,
+            compute: Vec::new(),
+            payloads: Vec::new(),
+        });
+        let abort = encode_abort(5, "r");
+        assert_eq!(decode_round(&mix), Some(3));
+        assert_eq!(decode_round(&exit), Some(4));
+        assert_eq!(decode_round(&abort), Some(5));
+        assert_eq!(decode_round(&[1, 2]), None);
+    }
+
+    #[test]
     fn truncated_and_trailing_bytes_rejected() {
         let batch = sample_batch(true);
-        let bytes = encode(1, 1, 0, Duration::ZERO, &batch);
+        let bytes = encode_mix(1, 1, 0, Duration::ZERO, &batch);
         assert!(decode(&bytes[..bytes.len() - 1]).is_err());
-        assert!(decode(&bytes[..HEADER_LEN - 2]).is_err());
+        assert!(decode(&bytes[..MIX_HEADER_LEN - 2]).is_err());
         let mut padded = bytes.clone();
         padded.push(0);
         assert!(decode(&padded).is_err());
@@ -246,12 +533,163 @@ mod tests {
     #[test]
     fn corrupted_point_rejected() {
         let batch = sample_batch(true);
-        let mut bytes = encode(1, 1, 0, Duration::ZERO, &batch);
+        let mut bytes = encode_mix(1, 1, 0, Duration::ZERO, &batch);
         // Zero out the first point: an invalid encoding.
-        let start = HEADER_LEN + 2 + 1;
+        let start = MIX_HEADER_LEN + 2 + 1;
         for b in &mut bytes[start..start + POINT_LEN] {
             *b = 0;
         }
+        assert!(decode(&bytes).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial decoder suite: every input below models bytes from an
+    // untrusted peer. The contract is AtomError out — never a panic, never
+    // an allocation sized by an attacker-controlled field.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_header_truncation_errors_cleanly() {
+        let batch = sample_batch(false);
+        for full in [
+            encode_mix(1, 2, 0, Duration::from_millis(1), &batch),
+            encode_exit(&ExitFrame {
+                round: 1,
+                gid: 2,
+                finished_virtual: Duration::from_millis(9),
+                mix_messages: 3,
+                mix_bytes: 4,
+                compute: vec![Duration::from_millis(1)],
+                payloads: vec![vec![5; 10]],
+            }),
+            encode_abort(1, "reason"),
+        ] {
+            for len in 0..full.len() {
+                assert!(
+                    decode(&full[..len]).is_err(),
+                    "prefix of {len}/{} bytes must be rejected",
+                    full.len()
+                );
+            }
+            decode(&full).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0]).is_err());
+        assert!(decode(&[9, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn mix_count_overflow_vs_payload_length_rejected_before_allocation() {
+        // A header claiming u32::MAX messages over an empty body: the
+        // decoder must reject from the body-length bound, not allocate.
+        let mut bytes = encode_mix(0, 0, 0, Duration::ZERO, &[]);
+        let count_at = MIX_HEADER_LEN - 4;
+        bytes[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+
+        // Same for the per-message component count.
+        let batch = sample_batch(true);
+        let mut bytes = encode_mix(0, 0, 0, Duration::ZERO, &batch);
+        bytes[MIX_HEADER_LEN..MIX_HEADER_LEN + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn exit_count_overflows_rejected_before_allocation() {
+        let frame = ExitFrame {
+            round: 0,
+            gid: 0,
+            finished_virtual: Duration::ZERO,
+            mix_messages: 0,
+            mix_bytes: 0,
+            compute: Vec::new(),
+            payloads: Vec::new(),
+        };
+        let clean = encode_exit(&frame);
+        // compute_count lives right after the two u64 counters.
+        let compute_count_at = 1 + 4 + 4 + 8 + 8 + 8;
+        let mut bytes = clean.clone();
+        bytes[compute_count_at..compute_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+        // payload_count is the final u32 of the empty frame.
+        let payload_count_at = clean.len() - 4;
+        let mut bytes = clean.clone();
+        bytes[payload_count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+        // A payload length pointing past the end.
+        let frame = ExitFrame {
+            payloads: vec![vec![7; 8]],
+            ..frame
+        };
+        let mut bytes = encode_exit(&frame);
+        let len_at = bytes.len() - 8 - 4;
+        bytes[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn abort_reason_length_lies_rejected() {
+        let mut bytes = encode_abort(2, "short");
+        // Claim more bytes than the body holds.
+        bytes[5..9].copy_from_slice(&100u32.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+        // Claim past the hard cap.
+        let mut bytes = encode_abort(2, "short");
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+        // Non-UTF-8 reasons are rejected, not lossily accepted.
+        let mut bytes = encode_abort(2, "ab");
+        let end = bytes.len();
+        bytes[end - 2] = 0xff;
+        bytes[end - 1] = 0xfe;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_canonical_and_invalid_point_encodings_rejected() {
+        let batch = sample_batch(true);
+        let clean = encode_mix(0, 0, 0, Duration::ZERO, &batch);
+        let first_point = MIX_HEADER_LEN + 2 + 1;
+        // All-zero bytes: not a group element.
+        let mut bytes = clean.clone();
+        bytes[first_point..first_point + POINT_LEN].fill(0);
+        assert!(decode(&bytes).is_err());
+        // 0xff.. : a value ≥ p, i.e. a non-canonical field encoding.
+        let mut bytes = clean.clone();
+        bytes[first_point..first_point + POINT_LEN].fill(0xff);
+        assert!(decode(&bytes).is_err());
+        // A canonical field element that is not in the prime-order
+        // subgroup: flipping one bit of a valid encoding leaves the value
+        // < p with overwhelming probability but lands outside the group
+        // roughly half the time; scan until we hit such a value to pin the
+        // subgroup check specifically.
+        let mut rejected = false;
+        'outer: for byte in 0..POINT_LEN {
+            for bit in 0..8u8 {
+                let mut bytes = clean.clone();
+                bytes[first_point + byte] ^= 1 << bit;
+                if decode(&bytes).is_err() {
+                    rejected = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(rejected, "no perturbed point encoding was rejected");
+    }
+
+    #[test]
+    fn unknown_component_flags_rejected() {
+        let batch = sample_batch(true);
+        let mut bytes = encode_mix(0, 0, 0, Duration::ZERO, &batch);
+        bytes[MIX_HEADER_LEN + 2] = 0x82; // undefined flag bits
         assert!(decode(&bytes).is_err());
     }
 }

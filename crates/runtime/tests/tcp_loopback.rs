@@ -1,0 +1,266 @@
+//! TCP loopback equivalence: the same rounds executed (a) in-process over
+//! `InMemoryNetwork` and (b) split across two engine instances talking
+//! `TcpTransport` must produce byte-identical `RoundOutput`s — the same
+//! guarantee the PR-1/PR-2 suites established for pipelining and chunked
+//! intake, now across a real socket. Runs both "processes" as threads of
+//! one test process; the `atom-bench` suite covers the ≥2-OS-process case
+//! with the `atom-node` binary.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use atom_core::adversary::{AdversaryPlan, Misbehavior};
+use atom_core::config::{AtomConfig, Defense};
+use atom_core::directory::setup_round;
+use atom_core::error::AtomError;
+use atom_core::message::{make_nizk_submission, make_trap_submission};
+use atom_net::{TcpOptions, TcpTransport};
+use atom_runtime::{Engine, EngineRole, RoundJob, RoundSubmissions};
+
+const GROUPS: usize = 3;
+
+fn trap_jobs(rounds: usize, seed: u64) -> Vec<RoundJob> {
+    let mut rng = StdRng::seed_from_u64(404);
+    (0..rounds)
+        .map(|round| {
+            let mut config = AtomConfig::test_default();
+            config.num_groups = GROUPS;
+            config.iterations = 2;
+            config.message_len = 24;
+            config.round = round as u64;
+            let setup = setup_round(&config, &mut rng).unwrap();
+            let submissions: Vec<_> = (0..5)
+                .map(|i| {
+                    let gid = i % GROUPS;
+                    make_trap_submission(
+                        gid,
+                        &setup.groups[gid].public_key,
+                        &setup.trustees.public_key,
+                        config.round,
+                        format!("tcp r{round} m{i}").as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .0
+                })
+                .collect();
+            RoundJob::new(
+                setup,
+                RoundSubmissions::Trap(submissions),
+                seed + round as u64,
+            )
+        })
+        .collect()
+}
+
+/// Two `TcpTransport`s on loopback: process 0 is the coordinator hosting
+/// group 0 (and the orchestrator node), process 1 hosts groups 1 and 2.
+/// Listeners bind port 0 and exchange resolved addresses, so concurrent
+/// tests cannot race on ports.
+fn tcp_pair() -> (TcpTransport, TcpTransport) {
+    // Nodes: group 0 → process 0, groups 1,2 → process 1, orchestrator →
+    // process 0.
+    let owner = vec![0, 1, 1, 0];
+    let coordinator = TcpTransport::bind_any(2, owner.clone(), 0, TcpOptions::default()).unwrap();
+    let member = TcpTransport::bind_any(2, owner, 1, TcpOptions::default()).unwrap();
+    coordinator.set_peer_addr(1, member.local_addr().to_string());
+    member.set_peer_addr(0, coordinator.local_addr().to_string());
+    coordinator.connect_peers().unwrap();
+    member.connect_peers().unwrap();
+    (coordinator, member)
+}
+
+#[test]
+fn tcp_split_round_output_is_byte_identical_to_in_memory() {
+    let jobs = trap_jobs(2, 9100);
+
+    let in_memory = Engine::with_workers(3).run_rounds(jobs.clone());
+
+    let (coordinator_net, member_net) = tcp_pair();
+    let member_jobs = jobs.clone();
+    let member_thread = std::thread::spawn(move || {
+        Engine::with_workers(2).run_rounds_on(
+            member_jobs,
+            &member_net,
+            &EngineRole::member(vec![1, 2]),
+        )
+    });
+    let tcp = Engine::with_workers(2).run_rounds_on(
+        jobs,
+        &coordinator_net,
+        &EngineRole::coordinator(vec![0]),
+    );
+    let member_reports = member_thread.join().unwrap();
+
+    assert_eq!(tcp.len(), in_memory.len());
+    for (round, (tcp_report, mem_report)) in tcp.iter().zip(&in_memory).enumerate() {
+        let tcp_report = tcp_report.as_ref().unwrap();
+        let mem_report = mem_report.as_ref().unwrap();
+        assert_eq!(
+            tcp_report.output.plaintexts, mem_report.output.plaintexts,
+            "round {round} plaintexts diverge"
+        );
+        assert_eq!(
+            tcp_report.output.per_group, mem_report.output.per_group,
+            "round {round} per-group outputs diverge"
+        );
+        assert_eq!(
+            tcp_report.output.routed_ciphertexts, mem_report.output.routed_ciphertexts,
+            "round {round} routed counts diverge"
+        );
+        // Whole-round traffic accounting also matches: the exit frames
+        // carry each group's counters back to the coordinator.
+        assert_eq!(tcp_report.mix_messages, mem_report.mix_messages);
+        assert_eq!(tcp_report.mix_bytes, mem_report.mix_bytes);
+    }
+    for report in member_reports {
+        let report = report.unwrap();
+        assert!(report.output.plaintexts.is_empty(), "stub must be empty");
+        assert!(report.mix_messages > 0, "member forwarded sub-batches");
+    }
+}
+
+#[test]
+fn remote_actor_failure_aborts_the_round_on_both_sides() {
+    let mut rng = StdRng::seed_from_u64(505);
+    let mut config = AtomConfig::test_default();
+    config.defense = Defense::Nizk;
+    config.num_groups = GROUPS;
+    config.iterations = 2;
+    config.message_len = 24;
+    let setup = setup_round(&config, &mut rng).unwrap();
+    let submissions: Vec<_> = (0..4)
+        .map(|i| {
+            let gid = i % GROUPS;
+            make_nizk_submission(
+                gid,
+                &setup.groups[gid].public_key,
+                format!("abort {i}").as_bytes(),
+                config.message_len,
+                &mut rng,
+            )
+            .unwrap()
+            .0
+        })
+        .collect();
+    // Group 2 (hosted by the member process) misbehaves mid-mix; its local
+    // engine must blame it and the abort must reach the coordinator.
+    let mut job = RoundJob::new(setup, RoundSubmissions::Nizk(submissions), 31);
+    job.adversary = Some(AdversaryPlan {
+        group: 2,
+        member: 1,
+        iteration: 1,
+        action: Misbehavior::ReplaceMessage { slot: 0 },
+    });
+
+    let (coordinator_net, member_net) = tcp_pair();
+    let member_job = job.clone();
+    let member_thread = std::thread::spawn(move || {
+        Engine::with_workers(2).run_rounds_on(
+            vec![member_job],
+            &member_net,
+            &EngineRole::member(vec![1, 2]),
+        )
+    });
+    let mut tcp = Engine::with_workers(2).run_rounds_on(
+        vec![job],
+        &coordinator_net,
+        &EngineRole::coordinator(vec![0]),
+    );
+    let mut member_reports = member_thread.join().unwrap();
+
+    // The member holds the authoritative blame verdict…
+    let member_err = member_reports.pop().unwrap().unwrap_err();
+    assert!(
+        matches!(member_err, AtomError::ProtocolViolation { group: 2, .. }),
+        "member must blame group 2, got {member_err:?}"
+    );
+    // …and the coordinator's round fails with the relayed reason instead
+    // of hanging.
+    let coordinator_err = tcp.pop().unwrap().unwrap_err();
+    let reason = format!("{coordinator_err:?}");
+    assert!(
+        reason.contains("aborted by a peer") && reason.contains("ProtocolViolation"),
+        "coordinator must relay the abort, got {reason}"
+    );
+
+    coordinator_net.shutdown();
+}
+
+#[test]
+fn silent_peer_death_fails_the_round_instead_of_hanging() {
+    use atom_runtime::EngineOptions;
+
+    let jobs = trap_jobs(1, 9900);
+    // The member transport exists (so connects and sends succeed) but no
+    // engine ever runs on it — the moral equivalent of a member process
+    // dying right after startup. TCP gives the coordinator no abort frame,
+    // only silence; the stall detector must convert that into per-round
+    // errors.
+    let (coordinator_net, _member_net) = tcp_pair();
+    let mut options = EngineOptions::with_workers(2);
+    options.stall_timeout = Duration::from_millis(300);
+    let reports = Engine::new(options).run_rounds_on(
+        jobs,
+        &coordinator_net,
+        &EngineRole::coordinator(vec![0]),
+    );
+    let err = reports.into_iter().next().unwrap().unwrap_err();
+    assert!(
+        format!("{err:?}").contains("stalled"),
+        "want a stall error, got {err:?}"
+    );
+}
+
+#[test]
+fn member_hosting_no_groups_of_a_small_round_resolves_immediately() {
+    // Round has 1 group; the member hosts only ids 1 and 2 → stub result
+    // without any traffic.
+    let mut rng = StdRng::seed_from_u64(606);
+    let mut config = AtomConfig::test_default();
+    config.num_groups = 1;
+    config.iterations = 1;
+    config.message_len = 24;
+    let setup = setup_round(&config, &mut rng).unwrap();
+    let submission = make_trap_submission(
+        0,
+        &setup.groups[0].public_key,
+        &setup.trustees.public_key,
+        config.round,
+        b"solo",
+        config.message_len,
+        &mut rng,
+    )
+    .unwrap()
+    .0;
+    let job = RoundJob::new(setup, RoundSubmissions::Trap(vec![submission]), 77);
+
+    // Nodes 0..=2 are groups (only 0 used this round), node 3 orchestrator.
+    let (coordinator_net, member_net) = tcp_pair();
+
+    let member_job = job.clone();
+    let member_thread = std::thread::spawn(move || {
+        Engine::with_workers(1).run_rounds_on(
+            vec![member_job],
+            &member_net,
+            &EngineRole::member(vec![1, 2]),
+        )
+    });
+    let report = Engine::with_workers(2)
+        .run_rounds_on(
+            vec![job],
+            &coordinator_net,
+            &EngineRole::coordinator(vec![0]),
+        )
+        .pop()
+        .unwrap()
+        .unwrap();
+    assert_eq!(report.output.plaintexts.len(), 1);
+    // The member had no group in this 1-group round: immediate empty stub.
+    let stub = member_thread.join().unwrap().pop().unwrap().unwrap();
+    assert_eq!(stub.mix_messages, 0);
+    assert_eq!(stub.pipelined_latency, Duration::ZERO);
+}
