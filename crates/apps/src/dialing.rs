@@ -8,7 +8,7 @@
 //! decrypt every request, and establishes a shared secret with every caller
 //! he recognizes. To hide how many calls a user receives, one anytrust group
 //! (the trustees in the trap variant) injects a differentially-private number
-//! of dummy requests into every mailbox (the Vuvuzela mechanism [72]).
+//! of dummy requests into every mailbox (the Vuvuzela mechanism, ref. \[72\] in the paper).
 
 use rand::{CryptoRng, Rng, RngCore};
 use serde::{Deserialize, Serialize};

@@ -22,14 +22,20 @@
 //!   the member is this binary re-executed with the internal `--tcp-member`
 //!   flag), exchanging frames through `TcpTransport`.
 //!
+//! With `--sharded`, round setup runs *inside* the engine as a distributed
+//! phase — each process derives only the DKGs of the groups it hosts (see
+//! `atom_runtime::RoundDirectory::Sharded`) — and the sweep reports a
+//! per-round setup-latency column next to the throughput numbers.
+//!
 //! With `--out PATH` the bin instead runs both transports at 1/2/4 workers
 //! and writes `BENCH_net.json` recording in-memory vs. TCP-loopback
 //! msgs/sec side by side — the transport's overhead, kept on record next to
-//! `BENCH_crypto.json`.
+//! `BENCH_crypto.json` — plus the TCP run's max per-round setup latency
+//! (zero unless `--sharded`).
 //!
 //! Usage: `cargo run --release -p atom-bench --bin throughput --
 //! [--real] [--rounds N] [--messages M] [--delay-ms D] [--transport mem|tcp]
-//! [--out PATH]`
+//! [--sharded] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
@@ -55,6 +61,7 @@ struct Args {
     messages: usize,
     delay: Duration,
     transport: TransportKind,
+    sharded: bool,
     out: Option<String>,
     /// Internal: run as the member process of a TCP sweep.
     member: Option<MemberArgs>,
@@ -77,6 +84,7 @@ fn parse_args() -> Args {
         messages: 64,
         delay: Duration::from_millis(10),
         transport: TransportKind::Mem,
+        sharded: false,
         out: None,
         member: None,
     };
@@ -112,6 +120,7 @@ fn parse_args() -> Args {
                     other => panic!("unknown transport {other} (expected mem or tcp)"),
                 }
             }
+            "--sharded" => args.sharded = true,
             "--out" => args.out = Some(grab_str("--out")),
             "--tcp-member" => is_member = true,
             "--index" => member.index = grab("--index", grab_str("--index")) as usize,
@@ -141,13 +150,22 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
         } else {
             args.delay
         },
+        sharded: args.sharded,
     }
 }
 
-/// One in-memory run; returns (wall, delivered).
-fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize) {
+/// One in-memory run; returns (wall, delivered, max per-round setup
+/// latency). Under `NetSpec::sharded` the jobs derive their directory
+/// inside the engine (single-process sharding: every group is hosted
+/// here), so the setup column measures the same code path the TCP mode
+/// distributes.
+fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
     use atom_runtime::EngineOptions;
-    let jobs = netbench::build_jobs(spec);
+    let jobs = if spec.sharded {
+        netbench::build_sharded_jobs(spec, true)
+    } else {
+        netbench::build_jobs(spec)
+    };
     let mut options = EngineOptions::with_workers(workers);
     if !spec.delay.is_zero() {
         options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
@@ -156,11 +174,14 @@ fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize) {
     let start = Instant::now();
     let reports = engine.run_rounds(jobs);
     let wall = start.elapsed();
-    let delivered: usize = reports
+    let reports: Vec<_> = reports.into_iter().map(|r| r.expect("round")).collect();
+    let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();
+    let setup = reports
         .iter()
-        .map(|r| r.as_ref().expect("round").output.plaintexts.len())
-        .sum();
-    (wall, delivered)
+        .map(|r| r.setup_latency)
+        .max()
+        .unwrap_or_default();
+    (wall, delivered, setup)
 }
 
 /// The line a `--tcp-member` child prints once its setup (job derivation,
@@ -185,6 +206,11 @@ fn spawn_member(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) 
         .arg(spec.messages.to_string())
         .arg("--delay-ms")
         .arg(spec.delay.as_millis().to_string())
+        .args(if spec.sharded {
+            &["--sharded"][..]
+        } else {
+            &[]
+        })
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -199,7 +225,7 @@ fn spawn_member(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) 
 /// which also derives jobs untimed. What remains in the TCP column is the
 /// genuine transport cost: frame encode/decode, socket hops, the process
 /// split.
-fn run_tcp(spec: &NetSpec, workers: usize) -> (Duration, usize) {
+fn run_tcp(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
     let addrs = netbench::free_addrs(2);
     let mut member = spawn_member(spec, &addrs, 1, workers);
     let member_stdout = member.stdout.take().expect("member stdout piped");
@@ -221,9 +247,14 @@ fn run_tcp(spec: &NetSpec, workers: usize) -> (Duration, usize) {
     let reports = process.run();
     let wall = start.elapsed();
     let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();
+    let setup = reports
+        .iter()
+        .map(|r| r.setup_latency)
+        .max()
+        .unwrap_or_default();
     let status = member.wait_with_output().expect("member process");
     assert!(status.status.success(), "tcp member failed");
-    (wall, delivered)
+    (wall, delivered, setup)
 }
 
 fn print_sweep(args: &Args) {
@@ -244,20 +275,23 @@ fn print_sweep(args: &Args) {
         }
     );
     println!(
-        "{:>8} {:>10} {:>12} {:>9}",
-        "workers", "wall", "msgs/sec", "speedup"
+        "{:>8} {:>10} {:>12} {:>9} {:>11}",
+        "workers", "wall", "msgs/sec", "speedup", "setup"
     );
 
     let mut baseline: Option<f64> = None;
     for workers in WORKER_SWEEP {
-        let (wall, delivered) = match args.transport {
+        let (wall, delivered, setup) = match args.transport {
             TransportKind::Mem => run_memory(&spec, workers),
             TransportKind::Tcp => run_tcp(&spec, workers),
         };
         assert_eq!(delivered, total_messages, "no message may be lost");
         let rate = delivered as f64 / wall.as_secs_f64();
         let speedup = rate / *baseline.get_or_insert(rate);
-        println!("{workers:>8} {:>10.2?} {rate:>12.1} {speedup:>8.2}x", wall);
+        println!(
+            "{workers:>8} {:>10.2?} {rate:>12.1} {speedup:>8.2}x {:>11.2?}",
+            wall, setup
+        );
     }
 }
 
@@ -280,27 +314,31 @@ fn write_net_baseline(args: &Args, path: &str) {
         "workers", "mem msgs/s", "tcp msgs/s", "overhead"
     );
     for workers in JSON_SWEEP {
-        let (mem_wall, mem_delivered) = run_memory(&spec, 2 * workers);
-        let (tcp_wall, tcp_delivered) = run_tcp(&spec, workers);
+        let (mem_wall, mem_delivered, _) = run_memory(&spec, 2 * workers);
+        let (tcp_wall, tcp_delivered, tcp_setup) = run_tcp(&spec, workers);
         assert_eq!(mem_delivered, total_messages);
         assert_eq!(tcp_delivered, total_messages);
         let mem_rate = mem_delivered as f64 / mem_wall.as_secs_f64();
         let tcp_rate = tcp_delivered as f64 / tcp_wall.as_secs_f64();
         let overhead = (mem_rate / tcp_rate - 1.0) * 100.0;
+        let setup_ms = tcp_setup.as_secs_f64() * 1e3;
         println!("{workers:>8} {mem_rate:>14.1} {tcp_rate:>14.1} {overhead:>9.1}%");
         rows.push(format!(
             "    {{\"workers_per_process\": {workers}, \"in_memory_msgs_per_sec\": {mem_rate:.1}, \
-             \"tcp_msgs_per_sec\": {tcp_rate:.1}, \"tcp_overhead_pct\": {overhead:.1}}}"
+             \"tcp_msgs_per_sec\": {tcp_rate:.1}, \"tcp_overhead_pct\": {overhead:.1}, \
+             \"tcp_setup_ms\": {setup_ms:.1}}}"
         ));
     }
     let json = format!(
         "{{\n  \"groups\": {GROUPS},\n  \"rounds\": {},\n  \"messages\": {},\n  \
          \"iterations\": {ITERATIONS},\n  \"delay_ms\": {},\n  \"tcp_processes\": 2,\n  \
+         \"sharded_setup\": {},\n  \
          \"thread_parity\": \"in-memory runs 2x workers_per_process\",\n  \
          \"sweep\": [\n{}\n  ]\n}}\n",
         args.rounds,
         args.messages,
         spec.delay.as_millis(),
+        args.sharded,
         rows.join(",\n")
     );
     std::fs::write(path, &json).expect("write BENCH_net.json");

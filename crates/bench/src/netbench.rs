@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use atom_core::config::{AtomConfig, Defense};
-use atom_core::directory::setup_round;
-use atom_core::message::make_trap_submission;
+use atom_core::directory::{derive_setup, setup_round, RoundSetup};
+use atom_core::message::{make_trap_submission, TrapSubmission};
 use atom_net::{NodeId, TcpOptions, TcpTransport};
 use atom_runtime::{Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions};
 
@@ -36,6 +36,14 @@ pub struct NetSpec {
     /// Per-iteration emulated group compute (zero = real compute only);
     /// stands in for each group's own hardware, as in the throughput bin.
     pub delay: Duration,
+    /// Sharded directory mode: each engine process derives only the DKGs of
+    /// its hosted groups inside the run (`RoundJob::sharded`) instead of
+    /// every process re-deriving the full directory up front. Members skip
+    /// submission generation entirely; the coordinator still derives the
+    /// full directory *outside* the engine to play the users (submissions
+    /// must encrypt to the entry groups' keys), mirroring a real
+    /// deployment where clients read the published directory.
+    pub sharded: bool,
 }
 
 impl Default for NetSpec {
@@ -47,43 +55,108 @@ impl Default for NetSpec {
             iterations: 2,
             seed: 0xA70,
             delay: Duration::ZERO,
+            sharded: false,
         }
     }
 }
 
+/// The deployment configuration of round `round` under `spec`.
+fn round_config(spec: &NetSpec, round: usize) -> AtomConfig {
+    let mut config = AtomConfig::test_default();
+    config.defense = Defense::Trap;
+    config.num_groups = spec.groups;
+    config.num_servers = (spec.groups * 3).max(config.group_size);
+    config.iterations = spec.iterations;
+    config.message_len = 32;
+    config.round = round as u64;
+    config.beacon_seed = spec.seed ^ round as u64;
+    config
+}
+
+/// The spec's submissions for one round, encrypted to the given directory.
+fn round_submissions(
+    spec: &NetSpec,
+    round: usize,
+    setup: &RoundSetup,
+    rng: &mut StdRng,
+) -> Vec<TrapSubmission> {
+    (0..spec.messages)
+        .map(|i| {
+            let gid = i % spec.groups;
+            make_trap_submission(
+                gid,
+                &setup.groups[gid].public_key,
+                &setup.trustees.public_key,
+                setup.config.round,
+                format!("net r{round} m{i}").as_bytes(),
+                setup.config.message_len,
+                rng,
+            )
+            .expect("derive submission")
+            .0
+        })
+        .collect()
+}
+
 /// Derives the spec's rounds: a trap-variant deployment with fixed-length
-/// messages, identical in every process for equal specs.
+/// messages, identical in every process for equal specs. The directory is
+/// prebuilt via the monolithic rng-threaded [`setup_round`] (the historical
+/// path; [`build_derived_jobs`] is the per-group-stream equivalent).
 pub fn build_jobs(spec: &NetSpec) -> Vec<RoundJob> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     (0..spec.rounds)
         .map(|round| {
-            let mut config = AtomConfig::test_default();
-            config.defense = Defense::Trap;
-            config.num_groups = spec.groups;
-            config.num_servers = (spec.groups * 3).max(config.group_size);
-            config.iterations = spec.iterations;
-            config.message_len = 32;
-            config.round = round as u64;
-            config.beacon_seed = spec.seed ^ round as u64;
+            let config = round_config(spec, round);
             let setup = setup_round(&config, &mut rng).expect("derive round setup");
-            let submissions: Vec<_> = (0..spec.messages)
-                .map(|i| {
-                    let gid = i % spec.groups;
-                    make_trap_submission(
-                        gid,
-                        &setup.groups[gid].public_key,
-                        &setup.trustees.public_key,
-                        config.round,
-                        format!("net r{round} m{i}").as_bytes(),
-                        config.message_len,
-                        &mut rng,
-                    )
-                    .expect("derive submission")
-                    .0
-                })
-                .collect();
+            let submissions = round_submissions(spec, round, &setup, &mut rng);
             RoundJob::new(
                 setup,
+                RoundSubmissions::Trap(submissions),
+                spec.seed.wrapping_add(round as u64),
+            )
+        })
+        .collect()
+}
+
+/// The spec's rounds with a **prebuilt** directory derived from the
+/// per-group beacon streams ([`derive_setup`]). This is the in-memory
+/// reference a sharded run is diffed against: [`build_sharded_jobs`] over
+/// the same spec must produce byte-identical round outputs.
+pub fn build_derived_jobs(spec: &NetSpec) -> Vec<RoundJob> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.rounds)
+        .map(|round| {
+            let config = round_config(spec, round);
+            let setup = derive_setup(&config).expect("derive round setup");
+            let submissions = round_submissions(spec, round, &setup, &mut rng);
+            RoundJob::new(
+                setup,
+                RoundSubmissions::Trap(submissions),
+                spec.seed.wrapping_add(round as u64),
+            )
+        })
+        .collect()
+}
+
+/// The spec's rounds as **sharded** jobs: the directory is derived inside
+/// the engine run, split across the participating processes. Only the
+/// coordinator needs submissions (`with_submissions`) — it derives the full
+/// directory locally to play the users, exactly like clients reading the
+/// published directory — while members pass an empty set and so never
+/// derive a non-hosted group's DKG at all.
+pub fn build_sharded_jobs(spec: &NetSpec, with_submissions: bool) -> Vec<RoundJob> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.rounds)
+        .map(|round| {
+            let config = round_config(spec, round);
+            let submissions = if with_submissions {
+                let setup = derive_setup(&config).expect("derive round setup");
+                round_submissions(spec, round, &setup, &mut rng)
+            } else {
+                Vec::new()
+            };
+            RoundJob::sharded(
+                config,
                 RoundSubmissions::Trap(submissions),
                 spec.seed.wrapping_add(round as u64),
             )
@@ -169,7 +242,10 @@ pub struct Process {
 
 impl Process {
     /// Derives the spec's jobs, binds node `index` of `addrs` and connects
-    /// to every peer (retrying while they start up).
+    /// to every peer (retrying while they start up). Under
+    /// [`NetSpec::sharded`] the jobs carry only the configuration (plus, on
+    /// the coordinator, the submissions): the DKGs themselves run inside
+    /// [`Process::run`], sharded across the processes.
     pub fn start(spec: &NetSpec, addrs: Vec<String>, index: usize, workers: usize) -> Self {
         let owner = owner_map(spec.groups, addrs.len());
         let hosted = hosted_groups(&owner, index);
@@ -185,11 +261,16 @@ impl Process {
         if !spec.delay.is_zero() {
             options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
         }
+        let jobs = if spec.sharded {
+            build_sharded_jobs(spec, index == 0)
+        } else {
+            build_jobs(spec)
+        };
         Self {
             transport,
             role,
             options,
-            jobs: build_jobs(spec),
+            jobs,
         }
     }
 
@@ -239,9 +320,49 @@ mod tests {
         for (ja, jb) in a.iter().zip(&b) {
             assert_eq!(ja.seed, jb.seed);
             assert_eq!(
-                ja.setup.groups[0].public_key.0,
-                jb.setup.groups[0].public_key.0
+                ja.full_setup().unwrap().groups[0].public_key.0,
+                jb.full_setup().unwrap().groups[0].public_key.0
             );
+        }
+    }
+
+    #[test]
+    fn sharded_jobs_match_the_derived_reference_byte_for_byte() {
+        let spec = NetSpec {
+            groups: 2,
+            rounds: 2,
+            messages: 4,
+            ..NetSpec::default()
+        };
+        let reference: Vec<_> = Engine::with_workers(2)
+            .run_rounds(build_derived_jobs(&spec))
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let sharded: Vec<_> = Engine::with_workers(2)
+            .run_rounds(build_sharded_jobs(&spec, true))
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            serialize_reports(&reference),
+            serialize_reports(&sharded),
+            "sharded derivation must not change a single output byte"
+        );
+        assert!(sharded
+            .iter()
+            .all(|r| r.setup_latency > Duration::from_nanos(0)));
+    }
+
+    #[test]
+    fn memberless_sharded_jobs_skip_submission_generation() {
+        let spec = NetSpec::default();
+        for job in build_sharded_jobs(&spec, false) {
+            match &job.submissions {
+                RoundSubmissions::Trap(subs) => assert!(subs.is_empty()),
+                other => panic!("expected trap submissions, got {other:?}"),
+            }
+            assert!(job.full_setup().is_none(), "no prebuilt directory");
         }
     }
 

@@ -32,6 +32,9 @@ fn spawn_node(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>)
         .arg("2")
         .stdout(Stdio::inherit())
         .stderr(Stdio::inherit());
+    if spec.sharded {
+        command.arg("--sharded");
+    }
     if let Some(path) = out {
         command.arg("--out").arg(path);
     }
@@ -65,6 +68,7 @@ fn two_process_tcp_run_is_byte_identical_to_in_memory() {
         iterations: 2,
         seed: 0xEC_0FF,
         delay: Duration::ZERO,
+        sharded: false,
     };
 
     // Reference: the same spec, single process, in-memory transport.
@@ -91,5 +95,54 @@ fn two_process_tcp_run_is_byte_identical_to_in_memory() {
     assert_eq!(
         got, want,
         "TCP two-process output differs from the in-memory run"
+    );
+}
+
+/// The sharded-directory acceptance test: a 2-OS-process `--sharded` run —
+/// where each `atom-node` derives only the DKGs of its hosted groups and
+/// the rest of the directory travels as `setup` wire frames — must produce
+/// round outputs byte-identical to a single-process in-memory run whose
+/// directory was derived monolithically (`netbench::build_derived_jobs`,
+/// i.e. `atom_core::directory::derive_setup`).
+#[test]
+fn two_process_sharded_run_is_byte_identical_to_monolithic_derivation() {
+    let spec = NetSpec {
+        groups: 4,
+        rounds: 2,
+        messages: 12,
+        iterations: 2,
+        seed: 0x5AAD0,
+        delay: Duration::ZERO,
+        sharded: true,
+    };
+
+    // Reference: the same spec, single process, prebuilt monolithic
+    // derivation over the identical per-group beacon streams.
+    let in_memory: Vec<_> = Engine::with_workers(3)
+        .run_rounds(netbench::build_derived_jobs(&spec))
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("in-memory reference run");
+    let want = netbench::serialize_reports(&in_memory);
+
+    let addrs = netbench::free_addrs(2);
+    let out = std::env::temp_dir().join(format!(
+        "atom_sharded_equivalence_{}.bin",
+        std::process::id()
+    ));
+    let out_path = out.to_str().unwrap().to_string();
+
+    let member = spawn_node(&spec, &addrs, 1, None);
+    let coordinator = spawn_node(&spec, &addrs, 0, Some(&out_path));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    wait_with_deadline(coordinator, "coordinator", deadline);
+    wait_with_deadline(member, "member", deadline);
+
+    let got = std::fs::read(&out_path).expect("coordinator output file");
+    let _ = std::fs::remove_file(&out_path);
+    assert!(!want.is_empty());
+    assert_eq!(
+        got, want,
+        "sharded two-process output differs from the monolithic derivation"
     );
 }

@@ -7,13 +7,30 @@
 //! (§4.5), buddy groups are assigned, and — in the trap variant — an extra
 //! anytrust group of *trustees* generates the per-round inner-ciphertext key
 //! (§4.4).
+//!
+//! Two derivation paths produce the same [`RoundSetup`]:
+//!
+//! * [`setup_round`] — the original monolithic path: one caller-supplied RNG
+//!   threaded through every DKG in group order. Handy for tests, but group
+//!   `g`'s key material depends on every earlier group's draws, so it cannot
+//!   be sharded.
+//! * The *shardable* units — [`derive_group`], [`derive_trustees`],
+//!   [`derive_buddies`] and their monolithic composition [`derive_setup`].
+//!   Here each group's DKG draws from its own stream seeded by
+//!   [`setup_stream_seed`]`(beacon_seed, round, gid)`, so any process can
+//!   derive exactly the groups it hosts — in any order, concurrently —
+//!   and the result is byte-identical to deriving everything locally. This
+//!   is what the runtime's sharded setup phase (`atom_runtime`) builds on:
+//!   each process runs only the DKGs of its hosted groups and ships the
+//!   public half of the result to its peers as `setup` wire frames.
 
-use rand::{CryptoRng, RngCore};
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use atom_crypto::dkg::{run_dkg, DkgParams, DkgShare};
 use atom_crypto::elgamal::PublicKey;
-use atom_topology::groups::{assign_buddies, form_groups};
+use atom_topology::groups::{assign_buddies, form_group, form_groups};
 
 use crate::config::AtomConfig;
 use crate::error::{AtomError, AtomResult};
@@ -64,6 +81,19 @@ impl GroupContext {
     pub fn share(&self, member_index: u64) -> &DkgShare {
         &self.shares[(member_index - 1) as usize]
     }
+
+    /// The context with its secret shares stripped: what a process may ship
+    /// to its peers during sharded setup. Membership, threshold and the
+    /// group public key are public; the shares stay with the host process.
+    pub fn public_only(&self) -> GroupContext {
+        GroupContext {
+            id: self.id,
+            members: self.members.clone(),
+            shares: Vec::new(),
+            public_key: self.public_key,
+            threshold: self.threshold,
+        }
+    }
 }
 
 /// The trustee group of the trap variant (§4.4).
@@ -98,6 +128,148 @@ impl RoundSetup {
         &self.groups[gid].public_key
     }
 }
+
+/// Stream id of the trustee DKG in [`setup_stream_seed`]. Sits outside the
+/// real group-id space, so the trustee stream can never collide with a
+/// group's.
+pub const TRUSTEE_STREAM: u64 = u64::MAX;
+
+/// Derives the RNG seed of the setup stream for `gid` — a group id, or
+/// [`TRUSTEE_STREAM`] — from the round's public randomness beacon
+/// (splitmix64-style finalizer, the same construction as
+/// [`group_stream_seed`](crate::actor::group_stream_seed)).
+///
+/// Every process of a deployment computes the same seeds from the shared
+/// `(beacon_seed, round)`, which is what makes the per-group DKGs
+/// independently derivable: group `g`'s key material is a pure function of
+/// the beacon and `g`, never of which process derives it or in what order.
+pub fn setup_stream_seed(beacon_seed: u64, round: u64, gid: u64) -> u64 {
+    let mut x = beacon_seed
+        ^ round.wrapping_mul(0xd6e8_feb8_6659_fd93)
+        ^ gid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the full context — membership *and* DKG key material — of group
+/// `gid` alone, without touching any other group's DKG.
+///
+/// The unit of sharded round setup: a process hosting group `gid` calls this
+/// for exactly its hosted ids, and the result is byte-identical to the
+/// corresponding entry of [`derive_setup`]'s monolithic derivation.
+pub fn derive_group(config: &AtomConfig, gid: usize) -> AtomResult<GroupContext> {
+    config.validate()?;
+    if gid >= config.num_groups {
+        return Err(AtomError::Config(format!(
+            "group {gid} out of range for {} groups",
+            config.num_groups
+        )));
+    }
+    let threshold = config.group_threshold();
+    let params = DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
+    let assignment = form_group(
+        config.num_servers,
+        config.num_groups,
+        config.group_size,
+        config.beacon_seed,
+        gid,
+    );
+    let mut rng = StdRng::seed_from_u64(setup_stream_seed(
+        config.beacon_seed,
+        config.round,
+        gid as u64,
+    ));
+    let (public_key, shares) = run_dkg(&params, &mut rng).map_err(AtomError::Crypto)?;
+    Ok(GroupContext {
+        id: assignment.id,
+        members: assignment.members,
+        shares,
+        public_key,
+        threshold,
+    })
+}
+
+/// Derives the trustee group of the trap variant (§4.4) from its own
+/// dedicated stream ([`TRUSTEE_STREAM`]). In a sharded setup only the
+/// coordinator runs this — group actors never consult the trustee context.
+pub fn derive_trustees(config: &AtomConfig) -> AtomResult<TrusteeContext> {
+    config.validate()?;
+    let threshold = config.group_threshold();
+    let params = DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
+    let assignment = form_groups(
+        config.num_servers,
+        1,
+        config.group_size,
+        config.beacon_seed ^ TRUSTEE_BEACON_TWEAK,
+    )
+    .pop()
+    .expect("one trustee group");
+    let mut rng = StdRng::seed_from_u64(setup_stream_seed(
+        config.beacon_seed,
+        config.round,
+        TRUSTEE_STREAM,
+    ));
+    let (public_key, shares) = run_dkg(&params, &mut rng).map_err(AtomError::Crypto)?;
+    Ok(TrusteeContext {
+        members: assignment.members,
+        shares,
+        public_key,
+    })
+}
+
+/// The buddy-group assignment of the round: a pure (crypto-free) function of
+/// the configuration, cheap enough for every process to recompute locally.
+pub fn derive_buddies(config: &AtomConfig) -> Vec<Vec<usize>> {
+    assign_buddies(config.num_groups, config.buddy_groups, config.beacon_seed)
+}
+
+/// The membership of group `gid` alone — the beacon-derived assignment
+/// without running any DKG. A pure function of the shared configuration,
+/// which is what lets a process *validate* the `members` list a peer's
+/// setup frame claims instead of trusting it: everything in the directory
+/// except the DKG public keys is locally recomputable.
+pub fn derive_members(config: &AtomConfig, gid: usize) -> AtomResult<Vec<usize>> {
+    config.validate()?;
+    if gid >= config.num_groups {
+        return Err(AtomError::Config(format!(
+            "group {gid} out of range for {} groups",
+            config.num_groups
+        )));
+    }
+    Ok(form_group(
+        config.num_servers,
+        config.num_groups,
+        config.group_size,
+        config.beacon_seed,
+        gid,
+    )
+    .members)
+}
+
+/// Monolithic composition of the shardable units: derives every group, the
+/// trustees and the buddy assignment locally from the per-group streams.
+///
+/// This is the reference a *sharded* setup must match byte for byte: running
+/// [`derive_group`] for disjoint subsets of the ids on different processes
+/// and exchanging the results reassembles exactly this value (modulo the
+/// secret shares of remote groups, which never leave their host process).
+pub fn derive_setup(config: &AtomConfig) -> AtomResult<RoundSetup> {
+    config.validate()?;
+    let groups = (0..config.num_groups)
+        .map(|gid| derive_group(config, gid))
+        .collect::<AtomResult<Vec<_>>>()?;
+    Ok(RoundSetup {
+        config: config.clone(),
+        groups,
+        trustees: derive_trustees(config)?,
+        buddies: derive_buddies(config),
+    })
+}
+
+/// Beacon tweak separating the trustee group's *membership* sample from the
+/// mixing groups' (the DKG randomness is separated by [`TRUSTEE_STREAM`]).
+const TRUSTEE_BEACON_TWEAK: u64 = 0x7472_7573_7465_6573;
 
 /// Forms groups, runs the per-group DKGs and the trustee DKG, and assigns
 /// buddy groups for one round.
@@ -134,7 +306,7 @@ pub fn setup_round<R: RngCore + CryptoRng>(
         config.num_servers,
         1,
         config.group_size,
-        config.beacon_seed ^ 0x7472_7573_7465_6573,
+        config.beacon_seed ^ TRUSTEE_BEACON_TWEAK,
     )
     .pop()
     .expect("one trustee group");
@@ -210,6 +382,81 @@ mod tests {
         let mut config = AtomConfig::test_default();
         config.group_size = 0;
         assert!(setup_round(&config, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn derive_setup_composes_the_shardable_units() {
+        let mut config = AtomConfig::test_default();
+        config.beacon_seed = 0xBEAC;
+        config.round = 3;
+        let setup = derive_setup(&config).unwrap();
+
+        // Each group derived alone — in reverse order, as a second process
+        // would — matches the monolithic derivation byte for byte.
+        for gid in (0..config.num_groups).rev() {
+            let alone = derive_group(&config, gid).unwrap();
+            let reference = &setup.groups[gid];
+            assert_eq!(alone.id, reference.id);
+            assert_eq!(alone.members, reference.members);
+            assert_eq!(alone.threshold, reference.threshold);
+            assert_eq!(alone.public_key, reference.public_key);
+            assert_eq!(alone.shares.len(), reference.shares.len());
+            for (a, b) in alone.shares.iter().zip(&reference.shares) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.secret_share, b.secret_share);
+                assert_eq!(a.verification_keys, b.verification_keys);
+            }
+        }
+        let trustees = derive_trustees(&config).unwrap();
+        assert_eq!(trustees.public_key, setup.trustees.public_key);
+        assert_eq!(trustees.members, setup.trustees.members);
+        assert_eq!(derive_buddies(&config), setup.buddies);
+    }
+
+    #[test]
+    fn setup_streams_separate_groups_rounds_and_trustees() {
+        let base = setup_stream_seed(1, 0, 0);
+        assert_ne!(base, setup_stream_seed(1, 0, 1));
+        assert_ne!(base, setup_stream_seed(1, 1, 0));
+        assert_ne!(base, setup_stream_seed(2, 0, 0));
+        assert_ne!(base, setup_stream_seed(1, 0, TRUSTEE_STREAM));
+        assert_eq!(base, setup_stream_seed(1, 0, 0));
+
+        // Distinct streams yield distinct key material.
+        let config = AtomConfig::test_default();
+        let setup = derive_setup(&config).unwrap();
+        for i in 0..setup.groups.len() {
+            for j in i + 1..setup.groups.len() {
+                assert_ne!(setup.groups[i].public_key, setup.groups[j].public_key);
+            }
+            assert_ne!(setup.groups[i].public_key, setup.trustees.public_key);
+        }
+    }
+
+    #[test]
+    fn derive_group_validates_inputs() {
+        let config = AtomConfig::test_default();
+        assert!(matches!(
+            derive_group(&config, config.num_groups),
+            Err(AtomError::Config(_))
+        ));
+        let mut bad = config.clone();
+        bad.group_size = 0;
+        assert!(derive_group(&bad, 0).is_err());
+        assert!(derive_setup(&bad).is_err());
+        assert!(derive_trustees(&bad).is_err());
+    }
+
+    #[test]
+    fn public_only_strips_exactly_the_shares() {
+        let config = AtomConfig::test_default();
+        let setup = derive_setup(&config).unwrap();
+        let public = setup.groups[1].public_only();
+        assert!(public.shares.is_empty());
+        assert_eq!(public.id, setup.groups[1].id);
+        assert_eq!(public.members, setup.groups[1].members);
+        assert_eq!(public.threshold, setup.groups[1].threshold);
+        assert_eq!(public.public_key, setup.groups[1].public_key);
     }
 
     #[test]

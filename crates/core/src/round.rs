@@ -3,7 +3,8 @@
 //!
 //! The [`RoundDriver`] plays the role of the whole deployment: it feeds user
 //! submissions to their entry groups, drives the permutation network
-//! iteration by iteration (every group runs [`group_mix_iteration`]), routes
+//! iteration by iteration (every group runs
+//! [`group_mix_iteration`](crate::group::group_mix_iteration)), routes
 //! exit payloads (traps back to their entry groups, inner ciphertexts to
 //! load-balanced holders), gathers the per-group reports, and asks the
 //! trustees to release the per-round key only if every report is clean

@@ -1,5 +1,5 @@
 //! Dealer-less distributed key generation (DVSS) for Atom's anytrust and
-//! many-trust groups (§4.5, [67]).
+//! many-trust groups (§4.5, ref. \[67\] in the paper).
 //!
 //! Every group member acts as a dealer: it samples a random polynomial of
 //! degree `threshold − 1`, broadcasts Feldman commitments to its

@@ -1,7 +1,8 @@
 //! `ShufProof`: a NIZK argument that a batch of message ciphertexts was
 //! correctly shuffled (permuted and rerandomized) under a group public key.
 //!
-//! The paper instantiates this with Neff's verifiable shuffle [59]; we use a
+//! The paper instantiates this with Neff's verifiable shuffle (ref. \[59\]
+//! in the paper); we use a
 //! Bayer-Groth-style argument with linear-size sub-arguments, which fills the
 //! same role with the same asymptotic cost (a small constant number of
 //! exponentiations per shuffled element for both prover and verifier). See
@@ -11,7 +12,7 @@
 //!
 //! Statement: group key `X`, inputs `C[i][l]`, outputs `C'[j][l]` (n messages
 //! of L components each). Claim: there are a permutation σ and scalars
-//! ρ[j][l] with `C'[j][l] = C[σ(j)][l] + ρ[j][l]·(B, X)`.
+//! `ρ[j][l]` with `C'[j][l] = C[σ(j)][l] + ρ[j][l]·(B, X)`.
 //!
 //! 1. The prover commits (per element, Pedersen) to `a_j = σ(j) + 1`.
 //!    Challenge `x`.

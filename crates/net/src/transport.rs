@@ -7,8 +7,7 @@
 //!
 //! * [`InMemoryNetwork`] (this module): a single-process backend whose
 //!   sends are metered (bytes and message counts per node), charged
-//!   propagation latency from a
-//!   [`LatencyModel`](crate::latency::LatencyModel) and transmission time
+//!   propagation latency from a [`LatencyModel`] and transmission time
 //!   from the sender's bandwidth class, and delivered through a
 //!   lock-protected mailbox.
 //! * [`TcpTransport`](crate::tcp::TcpTransport): a multi-process backend

@@ -2,7 +2,7 @@
 //!
 //! [`Engine::run_rounds`] executes one or more Atom rounds over a scoped
 //! worker pool. Each anytrust group of each round is a
-//! [`GroupActor`](atom_core::actor::GroupActor) behind a mutex; workers pull
+//! [`GroupActor`] behind a mutex; workers pull
 //! tasks from a shared queue and exchange serialized sub-batches through a
 //! [`Transport`] mailbox per group — an [`InMemoryNetwork`] by default, or
 //! any other backend (e.g. [`atom_net::TcpTransport`]) via
@@ -21,6 +21,12 @@
 //!   so proof checking parallelizes across workers inside a single round;
 //!   chunk results merge deterministically (in submission order, first
 //!   failure wins) before the iteration-0 batches are released.
+//! * **Before a round**, a [`RoundDirectory::Sharded`] job's directory —
+//!   group formation and the per-group DKGs — is itself a set of queue
+//!   tasks: each process derives only the DKGs of its hosted groups and
+//!   ships the public results to its peers as `setup` wire frames, so round
+//!   `r + 1`'s directory work overlaps round `r`'s mixing tail, and adding
+//!   processes divides the DKG work instead of replicating it.
 //!
 //! Determinism: all randomness of round `r` derives from
 //! `RoundJob::seed` — the master draw mirrors the sequential
@@ -32,7 +38,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -41,8 +47,11 @@ use rand::{RngCore, SeedableRng};
 
 use atom_core::actor::{ActorConfig, ActorOutput, GroupActor, SOURCE};
 use atom_core::adversary::AdversaryPlan;
-use atom_core::config::Defense;
-use atom_core::directory::RoundSetup;
+use atom_core::config::{AtomConfig, Defense};
+use atom_core::directory::{
+    derive_buddies, derive_group, derive_members, derive_trustees, GroupContext, RoundSetup,
+    TrusteeContext,
+};
 use atom_core::error::{AtomError, AtomResult};
 use atom_core::group::GroupStepOptions;
 use atom_core::message::{NizkSubmission, TrapSubmission};
@@ -51,11 +60,14 @@ use atom_core::round::{
     verify_nizk_submissions_range, verify_trap_submissions_range, RoundOutput, RoundTimings,
 };
 use atom_crypto::commit::Commitment;
-use atom_crypto::elgamal::MessageCiphertext;
+use atom_crypto::elgamal::{MessageCiphertext, PublicKey};
+use atom_crypto::RistrettoPoint;
+use curve25519_dalek::traits::Identity;
+
 use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats, Transport};
 
 use crate::wire;
-use crate::wire::{ExitFrame, Frame};
+use crate::wire::{ExitFrame, Frame, SetupFrame};
 
 /// Envelope label of serialized mixing sub-batches (static: no per-message
 /// allocation on the hot path).
@@ -66,6 +78,9 @@ pub const EXIT_LABEL: &str = "atom/exit";
 
 /// Envelope label of abort notifications.
 pub const ABORT_LABEL: &str = "atom/abort";
+
+/// Envelope label of sharded-setup directory frames (group → peers).
+pub const SETUP_LABEL: &str = "atom/setup";
 
 /// Engine-wide execution options.
 #[derive(Clone, Debug)]
@@ -184,11 +199,41 @@ pub enum RoundSubmissions {
     Trap(Vec<TrapSubmission>),
 }
 
+/// How a round's directory ([`RoundSetup`]) comes to exist in this process.
+#[derive(Clone, Debug)]
+pub enum RoundDirectory {
+    /// The full directory — every group's DKG — was derived (or loaded)
+    /// ahead of time, e.g. via [`atom_core::directory::setup_round`] or
+    /// [`atom_core::directory::derive_setup`].
+    Full(RoundSetup),
+    /// Sharded: this process derives **only the DKGs of the groups it
+    /// hosts** ([`atom_core::directory::derive_group`], one queue task per
+    /// hosted group), ships the public half of each result to its peers as
+    /// `setup` wire frames, and assembles the round's directory from its
+    /// peers' frames before any of its actors mix. The coordinator
+    /// additionally derives the trustee DKG. Because each group's DKG draws
+    /// from its own beacon-derived stream, the assembled directory — and
+    /// therefore the round's [`RoundOutput`] — is byte-identical to the
+    /// monolithic [`derive_setup`](atom_core::directory::derive_setup) of
+    /// the same config, whatever the process layout.
+    Sharded(AtomConfig),
+}
+
+impl RoundDirectory {
+    /// The deployment configuration of either variant.
+    pub fn config(&self) -> &AtomConfig {
+        match self {
+            RoundDirectory::Full(setup) => &setup.config,
+            RoundDirectory::Sharded(config) => config,
+        }
+    }
+}
+
 /// One round to execute.
 #[derive(Clone)]
 pub struct RoundJob {
-    /// The round's directory setup.
-    pub setup: RoundSetup,
+    /// Where the round's directory comes from (prebuilt or sharded).
+    pub directory: RoundDirectory,
     /// User submissions.
     pub submissions: RoundSubmissions,
     /// Seed of all round randomness (equal seeds ⇒ byte-identical output to
@@ -204,15 +249,40 @@ pub struct RoundJob {
 }
 
 impl RoundJob {
-    /// A job with no adversary, failures or churn.
+    /// A job with a prebuilt directory and no adversary, failures or churn.
     pub fn new(setup: RoundSetup, submissions: RoundSubmissions, seed: u64) -> Self {
+        Self::with_directory(RoundDirectory::Full(setup), submissions, seed)
+    }
+
+    /// A job whose directory is derived *inside* the engine run, sharded
+    /// across the participating processes (see [`RoundDirectory::Sharded`]).
+    /// Only the coordinator's `submissions` are consulted; members may pass
+    /// an empty vector of the matching variant.
+    pub fn sharded(config: AtomConfig, submissions: RoundSubmissions, seed: u64) -> Self {
+        Self::with_directory(RoundDirectory::Sharded(config), submissions, seed)
+    }
+
+    fn with_directory(directory: RoundDirectory, submissions: RoundSubmissions, seed: u64) -> Self {
         Self {
-            setup,
+            directory,
             submissions,
             seed,
             adversary: None,
             failed_servers: Vec::new(),
             churn: Vec::new(),
+        }
+    }
+
+    /// The deployment configuration of the round.
+    pub fn config(&self) -> &AtomConfig {
+        self.directory.config()
+    }
+
+    /// The prebuilt directory, if this job carries one.
+    pub fn full_setup(&self) -> Option<&RoundSetup> {
+        match &self.directory {
+            RoundDirectory::Full(setup) => Some(setup),
+            RoundDirectory::Sharded(_) => None,
         }
     }
 }
@@ -235,6 +305,14 @@ pub struct RoundReport {
     pub pipelined_latency: Duration,
     /// Wall-clock time from intake to the last exit.
     pub wall_clock: Duration,
+    /// Wall-clock time from engine start until this round's directory was
+    /// ready in this process — local DKGs run, every peer's setup frame
+    /// received, actors constructed. Always zero for
+    /// [`RoundDirectory::Full`] jobs, whose directory predates the engine.
+    /// Because setup runs as ordinary queue tasks, later rounds' directory
+    /// work overlaps earlier rounds' mixing, so per-round setup latencies
+    /// of one run are *not* additive.
+    pub setup_latency: Duration,
     /// Mixing messages this round pushed through the transport.
     pub mix_messages: u64,
     /// Mixing bytes this round pushed through the transport.
@@ -242,8 +320,23 @@ pub struct RoundReport {
 }
 
 enum Task {
-    IntakeChunk { round: usize, chunk: usize },
-    Deliver { node: usize },
+    IntakeChunk {
+        round: usize,
+        chunk: usize,
+    },
+    Deliver {
+        node: usize,
+    },
+    /// Derive the DKG of one locally hosted group of a sharded round and
+    /// broadcast its public half to every remote mailbox.
+    SetupGroup {
+        round: usize,
+        gid: usize,
+    },
+    /// Derive the trustee DKG of a sharded round (coordinator only).
+    SetupTrustees {
+        round: usize,
+    },
 }
 
 /// Verified intake of one submission chunk: per-entry-group sub-batches and
@@ -281,11 +374,72 @@ struct ExitState {
     group_mix_bytes: u64,
 }
 
+/// What actor construction needs from a [`RoundJob`], retained per round so
+/// sharded rounds can build their actors once the directory is assembled.
+struct ActorSpec {
+    master_seed: u64,
+    defense: Defense,
+    adversary: Option<AdversaryPlan>,
+    failed_servers: Vec<usize>,
+    churn: Vec<(usize, usize)>,
+}
+
+/// In-flight state of a sharded round's distributed directory derivation.
+/// Absent for [`RoundDirectory::Full`] jobs.
+struct SetupPhase {
+    /// When this process started working toward the round's directory
+    /// (engine start; feeds [`RoundReport::setup_latency`]).
+    started: Instant,
+    /// Hosted groups whose local DKG has not finished yet.
+    pending_local: usize,
+    /// Remote groups whose setup frame has not arrived yet.
+    remote_missing: usize,
+    /// Collected contexts: full (with shares) for hosted groups, public-only
+    /// for remote ones.
+    groups: Vec<Option<GroupContext>>,
+    /// The trustee context (coordinator only; derived locally).
+    trustees: Option<TrusteeContext>,
+    /// Whether completion requires the trustee DKG (iff coordinator).
+    need_trustees: bool,
+    /// Mix envelopes that arrived before the directory was ready, replayed
+    /// in arrival order by `finish_setup`. `(destination gid, envelope)`.
+    buffered: Vec<(usize, wire::MixEnvelope)>,
+    /// Hard cap on `buffered`: a legitimate round delivers at most
+    /// `groups × (1 + groups × iterations)` mix frames in total, so growth
+    /// past that is a hostile or broken peer streaming frames while
+    /// withholding its setup frames — fail the round instead of buffering
+    /// without bound.
+    buffer_cap: usize,
+    /// Set once `finish_setup` has taken ownership of the collected
+    /// contexts: no further frame may mutate this state.
+    sealed: bool,
+    /// Set once actors exist and mixing may proceed.
+    ready: bool,
+}
+
+impl SetupPhase {
+    fn complete(&self) -> bool {
+        self.pending_local == 0
+            && self.remote_missing == 0
+            && (!self.need_trustees || self.trustees.is_some())
+    }
+}
+
 struct JobState {
-    setup: RoundSetup,
+    config: AtomConfig,
+    /// The round's directory. Set at construction for prebuilt jobs, by
+    /// `finish_setup` for sharded ones; reads outside the setup phase go
+    /// through [`JobState::round_setup`].
+    setup: OnceLock<RoundSetup>,
+    /// Sharded-setup progress (`None` for prebuilt directories).
+    phase: Option<Mutex<SetupPhase>>,
+    /// Wall-clock cost of the setup phase, for the round report.
+    setup_latency: Mutex<Duration>,
+    actor_spec: ActorSpec,
     submissions: RoundSubmissions,
-    /// One slot per group id; `None` for groups hosted by another process.
-    actors: Vec<Option<Mutex<GroupActor>>>,
+    /// One lazily initialized slot per group id; never set for groups
+    /// hosted by another process.
+    actors: Vec<OnceLock<Mutex<GroupActor>>>,
     /// Submission index ranges of the intake chunks.
     chunks: Vec<(usize, usize)>,
     intake: Mutex<IntakeState>,
@@ -301,7 +455,14 @@ struct JobState {
 
 impl JobState {
     fn num_groups(&self) -> usize {
-        self.setup.config.num_groups
+        self.config.num_groups
+    }
+
+    /// The assembled directory. Panics if called before the setup phase
+    /// completed — callers are only reachable once `SetupPhase::ready`
+    /// (or for prebuilt jobs, always).
+    fn round_setup(&self) -> &RoundSetup {
+        self.setup.get().expect("round directory not assembled yet")
     }
 
     fn failed(&self) -> bool {
@@ -349,6 +510,7 @@ struct Shared<'a> {
     latency: LatencyModel,
     orchestrator: usize,
     role: &'a EngineRole,
+    options: &'a EngineOptions,
 }
 
 impl Shared<'_> {
@@ -447,28 +609,6 @@ impl Engine {
         &self.options
     }
 
-    fn actor_config(&self, job: &RoundJob, gid: usize) -> ActorConfig {
-        let defense = match job.submissions {
-            RoundSubmissions::Nizk(_) => Defense::Nizk,
-            RoundSubmissions::Trap(_) => Defense::Trap,
-        };
-        let mut config = ActorConfig::new(GroupStepOptions {
-            defense,
-            parallelism: self.options.parallelism.max(1),
-        });
-        config.adversary = job.adversary;
-        config.failed_servers = job.failed_servers.clone();
-        config.churn = job.churn.clone();
-        config.compute_delay = self
-            .options
-            .stragglers
-            .iter()
-            .find(|(slow, _)| *slow == gid)
-            .map(|(_, delay)| *delay)
-            .unwrap_or(Duration::ZERO);
-        config
-    }
-
     /// Runs a single round.
     pub fn run_round(&self, job: RoundJob) -> AtomResult<RoundReport> {
         self.run_rounds(vec![job])
@@ -485,7 +625,7 @@ impl Engine {
         }
         let max_groups = jobs
             .iter()
-            .map(|job| job.setup.config.num_groups)
+            .map(|job| job.config().num_groups)
             .max()
             .unwrap_or(1);
         // One mailbox per group id plus the orchestrator; rounds share
@@ -501,9 +641,12 @@ impl Engine {
     /// agree with the transport's locality: this process must host exactly
     /// the mailboxes of its `hosted` groups (plus the orchestrator's iff
     /// coordinator). Every participating process derives the same `jobs`
-    /// (identical setups, submissions and seeds) and calls this
-    /// concurrently; the coordinator's returned reports carry the round
-    /// outputs, byte-identical to a single-process run of the same jobs.
+    /// (identical directories, submissions and seeds — except that under
+    /// [`RoundDirectory::Sharded`] only the coordinator needs submissions,
+    /// and each process derives only its hosted groups' DKGs) and calls
+    /// this concurrently; the coordinator's returned reports carry the
+    /// round outputs, byte-identical to a single-process run of the same
+    /// jobs.
     pub fn run_rounds_on(
         &self,
         jobs: Vec<RoundJob>,
@@ -515,7 +658,7 @@ impl Engine {
         }
         let max_groups = jobs
             .iter()
-            .map(|job| job.setup.config.num_groups)
+            .map(|job| job.config().num_groups)
             .max()
             .unwrap_or(1);
         assert!(
@@ -547,21 +690,62 @@ impl Engine {
             // the caller RNG, keeping seed semantics identical across
             // drivers.
             let master_seed = StdRng::seed_from_u64(job.seed).next_u64();
-            let num_groups = job.setup.config.num_groups;
-            let mut actors: Vec<Option<Mutex<GroupActor>>> = Vec::with_capacity(num_groups);
+            let config = job.config().clone();
+            let num_groups = config.num_groups;
+            let actor_spec = ActorSpec {
+                master_seed,
+                defense: match job.submissions {
+                    RoundSubmissions::Nizk(_) => Defense::Nizk,
+                    RoundSubmissions::Trap(_) => Defense::Trap,
+                },
+                adversary: job.adversary,
+                failed_servers: job.failed_servers,
+                churn: job.churn,
+            };
+            let actors: Vec<OnceLock<Mutex<GroupActor>>> =
+                (0..num_groups).map(|_| OnceLock::new()).collect();
+            let setup_cell: OnceLock<RoundSetup> = OnceLock::new();
             let mut construction_error = None;
-            for gid in 0..num_groups {
-                if !role.hosts(gid) {
-                    actors.push(None);
-                    continue;
-                }
-                match GroupActor::new(&job.setup, gid, master_seed, self.actor_config(&job, gid)) {
-                    Ok(actor) => actors.push(Some(Mutex::new(actor))),
-                    Err(error) => {
-                        construction_error = Some(error);
-                        break;
+            let mut phase = None;
+            match job.directory {
+                // Prebuilt directory: actors exist before the workers start.
+                RoundDirectory::Full(setup) => {
+                    for gid in (0..num_groups).filter(|&gid| role.hosts(gid)) {
+                        match build_actor(&setup, gid, &actor_spec, &self.options) {
+                            Ok(actor) => {
+                                let _ = actors[gid].set(Mutex::new(actor));
+                            }
+                            Err(error) => {
+                                construction_error = Some(error);
+                                break;
+                            }
+                        }
                     }
+                    let _ = setup_cell.set(setup);
                 }
+                // Sharded directory: derivation happens on the task queue;
+                // here we only validate the config and set up the phase
+                // bookkeeping.
+                RoundDirectory::Sharded(config) => match config.validate() {
+                    Ok(()) => {
+                        let hosted = role.hosted_in_round(num_groups);
+                        let iterations = config.topology().iterations();
+                        phase = Some(Mutex::new(SetupPhase {
+                            started: Instant::now(),
+                            pending_local: hosted,
+                            remote_missing: num_groups - hosted,
+                            groups: vec![None; num_groups],
+                            trustees: None,
+                            need_trustees: role.coordinator,
+                            buffered: Vec::new(),
+                            buffer_cap: num_groups
+                                .saturating_mul(1 + num_groups.saturating_mul(iterations)),
+                            sealed: false,
+                            ready: false,
+                        }));
+                    }
+                    Err(error) => construction_error = Some(error),
+                },
             }
             let submissions_len = match &job.submissions {
                 RoundSubmissions::Nizk(s) => s.len(),
@@ -575,9 +759,9 @@ impl Engine {
             // to do for it: resolve immediately with an empty stub.
             let result = match construction_error {
                 Some(error) => Some(Err(error)),
-                None if !role.coordinator && role.hosted_in_round(num_groups) == 0 => {
-                    Some(Ok(member_stub_report(Duration::ZERO, 0, 0, Duration::ZERO)))
-                }
+                None if !role.coordinator && role.hosted_in_round(num_groups) == 0 => Some(Ok(
+                    member_stub_report(Duration::ZERO, 0, 0, Duration::ZERO, Duration::ZERO),
+                )),
                 None => None,
             };
             let state = JobState {
@@ -603,7 +787,11 @@ impl Engine {
                 group_mix: (0..num_groups)
                     .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
                     .collect(),
-                setup: job.setup,
+                config,
+                setup: setup_cell,
+                phase,
+                setup_latency: Mutex::new(Duration::ZERO),
+                actor_spec,
                 submissions: job.submissions,
                 actors,
                 chunks,
@@ -626,6 +814,7 @@ impl Engine {
             latency: self.options.latency,
             orchestrator,
             role,
+            options: &self.options,
         };
 
         // A round this process cannot even set up must not leave the other
@@ -634,10 +823,27 @@ impl Engine {
             shared.broadcast_abort(*round, reason);
         }
 
-        if role.coordinator {
+        // Seed the queue. Prebuilt rounds start at intake (coordinator);
+        // sharded rounds start at their directory derivation — one task per
+        // hosted group, plus the trustee DKG on the coordinator. All rounds'
+        // tasks coexist on the one queue, which is what overlaps round
+        // `r + 1`'s directory work with round `r`'s mixing tail: workers
+        // interleave `SetupGroup` tasks with `Deliver` wake-ups as both
+        // become available.
+        {
             let mut queue = sched.queue_lock();
             for (round, state) in states.iter().enumerate() {
-                if !state.finalized() {
+                if state.finalized() {
+                    continue;
+                }
+                if state.phase.is_some() {
+                    for &gid in role.hosted.iter().filter(|&&g| g < state.num_groups()) {
+                        queue.push_back(Task::SetupGroup { round, gid });
+                    }
+                    if role.coordinator {
+                        queue.push_back(Task::SetupTrustees { round });
+                    }
+                } else if role.coordinator {
                     for chunk in 0..state.chunks.len() {
                         queue.push_back(Task::IntakeChunk { round, chunk });
                     }
@@ -690,6 +896,7 @@ fn member_stub_report(
     mix_messages: u64,
     mix_bytes: u64,
     wall_clock: Duration,
+    setup_latency: Duration,
 ) -> RoundReport {
     RoundReport {
         output: RoundOutput {
@@ -700,8 +907,47 @@ fn member_stub_report(
         },
         pipelined_latency: pipelined,
         wall_clock,
+        setup_latency,
         mix_messages,
         mix_bytes,
+    }
+}
+
+/// Builds the actor of group `gid` from the assembled directory and the
+/// job's retained [`ActorSpec`]. Used both at engine start (prebuilt
+/// directories) and at the end of a sharded setup phase.
+fn build_actor(
+    setup: &RoundSetup,
+    gid: usize,
+    spec: &ActorSpec,
+    options: &EngineOptions,
+) -> AtomResult<GroupActor> {
+    let mut config = ActorConfig::new(GroupStepOptions {
+        defense: spec.defense,
+        parallelism: options.parallelism.max(1),
+    });
+    config.adversary = spec.adversary;
+    config.failed_servers = spec.failed_servers.clone();
+    config.churn = spec.churn.clone();
+    config.compute_delay = options
+        .stragglers
+        .iter()
+        .find(|(slow, _)| *slow == gid)
+        .map(|(_, delay)| *delay)
+        .unwrap_or(Duration::ZERO);
+    GroupActor::new(setup, gid, spec.master_seed, config)
+}
+
+/// The trustee context a non-coordinator member records in its assembled
+/// directory. Members never consult the trustees — group actors only read
+/// `setup.groups` and `setup.config`, and the trap-variant exit phase runs
+/// on the coordinator — so an empty placeholder keeps the trustee DKG off
+/// every member's setup path.
+fn member_trustee_placeholder() -> TrusteeContext {
+    TrusteeContext {
+        members: Vec::new(),
+        shares: Vec::new(),
+        public_key: PublicKey(RistrettoPoint::identity()),
     }
 }
 
@@ -752,6 +998,8 @@ fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
             Task::IntakeChunk { round, chunk } => run_intake_chunk(shared, round, chunk),
             Task::Deliver { node } => run_deliver(shared, node),
+            Task::SetupGroup { round, gid } => run_setup_group(shared, round, gid),
+            Task::SetupTrustees { round } => run_setup_trustees(shared, round),
         }));
         *shared.sched.last_progress.lock() = Instant::now();
         shared.sched.executing.fetch_sub(1, Ordering::SeqCst);
@@ -782,6 +1030,256 @@ fn chunk_ranges(submissions: usize, chunk: usize, workers: usize) -> Vec<(usize,
         .collect()
 }
 
+/// Derives the DKG of locally hosted group `gid` of a sharded round from
+/// its beacon stream, broadcasts the public half to every remote mailbox
+/// (each peer process needs every group's public key before its actors can
+/// mix; the coordinator additionally needs it for intake verification), and
+/// records the full context locally. The worker completing the round's last
+/// missing piece assembles the directory ([`finish_setup`]).
+fn run_setup_group(shared: &Shared<'_>, round: usize, gid: usize) {
+    let job = &shared.jobs[round];
+    if job.failed() {
+        return;
+    }
+    let Some(phase_lock) = &job.phase else {
+        shared.fail_job(
+            round,
+            AtomError::Malformed("setup task for a round with a prebuilt directory".into()),
+        );
+        return;
+    };
+    let context = match derive_group(&job.config, gid) {
+        Ok(context) => context,
+        Err(error) => {
+            shared.fail_job(round, error);
+            return;
+        }
+    };
+    // Ship the public half to every remote mailbox. A peer process hosting
+    // several groups receives one copy per mailbox; `on_setup_frame` treats
+    // the duplicates idempotently. Secret shares stay in this process.
+    let frame = SetupFrame {
+        round,
+        gid,
+        members: context.members.clone(),
+        threshold: context.threshold,
+        public_key: context.public_key,
+    };
+    let payload = wire::encode_setup(&frame);
+    for node in 0..shared.transport.nodes() {
+        if !shared.transport.is_local(node) {
+            shared
+                .transport
+                .send(gid, node, SETUP_LABEL.into(), payload.clone());
+        }
+    }
+    let complete = {
+        let mut phase = phase_lock.lock();
+        if phase.sealed {
+            false
+        } else {
+            phase.groups[gid] = Some(context);
+            phase.pending_local -= 1;
+            phase.complete()
+        }
+    };
+    if complete {
+        finish_setup(shared, round);
+    }
+}
+
+/// Derives the trustee DKG of a sharded round (coordinator only; members
+/// record a placeholder — see [`member_trustee_placeholder`]).
+fn run_setup_trustees(shared: &Shared<'_>, round: usize) {
+    let job = &shared.jobs[round];
+    if job.failed() {
+        return;
+    }
+    let Some(phase_lock) = &job.phase else {
+        shared.fail_job(
+            round,
+            AtomError::Malformed("trustee setup task for a prebuilt directory".into()),
+        );
+        return;
+    };
+    let trustees = match derive_trustees(&job.config) {
+        Ok(trustees) => trustees,
+        Err(error) => {
+            shared.fail_job(round, error);
+            return;
+        }
+    };
+    let complete = {
+        let mut phase = phase_lock.lock();
+        if phase.sealed {
+            false
+        } else {
+            phase.trustees = Some(trustees);
+            phase.complete()
+        }
+    };
+    if complete {
+        finish_setup(shared, round);
+    }
+}
+
+/// Records one remote group's public directory entry. Duplicate frames for
+/// the same group are expected — a peer broadcasts once per remote mailbox,
+/// and this process may own several — and must agree with the first copy;
+/// a conflicting frame is a hostile or broken peer and fails the round.
+fn on_setup_frame(shared: &Shared<'_>, frame: SetupFrame) {
+    let round = frame.round;
+    let Some(job) = shared.jobs.get(round) else {
+        shared.fail_all("setup frame names an unknown round");
+        return;
+    };
+    if job.failed() {
+        return;
+    }
+    let Some(phase_lock) = &job.phase else {
+        shared.fail_job(
+            round,
+            AtomError::Malformed("setup frame for a round with a prebuilt directory".into()),
+        );
+        return;
+    };
+    if frame.gid >= job.num_groups() {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!("setup frame for unknown group {}", frame.gid)),
+        );
+        return;
+    }
+    if shared.role.hosts(frame.gid) {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!(
+                "setup frame for group {}, which this process derives itself",
+                frame.gid
+            )),
+        );
+        return;
+    }
+    // Everything in the frame except the DKG public key is a pure function
+    // of the shared configuration — recompute and reject rather than trust.
+    // A hostile peer can therefore only influence the public keys of the
+    // groups it hosts, which it controls anyway by running their DKGs.
+    if frame.threshold != job.config.group_threshold() {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!(
+                "setup frame for group {} claims threshold {} (expected {})",
+                frame.gid,
+                frame.threshold,
+                job.config.group_threshold()
+            )),
+        );
+        return;
+    }
+    match derive_members(&job.config, frame.gid) {
+        Ok(expected) if expected == frame.members => {}
+        Ok(_) => {
+            shared.fail_job(
+                round,
+                AtomError::Malformed(format!(
+                    "setup frame for group {} claims a membership that does not \
+                     match the beacon derivation",
+                    frame.gid
+                )),
+            );
+            return;
+        }
+        Err(error) => {
+            shared.fail_job(round, error);
+            return;
+        }
+    }
+    let verdict = {
+        let mut phase = phase_lock.lock();
+        if phase.sealed {
+            Ok(false)
+        } else if let Some(existing) = &phase.groups[frame.gid] {
+            if existing.public_key == frame.public_key {
+                Ok(false) // benign duplicate via another local mailbox
+            } else {
+                Err(AtomError::Malformed(format!(
+                    "conflicting setup frames for group {}",
+                    frame.gid
+                )))
+            }
+        } else {
+            phase.groups[frame.gid] = Some(GroupContext {
+                id: frame.gid,
+                members: frame.members,
+                shares: Vec::new(),
+                public_key: frame.public_key,
+                threshold: frame.threshold,
+            });
+            phase.remote_missing -= 1;
+            Ok(phase.complete())
+        }
+    };
+    match verdict {
+        Ok(true) => finish_setup(shared, round),
+        Ok(false) => {}
+        Err(error) => shared.fail_job(round, error),
+    }
+}
+
+/// Assembles the round's directory once every piece exists — hosted DKGs
+/// run, every remote frame received, trustees derived (coordinator) —
+/// constructs the hosted actors, releases the coordinator's intake tasks
+/// and replays mix envelopes that raced ahead of the directory.
+fn finish_setup(shared: &Shared<'_>, round: usize) {
+    let job = &shared.jobs[round];
+    let phase_lock = job.phase.as_ref().expect("sharded round");
+    let (groups, trustees, started) = {
+        let mut phase = phase_lock.lock();
+        debug_assert!(phase.complete() && !phase.sealed);
+        phase.sealed = true;
+        let groups: Vec<GroupContext> = phase
+            .groups
+            .iter_mut()
+            .map(|slot| slot.take().expect("setup phase complete"))
+            .collect();
+        (groups, phase.trustees.take(), phase.started)
+    };
+    let setup = RoundSetup {
+        config: job.config.clone(),
+        groups,
+        trustees: trustees.unwrap_or_else(member_trustee_placeholder),
+        buddies: derive_buddies(&job.config),
+    };
+    for gid in (0..job.num_groups()).filter(|&gid| shared.role.hosts(gid)) {
+        match build_actor(&setup, gid, &job.actor_spec, shared.options) {
+            Ok(actor) => {
+                let _ = job.actors[gid].set(Mutex::new(actor));
+            }
+            Err(error) => {
+                shared.fail_job(round, error);
+                return;
+            }
+        }
+    }
+    let _ = job.setup.set(setup);
+    *job.setup_latency.lock() = started.elapsed();
+    let buffered = {
+        let mut phase = phase_lock.lock();
+        phase.ready = true;
+        std::mem::take(&mut phase.buffered)
+    };
+    // Intake could not run before the directory existed (submission proofs
+    // verify against the group and trustee keys); release it now.
+    if shared.role.coordinator && !job.finalized() {
+        for chunk in 0..job.chunks.len() {
+            shared.sched.push_task(Task::IntakeChunk { round, chunk });
+        }
+    }
+    for (gid, mix) in buffered {
+        on_mix_frame(shared, gid, mix);
+    }
+}
+
 /// Verifies one intake chunk of a round's submissions; the worker that
 /// completes the round's last chunk merges the results and releases the
 /// iteration-0 batches ([`finish_intake`]).
@@ -798,22 +1296,23 @@ fn run_intake_chunk(shared: &Shared<'_>, round: usize, chunk: usize) {
     }
 
     let (start, end) = job.chunks[chunk];
+    let setup = job.round_setup();
     let result = match &job.submissions {
         RoundSubmissions::Nizk(submissions) => {
-            verify_nizk_submissions_range(&job.setup, &submissions[start..end], start).map(
-                |batches| ChunkIntake {
+            verify_nizk_submissions_range(setup, &submissions[start..end], start).map(|batches| {
+                ChunkIntake {
                     batches,
                     commitments: Vec::new(),
-                },
-            )
+                }
+            })
         }
         RoundSubmissions::Trap(submissions) => {
-            verify_trap_submissions_range(&job.setup, &submissions[start..end], start).map(
-                |intake| ChunkIntake {
+            verify_trap_submissions_range(setup, &submissions[start..end], start).map(|intake| {
+                ChunkIntake {
                     batches: intake.batches,
                     commitments: intake.commitments,
-                },
-            )
+                }
+            })
         }
     };
 
@@ -917,6 +1416,7 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
         match decoded {
             Frame::Mix(mix) => on_mix_frame(shared, node, mix),
             Frame::Exit(exit) => on_exit_frame(shared, node, exit),
+            Frame::Setup(setup) => on_setup_frame(shared, setup),
             Frame::Abort(abort) => {
                 let Some(_job) = shared.jobs.get(abort.round) else {
                     shared.fail_all("abort frame names an unknown round");
@@ -942,6 +1442,30 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
     if job.failed() {
         return;
     }
+    // A sharded round's actors do not exist until the directory is
+    // assembled; park early arrivals (a fast peer may start mixing while we
+    // are still collecting setup frames) and let `finish_setup` replay
+    // them. Bounded: a peer streaming mix frames while withholding its
+    // setup frames must fail the round, not exhaust memory.
+    if let Some(phase_lock) = &job.phase {
+        let mut phase = phase_lock.lock();
+        if !phase.ready {
+            if phase.buffered.len() >= phase.buffer_cap {
+                let cap = phase.buffer_cap;
+                drop(phase);
+                shared.fail_job(
+                    round,
+                    AtomError::Malformed(format!(
+                        "more than {cap} mix envelopes buffered before the \
+                         round's directory was assembled"
+                    )),
+                );
+                return;
+            }
+            phase.buffered.push((gid, mix));
+            return;
+        }
+    }
     {
         // Members start their round clock at the first local delivery (the
         // coordinator starts it at intake).
@@ -950,7 +1474,7 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
             exit.started = Some(Instant::now());
         }
     }
-    let Some(actor_slot) = job.actors.get(gid).and_then(Option::as_ref) else {
+    let Some(actor_slot) = job.actors.get(gid).and_then(OnceLock::get) else {
         shared.fail_job(
             round,
             AtomError::Malformed(format!(
@@ -960,7 +1484,7 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
         return;
     };
 
-    let arrival = mix.sent_virtual + inbound_hop(shared, &job.setup, mix.from, gid);
+    let arrival = mix.sent_virtual + inbound_hop(shared, job.round_setup(), mix.from, gid);
     // Frames are encoded and traffic counters updated while the actor lock
     // is held: the lock serializes the group's iterations, so by the time
     // the exit frame snapshots the group's counters every earlier forward
@@ -1060,6 +1584,7 @@ fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration
         .iter()
         .map(|(_, b)| b.load(Ordering::Relaxed))
         .sum();
+    let setup_latency = *job.setup_latency.lock();
     let mut result = job.result.lock();
     if result.is_none() {
         *result = Some(Ok(member_stub_report(
@@ -1067,6 +1592,7 @@ fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration
             mix_messages,
             mix_bytes,
             wall_clock,
+            setup_latency,
         )));
         drop(result);
         shared.job_done();
@@ -1143,7 +1669,8 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
     // Per-iteration compute critical path as reported in the groups' exit
     // frames, plus the analytic barrier-model network critical path, via
     // the accounting helper shared with the sequential driver.
-    let mut timings = collect_round_timings(&job.setup, &shared.latency, &computes);
+    let setup = job.round_setup();
+    let mut timings = collect_round_timings(setup, &shared.latency, &computes);
     // Same field semantics as the sequential driver: end-to-end wall time of
     // the round in the coordinator process.
     let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
@@ -1152,13 +1679,14 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
     let output = match &job.submissions {
         RoundSubmissions::Nizk(_) => finish_nizk_round(payloads, routed, timings),
         RoundSubmissions::Trap(_) => {
-            finish_trap_round(&job.setup, &commitments, payloads, routed, timings)
+            finish_trap_round(setup, &commitments, payloads, routed, timings)
         }
     };
 
     let report = output.map(|output| RoundReport {
         pipelined_latency: pipelined,
         wall_clock,
+        setup_latency: *job.setup_latency.lock(),
         mix_messages: job.intake_mix_messages.load(Ordering::Relaxed) + group_mix.0,
         mix_bytes: job.intake_mix_bytes.load(Ordering::Relaxed) + group_mix.1,
         output,
@@ -1256,7 +1784,7 @@ mod tests {
     #[test]
     fn single_round_delivers_and_matches_sequential_driver() {
         let (jobs, expected) = trap_jobs(1, 1000);
-        let sequential = RoundDriver::new(jobs[0].setup.clone());
+        let sequential = RoundDriver::new(jobs[0].full_setup().unwrap().clone());
         let submissions = match &jobs[0].submissions {
             RoundSubmissions::Trap(s) => s.clone(),
             _ => unreachable!(),
@@ -1360,7 +1888,7 @@ mod tests {
             RoundSubmissions::Trap(s) => s.clone(),
             _ => unreachable!(),
         };
-        let driver = RoundDriver::new(jobs[0].setup.clone());
+        let driver = RoundDriver::new(jobs[0].full_setup().unwrap().clone());
         let mut driver_rng = StdRng::seed_from_u64(jobs[0].seed);
         let sequential_err = driver
             .run_trap_round(&submissions, &mut driver_rng)
@@ -1444,6 +1972,100 @@ mod tests {
             }
             other => panic!("expected matching protocol violations, got {other:?}"),
         }
+    }
+
+    fn sharded_pair(rounds: usize, seed: u64) -> (Vec<RoundJob>, Vec<RoundJob>) {
+        use atom_core::directory::derive_setup;
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut full = Vec::new();
+        let mut sharded = Vec::new();
+        for round in 0..rounds {
+            let mut config = AtomConfig::test_default();
+            config.num_groups = 3;
+            config.iterations = 2;
+            config.message_len = 24;
+            config.round = round as u64;
+            config.beacon_seed = 0xD1CE ^ round as u64;
+            let setup = derive_setup(&config).unwrap();
+            let submissions: Vec<TrapSubmission> = (0..4)
+                .map(|i| {
+                    let gid = i % config.num_groups;
+                    make_trap_submission(
+                        gid,
+                        &setup.groups[gid].public_key,
+                        &setup.trustees.public_key,
+                        config.round,
+                        format!("sharded r{round} m{i}").as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .0
+                })
+                .collect();
+            full.push(RoundJob::new(
+                setup,
+                RoundSubmissions::Trap(submissions.clone()),
+                seed + round as u64,
+            ));
+            sharded.push(RoundJob::sharded(
+                config,
+                RoundSubmissions::Trap(submissions),
+                seed + round as u64,
+            ));
+        }
+        (full, sharded)
+    }
+
+    #[test]
+    fn sharded_setup_matches_prebuilt_derivation_byte_for_byte() {
+        let (full, sharded) = sharded_pair(2, 42_000);
+        let engine = Engine::with_workers(3);
+        let reference = engine.run_rounds(full);
+        let derived = engine.run_rounds(sharded);
+        assert_eq!(reference.len(), derived.len());
+        for (round, (want, got)) in reference.iter().zip(&derived).enumerate() {
+            let want = want.as_ref().unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(
+                got.output.plaintexts, want.output.plaintexts,
+                "round {round} plaintexts diverge"
+            );
+            assert_eq!(got.output.per_group, want.output.per_group);
+            assert_eq!(
+                got.output.routed_ciphertexts,
+                want.output.routed_ciphertexts
+            );
+            assert_eq!(got.mix_messages, want.mix_messages);
+            assert_eq!(got.mix_bytes, want.mix_bytes);
+            // The prebuilt directory predates the engine; the sharded one
+            // was derived inside the run and must report its cost.
+            assert_eq!(want.setup_latency, Duration::ZERO);
+            assert!(got.setup_latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn sharded_round_reports_failures_like_a_prebuilt_one() {
+        let (_, mut sharded) = sharded_pair(2, 43_000);
+        sharded[0].adversary = Some(AdversaryPlan {
+            group: 1,
+            member: 1,
+            iteration: 0,
+            action: atom_core::adversary::Misbehavior::DropMessage { slot: 0 },
+        });
+        let reports = Engine::with_workers(2).run_rounds(sharded);
+        assert!(matches!(reports[0], Err(AtomError::TrapCheckFailed(_))));
+        assert!(reports[1].is_ok(), "round 1 must survive round 0's failure");
+    }
+
+    #[test]
+    fn sharded_round_rejects_invalid_config_up_front() {
+        let mut config = AtomConfig::test_default();
+        config.group_size = 0;
+        let job = RoundJob::sharded(config, RoundSubmissions::Trap(Vec::new()), 1);
+        let report = Engine::with_workers(1).run_round(job);
+        assert!(matches!(report, Err(AtomError::Config(_))));
     }
 
     #[test]

@@ -49,13 +49,17 @@
 //!                       finish_{nizk,trap}_round → RoundReport
 //! ```
 //!
-//! **Pipeline stages.** A round flows through: submission intake (proof
-//! verification, batching) → iteration 0 → … → iteration T−1 (exit layer) →
-//! exit phase (trap checking / decryption). Every stage is a queue task, so
-//! the pool interleaves: group 3 of round 0 can run iteration 4 while group
-//! 1 is still on iteration 2, and round 1's intake verifies proofs while
-//! round 0 mixes. The per-iteration barrier of the sequential driver exists
-//! nowhere; a group only waits for *its own* inbound sub-batches.
+//! **Pipeline stages.** A round flows through: directory setup (group
+//! formation + per-group DKGs — prebuilt, or derived *inside* the run and
+//! sharded across processes via [`RoundDirectory::Sharded`]) → submission
+//! intake (proof verification, batching) → iteration 0 → … → iteration T−1
+//! (exit layer) → exit phase (trap checking / decryption). Every stage is a
+//! queue task, so the pool interleaves: group 3 of round 0 can run
+//! iteration 4 while group 1 is still on iteration 2, round 1's intake
+//! verifies proofs while round 0 mixes, and round 1's DKGs run during
+//! round 0's mixing tail. The per-iteration barrier of the sequential
+//! driver exists nowhere; a group only waits for *its own* inbound
+//! sub-batches.
 //!
 //! **Determinism.** All round randomness derives from `RoundJob::seed`;
 //! each group actor owns the stream `group_stream_seed(master, round, gid)`
@@ -119,7 +123,7 @@ pub mod scenarios;
 pub mod wire;
 
 pub use engine::{
-    total_traffic, Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions,
-    ABORT_LABEL, EXIT_LABEL, MIX_LABEL,
+    total_traffic, Engine, EngineOptions, EngineRole, RoundDirectory, RoundJob, RoundReport,
+    RoundSubmissions, ABORT_LABEL, EXIT_LABEL, MIX_LABEL, SETUP_LABEL,
 };
 pub use scenarios::{ScenarioOptions, ScenarioReport};

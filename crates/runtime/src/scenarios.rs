@@ -20,6 +20,12 @@
 //! * [`tcp_loopback`] — the microblog workload split across two engine
 //!   instances talking `TcpTransport` on localhost; the coordinator's round
 //!   outputs must be byte-identical to the in-memory run.
+//! * [`sharded_loopback`] — the same split, but with
+//!   [`RoundDirectory::Sharded`](crate::engine::RoundDirectory) jobs: each
+//!   engine instance derives only the DKGs of its hosted groups and learns
+//!   the rest from `setup` wire frames; the coordinator's outputs must be
+//!   byte-identical to an in-memory run with a prebuilt
+//!   [`derive_setup`] directory.
 
 use std::time::Duration;
 
@@ -27,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use atom_core::config::{AtomConfig, Defense};
-use atom_core::directory::setup_round;
+use atom_core::directory::{derive_setup, setup_round};
 use atom_core::error::{AtomError, AtomResult};
 use atom_core::message::{make_nizk_submission, make_trap_submission};
 use atom_core::round::RoundDriver;
@@ -433,14 +439,122 @@ pub fn tcp_loopback(
 ) -> AtomResult<ScenarioReport> {
     let (jobs, _) = microblog_jobs(groups, posts_per_round, rounds, options)?;
     let reference = collect(engine(options).run_rounds(jobs.clone()))?;
+    let reports = run_loopback_split(groups, jobs.clone(), jobs, options)?;
+    check_against_reference(&reports, &reference, "tcp")?;
+    Ok(ScenarioReport::from_reports(
+        &reports,
+        posts_per_round * rounds,
+    ))
+}
 
+/// Sharded-directory TCP loopback equivalence: the microblog workload as
+/// [`RoundDirectory::Sharded`](crate::RoundDirectory::Sharded) jobs split
+/// across two engine instances on localhost. Each instance runs **only the
+/// DKGs of its hosted groups** and learns the rest from `setup` wire
+/// frames, yet the coordinator's `RoundOutput`s must be **byte-identical**
+/// to an in-memory run whose directory was derived monolithically up front
+/// ([`derive_setup`]). Also asserts the coordinator actually reported a
+/// non-zero setup latency. Returns the sharded TCP run's report.
+pub fn sharded_loopback(
+    groups: usize,
+    posts_per_round: usize,
+    rounds: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<ScenarioReport> {
+    let (full_jobs, sharded_jobs) =
+        sharded_microblog_jobs(groups, posts_per_round, rounds, options)?;
+    let reference = collect(engine(options).run_rounds(full_jobs))?;
+    // Members never run intake, so their copy of the jobs carries no
+    // submissions — the same contract `atom-node --sharded` ships.
+    let member_jobs: Vec<RoundJob> = sharded_jobs
+        .iter()
+        .map(|job| {
+            RoundJob::sharded(
+                job.config().clone(),
+                RoundSubmissions::Trap(Vec::new()),
+                job.seed,
+            )
+        })
+        .collect();
+    let reports = run_loopback_split(groups, sharded_jobs, member_jobs, options)?;
+    check_against_reference(&reports, &reference, "sharded")?;
+    for (round, report) in reports.iter().enumerate() {
+        if report.setup_latency.is_zero() {
+            return Err(AtomError::Malformed(format!(
+                "sharded round {round} reported no setup latency"
+            )));
+        }
+    }
+    Ok(ScenarioReport::from_reports(
+        &reports,
+        posts_per_round * rounds,
+    ))
+}
+
+/// The microblog workload twice over: once with prebuilt
+/// [`derive_setup`]-based directories (the monolithic reference) and once
+/// as sharded jobs over the identical configs, submissions and seeds.
+/// Returns `(full, sharded)`.
+fn sharded_microblog_jobs(
+    groups: usize,
+    posts_per_round: usize,
+    rounds: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<(Vec<RoundJob>, Vec<RoundJob>)> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut full = Vec::with_capacity(rounds);
+    let mut sharded = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let config = small_config(Defense::Trap, groups, round as u64, options.seed);
+        let setup = derive_setup(&config)?;
+        let posts: Vec<String> = (0..posts_per_round)
+            .map(|i| format!("r{round} sharded post {i}"))
+            .collect();
+        let submissions = posts
+            .iter()
+            .enumerate()
+            .map(|(i, post)| {
+                make_trap_submission(
+                    i % groups,
+                    &setup.groups[i % groups].public_key,
+                    &setup.trustees.public_key,
+                    config.round,
+                    post.as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .map(|(submission, _)| submission)
+            })
+            .collect::<AtomResult<Vec<_>>>()?;
+        let seed = options.seed.wrapping_add(round as u64);
+        full.push(RoundJob::new(
+            setup,
+            RoundSubmissions::Trap(submissions.clone()),
+            seed,
+        ));
+        sharded.push(RoundJob::sharded(
+            config,
+            RoundSubmissions::Trap(submissions),
+            seed,
+        ));
+    }
+    Ok((full, sharded))
+}
+
+/// Runs `coordinator_jobs`/`member_jobs` split across two engine instances
+/// talking `TcpTransport` on localhost — even gids (and the orchestrator)
+/// on the coordinator, odd gids on the member — and returns the
+/// coordinator's reports. Both listeners bind free ports and exchange the
+/// resolved addresses afterwards, so concurrent tests cannot race on ports.
+fn run_loopback_split(
+    groups: usize,
+    coordinator_jobs: Vec<RoundJob>,
+    member_jobs: Vec<RoundJob>,
+    options: &ScenarioOptions,
+) -> AtomResult<Vec<RoundReport>> {
     let net_error = |what: &str, error: std::io::Error| {
         AtomError::Malformed(format!("tcp loopback scenario: {what}: {error}"))
     };
-    // Even gids (and the orchestrator, last node) on the coordinator side,
-    // odd gids on the member side. Both listeners bind free ports and
-    // exchange the resolved addresses afterwards, so concurrent tests
-    // cannot race on ports.
     let mut owner: Vec<usize> = (0..groups).map(|gid| gid % 2).collect();
     owner.push(0);
     let coordinator_net = TcpTransport::bind_any(2, owner.clone(), 0, TcpOptions::default())
@@ -452,7 +566,6 @@ pub fn tcp_loopback(
 
     let hosted_even: Vec<usize> = (0..groups).step_by(2).collect();
     let hosted_odd: Vec<usize> = (1..groups).step_by(2).collect();
-    let member_jobs = jobs.clone();
     let member_options = options.clone();
     let member_thread = std::thread::spawn(move || {
         engine(&member_options).run_rounds_on(
@@ -462,7 +575,7 @@ pub fn tcp_loopback(
         )
     });
     let reports = collect(engine(options).run_rounds_on(
-        jobs,
+        coordinator_jobs,
         &coordinator_net,
         &EngineRole::coordinator(hosted_even),
     ))?;
@@ -471,21 +584,27 @@ pub fn tcp_loopback(
         .map_err(|_| AtomError::Malformed("tcp loopback member thread panicked".into()))?
         .into_iter()
         .collect::<AtomResult<Vec<_>>>()?;
+    Ok(reports)
+}
 
-    for (round, (tcp, reference)) in reports.iter().zip(&reference).enumerate() {
-        if tcp.output.plaintexts != reference.output.plaintexts
-            || tcp.output.per_group != reference.output.per_group
-            || tcp.output.routed_ciphertexts != reference.output.routed_ciphertexts
+/// Byte-equality check of the deterministic `RoundOutput` fields against a
+/// reference run.
+fn check_against_reference(
+    reports: &[RoundReport],
+    reference: &[RoundReport],
+    what: &str,
+) -> AtomResult<()> {
+    for (round, (got, want)) in reports.iter().zip(reference).enumerate() {
+        if got.output.plaintexts != want.output.plaintexts
+            || got.output.per_group != want.output.per_group
+            || got.output.routed_ciphertexts != want.output.routed_ciphertexts
         {
             return Err(AtomError::Malformed(format!(
-                "tcp round {round} diverged from the in-memory run"
+                "{what} round {round} diverged from the in-memory run"
             )));
         }
     }
-    Ok(ScenarioReport::from_reports(
-        &reports,
-        posts_per_round * rounds,
-    ))
+    Ok(())
 }
 
 /// The same workload under both defences. Returns `(nizk, trap)` reports;

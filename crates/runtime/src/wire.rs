@@ -4,7 +4,7 @@
 //! The engine ships everything through [`atom_net::Transport`] envelopes
 //! rather than passing Rust values by reference, so traffic metering sees
 //! the true wire size and the TCP transport ships the identical bytes
-//! between processes. Three frame kinds, discriminated by the leading
+//! between processes. Four frame kinds, discriminated by the leading
 //! byte (all integers little-endian):
 //!
 //! ```text
@@ -16,13 +16,15 @@
 //!        ‖ compute_count u32 ‖ compute_nanos u64 *
 //!        ‖ payload_count u32 ‖ (len u32 ‖ bytes) *
 //! abort: 0x03 ‖ round u32 ‖ reason_len u32 ‖ reason (UTF-8)
+//! setup: 0x04 ‖ round u32 ‖ gid u32 ‖ flags u8 (must be 0) ‖ threshold u32
+//!        ‖ member_count u32 ‖ member u32 * ‖ group_public_key 32B
 //! ```
 //!
 //! `from == u32::MAX` in a mix frame encodes the round orchestrator
 //! ([`SOURCE`]).
 //!
-//! This codec is the protocol's trust boundary: over [`TcpTransport`]
-//! (`atom_net::tcp`) these bytes arrive from another process, and a real
+//! This codec is the protocol's trust boundary: over
+//! [`TcpTransport`](atom_net::tcp::TcpTransport) these bytes arrive from another process, and a real
 //! deployment's neighbour group is not trusted at all. Decoding therefore
 //! validates every field — group-membership checks on every point, length
 //! fields bounds-checked against the actual body *before* any allocation —
@@ -35,7 +37,7 @@ use std::time::Duration;
 
 use atom_core::actor::SOURCE;
 use atom_core::error::{AtomError, AtomResult};
-use atom_crypto::elgamal::{Ciphertext, MessageCiphertext};
+use atom_crypto::elgamal::{Ciphertext, MessageCiphertext, PublicKey};
 use atom_crypto::RistrettoPoint;
 use curve25519_dalek::ristretto::CompressedRistretto;
 
@@ -86,6 +88,27 @@ pub struct AbortFrame {
     pub reason: String,
 }
 
+/// A decoded setup frame: the **public** half of one group's sharded-setup
+/// derivation — membership, threshold and the DKG group public key — sent by
+/// the process hosting the group to the coordinator and every peer. Secret
+/// shares never travel: each process derives its hosted groups' full
+/// [`GroupContext`](atom_core::directory::GroupContext)s locally and ships
+/// only what [`public_only`](atom_core::directory::GroupContext::public_only)
+/// retains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetupFrame {
+    /// Index of the round within the engine run.
+    pub round: usize,
+    /// The group this frame describes.
+    pub gid: usize,
+    /// Global server ids of the group's members, in protocol order.
+    pub members: Vec<usize>,
+    /// Members required to participate in threshold decryption.
+    pub threshold: usize,
+    /// The group public key established by the DKG.
+    pub public_key: PublicKey,
+}
+
 /// Any frame of the inter-group protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
@@ -95,11 +118,14 @@ pub enum Frame {
     Exit(ExitFrame),
     /// A round-failure notification.
     Abort(AbortFrame),
+    /// One group's public directory entry (sharded setup).
+    Setup(SetupFrame),
 }
 
 const KIND_MIX: u8 = 1;
 const KIND_EXIT: u8 = 2;
 const KIND_ABORT: u8 = 3;
+const KIND_SETUP: u8 = 4;
 
 const MIX_HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 4;
 const POINT_LEN: usize = 32;
@@ -111,17 +137,17 @@ fn put_point(out: &mut Vec<u8>, point: &RistrettoPoint) {
     out.extend_from_slice(&point.compress().to_bytes());
 }
 
-fn get_point(bytes: &[u8], offset: &mut usize) -> AtomResult<RistrettoPoint> {
+fn get_point(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<RistrettoPoint> {
     let end = *offset + POINT_LEN;
     let slice = bytes
         .get(*offset..end)
-        .ok_or_else(|| AtomError::Malformed("mix envelope truncated in a point".into()))?;
+        .ok_or_else(|| AtomError::Malformed(format!("{what} truncated in a point")))?;
     *offset = end;
     let mut array = [0u8; POINT_LEN];
     array.copy_from_slice(slice);
     CompressedRistretto(array)
         .decompress()
-        .ok_or_else(|| AtomError::Malformed("mix envelope carries an invalid point".into()))
+        .ok_or_else(|| AtomError::Malformed(format!("{what} carries an invalid point")))
 }
 
 fn get_u32(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u32> {
@@ -230,6 +256,22 @@ pub fn encode_abort(round: usize, reason: &str) -> Vec<u8> {
     out
 }
 
+/// Serializes a setup frame.
+pub fn encode_setup(frame: &SetupFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + 4 + 1 + 4 + 4 + frame.members.len() * 4 + POINT_LEN);
+    out.push(KIND_SETUP);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.gid as u32).to_le_bytes());
+    out.push(0); // flags: none defined yet
+    out.extend_from_slice(&(frame.threshold as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.members.len() as u32).to_le_bytes());
+    for member in &frame.members {
+        out.extend_from_slice(&(*member as u32).to_le_bytes());
+    }
+    put_point(&mut out, &frame.public_key.0);
+    out
+}
+
 /// Best-effort extraction of the round index from a (possibly corrupt)
 /// frame, so a decode failure can still be attributed to its round. Every
 /// frame kind stores the round as a `u32` right after the kind byte.
@@ -245,6 +287,7 @@ pub fn decode(bytes: &[u8]) -> AtomResult<Frame> {
         Some(&KIND_MIX) => decode_mix(bytes).map(Frame::Mix),
         Some(&KIND_EXIT) => decode_exit(bytes).map(Frame::Exit),
         Some(&KIND_ABORT) => decode_abort(bytes).map(Frame::Abort),
+        Some(&KIND_SETUP) => decode_setup(bytes).map(Frame::Setup),
         Some(kind) => Err(AtomError::Malformed(format!("unknown frame kind {kind}"))),
         None => Err(AtomError::Malformed("empty frame".into())),
     }
@@ -301,10 +344,10 @@ fn decode_mix(bytes: &[u8]) -> AtomResult<MixEnvelope> {
                     "mix envelope carries unknown component flags {flags:#04x}"
                 )));
             }
-            let r = get_point(bytes, &mut offset)?;
-            let c = get_point(bytes, &mut offset)?;
+            let r = get_point(bytes, &mut offset, "mix envelope")?;
+            let c = get_point(bytes, &mut offset, "mix envelope")?;
             let y = if flags & 1 == 1 {
-                Some(get_point(bytes, &mut offset)?)
+                Some(get_point(bytes, &mut offset, "mix envelope")?)
             } else {
                 None
             };
@@ -410,6 +453,48 @@ fn decode_abort(bytes: &[u8]) -> AtomResult<AbortFrame> {
     Ok(AbortFrame { round, reason })
 }
 
+fn decode_setup(bytes: &[u8]) -> AtomResult<SetupFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "setup round")? as usize;
+    let gid = get_u32(bytes, &mut offset, "setup gid")? as usize;
+    let flags = *bytes
+        .get(offset)
+        .ok_or_else(|| AtomError::Malformed("setup frame truncated at flags".into()))?;
+    offset += 1;
+    if flags != 0 {
+        return Err(AtomError::Malformed(format!(
+            "setup frame carries unknown flags {flags:#04x}"
+        )));
+    }
+    let threshold = get_u32(bytes, &mut offset, "setup threshold")? as usize;
+    let member_count = get_u32(bytes, &mut offset, "setup member count")? as usize;
+    // The count is untrusted: each member occupies 4 bytes of body, so bound
+    // it against what the body can hold before allocating anything.
+    if member_count > bytes.len().saturating_sub(offset) / 4 {
+        return Err(AtomError::Malformed(format!(
+            "setup frame claims {member_count} members past its end"
+        )));
+    }
+    let mut members = Vec::with_capacity(member_count);
+    for _ in 0..member_count {
+        members.push(get_u32(bytes, &mut offset, "setup member")? as usize);
+    }
+    let public_key = PublicKey(get_point(bytes, &mut offset, "setup frame")?);
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "setup frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(SetupFrame {
+        round,
+        gid,
+        members,
+        threshold,
+        public_key,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +585,32 @@ mod tests {
         }
     }
 
+    fn sample_setup() -> SetupFrame {
+        let mut rng = StdRng::seed_from_u64(21);
+        SetupFrame {
+            round: 6,
+            gid: 2,
+            members: vec![4, 9, 1],
+            threshold: 2,
+            public_key: KeyPair::generate(&mut rng).public,
+        }
+    }
+
+    #[test]
+    fn setup_frame_roundtrips() {
+        let frame = sample_setup();
+        let bytes = encode_setup(&frame);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Setup(frame));
+        // A memberless frame is still well-formed (the decoder cannot know
+        // the deployment's group size; the engine validates that).
+        let empty = SetupFrame {
+            members: Vec::new(),
+            ..sample_setup()
+        };
+        let bytes = encode_setup(&empty);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Setup(empty));
+    }
+
     #[test]
     fn decode_round_works_for_every_kind() {
         let mix = encode_mix(3, 0, SOURCE, Duration::ZERO, &[]);
@@ -513,9 +624,11 @@ mod tests {
             payloads: Vec::new(),
         });
         let abort = encode_abort(5, "r");
+        let setup = encode_setup(&sample_setup());
         assert_eq!(decode_round(&mix), Some(3));
         assert_eq!(decode_round(&exit), Some(4));
         assert_eq!(decode_round(&abort), Some(5));
+        assert_eq!(decode_round(&setup), Some(6));
         assert_eq!(decode_round(&[1, 2]), None);
     }
 
@@ -563,6 +676,7 @@ mod tests {
                 payloads: vec![vec![5; 10]],
             }),
             encode_abort(1, "reason"),
+            encode_setup(&sample_setup()),
         ] {
             for len in 0..full.len() {
                 assert!(
@@ -690,6 +804,78 @@ mod tests {
         let batch = sample_batch(true);
         let mut bytes = encode_mix(0, 0, 0, Duration::ZERO, &batch);
         bytes[MIX_HEADER_LEN + 2] = 0x82; // undefined flag bits
+        assert!(decode(&bytes).is_err());
+    }
+
+    // Setup-frame adversarial coverage, mirroring the mix/exit/abort suites:
+    // AtomError out, never a panic, never an attacker-sized allocation.
+
+    /// Byte offset of the member-count field in an encoded setup frame.
+    const SETUP_COUNT_AT: usize = 1 + 4 + 4 + 1 + 4;
+
+    #[test]
+    fn setup_member_count_overflow_rejected_before_allocation() {
+        // u32::MAX members claimed over a 3-member body: the bounds check
+        // against the remaining bytes must fire before any allocation.
+        let mut bytes = encode_setup(&sample_setup());
+        bytes[SETUP_COUNT_AT..SETUP_COUNT_AT + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+        // A count that is too *small* leaves trailing bytes, also rejected.
+        let mut bytes = encode_setup(&sample_setup());
+        bytes[SETUP_COUNT_AT..SETUP_COUNT_AT + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn setup_unknown_flags_rejected() {
+        let flags_at = 1 + 4 + 4;
+        for flags in [1u8, 0x80, 0xff] {
+            let mut bytes = encode_setup(&sample_setup());
+            bytes[flags_at] = flags;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("flags"),
+                "want the flags error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn setup_invalid_and_non_canonical_points_rejected() {
+        let clean = encode_setup(&sample_setup());
+        let point_at = clean.len() - POINT_LEN;
+        // All-zero bytes: not a group element.
+        let mut bytes = clean.clone();
+        bytes[point_at..].fill(0);
+        assert!(decode(&bytes).is_err());
+        // 0xff…: a non-canonical field encoding (value ≥ p).
+        let mut bytes = clean.clone();
+        bytes[point_at..].fill(0xff);
+        assert!(decode(&bytes).is_err());
+        // Perturbing a valid encoding lands outside the prime-order subgroup
+        // about half the time; scan until a rejection pins the group check.
+        let mut rejected = false;
+        'outer: for byte in 0..POINT_LEN {
+            for bit in 0..8u8 {
+                let mut bytes = clean.clone();
+                bytes[point_at + byte] ^= 1 << bit;
+                if decode(&bytes).is_err() {
+                    rejected = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(rejected, "no perturbed point encoding was rejected");
+    }
+
+    #[test]
+    fn setup_trailing_bytes_rejected() {
+        let mut bytes = encode_setup(&sample_setup());
+        bytes.push(0);
         assert!(decode(&bytes).is_err());
     }
 }

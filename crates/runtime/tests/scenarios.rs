@@ -59,6 +59,15 @@ fn tcp_loopback_matches_the_in_memory_run_byte_for_byte() {
 }
 
 #[test]
+fn sharded_loopback_matches_the_monolithic_derivation_byte_for_byte() {
+    let report = scenarios::sharded_loopback(3, 4, 2, &options(37)).unwrap();
+    assert_eq!(report.rounds, 2);
+    assert_eq!(report.submitted, 8);
+    assert_eq!(report.delivered, 8);
+    assert!(report.mix_messages > 0);
+}
+
+#[test]
 fn both_defense_variants_deliver_the_same_workload() {
     let (nizk, trap) = scenarios::defense_matrix(2, 3, &options(23)).unwrap();
     assert_eq!(nizk.delivered, 3);

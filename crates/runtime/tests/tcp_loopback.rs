@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use atom_core::adversary::{AdversaryPlan, Misbehavior};
 use atom_core::config::{AtomConfig, Defense};
-use atom_core::directory::setup_round;
+use atom_core::directory::{derive_setup, setup_round};
 use atom_core::error::AtomError;
 use atom_core::message::{make_nizk_submission, make_trap_submission};
 use atom_net::{TcpOptions, TcpTransport};
@@ -121,6 +121,197 @@ fn tcp_split_round_output_is_byte_identical_to_in_memory() {
         assert!(report.output.plaintexts.is_empty(), "stub must be empty");
         assert!(report.mix_messages > 0, "member forwarded sub-batches");
     }
+}
+
+/// Sharded directories across OS-thread "processes": the coordinator's jobs
+/// carry the submissions, the member's carry an **empty** vector (members
+/// never run intake), and each side derives only its hosted groups' DKGs.
+/// The coordinator's outputs must match an in-memory run whose directory
+/// was derived monolithically via `derive_setup` — byte for byte.
+#[test]
+fn sharded_tcp_split_matches_the_monolithic_derivation() {
+    let mut rng = StdRng::seed_from_u64(808);
+    let rounds = 2;
+    let mut full_jobs = Vec::new();
+    let mut coordinator_jobs = Vec::new();
+    let mut member_jobs = Vec::new();
+    for round in 0..rounds {
+        let mut config = AtomConfig::test_default();
+        config.num_groups = GROUPS;
+        config.iterations = 2;
+        config.message_len = 24;
+        config.round = round;
+        config.beacon_seed = 0x5AAD ^ round;
+        let setup = derive_setup(&config).unwrap();
+        let submissions: Vec<_> = (0..5)
+            .map(|i| {
+                let gid = i % GROUPS;
+                make_trap_submission(
+                    gid,
+                    &setup.groups[gid].public_key,
+                    &setup.trustees.public_key,
+                    config.round,
+                    format!("shard r{round} m{i}").as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        let seed = 7070 + round;
+        full_jobs.push(RoundJob::new(
+            setup,
+            RoundSubmissions::Trap(submissions.clone()),
+            seed,
+        ));
+        coordinator_jobs.push(RoundJob::sharded(
+            config.clone(),
+            RoundSubmissions::Trap(submissions),
+            seed,
+        ));
+        member_jobs.push(RoundJob::sharded(
+            config,
+            RoundSubmissions::Trap(Vec::new()),
+            seed,
+        ));
+    }
+
+    let in_memory = Engine::with_workers(3).run_rounds(full_jobs);
+
+    let (coordinator_net, member_net) = tcp_pair();
+    let member_thread = std::thread::spawn(move || {
+        Engine::with_workers(2).run_rounds_on(
+            member_jobs,
+            &member_net,
+            &EngineRole::member(vec![1, 2]),
+        )
+    });
+    let tcp = Engine::with_workers(2).run_rounds_on(
+        coordinator_jobs,
+        &coordinator_net,
+        &EngineRole::coordinator(vec![0]),
+    );
+    let member_reports = member_thread.join().unwrap();
+
+    assert_eq!(tcp.len(), in_memory.len());
+    for (round, (tcp_report, mem_report)) in tcp.iter().zip(&in_memory).enumerate() {
+        let tcp_report = tcp_report.as_ref().unwrap();
+        let mem_report = mem_report.as_ref().unwrap();
+        assert_eq!(
+            tcp_report.output.plaintexts, mem_report.output.plaintexts,
+            "round {round} plaintexts diverge"
+        );
+        assert_eq!(
+            tcp_report.output.per_group, mem_report.output.per_group,
+            "round {round} per-group outputs diverge"
+        );
+        assert_eq!(
+            tcp_report.output.routed_ciphertexts, mem_report.output.routed_ciphertexts,
+            "round {round} routed counts diverge"
+        );
+        assert_eq!(tcp_report.mix_messages, mem_report.mix_messages);
+        assert_eq!(tcp_report.mix_bytes, mem_report.mix_bytes);
+        assert!(
+            tcp_report.setup_latency > Duration::ZERO,
+            "sharded round {round} must report its directory cost"
+        );
+    }
+    for report in member_reports {
+        let report = report.unwrap();
+        assert!(report.output.plaintexts.is_empty(), "stub must be empty");
+        assert!(report.mix_messages > 0, "member forwarded sub-batches");
+        assert!(report.setup_latency > Duration::ZERO);
+    }
+}
+
+/// A hostile peer's setup frame claiming a membership or threshold that
+/// contradicts the beacon derivation must fail the round, not silently
+/// seed the directory — everything in the frame except the DKG public key
+/// is locally recomputable, and the engine checks it.
+#[test]
+fn forged_setup_frame_membership_fails_the_round() {
+    use atom_net::Transport;
+    use atom_runtime::{wire, EngineOptions, SETUP_LABEL};
+
+    let mut config = AtomConfig::test_default();
+    config.num_groups = GROUPS;
+    config.iterations = 2;
+    config.message_len = 24;
+    let job = RoundJob::sharded(config, RoundSubmissions::Trap(Vec::new()), 11);
+
+    let (coordinator_net, member_net) = tcp_pair();
+    // Instead of running an engine, the "member" forges group 1's directory
+    // entry with a membership of its choosing.
+    let forged = wire::SetupFrame {
+        round: 0,
+        gid: 1,
+        members: vec![0, 1, 2], // not the beacon-derived assignment
+        threshold: 3,
+        public_key: atom_crypto::elgamal::KeyPair::generate(&mut rng_for(1)).public,
+    };
+    member_net.send(1, 0, SETUP_LABEL.into(), wire::encode_setup(&forged));
+
+    let mut options = EngineOptions::with_workers(2);
+    options.stall_timeout = Duration::from_secs(10);
+    let err = Engine::new(options)
+        .run_rounds_on(
+            vec![job],
+            &coordinator_net,
+            &EngineRole::coordinator(vec![0]),
+        )
+        .pop()
+        .unwrap()
+        .unwrap_err();
+    let reason = format!("{err:?}");
+    assert!(
+        reason.contains("membership") || reason.contains("threshold"),
+        "want a directory-validation error, got {reason}"
+    );
+    coordinator_net.shutdown();
+}
+
+/// A peer streaming mix frames while withholding its setup frames must hit
+/// the pre-ready buffer cap and fail the round instead of growing memory
+/// without bound.
+#[test]
+fn mix_flood_before_setup_completion_fails_the_round() {
+    use atom_net::Transport;
+    use atom_runtime::{wire, EngineOptions, MIX_LABEL};
+
+    let mut config = AtomConfig::test_default();
+    config.num_groups = GROUPS;
+    config.iterations = 2;
+    config.message_len = 24;
+    let job = RoundJob::sharded(config, RoundSubmissions::Trap(Vec::new()), 13);
+
+    // Cap for 3 groups x 2 iterations: 3 * (1 + 3*2) = 21. Flood past it.
+    let (coordinator_net, member_net) = tcp_pair();
+    let payload = wire::encode_mix(0, 1, 1, Duration::ZERO, &[]);
+    for _ in 0..64 {
+        member_net.send(1, 0, MIX_LABEL.into(), payload.clone());
+    }
+
+    let mut options = EngineOptions::with_workers(2);
+    options.stall_timeout = Duration::from_secs(10);
+    let err = Engine::new(options)
+        .run_rounds_on(
+            vec![job],
+            &coordinator_net,
+            &EngineRole::coordinator(vec![0]),
+        )
+        .pop()
+        .unwrap()
+        .unwrap_err();
+    assert!(
+        format!("{err:?}").contains("buffered"),
+        "want the buffer-cap error, got {err:?}"
+    );
+    coordinator_net.shutdown();
+}
+
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
 }
 
 #[test]

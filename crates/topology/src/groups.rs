@@ -138,6 +138,39 @@ pub fn form_groups(
     groups
 }
 
+/// Forms group `gid` alone, byte-identical to `form_groups(..)[gid]`.
+///
+/// The beacon rng is shared across groups, so earlier groups' draws must be
+/// replayed — but only the draws: each group consumes exactly `group_size`
+/// `gen_range` calls whose consumption is independent of the pool contents,
+/// so the skip costs `gid × group_size` rng steps and no pool allocations.
+/// This is what lets a sharded directory derive (and validate) a single
+/// group's membership without forming every group.
+pub fn form_group(
+    num_servers: usize,
+    num_groups: usize,
+    group_size: usize,
+    seed: u64,
+    gid: usize,
+) -> Group {
+    assert!(group_size <= num_servers, "group larger than server pool");
+    assert!(gid < num_groups, "group id out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..gid {
+        for i in 0..group_size {
+            let _ = rng.gen_range(i..num_servers);
+        }
+    }
+    let mut pool: Vec<usize> = (0..num_servers).collect();
+    for i in 0..group_size {
+        let j = rng.gen_range(i..num_servers);
+        pool.swap(i, j);
+    }
+    let mut members: Vec<usize> = pool[..group_size].to_vec();
+    members.rotate_left(gid % group_size);
+    Group { id: gid, members }
+}
+
 /// Assigns each group `buddy_count` buddy groups (§4.5): group `g`'s buddies
 /// are the next `buddy_count` groups in a seed-derived random cycle, so every
 /// group has buddies and no group is its own buddy (when `num_groups > 1`).
@@ -189,6 +222,18 @@ pub fn server_loads(num_servers: usize, groups: &[Group]) -> Vec<ServerLoad> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn form_group_matches_form_groups_entry_for_entry() {
+        for (servers, groups, size, seed) in [(8, 4, 3, 0u64), (20, 7, 5, 0xBEAC), (6, 6, 2, 9)] {
+            let all = form_groups(servers, groups, size, seed);
+            for (gid, reference) in all.iter().enumerate() {
+                let alone = form_group(servers, groups, size, seed, gid);
+                assert_eq!(alone.id, reference.id, "gid {gid}");
+                assert_eq!(alone.members, reference.members, "gid {gid}");
+            }
+        }
+    }
 
     #[test]
     fn paper_group_size_for_anytrust_is_32() {

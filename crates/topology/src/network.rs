@@ -8,11 +8,11 @@
 //!
 //! Two topologies from the paper are provided:
 //!
-//! * [`SquareNetwork`] — Håstad's square-lattice shuffle [40]: G nodes per
+//! * [`SquareNetwork`] — Håstad's square-lattice shuffle (ref. \[40\] in the paper): G nodes per
 //!   layer, every node connects to every node of the next layer (β = G), and
 //!   a constant number of iterations suffices. This is the topology Atom's
 //!   evaluation uses (`T = 10`).
-//! * [`ButterflyNetwork`] — an iterated butterfly [26]: β = 2, and
+//! * [`ButterflyNetwork`] — an iterated butterfly (ref. \[26\] in the paper): β = 2, and
 //!   `O(log² G)` iterations are needed.
 
 use serde::{Deserialize, Serialize};
@@ -88,7 +88,7 @@ pub struct ButterflyNetwork {
     /// log₂ of the number of groups.
     pub dimension: u32,
     /// Number of complete butterfly passes (each pass has `dimension`
-    /// stages); [26] shows `O(log M)` passes suffice.
+    /// stages); ref. \[26\] in the paper shows `O(log M)` passes suffice.
     pub passes: usize,
 }
 
