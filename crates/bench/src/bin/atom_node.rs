@@ -21,9 +21,17 @@
 //! Every process must receive the same `--addrs`, `--groups`, `--rounds`,
 //! `--messages`, `--iterations`, `--seed` and `--sharded`; the workload
 //! derivation is a pure function of those, which is what makes the run
-//! coordination-free. With `--out`, the coordinator writes the canonical
-//! serialization of the round outputs — the TCP equivalence test diffs it
-//! byte-for-byte against a single-process in-memory run of the same spec.
+//! coordination-free (the full operator guide, including N-process and
+//! multi-machine invocations, is `docs/operations.md`). With `--out`, the
+//! coordinator writes the canonical serialization of the round outputs —
+//! the TCP equivalence test diffs it byte-for-byte against a
+//! single-process in-memory run of the same spec.
+//!
+//! Once its setup (bind, connect, job derivation) is done, every process
+//! prints `atom-process-ready` on stdout — the readiness handshake
+//! orchestrators (`netbench::ProcessFleet`) wait on. `--stall-timeout-ms`
+//! bounds how long the engine waits with no progress before declaring a
+//! silent peer dead and failing the affected rounds.
 //!
 //! With `--sharded`, round setup itself is distributed: each process runs
 //! only the DKGs of the groups it hosts and ships the public keys to its
@@ -31,6 +39,7 @@
 //! directory before the engine starts. The coordinator reports the
 //! measured per-round setup latency.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 use atom_bench::netbench::{self, NetSpec};
@@ -83,6 +92,10 @@ fn parse_args() -> Args {
             }
             "--workers" => args.workers = num("--workers", grab("--workers")) as usize,
             "--sharded" => args.spec.sharded = true,
+            "--stall-timeout-ms" => {
+                args.spec.stall_timeout =
+                    Duration::from_millis(num("--stall-timeout-ms", grab("--stall-timeout-ms")))
+            }
             "--out" => args.out = Some(grab("--out")),
             other => panic!("unknown flag {other}"),
         }
@@ -103,9 +116,42 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // Setup (job derivation, bind, connect retries) first, then the
+    // readiness line: an orchestrator (`netbench::ProcessFleet`) waiting
+    // for it knows this engine is about to run, so its timed region starts
+    // with the whole deployment ready.
+    let process =
+        netbench::Process::start(&args.spec, args.addrs.clone(), args.index, args.workers);
+    println!("{}", netbench::READY_LINE);
+    std::io::stdout().flush().expect("flush readiness signal");
+
     let start = Instant::now();
-    let reports = netbench::run_process(&args.spec, args.addrs.clone(), args.index, args.workers);
+    let results = process.try_run();
     let wall = start.elapsed();
+    // A lost peer or a failed round surfaces as per-round errors (the
+    // engine's send-failure containment and stall detector guarantee it);
+    // report every one and exit non-zero so an orchestrator sees a status,
+    // not a hang.
+    let failures: Vec<String> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(round, result)| {
+            result
+                .as_ref()
+                .err()
+                .map(|error| format!("round {round}: {error:?}"))
+        })
+        .collect();
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("atom-node process {}: {failure}", args.index);
+        }
+        std::process::exit(1);
+    }
+    let reports: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("checked above"))
+        .collect();
 
     if args.index == 0 {
         let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();

@@ -1,0 +1,29 @@
+//! Renders the paper's signature figure — throughput vs. number of
+//! servers — from the recorded horizontal-scaling baseline.
+//!
+//! Reads `BENCH_scale.json` (path overridable as the first argument) and
+//! prints the (processes × workers) table plus the throughput-vs-processes
+//! curve for both directory modes. Regenerate the baseline with:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin throughput -- \
+//!     --transport tcp --processes 1,2,3,4 --out BENCH_scale.json
+//! ```
+//!
+//! Schema and units: `docs/benchmarks.md`.
+
+use atom_bench::scale::{print_fig_scale, ScaleBaseline};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "read {path}: {error} — regenerate with `cargo run --release -p atom-bench \
+             --bin throughput -- --transport tcp --processes 1,2,3,4 --out BENCH_scale.json`"
+        )
+    });
+    let baseline = ScaleBaseline::parse(&json).unwrap_or_else(|error| panic!("{path}: {error}"));
+    print_fig_scale(&baseline);
+}

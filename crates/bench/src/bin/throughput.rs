@@ -17,37 +17,47 @@
 //!
 //! * **`--transport mem`** (default): every group in this process over
 //!   `InMemoryNetwork`.
-//! * **`--transport tcp`**: the same deployment split across **two OS
-//!   processes on loopback** (coordinator + one member, groups round-robin;
-//!   the member is this binary re-executed with the internal `--tcp-member`
-//!   flag), exchanging frames through `TcpTransport`.
+//! * **`--transport tcp`**: the same deployment split across **OS processes
+//!   on loopback** (coordinator + a [`netbench::ProcessFleet`] of members,
+//!   groups round-robin; each member is this binary re-executed with the
+//!   internal `--tcp-member` flag), exchanging frames through
+//!   `TcpTransport`. Defaults to 2 processes.
 //!
 //! With `--sharded`, round setup runs *inside* the engine as a distributed
 //! phase — each process derives only the DKGs of the groups it hosts (see
 //! `atom_runtime::RoundDirectory::Sharded`) — and the sweep reports a
 //! per-round setup-latency column next to the throughput numbers.
 //!
-//! With `--out PATH` the bin instead runs both transports at 1/2/4 workers
-//! and writes `BENCH_net.json` recording in-memory vs. TCP-loopback
-//! msgs/sec side by side — the transport's overhead, kept on record next to
-//! `BENCH_crypto.json` — plus the TCP run's max per-round setup latency
-//! (zero unless `--sharded`).
+//! **`--processes 1,2,3,4`** switches to the horizontal-scaling sweep: for
+//! every (processes, workers-per-process) cell it runs the TCP deployment
+//! twice — prebuilt directory and `--sharded` — and reports msgs/sec for
+//! both plus the sharded run's setup latency. With `--out PATH` the sweep
+//! is recorded as `BENCH_scale.json` (schema: `docs/benchmarks.md`), which
+//! the `fig_scale` bin renders as the throughput-vs-processes curve.
+//!
+//! Without `--processes`, `--out PATH` keeps its historical meaning: run
+//! both transports at 1/2/4 workers under thread parity and write
+//! `BENCH_net.json` recording in-memory vs. TCP-loopback msgs/sec — the
+//! transport's overhead, kept on record next to `BENCH_crypto.json`.
 //!
 //! Usage: `cargo run --release -p atom-bench --bin throughput --
 //! [--real] [--rounds N] [--messages M] [--delay-ms D] [--transport mem|tcp]
-//! [--sharded] [--out PATH]`
+//! [--processes 1,2,..] [--sharded] [--stall-timeout-ms S] [--out PATH]`
 
-use std::io::{BufRead, BufReader, Write};
-use std::process::{Child, Command, Stdio};
+use std::process::Command;
 use std::time::{Duration, Instant};
 
-use atom_bench::netbench::{self, NetSpec};
+use atom_bench::netbench::{self, NetSpec, ProcessFleet};
+use atom_bench::scale::{ScaleBaseline, ScaleCell};
 use atom_runtime::Engine;
 
 const GROUPS: usize = 8;
 const ITERATIONS: usize = 3;
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const JSON_SWEEP: [usize; 3] = [1, 2, 4];
+/// How long to wait for fleet readiness / teardown before declaring a
+/// member lost. Generous: members compile nothing, but CI machines crawl.
+const FLEET_TIMEOUT: Duration = Duration::from_secs(120);
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum TransportKind {
@@ -62,8 +72,11 @@ struct Args {
     delay: Duration,
     transport: TransportKind,
     sharded: bool,
+    stall_timeout: Duration,
+    /// Process counts of the horizontal-scaling sweep (empty = no sweep).
+    processes: Vec<usize>,
     out: Option<String>,
-    /// Internal: run as the member process of a TCP sweep.
+    /// Internal: run as a member process of a TCP sweep.
     member: Option<MemberArgs>,
 }
 
@@ -85,6 +98,8 @@ fn parse_args() -> Args {
         delay: Duration::from_millis(10),
         transport: TransportKind::Mem,
         sharded: false,
+        stall_timeout: Duration::from_secs(120),
+        processes: Vec::new(),
         out: None,
         member: None,
     };
@@ -120,7 +135,28 @@ fn parse_args() -> Args {
                     other => panic!("unknown transport {other} (expected mem or tcp)"),
                 }
             }
+            "--processes" => {
+                args.processes = grab_str("--processes")
+                    .split(',')
+                    .map(|count| {
+                        count
+                            .trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| panic!("--processes wants counts, got {count}"))
+                    })
+                    .collect();
+                assert!(
+                    args.processes.iter().all(|&count| count >= 1),
+                    "--processes counts must be >= 1"
+                );
+            }
             "--sharded" => args.sharded = true,
+            "--stall-timeout-ms" => {
+                args.stall_timeout = Duration::from_millis(grab(
+                    "--stall-timeout-ms",
+                    grab_str("--stall-timeout-ms"),
+                ))
+            }
             "--out" => args.out = Some(grab_str("--out")),
             "--tcp-member" => is_member = true,
             "--index" => member.index = grab("--index", grab_str("--index")) as usize,
@@ -151,6 +187,7 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
             args.delay
         },
         sharded: args.sharded,
+        stall_timeout: args.stall_timeout,
     }
 }
 
@@ -184,13 +221,10 @@ fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
     (wall, delivered, setup)
 }
 
-/// The line a `--tcp-member` child prints once its setup (job derivation,
-/// bind, connect) is done and its engine is about to run. The coordinator
-/// waits for it so the timed region compares like with like.
-const MEMBER_READY: &str = "tcp-member-ready";
-
-fn spawn_member(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) -> Child {
-    Command::new(std::env::current_exe().expect("own binary path"))
+/// The command line of the `--tcp-member` child hosting process `index`.
+fn member_command(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) -> Command {
+    let mut command = Command::new(std::env::current_exe().expect("own binary path"));
+    command
         .arg("--tcp-member")
         .arg("--index")
         .arg(index.to_string())
@@ -206,54 +240,60 @@ fn spawn_member(spec: &NetSpec, addrs: &[String], index: usize, workers: usize) 
         .arg(spec.messages.to_string())
         .arg("--delay-ms")
         .arg(spec.delay.as_millis().to_string())
-        .args(if spec.sharded {
-            &["--sharded"][..]
-        } else {
-            &[]
-        })
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
-        .expect("spawn tcp member process")
+        .arg("--stall-timeout-ms")
+        .arg(spec.stall_timeout.as_millis().to_string());
+    if spec.sharded {
+        command.arg("--sharded");
+    }
+    command
 }
 
-/// One TCP-loopback run: this process coordinates, a freshly spawned child
-/// process hosts its share of the groups. Returns (wall, delivered). The
-/// timed region covers only the engine run — job derivation, binds and the
-/// connect retry loop happen before the clock starts on both sides (the
-/// member signals readiness over its stdout) — mirroring `run_memory`,
-/// which also derives jobs untimed. What remains in the TCP column is the
-/// genuine transport cost: frame encode/decode, socket hops, the process
-/// split.
-fn run_tcp(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
-    let addrs = netbench::free_addrs(2);
-    let mut member = spawn_member(spec, &addrs, 1, workers);
-    let member_stdout = member.stdout.take().expect("member stdout piped");
-    let mut lines = BufReader::new(member_stdout).lines();
-    // Coordinator setup overlaps the member's; the member's listener is up
-    // before `spawn` returns control here only by luck, but Process::start
-    // retries connects, so order does not matter.
+/// One TCP-loopback run split across `processes` OS processes: this
+/// process coordinates, a [`ProcessFleet`] of freshly spawned children
+/// hosts the rest of the groups (with `processes == 1`, nobody else).
+/// Returns (wall, delivered, max setup latency). The timed region covers
+/// only the engine run — job derivation, binds and the connect retry loop
+/// happen before the clock starts on every side (each member signals
+/// readiness over its stdout) — mirroring `run_memory`, which also derives
+/// jobs untimed. What remains in the TCP column is the genuine transport
+/// cost: frame encode/decode, socket hops, the process split.
+///
+/// A member that dies fails the run loudly — the engine converts the lost
+/// peer into per-round errors, and the fleet kills and reaps every child
+/// on all exit paths — never a hang, never an orphan.
+fn run_tcp(spec: &NetSpec, processes: usize, workers: usize) -> (Duration, usize, Duration) {
+    assert!(processes >= 1, "at least the coordinator process");
+    let addrs = netbench::free_addrs(processes);
+    let commands = (1..processes)
+        .map(|index| member_command(spec, &addrs, index, workers))
+        .collect();
+    let mut fleet = ProcessFleet::spawn(commands);
+    // Coordinator setup overlaps the members'; member listeners may come up
+    // after this bind, but Process::start retries connects, so start order
+    // does not matter.
     let process = netbench::Process::start(spec, addrs, 0, workers);
-    loop {
-        let line = lines
-            .next()
-            .expect("member exited before signalling readiness")
-            .expect("read member stdout");
-        if line == MEMBER_READY {
-            break;
-        }
-    }
+    fleet
+        .await_ready(FLEET_TIMEOUT)
+        .unwrap_or_else(|error| panic!("fleet readiness: {error}"));
     let start = Instant::now();
-    let reports = process.run();
+    let results = process.try_run();
     let wall = start.elapsed();
+    let reports: Vec<_> = match results.into_iter().collect::<Result<Vec<_>, _>>() {
+        Ok(reports) => reports,
+        Err(error) => {
+            fleet.kill_all();
+            panic!("tcp run failed: {error:?}");
+        }
+    };
     let delivered: usize = reports.iter().map(|r| r.output.plaintexts.len()).sum();
     let setup = reports
         .iter()
         .map(|r| r.setup_latency)
         .max()
         .unwrap_or_default();
-    let status = member.wait_with_output().expect("member process");
-    assert!(status.status.success(), "tcp member failed");
+    fleet
+        .finish(FLEET_TIMEOUT)
+        .unwrap_or_else(|error| panic!("fleet teardown: {error}"));
     (wall, delivered, setup)
 }
 
@@ -270,8 +310,8 @@ fn print_sweep(args: &Args) {
             format!("emulated {:?}/iteration group compute", args.delay)
         },
         match args.transport {
-            TransportKind::Mem => "in-memory",
-            TransportKind::Tcp => "tcp-loopback (2 processes)",
+            TransportKind::Mem => "in-memory".to_string(),
+            TransportKind::Tcp => "tcp-loopback (2 processes)".to_string(),
         }
     );
     println!(
@@ -283,7 +323,7 @@ fn print_sweep(args: &Args) {
     for workers in WORKER_SWEEP {
         let (wall, delivered, setup) = match args.transport {
             TransportKind::Mem => run_memory(&spec, workers),
-            TransportKind::Tcp => run_tcp(&spec, workers),
+            TransportKind::Tcp => run_tcp(&spec, 2, workers),
         };
         assert_eq!(delivered, total_messages, "no message may be lost");
         let rate = delivered as f64 / wall.as_secs_f64();
@@ -292,6 +332,66 @@ fn print_sweep(args: &Args) {
             "{workers:>8} {:>10.2?} {rate:>12.1} {speedup:>8.2}x {:>11.2?}",
             wall, setup
         );
+    }
+}
+
+/// The horizontal-scaling sweep: every process count of `--processes`
+/// crossed with 1/2/4 workers per process, each cell measured over TCP
+/// loopback twice — prebuilt directory and `--sharded` — so the recorded
+/// baseline carries both curves plus the sharded setup latency. This is
+/// the measured form of the paper's throughput-vs-servers figure; real
+/// multi-machine numbers are the same engine with `--addrs` pointed at
+/// real NICs (see `docs/operations.md`).
+fn run_scale_sweep(args: &Args) -> ScaleBaseline {
+    let total_messages = args.rounds * args.messages;
+    println!(
+        "scale sweep: {GROUPS}-group trap deployment, {} rounds x {} messages, \
+         processes {:?} x workers {JSON_SWEEP:?}",
+        args.rounds, args.messages, args.processes
+    );
+    println!(
+        "{:>10} {:>9} {:>12} {:>14} {:>10}",
+        "processes", "workers", "msgs/sec", "sharded msgs/s", "setup"
+    );
+    let mut cells = Vec::new();
+    for &processes in &args.processes {
+        for workers in JSON_SWEEP {
+            let mut normal = spec(args, 0xBE_AC0);
+            normal.sharded = false;
+            let (wall, delivered, _) = run_tcp(&normal, processes, workers);
+            assert_eq!(delivered, total_messages, "no message may be lost");
+            let rate = delivered as f64 / wall.as_secs_f64();
+
+            let mut sharded = spec(args, 0xBE_AC0);
+            sharded.sharded = true;
+            let (sharded_wall, sharded_delivered, setup) = run_tcp(&sharded, processes, workers);
+            assert_eq!(sharded_delivered, total_messages, "no message may be lost");
+            let sharded_rate = sharded_delivered as f64 / sharded_wall.as_secs_f64();
+
+            let setup_ms = setup.as_secs_f64() * 1e3;
+            println!(
+                "{processes:>10} {workers:>9} {rate:>12.1} {sharded_rate:>14.1} {setup_ms:>7.1} ms"
+            );
+            cells.push(ScaleCell {
+                processes,
+                workers_per_process: workers,
+                msgs_per_sec: rate,
+                sharded_msgs_per_sec: sharded_rate,
+                setup_ms,
+            });
+        }
+    }
+    ScaleBaseline {
+        groups: GROUPS,
+        rounds: args.rounds,
+        messages: args.messages,
+        iterations: ITERATIONS,
+        delay_ms: if args.real {
+            0
+        } else {
+            args.delay.as_millis() as u64
+        },
+        cells,
     }
 }
 
@@ -315,7 +415,7 @@ fn write_net_baseline(args: &Args, path: &str) {
     );
     for workers in JSON_SWEEP {
         let (mem_wall, mem_delivered, _) = run_memory(&spec, 2 * workers);
-        let (tcp_wall, tcp_delivered, tcp_setup) = run_tcp(&spec, workers);
+        let (tcp_wall, tcp_delivered, tcp_setup) = run_tcp(&spec, 2, workers);
         assert_eq!(mem_delivered, total_messages);
         assert_eq!(tcp_delivered, total_messages);
         let mem_rate = mem_delivered as f64 / mem_wall.as_secs_f64();
@@ -354,9 +454,22 @@ fn main() {
         let spec = spec(&args, member.seed);
         let process =
             netbench::Process::start(&spec, member.addrs.clone(), member.index, member.workers);
-        println!("{MEMBER_READY}");
+        println!("{}", netbench::READY_LINE);
+        use std::io::Write;
         std::io::stdout().flush().expect("flush readiness signal");
         process.run();
+        return;
+    }
+    if !args.processes.is_empty() {
+        assert!(
+            args.transport == TransportKind::Tcp,
+            "--processes sweeps OS processes; add --transport tcp"
+        );
+        let baseline = run_scale_sweep(&args);
+        if let Some(path) = &args.out {
+            std::fs::write(path, baseline.to_json()).expect("write BENCH_scale.json");
+            println!("wrote {path}");
+        }
         return;
     }
     match &args.out {

@@ -18,5 +18,6 @@
 pub mod experiments;
 pub mod fixtures;
 pub mod netbench;
+pub mod scale;
 
 pub use experiments::*;

@@ -8,13 +8,17 @@
 //! loopback equivalence test compares against a single-process run —
 //! byte-for-byte, not just set-equal.
 
-use std::time::Duration;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use atom_core::config::{AtomConfig, Defense};
 use atom_core::directory::{derive_setup, setup_round, RoundSetup};
+use atom_core::error::AtomResult;
 use atom_core::message::{make_trap_submission, TrapSubmission};
 use atom_net::{NodeId, TcpOptions, TcpTransport};
 use atom_runtime::{Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions};
@@ -44,6 +48,12 @@ pub struct NetSpec {
     /// must encrypt to the entry groups' keys), mirroring a real
     /// deployment where clients read the published directory.
     pub sharded: bool,
+    /// Engine stall detector (`EngineOptions::stall_timeout`): how long a
+    /// process waits with no task progress before failing its unresolved
+    /// rounds — the budget for declaring a silent peer dead. Operational,
+    /// not part of the workload derivation, but carried here so every
+    /// process of a deployment agrees on it like on every other knob.
+    pub stall_timeout: Duration,
 }
 
 impl Default for NetSpec {
@@ -56,6 +66,7 @@ impl Default for NetSpec {
             seed: 0xA70,
             delay: Duration::ZERO,
             sharded: false,
+            stall_timeout: Duration::from_secs(120),
         }
     }
 }
@@ -258,6 +269,7 @@ impl Process {
             EngineRole::member(hosted)
         };
         let mut options = EngineOptions::with_workers(workers);
+        options.stall_timeout = spec.stall_timeout;
         if !spec.delay.is_zero() {
             options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
         }
@@ -274,16 +286,24 @@ impl Process {
         }
     }
 
-    /// Plays the role to completion and returns the engine's reports
-    /// (authoritative on process 0, stubs elsewhere).
+    /// Plays the role to completion and returns one result per round
+    /// (authoritative on process 0, stubs elsewhere). A vanished peer
+    /// process surfaces here as per-round errors — via the engine's
+    /// send-failure containment and stall detector — never as a hang.
+    pub fn try_run(self) -> Vec<AtomResult<RoundReport>> {
+        let results =
+            Engine::new(self.options).run_rounds_on(self.jobs, &self.transport, &self.role);
+        self.transport.shutdown();
+        results
+    }
+
+    /// [`Process::try_run`], panicking on the first round error — for
+    /// harnesses where loud is right.
     pub fn run(self) -> Vec<RoundReport> {
-        let reports = Engine::new(self.options)
-            .run_rounds_on(self.jobs, &self.transport, &self.role)
+        self.try_run()
             .into_iter()
             .collect::<Result<Vec<_>, _>>()
-            .expect("multi-process round failed");
-        self.transport.shutdown();
-        reports
+            .expect("multi-process round failed")
     }
 }
 
@@ -296,6 +316,238 @@ pub fn run_process(
     workers: usize,
 ) -> Vec<RoundReport> {
     Process::start(spec, addrs, index, workers).run()
+}
+
+/// The readiness line a non-coordinator process of an orchestrated
+/// deployment prints on stdout once its setup (job derivation, bind,
+/// connect) is done and its engine is about to run. [`ProcessFleet`] waits
+/// for it, so a benchmark's timed region starts with every engine ready —
+/// and so a child that dies during setup is caught immediately.
+pub const READY_LINE: &str = "atom-process-ready";
+
+enum FleetEvent {
+    /// The member printed [`READY_LINE`].
+    Ready(usize),
+    /// The member's stdout hit EOF — it exited (or crashed).
+    Eof(usize),
+}
+
+struct FleetMember {
+    /// Process index in the deployment (the spawning process is 0, so
+    /// members are indices `1..processes`).
+    index: usize,
+    child: Child,
+    ready: bool,
+    reaped: Option<ExitStatus>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The member processes of one N-process deployment: spawned together,
+/// readiness-handshaked, monitored, and — on **every** exit path, including
+/// a panicking or early-returning caller — killed and reaped (`Drop`), so
+/// no fleet ever leaks an orphan child.
+///
+/// The coordinator (process 0) is the caller itself and never part of the
+/// fleet; `commands[i]` must launch process index `i + 1` of the deployment
+/// and print [`READY_LINE`] on stdout once its engine is ready.
+pub struct ProcessFleet {
+    members: Vec<FleetMember>,
+    events: mpsc::Receiver<FleetEvent>,
+}
+
+impl ProcessFleet {
+    /// Spawns one member per command. Each child's stdout is piped through
+    /// a monitor thread that watches for [`READY_LINE`] and forwards every
+    /// other line to this process's stderr, prefixed with the member's
+    /// process index — so an operator watching the coordinator sees the
+    /// whole fleet's output, attributed.
+    pub fn spawn(commands: Vec<Command>) -> Self {
+        let (events_tx, events) = mpsc::channel();
+        let members = commands
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut command)| {
+                let index = i + 1;
+                let mut child = command
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .expect("spawn fleet member process");
+                let stdout = child.stdout.take().expect("fleet member stdout piped");
+                let tx = events_tx.clone();
+                let reader = std::thread::spawn(move || {
+                    let mut lines = BufReader::new(stdout).lines();
+                    while let Some(Ok(line)) = lines.next() {
+                        if line == READY_LINE {
+                            let _ = tx.send(FleetEvent::Ready(index));
+                        } else {
+                            eprintln!("[p{index}] {line}");
+                        }
+                    }
+                    let _ = tx.send(FleetEvent::Eof(index));
+                });
+                FleetMember {
+                    index,
+                    child,
+                    ready: false,
+                    reaped: None,
+                    reader: Some(reader),
+                }
+            })
+            .collect();
+        Self { members, events }
+    }
+
+    /// Number of member processes (the deployment has one more: the caller).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet has no members (a single-process deployment).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Blocks until every member signalled readiness. A member that exits
+    /// first, or a deadline overrun, kills the whole fleet and reports
+    /// which member failed — setup problems surface as errors, not hangs.
+    pub fn await_ready(&mut self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        while self.members.iter().any(|member| !member.ready) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                let waiting = self.not_ready();
+                self.kill_all();
+                return Err(format!(
+                    "fleet members {waiting:?} not ready after {timeout:?}"
+                ));
+            }
+            match self.events.recv_timeout(left) {
+                Ok(FleetEvent::Ready(index)) => {
+                    if let Some(member) = self.members.iter_mut().find(|m| m.index == index) {
+                        member.ready = true;
+                    }
+                }
+                Ok(FleetEvent::Eof(index)) => {
+                    let premature = self
+                        .members
+                        .iter()
+                        .any(|member| member.index == index && !member.ready);
+                    if premature {
+                        self.kill_all();
+                        return Err(format!(
+                            "fleet member process {index} exited before signalling readiness"
+                        ));
+                    }
+                }
+                Err(_) => {
+                    let waiting = self.not_ready();
+                    self.kill_all();
+                    return Err(format!(
+                        "fleet members {waiting:?} not ready after {timeout:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn not_ready(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .filter(|member| !member.ready)
+            .map(|member| member.index)
+            .collect()
+    }
+
+    /// Waits (bounded) for every member to exit, then checks the statuses.
+    /// A member still running at the deadline is killed; any non-success
+    /// status is reported. Either way every child is reaped before this
+    /// returns.
+    pub fn finish(mut self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            for member in &mut self.members {
+                if member.reaped.is_none() {
+                    if let Some(status) = member.child.try_wait().expect("wait on fleet member") {
+                        member.reaped = Some(status);
+                    }
+                }
+            }
+            if self.members.iter().all(|member| member.reaped.is_some()) {
+                break;
+            }
+            if Instant::now() > deadline {
+                let laggards: Vec<usize> = self
+                    .members
+                    .iter()
+                    .filter(|member| member.reaped.is_none())
+                    .map(|member| member.index)
+                    .collect();
+                self.kill_all();
+                return Err(format!(
+                    "fleet members {laggards:?} still running {timeout:?} after the \
+                     coordinator finished; killed"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Children are reaped; this only joins the monitor threads.
+        self.kill_all();
+        let failures: Vec<String> = self
+            .members
+            .iter()
+            .filter_map(|member| match member.reaped {
+                Some(status) if !status.success() => Some(format!(
+                    "fleet member process {} exited with {status}",
+                    member.index
+                )),
+                _ => None,
+            })
+            .collect();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+
+    /// Kills one member by its deployment process index (fault injection:
+    /// the acceptance tests kill a member mid-round and assert the
+    /// coordinator fails the sweep with per-round errors, not a hang).
+    pub fn kill_member(&mut self, index: usize) {
+        if let Some(member) = self.members.iter_mut().find(|m| m.index == index) {
+            if member.reaped.is_none() {
+                let _ = member.child.kill();
+                if let Ok(status) = member.child.wait() {
+                    member.reaped = Some(status);
+                }
+            }
+        }
+    }
+
+    /// Kills and reaps every still-running member and joins the monitor
+    /// threads. Idempotent; also what `Drop` runs, so no exit path —
+    /// including a caller panic — orphans a child process.
+    pub fn kill_all(&mut self) {
+        for member in &mut self.members {
+            if member.reaped.is_none() {
+                let _ = member.child.kill();
+                if let Ok(status) = member.child.wait() {
+                    member.reaped = Some(status);
+                }
+            }
+            if let Some(reader) = member.reader.take() {
+                let _ = reader.join();
+            }
+        }
+    }
+}
+
+impl Drop for ProcessFleet {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
 }
 
 #[cfg(test)]

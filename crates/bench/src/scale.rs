@@ -1,0 +1,284 @@
+//! The `BENCH_scale.json` baseline: sustained throughput of the TCP engine
+//! as OS processes are added — the paper's headline horizontal-scaling
+//! claim, measured end to end on this machine.
+//!
+//! The throughput bin's `--processes` sweep emits the file
+//! ([`ScaleBaseline::to_json`]); the `fig_scale` bin reads it back
+//! ([`ScaleBaseline::parse`]) and renders the throughput-vs-processes
+//! curve. Emitter and parser live together here so the round-trip is unit
+//! tested — the offline build vendors a no-op `serde`, so the JSON is
+//! written and scanned by hand.
+
+/// One (processes, workers-per-process) cell of the scaling sweep. Each
+/// cell is measured twice — with the prebuilt directory and with
+/// `--sharded` distributed setup — so the recorded file carries both
+/// curves plus the sharded run's setup latency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleCell {
+    /// OS processes the deployment was split across (1 = coordinator only).
+    pub processes: usize,
+    /// Engine worker threads per process.
+    pub workers_per_process: usize,
+    /// Delivered messages per wall-clock second, prebuilt directory.
+    pub msgs_per_sec: f64,
+    /// Same, with the sharded directory derived inside the run.
+    pub sharded_msgs_per_sec: f64,
+    /// Max per-round setup latency of the sharded run, milliseconds.
+    pub setup_ms: f64,
+}
+
+/// The recorded scaling sweep: workload parameters plus one [`ScaleCell`]
+/// per (processes, workers) pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleBaseline {
+    /// Anytrust groups in the swept deployment.
+    pub groups: usize,
+    /// Rounds in flight at once.
+    pub rounds: usize,
+    /// Submissions per round.
+    pub messages: usize,
+    /// Mixing iterations.
+    pub iterations: usize,
+    /// Emulated per-iteration group compute, milliseconds.
+    pub delay_ms: u64,
+    /// The measured cells, in sweep order.
+    pub cells: Vec<ScaleCell>,
+}
+
+impl ScaleBaseline {
+    /// The canonical `BENCH_scale.json` serialization (stable field order,
+    /// readable diffs).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                format!(
+                    "    {{\"processes\": {}, \"workers_per_process\": {}, \
+                     \"msgs_per_sec\": {:.1}, \"sharded_msgs_per_sec\": {:.1}, \
+                     \"setup_ms\": {:.1}}}",
+                    cell.processes,
+                    cell.workers_per_process,
+                    cell.msgs_per_sec,
+                    cell.sharded_msgs_per_sec,
+                    cell.setup_ms
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"groups\": {},\n  \"rounds\": {},\n  \"messages\": {},\n  \
+             \"iterations\": {},\n  \"delay_ms\": {},\n  \
+             \"transport\": \"tcp-loopback\",\n  \"sweep\": [\n{}\n  ]\n}}\n",
+            self.groups,
+            self.rounds,
+            self.messages,
+            self.iterations,
+            self.delay_ms,
+            cells.join(",\n")
+        )
+    }
+
+    /// Parses what [`ScaleBaseline::to_json`] wrote. Tolerant of
+    /// whitespace, intolerant of missing fields — a truncated or
+    /// hand-mangled baseline fails loudly rather than rendering nonsense.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let sweep_at = json
+            .find("\"sweep\"")
+            .ok_or_else(|| "missing field sweep".to_string())?;
+        let (head, tail) = json.split_at(sweep_at);
+        let array_start = tail
+            .find('[')
+            .ok_or_else(|| "sweep is not an array".to_string())?;
+        let array_end = tail
+            .rfind(']')
+            .ok_or_else(|| "unterminated sweep array".to_string())?;
+        if array_end < array_start {
+            return Err("unterminated sweep array".to_string());
+        }
+        let mut cells = Vec::new();
+        for object in tail[array_start + 1..array_end].split('}') {
+            let Some(body_at) = object.find('{') else {
+                continue; // separators / trailing whitespace between objects
+            };
+            let body = &object[body_at + 1..];
+            cells.push(ScaleCell {
+                processes: field_num(body, "processes")? as usize,
+                workers_per_process: field_num(body, "workers_per_process")? as usize,
+                msgs_per_sec: field_num(body, "msgs_per_sec")?,
+                sharded_msgs_per_sec: field_num(body, "sharded_msgs_per_sec")?,
+                setup_ms: field_num(body, "setup_ms")?,
+            });
+        }
+        if cells.is_empty() {
+            return Err("sweep array holds no cells".to_string());
+        }
+        Ok(Self {
+            groups: field_num(head, "groups")? as usize,
+            rounds: field_num(head, "rounds")? as usize,
+            messages: field_num(head, "messages")? as usize,
+            iterations: field_num(head, "iterations")? as usize,
+            delay_ms: field_num(head, "delay_ms")? as u64,
+            cells,
+        })
+    }
+
+    /// The swept process counts, ascending and deduplicated.
+    pub fn process_counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.cells.iter().map(|cell| cell.processes).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+
+    /// The swept workers-per-process values, ascending and deduplicated.
+    pub fn worker_counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|cell| cell.workers_per_process)
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+
+    /// The cell of one (processes, workers) pair, if it was measured.
+    pub fn cell(&self, processes: usize, workers: usize) -> Option<&ScaleCell> {
+        self.cells
+            .iter()
+            .find(|cell| cell.processes == processes && cell.workers_per_process == workers)
+    }
+}
+
+/// The first number following `"key":` in `text`.
+fn field_num(text: &str, key: &str) -> Result<f64, String> {
+    let pattern = format!("\"{key}\":");
+    let at = text
+        .find(&pattern)
+        .ok_or_else(|| format!("missing field {key}"))?;
+    let rest = text[at + pattern.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|error| format!("field {key}: {error}"))
+}
+
+/// Renders the throughput-vs-processes curve from a recorded baseline: the
+/// full (processes × workers) table, then a bar chart of both curves —
+/// prebuilt and sharded directory — at the widest measured worker count.
+/// This is the figure the paper's horizontal-scaling claim rests on; on
+/// loopback the processes share one machine, so the curve shows engine and
+/// transport scaling, not added hardware (that needs `--addrs` pointed at
+/// real NICs — see `docs/operations.md`).
+pub fn print_fig_scale(baseline: &ScaleBaseline) {
+    println!(
+        "fig_scale: throughput vs processes — {}-group trap deployment, \
+         {} rounds x {} messages, {} iterations, {} ms emulated compute",
+        baseline.groups, baseline.rounds, baseline.messages, baseline.iterations, baseline.delay_ms
+    );
+    println!(
+        "{:>10} {:>9} {:>12} {:>14} {:>10}",
+        "processes", "workers", "msgs/sec", "sharded msgs/s", "setup"
+    );
+    for cell in &baseline.cells {
+        println!(
+            "{:>10} {:>9} {:>12.1} {:>14.1} {:>7.1} ms",
+            cell.processes,
+            cell.workers_per_process,
+            cell.msgs_per_sec,
+            cell.sharded_msgs_per_sec,
+            cell.setup_ms
+        );
+    }
+
+    let Some(&workers) = baseline.worker_counts().last() else {
+        return;
+    };
+    let series: Vec<&ScaleCell> = baseline
+        .process_counts()
+        .into_iter()
+        .filter_map(|processes| baseline.cell(processes, workers))
+        .collect();
+    let peak = series
+        .iter()
+        .flat_map(|cell| [cell.msgs_per_sec, cell.sharded_msgs_per_sec])
+        .fold(0.0f64, f64::max);
+    if peak <= 0.0 {
+        return;
+    }
+    const WIDTH: f64 = 50.0;
+    println!("\nmsgs/sec vs processes at {workers} workers/process (# prebuilt, + sharded):");
+    for cell in series {
+        let bar =
+            |rate: f64, glyph: &str| glyph.repeat((rate / peak * WIDTH).round().max(0.0) as usize);
+        println!(
+            "{:>3} | {:<52} {:>8.1}",
+            cell.processes,
+            bar(cell.msgs_per_sec, "#"),
+            cell.msgs_per_sec
+        );
+        println!(
+            "    | {:<52} {:>8.1}  (setup {:.1} ms)",
+            bar(cell.sharded_msgs_per_sec, "+"),
+            cell.sharded_msgs_per_sec,
+            cell.setup_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScaleBaseline {
+        ScaleBaseline {
+            groups: 8,
+            rounds: 2,
+            messages: 64,
+            iterations: 3,
+            delay_ms: 10,
+            cells: vec![
+                ScaleCell {
+                    processes: 1,
+                    workers_per_process: 1,
+                    msgs_per_sec: 101.5,
+                    sharded_msgs_per_sec: 99.2,
+                    setup_ms: 14.5,
+                },
+                ScaleCell {
+                    processes: 2,
+                    workers_per_process: 4,
+                    msgs_per_sec: 180.0,
+                    sharded_msgs_per_sec: 175.4,
+                    setup_ms: 9.1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let baseline = sample();
+        let parsed = ScaleBaseline::parse(&baseline.to_json()).expect("parse own serialization");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_files() {
+        let json = sample().to_json();
+        assert!(ScaleBaseline::parse(&json[..json.len() / 2]).is_err());
+        assert!(ScaleBaseline::parse("{}").is_err());
+        assert!(ScaleBaseline::parse("{\"sweep\": []}").is_err());
+    }
+
+    #[test]
+    fn axes_are_sorted_and_deduplicated() {
+        let baseline = sample();
+        assert_eq!(baseline.process_counts(), vec![1, 2]);
+        assert_eq!(baseline.worker_counts(), vec![1, 4]);
+        assert_eq!(baseline.cell(2, 4).unwrap().msgs_per_sec, 180.0);
+        assert!(baseline.cell(3, 1).is_none());
+    }
+}

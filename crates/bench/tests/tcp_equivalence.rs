@@ -1,17 +1,21 @@
-//! The acceptance test of the TCP transport: a scenario executed across
-//! **two OS processes** on localhost must produce a `RoundOutput` that is
-//! byte-identical to the same scenario run in-process over
-//! `InMemoryNetwork`. Spawns the `atom-node` binary (coordinator + one
-//! member), reads the coordinator's canonical output serialization and
-//! diffs it against the in-memory run — whole bytes, not summaries.
+//! The acceptance tests of the TCP transport: a scenario executed across
+//! **two or three OS processes** on localhost must produce a `RoundOutput`
+//! that is byte-identical to the same scenario run in-process over
+//! `InMemoryNetwork`. Spawns the `atom-node` binary (coordinator +
+//! members), reads the coordinator's canonical output serialization and
+//! diffs it against the in-memory run — whole bytes, not summaries. Also
+//! the failure-path acceptance: a member killed mid-deployment must fail
+//! the surviving coordinator's rounds with per-round errors — no hang, no
+//! orphaned processes.
 
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use atom_bench::netbench::{self, NetSpec};
+use atom_bench::netbench::{self, NetSpec, ProcessFleet};
 use atom_runtime::Engine;
 
-fn spawn_node(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>) -> Child {
+/// The `atom-node` command hosting process `index` of `spec`'s deployment.
+fn node_command(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>) -> Command {
     let mut command = Command::new(env!("CARGO_BIN_EXE_atom-node"));
     command
         .arg("--index")
@@ -28,17 +32,26 @@ fn spawn_node(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>)
         .arg(spec.iterations.to_string())
         .arg("--seed")
         .arg(spec.seed.to_string())
+        .arg("--stall-timeout-ms")
+        .arg(spec.stall_timeout.as_millis().to_string())
         .arg("--workers")
-        .arg("2")
-        .stdout(Stdio::inherit())
-        .stderr(Stdio::inherit());
+        .arg("2");
     if spec.sharded {
         command.arg("--sharded");
     }
     if let Some(path) = out {
         command.arg("--out").arg(path);
     }
-    command.spawn().expect("spawn atom-node")
+    command
+}
+
+fn spawn_node(spec: &NetSpec, addrs: &[String], index: usize, out: Option<&str>) -> Child {
+    let mut command = node_command(spec, addrs, index, out);
+    command
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn atom-node")
 }
 
 /// Waits for `child` with a deadline so a wedged multi-process run fails
@@ -69,6 +82,7 @@ fn two_process_tcp_run_is_byte_identical_to_in_memory() {
         seed: 0xEC_0FF,
         delay: Duration::ZERO,
         sharded: false,
+        ..NetSpec::default()
     };
 
     // Reference: the same spec, single process, in-memory transport.
@@ -114,6 +128,7 @@ fn two_process_sharded_run_is_byte_identical_to_monolithic_derivation() {
         seed: 0x5AAD0,
         delay: Duration::ZERO,
         sharded: true,
+        ..NetSpec::default()
     };
 
     // Reference: the same spec, single process, prebuilt monolithic
@@ -145,4 +160,149 @@ fn two_process_sharded_run_is_byte_identical_to_monolithic_derivation() {
         got, want,
         "sharded two-process output differs from the monolithic derivation"
     );
+}
+
+/// Runs `spec` as a **three-OS-process** deployment — two fleet members
+/// plus a coordinator child — and returns the coordinator's canonical
+/// output bytes. Members are orchestrated through [`ProcessFleet`], so
+/// this also exercises the readiness handshake and teardown path the
+/// scaling sweep uses.
+fn three_process_output(spec: &NetSpec, tag: &str) -> Vec<u8> {
+    let addrs = netbench::free_addrs(3);
+    let out = std::env::temp_dir().join(format!("atom_{tag}_{}.bin", std::process::id()));
+    let out_path = out.to_str().unwrap().to_string();
+
+    let mut fleet = ProcessFleet::spawn(vec![
+        node_command(spec, &addrs, 1, None),
+        node_command(spec, &addrs, 2, None),
+    ]);
+    let coordinator = spawn_node(spec, &addrs, 0, Some(&out_path));
+    fleet
+        .await_ready(Duration::from_secs(120))
+        .expect("fleet readiness");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    wait_with_deadline(coordinator, "coordinator", deadline);
+    fleet
+        .finish(Duration::from_secs(120))
+        .expect("fleet members");
+
+    let got = std::fs::read(&out_path).expect("coordinator output file");
+    let _ = std::fs::remove_file(&out_path);
+    got
+}
+
+/// The N-process acceptance test: a **three**-OS-process run (coordinator
+/// plus two members, groups round-robin over all three) must still be
+/// byte-identical to the single-process in-memory run — adding processes
+/// must not change a single output byte.
+#[test]
+fn three_process_tcp_run_is_byte_identical_to_in_memory() {
+    let spec = NetSpec {
+        groups: 3,
+        rounds: 2,
+        messages: 9,
+        iterations: 2,
+        seed: 0x3EC_0FF,
+        delay: Duration::ZERO,
+        sharded: false,
+        ..NetSpec::default()
+    };
+
+    let in_memory: Vec<_> = Engine::with_workers(3)
+        .run_rounds(netbench::build_jobs(&spec))
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("in-memory reference run");
+    let want = netbench::serialize_reports(&in_memory);
+    assert!(!want.is_empty());
+
+    let got = three_process_output(&spec, "tcp3_equivalence");
+    assert_eq!(
+        got, want,
+        "TCP three-process output differs from the in-memory run"
+    );
+}
+
+/// The sharded-directory variant at three processes: each of the three
+/// `atom-node`s derives only the DKGs of its own group and the rest of the
+/// directory travels as `setup` wire frames — still byte-identical to the
+/// monolithic in-memory derivation.
+#[test]
+fn three_process_sharded_run_is_byte_identical_to_monolithic_derivation() {
+    let spec = NetSpec {
+        groups: 3,
+        rounds: 2,
+        messages: 9,
+        iterations: 2,
+        seed: 0x35AAD0,
+        delay: Duration::ZERO,
+        sharded: true,
+        ..NetSpec::default()
+    };
+
+    let in_memory: Vec<_> = Engine::with_workers(3)
+        .run_rounds(netbench::build_derived_jobs(&spec))
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("in-memory reference run");
+    let want = netbench::serialize_reports(&in_memory);
+    assert!(!want.is_empty());
+
+    let got = three_process_output(&spec, "sharded3_equivalence");
+    assert_eq!(
+        got, want,
+        "sharded three-process output differs from the monolithic derivation"
+    );
+}
+
+/// The failure-path acceptance test: killing a member mid-deployment must
+/// fail the coordinator's rounds with **per-round errors** — not a panic,
+/// not a hang — and leave no orphaned processes (the fleet reaps every
+/// child on all exit paths). The engine surfaces the loss either at a
+/// protocol send (reset stream) or through the stall detector, whichever
+/// fires first.
+#[test]
+fn killed_member_fails_rounds_with_errors_not_hangs() {
+    let spec = NetSpec {
+        groups: 3,
+        rounds: 2,
+        messages: 6,
+        iterations: 3,
+        seed: 0xDEAD_BEEF,
+        // Slow the groups so the rounds are still in flight when the
+        // member dies, and keep the stall budget short so the test stays
+        // fast even when no send happens to hit the dead peer.
+        delay: Duration::from_millis(100),
+        sharded: false,
+        stall_timeout: Duration::from_secs(5),
+    };
+    let addrs = netbench::free_addrs(3);
+    let mut fleet = ProcessFleet::spawn(vec![
+        node_command(&spec, &addrs, 1, None),
+        node_command(&spec, &addrs, 2, None),
+    ]);
+    // The coordinator runs in this process so the per-round results are
+    // directly observable.
+    let process = netbench::Process::start(&spec, addrs, 0, 2);
+    fleet
+        .await_ready(Duration::from_secs(120))
+        .expect("fleet readiness");
+    fleet.kill_member(2);
+
+    let started = Instant::now();
+    let results = process.try_run();
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "lost member must fail rounds well before a CI-scale timeout"
+    );
+    assert_eq!(results.len(), spec.rounds, "one result per round");
+    for (round, result) in results.iter().enumerate() {
+        assert!(
+            result.is_err(),
+            "round {round} must fail after the member died, got {result:?}"
+        );
+    }
+    // Reap the survivor (it exits non-zero after the abort broadcast —
+    // expected) and the killed member; Drop would do the same on panic.
+    fleet.kill_all();
 }

@@ -41,9 +41,9 @@
 //! retry loop so processes may start in any order, and
 //! [`TcpTransport::shutdown`] tears the sockets down and joins the
 //! listener. Sends that hit a dead peer panic with context: the runtime
-//! converts worker panics into per-round failures, which is strictly
-//! better than silently dropping protocol traffic and deadlocking the
-//! round.
+//! catches the panic at each protocol send site and converts it into a
+//! failure of the affected round, which is strictly better than silently
+//! dropping protocol traffic and deadlocking the round.
 
 use std::borrow::Cow;
 use std::collections::VecDeque;

@@ -586,6 +586,116 @@ impl Shared<'_> {
             self.fail_job(round, AtomError::Malformed(reason.to_string()));
         }
     }
+
+    /// Sends a protocol frame on behalf of `round`, converting a transport
+    /// panic — an unreachable or vanished peer process: connect failure,
+    /// reset stream — into a failure of that round instead of letting the
+    /// panic tear down the whole engine scope. With several remote peers,
+    /// one dead process must surface as per-round errors on the survivors,
+    /// not as a crash. Returns whether the send succeeded.
+    fn send_for_round(
+        &self,
+        round: usize,
+        from: usize,
+        to: usize,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> bool {
+        let send = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.transport.send(from, to, label.into(), payload);
+        }));
+        if send.is_ok() {
+            return true;
+        }
+        self.fail_job(
+            round,
+            AtomError::Malformed(format!(
+                "send {from} -> {to} ({label}) failed: peer process unreachable"
+            )),
+        );
+        false
+    }
+
+    /// Fails every unresolved round with a stall diagnosis naming exactly
+    /// what the round is still waiting for. With more than one remote peer,
+    /// "which groups never reported" is what maps a silent stall back to
+    /// the process (and machine) that died.
+    fn fail_stalled(&self, elapsed: Duration) {
+        for (round, job) in self.jobs.iter().enumerate() {
+            if job.finalized() {
+                continue;
+            }
+            let detail = self.stall_detail(job);
+            self.fail_job(
+                round,
+                AtomError::Malformed(format!(
+                    "engine stalled: no task progress for {elapsed:?} (remote peer lost?); \
+                     round {round} {detail}"
+                )),
+            );
+        }
+    }
+
+    /// What an unresolved round is waiting for, phase by phase, with each
+    /// outstanding group tagged local/remote (a remote tag names a peer
+    /// process as the likely casualty).
+    fn stall_detail(&self, job: &JobState) -> String {
+        let locality = |gid: usize| {
+            if self.transport.is_local(gid) {
+                format!("{gid} (local)")
+            } else {
+                format!("{gid} (remote)")
+            }
+        };
+        if let Some(phase_lock) = &job.phase {
+            let phase = phase_lock.lock();
+            if !phase.ready {
+                let waiting: Vec<String> = phase
+                    .groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, slot)| slot.is_none())
+                    .map(|(gid, _)| locality(gid))
+                    .collect();
+                let trustees = if phase.need_trustees && phase.trustees.is_none() {
+                    " and the trustee DKG"
+                } else {
+                    ""
+                };
+                return format!(
+                    "stuck in sharded setup, waiting on group directories [{}]{trustees}",
+                    waiting.join(", ")
+                );
+            }
+        }
+        if self.role.coordinator {
+            let pending_chunks = job.intake.lock().pending;
+            if pending_chunks > 0 {
+                return format!(
+                    "stuck before batch release: {pending_chunks} intake chunk(s) unverified"
+                );
+            }
+            let exit = job.exit.lock();
+            let missing: Vec<String> = exit
+                .payloads
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_none())
+                .map(|(gid, _)| locality(gid))
+                .collect();
+            format!(
+                "waiting on exit frames from groups [{}]",
+                missing.join(", ")
+            )
+        } else {
+            let exit = job.exit.lock();
+            format!(
+                "member still mixing: {}/{} hosted groups exited",
+                exit.local_exits,
+                self.role.hosted_in_round(job.num_groups())
+            )
+        }
+    }
 }
 
 /// The parallel execution engine. See the module docs.
@@ -971,10 +1081,7 @@ fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
                 let elapsed = shared.sched.last_progress.lock().elapsed();
                 if idle && elapsed >= stall_timeout {
                     drop(queue);
-                    shared.fail_all(&format!(
-                        "engine stalled: no task progress for {elapsed:?} \
-                         (remote peer lost?)"
-                    ));
+                    shared.fail_stalled(elapsed);
                     return;
                 }
                 let wait = if idle {
@@ -1057,20 +1164,22 @@ fn run_setup_group(shared: &Shared<'_>, round: usize, gid: usize) {
     };
     // Ship the public half to every remote mailbox. A peer process hosting
     // several groups receives one copy per mailbox; `on_setup_frame` treats
-    // the duplicates idempotently. Secret shares stay in this process.
+    // the duplicates idempotently. `public_only` is the contract for what
+    // may leave this process: secret shares stay behind.
+    let public = context.public_only();
     let frame = SetupFrame {
         round,
         gid,
-        members: context.members.clone(),
-        threshold: context.threshold,
-        public_key: context.public_key,
+        members: public.members,
+        threshold: public.threshold,
+        public_key: public.public_key,
     };
     let payload = wire::encode_setup(&frame);
     for node in 0..shared.transport.nodes() {
-        if !shared.transport.is_local(node) {
-            shared
-                .transport
-                .send(gid, node, SETUP_LABEL.into(), payload.clone());
+        if !shared.transport.is_local(node)
+            && !shared.send_for_round(round, gid, node, SETUP_LABEL, payload.clone())
+        {
+            return;
         }
     }
     let complete = {
@@ -1159,6 +1268,34 @@ fn on_setup_frame(shared: &Shared<'_>, frame: SetupFrame) {
             )),
         );
         return;
+    }
+    // Duplicate broadcast copies (the sender fans one frame out to every
+    // local mailbox) take a fast path: compare against the already-stored,
+    // already-validated context instead of re-deriving the membership
+    // below — O(members) instead of replaying the beacon stream per copy.
+    // Any deviation from the stored context is still a conflict that fails
+    // the round.
+    {
+        let phase = phase_lock.lock();
+        if phase.sealed {
+            return;
+        }
+        if let Some(existing) = &phase.groups[frame.gid] {
+            let benign = existing.public_key == frame.public_key
+                && existing.threshold == frame.threshold
+                && existing.members == frame.members;
+            drop(phase);
+            if !benign {
+                shared.fail_job(
+                    round,
+                    AtomError::Malformed(format!(
+                        "conflicting setup frames for group {}",
+                        frame.gid
+                    )),
+                );
+            }
+            return;
+        }
     }
     // Everything in the frame except the DKG public key is a pure function
     // of the shared configuration — recompute and reject rather than trust.
@@ -1376,9 +1513,9 @@ fn finish_intake(shared: &Shared<'_>, round: usize) {
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         // The transport's delivery hook wakes the pool for local
         // destinations; remote ones wake their own process.
-        shared
-            .transport
-            .send(shared.orchestrator, gid, MIX_LABEL.into(), payload);
+        if !shared.send_for_round(round, shared.orchestrator, gid, MIX_LABEL, payload) {
+            return;
+        }
     }
 }
 
@@ -1543,12 +1680,14 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
     }
 
     for (to, payload) in sends {
-        shared.transport.send(gid, to, MIX_LABEL.into(), payload);
+        if !shared.send_for_round(round, gid, to, MIX_LABEL, payload) {
+            return;
+        }
     }
     if let Some((payload, finished_virtual)) = exit_send {
-        shared
-            .transport
-            .send(gid, shared.orchestrator, EXIT_LABEL.into(), payload);
+        if !shared.send_for_round(round, gid, shared.orchestrator, EXIT_LABEL, payload) {
+            return;
+        }
         note_local_exit(shared, round, finished_virtual);
     }
 }
@@ -1618,6 +1757,21 @@ fn on_exit_frame(shared: &Shared<'_>, node: usize, frame: ExitFrame) {
         shared.fail_job(
             round,
             AtomError::Malformed(format!("exit frame from unknown group {}", frame.gid)),
+        );
+        return;
+    }
+    // No group can legitimately exit before the coordinator's directory is
+    // assembled: every mix batch descends from the local intake, which only
+    // runs post-assembly. An early exit frame is therefore forged or
+    // broken — fail the round rather than let finalization read an
+    // unassembled directory (a panic that would take down the whole scope).
+    if job.setup.get().is_none() {
+        shared.fail_job(
+            round,
+            AtomError::Malformed(format!(
+                "exit frame from group {} before the round directory was assembled",
+                frame.gid
+            )),
         );
         return;
     }

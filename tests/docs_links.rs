@@ -1,0 +1,99 @@
+//! Every internal link in the repo's markdown documentation must resolve.
+//!
+//! Scans the root-level `*.md` files plus everything under `docs/` for
+//! inline links and images (`[text](target)` / `![alt](target)`), skips
+//! external schemes, strips `#fragment`s, and asserts the referenced path
+//! exists relative to the linking file. CI runs this as the link-checker
+//! gate over README / ARCHITECTURE / docs.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files under the documentation contract: the root docs plus
+/// everything in `docs/`. The harness reference dumps (SNIPPETS.md,
+/// PAPERS.md, …) quote external material with markdown-shaped fragments
+/// and are deliberately out of scope.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "ARCHITECTURE.md", "ROADMAP.md"]
+        .iter()
+        .map(|name| root.join(name))
+        .filter(|path| path.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The inline link targets of `text` with their 1-based line numbers.
+/// Markdown inline links are `](target)` with no nesting in our docs;
+/// code spans that merely *mention* the syntax stay out because they never
+/// pair a `](` with a real bracketed label.
+fn extract_links(text: &str) -> Vec<(usize, String)> {
+    let mut links = Vec::new();
+    let bytes = text.as_bytes();
+    let mut at = 0;
+    while let Some(found) = text[at..].find("](") {
+        let open = at + found + 2;
+        let Some(len) = text[open..].find(')') else {
+            break;
+        };
+        // Reject matches whose "label" is no label at all (e.g. a stray
+        // `](` in a code block): a real inline link opens its `[` on the
+        // same line as the `](`.
+        let line_start = text[..at + found].rfind('\n').map_or(0, |nl| nl + 1);
+        if text[line_start..at + found].contains('[') {
+            let line = bytes[..open].iter().filter(|&&b| b == b'\n').count() + 1;
+            links.push((line, text[open..open + len].to_string()));
+        }
+        at = open + len + 1;
+    }
+    links
+}
+
+#[test]
+fn internal_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "README.md missing from the documentation set"
+    );
+    assert!(
+        files.len() >= 5,
+        "expected the root + docs markdown set, found only {files:?}"
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|error| panic!("read {}: {error}", file.display()));
+        for (line, raw_target) in extract_links(&text) {
+            let target = raw_target.split(' ').next().unwrap_or(""); // strip "title" suffixes
+            if target.contains("://") || target.starts_with("mailto:") {
+                continue; // external; availability is not this test's concern
+            }
+            let path = target.split('#').next().unwrap_or("");
+            if path.is_empty() {
+                continue; // pure in-page fragment
+            }
+            let base = file.parent().unwrap_or(root);
+            if !base.join(path).exists() {
+                broken.push(format!(
+                    "{}:{line}: broken link `{raw_target}`",
+                    file.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "internal markdown links must resolve:\n{}",
+        broken.join("\n")
+    );
+}
