@@ -38,6 +38,15 @@
 //! peers as `setup` frames, instead of every process re-deriving the full
 //! directory before the engine starts. The coordinator reports the
 //! measured per-round setup latency.
+//!
+//! With `--trace PATH` on **every** process, each one records `atom-obs`
+//! spans and counters while it runs; members ship their snapshots to the
+//! coordinator as `telemetry` wire frames at round end (their PATH is
+//! ignored), and the coordinator writes the merged fleet trace to its PATH
+//! as Chrome trace-event JSON — one Perfetto process track per OS process.
+//! `--metrics-out PATH` (coordinator, with `--trace`) additionally writes
+//! the merged counters. Recording never changes round outputs; see
+//! `docs/observability.md` for the schemas.
 
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -50,6 +59,12 @@ struct Args {
     index: usize,
     workers: usize,
     out: Option<String>,
+    /// Coordinator: write the merged fleet Chrome trace here. Members pass
+    /// the flag with any path to turn recording on (their snapshots travel
+    /// to the coordinator as telemetry frames; the path is ignored).
+    trace: Option<String>,
+    /// Coordinator: write the merged counter snapshots as JSON here.
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +74,8 @@ fn parse_args() -> Args {
         index: 0,
         workers: 2,
         out: None,
+        trace: None,
+        metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -97,9 +114,12 @@ fn parse_args() -> Args {
                     Duration::from_millis(num("--stall-timeout-ms", grab("--stall-timeout-ms")))
             }
             "--out" => args.out = Some(grab("--out")),
+            "--trace" => args.trace = Some(grab("--trace")),
+            "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")),
             other => panic!("unknown flag {other}"),
         }
     }
+    args.spec.trace = args.trace.is_some();
     assert!(
         args.addrs.len() >= 2,
         "--addrs needs at least coordinator + one member (got {})",
@@ -181,6 +201,30 @@ fn main() {
             std::fs::write(path, netbench::serialize_reports(&reports))
                 .expect("write round outputs");
             println!("atom-node coordinator: outputs written to {path}");
+        }
+        if let Some(path) = &args.trace {
+            let telemetry: Vec<atom_obs::Snapshot> = reports
+                .iter()
+                .flat_map(|report| report.telemetry.iter().cloned())
+                .collect();
+            std::fs::write(path, atom_obs::chrome_trace_json(&telemetry))
+                .expect("write fleet trace JSON");
+            println!(
+                "atom-node coordinator: fleet trace written to {path} \
+                 ({} snapshots)",
+                telemetry.len()
+            );
+            print!("{}", atom_obs::text_summary(&telemetry));
+            if let Some(metrics_path) = &args.metrics_out {
+                std::fs::write(metrics_path, atom_obs::metrics_json(&telemetry))
+                    .expect("write metrics JSON");
+                println!("atom-node coordinator: metrics written to {metrics_path}");
+            }
+        } else {
+            assert!(
+                args.metrics_out.is_none(),
+                "--metrics-out needs --trace (recording is off otherwise)"
+            );
         }
     } else {
         println!(

@@ -1,0 +1,138 @@
+//! Renders the per-phase cost breakdown of a recorded fleet trace.
+//!
+//! Reads the Chrome trace-event JSON written by `throughput --trace` or
+//! `atom-node --trace` (path overridable as the first argument, default
+//! `trace.json`) and prints, per fleet process and fleet-wide, how the
+//! recorded span time splits across the engine phases (`setup`, `intake`,
+//! `mix`, `verify`, `exit`) — the textual companion to loading the same
+//! file in Perfetto. Regenerate a trace with:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin throughput -- \
+//!     --transport tcp --trace trace.json
+//! ```
+//!
+//! The emitter writes one event per line (see `docs/observability.md`), so
+//! this reader scans lines instead of parsing JSON — the same approach the
+//! recorded bench baselines use under the no-op vendored `serde`.
+
+use std::collections::BTreeMap;
+
+/// One complete (`"ph":"X"`) event scanned from a trace line.
+struct TraceEvent {
+    phase: String,
+    pid: u64,
+    dur_us: u64,
+}
+
+/// The string following `"key":"` in `line`, up to the next quote. Good
+/// enough for the emitter's own output, where phase names never contain
+/// escapes.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":\"");
+    let at = line.find(&pattern)? + pattern.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The unsigned number following `"key":` in `line`.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let at = line.find(&pattern)? + pattern.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Every span event of the trace, in file order. Metadata (`"ph":"M"`)
+/// lines and the array brackets are skipped; a malformed span line fails
+/// loudly rather than being silently dropped.
+fn scan_events(trace: &str) -> Vec<TraceEvent> {
+    trace
+        .lines()
+        .filter(|line| line.contains("\"ph\":\"X\""))
+        .map(|line| TraceEvent {
+            phase: field_str(line, "name")
+                .unwrap_or_else(|| panic!("span event without a name: {line}"))
+                .to_string(),
+            pid: field_u64(line, "pid")
+                .unwrap_or_else(|| panic!("span event without a pid: {line}")),
+            dur_us: field_u64(line, "dur")
+                .unwrap_or_else(|| panic!("span event without a dur: {line}")),
+        })
+        .collect()
+}
+
+fn print_breakdown(events: &[TraceEvent]) {
+    // (pid, phase) -> (spans, total µs); BTreeMap keeps the output stable.
+    let mut per_process: BTreeMap<(u64, String), (u64, u64)> = BTreeMap::new();
+    let mut fleet: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for event in events {
+        let slot = per_process
+            .entry((event.pid, event.phase.clone()))
+            .or_default();
+        slot.0 += 1;
+        slot.1 += event.dur_us;
+        let slot = fleet.entry(event.phase.clone()).or_default();
+        slot.0 += 1;
+        slot.1 += event.dur_us;
+    }
+    let fleet_total: u64 = fleet.values().map(|(_, us)| us).sum();
+
+    println!(
+        "fig_trace: {} span events across {} processes",
+        events.len(),
+        per_process
+            .keys()
+            .map(|(pid, _)| pid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+    println!(
+        "\n{:>8} {:<8} {:>7} {:>12} {:>7}",
+        "process", "phase", "spans", "total_ms", "share"
+    );
+    for ((pid, phase), (spans, us)) in &per_process {
+        let share = if fleet_total > 0 {
+            *us as f64 / fleet_total as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{pid:>8} {phase:<8} {spans:>7} {:>12.3} {share:>6.1}%",
+            *us as f64 / 1_000.0
+        );
+    }
+
+    let peak = fleet.values().map(|(_, us)| *us).max().unwrap_or(0);
+    if peak == 0 {
+        return;
+    }
+    const WIDTH: f64 = 50.0;
+    println!("\nfleet-wide phase cost (total recorded span time):");
+    for (phase, (spans, us)) in &fleet {
+        let bar = "#".repeat((*us as f64 / peak as f64 * WIDTH).round() as usize);
+        let share = *us as f64 / fleet_total as f64 * 100.0;
+        println!(
+            "{phase:>8} | {bar:<52} {:>10.3} ms {share:>5.1}%  ({spans} spans)",
+            *us as f64 / 1_000.0
+        );
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+    let trace = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "read {path}: {error} — record a trace with `cargo run --release -p atom-bench \
+             --bin throughput -- --transport tcp --trace trace.json`"
+        )
+    });
+    let events = scan_events(&trace);
+    assert!(!events.is_empty(), "{path} holds no span events");
+    print_breakdown(&events);
+}

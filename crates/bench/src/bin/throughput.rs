@@ -40,16 +40,27 @@
 //! `BENCH_net.json` recording in-memory vs. TCP-loopback msgs/sec — the
 //! transport's overhead, kept on record next to `BENCH_crypto.json`.
 //!
+//! **`--trace PATH`** enables `atom-obs` recording fleet-wide: every
+//! process records spans and counters, members ship them to the
+//! coordinator in telemetry frames at round end, and the merged fleet
+//! trace is written to PATH as Chrome trace-event JSON (load it in
+//! Perfetto / `chrome://tracing`, or render it with the `fig_trace` bin).
+//! A human-readable span summary prints alongside, and `--metrics-out
+//! PATH` additionally writes the merged counter snapshots as JSON.
+//! Recording is observational: round outputs are byte-identical with and
+//! without it (CI asserts this).
+//!
 //! Usage: `cargo run --release -p atom-bench --bin throughput --
 //! [--real] [--rounds N] [--messages M] [--delay-ms D] [--transport mem|tcp]
-//! [--processes 1,2,..] [--sharded] [--stall-timeout-ms S] [--out PATH]`
+//! [--processes 1,2,..] [--sharded] [--stall-timeout-ms S] [--out PATH]
+//! [--trace PATH] [--metrics-out PATH]`
 
 use std::process::Command;
 use std::time::{Duration, Instant};
 
 use atom_bench::netbench::{self, NetSpec, ProcessFleet};
 use atom_bench::scale::{ScaleBaseline, ScaleCell};
-use atom_runtime::Engine;
+use atom_runtime::{Engine, RoundReport};
 
 const GROUPS: usize = 8;
 const ITERATIONS: usize = 3;
@@ -76,6 +87,14 @@ struct Args {
     /// Process counts of the horizontal-scaling sweep (empty = no sweep).
     processes: Vec<usize>,
     out: Option<String>,
+    /// Write the merged fleet Chrome trace (trace-event JSON) here and
+    /// enable span/counter recording in every process of the deployment.
+    trace: Option<String>,
+    /// Write the merged counter snapshots as JSON here (requires tracing).
+    metrics_out: Option<String>,
+    /// Internal (member mode): recording is on fleet-wide, but this process
+    /// only ships its snapshots to the coordinator and writes no files.
+    traced: bool,
     /// Internal: run as a member process of a TCP sweep.
     member: Option<MemberArgs>,
 }
@@ -101,6 +120,9 @@ fn parse_args() -> Args {
         stall_timeout: Duration::from_secs(120),
         processes: Vec::new(),
         out: None,
+        trace: None,
+        metrics_out: None,
+        traced: false,
         member: None,
     };
     let mut member = MemberArgs {
@@ -158,6 +180,9 @@ fn parse_args() -> Args {
                 ))
             }
             "--out" => args.out = Some(grab_str("--out")),
+            "--trace" => args.trace = Some(grab_str("--trace")),
+            "--metrics-out" => args.metrics_out = Some(grab_str("--metrics-out")),
+            "--traced" => args.traced = true,
             "--tcp-member" => is_member = true,
             "--index" => member.index = grab("--index", grab_str("--index")) as usize,
             "--addrs" => {
@@ -188,6 +213,7 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
         },
         sharded: args.sharded,
         stall_timeout: args.stall_timeout,
+        trace: args.trace.is_some() || args.traced,
     }
 }
 
@@ -196,8 +222,15 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
 /// inside the engine (single-process sharding: every group is hosted
 /// here), so the setup column measures the same code path the TCP mode
 /// distributes.
-fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
+fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration, Vec<RoundReport>) {
     use atom_runtime::EngineOptions;
+    if spec.trace {
+        // The harness process persists across sweep cells while round
+        // numbers repeat, so each traced run starts from a clean recorder.
+        atom_obs::reset();
+        atom_obs::set_process(0);
+        atom_obs::set_enabled(true);
+    }
     let jobs = if spec.sharded {
         netbench::build_sharded_jobs(spec, true)
     } else {
@@ -218,7 +251,7 @@ fn run_memory(spec: &NetSpec, workers: usize) -> (Duration, usize, Duration) {
         .map(|r| r.setup_latency)
         .max()
         .unwrap_or_default();
-    (wall, delivered, setup)
+    (wall, delivered, setup, reports)
 }
 
 /// The command line of the `--tcp-member` child hosting process `index`.
@@ -245,6 +278,9 @@ fn member_command(spec: &NetSpec, addrs: &[String], index: usize, workers: usize
     if spec.sharded {
         command.arg("--sharded");
     }
+    if spec.trace {
+        command.arg("--traced");
+    }
     command
 }
 
@@ -261,8 +297,18 @@ fn member_command(spec: &NetSpec, addrs: &[String], index: usize, workers: usize
 /// A member that dies fails the run loudly — the engine converts the lost
 /// peer into per-round errors, and the fleet kills and reaps every child
 /// on all exit paths — never a hang, never an orphan.
-fn run_tcp(spec: &NetSpec, processes: usize, workers: usize) -> (Duration, usize, Duration) {
+fn run_tcp(
+    spec: &NetSpec,
+    processes: usize,
+    workers: usize,
+) -> (Duration, usize, Duration, Vec<RoundReport>) {
     assert!(processes >= 1, "at least the coordinator process");
+    if spec.trace {
+        // Members are fresh processes, but this coordinator process runs
+        // every cell of a sweep with repeating round numbers: reset so the
+        // merged trace of each run covers only that run.
+        atom_obs::reset();
+    }
     let addrs = netbench::free_addrs(processes);
     let commands = (1..processes)
         .map(|index| member_command(spec, &addrs, index, workers))
@@ -294,10 +340,18 @@ fn run_tcp(spec: &NetSpec, processes: usize, workers: usize) -> (Duration, usize
     fleet
         .finish(FLEET_TIMEOUT)
         .unwrap_or_else(|error| panic!("fleet teardown: {error}"));
-    (wall, delivered, setup)
+    (wall, delivered, setup, reports)
 }
 
-fn print_sweep(args: &Args) {
+/// Appends every per-round fleet snapshot of `reports` to `sink` — the
+/// accumulator behind `--trace` / `--metrics-out`.
+fn collect_telemetry(reports: &[RoundReport], sink: &mut Vec<atom_obs::Snapshot>) {
+    for report in reports {
+        sink.extend(report.telemetry.iter().cloned());
+    }
+}
+
+fn print_sweep(args: &Args, telemetry: &mut Vec<atom_obs::Snapshot>) {
     let spec = spec(args, 0xBE_AC0);
     let total_messages = args.rounds * args.messages;
     println!(
@@ -321,10 +375,11 @@ fn print_sweep(args: &Args) {
 
     let mut baseline: Option<f64> = None;
     for workers in WORKER_SWEEP {
-        let (wall, delivered, setup) = match args.transport {
+        let (wall, delivered, setup, reports) = match args.transport {
             TransportKind::Mem => run_memory(&spec, workers),
             TransportKind::Tcp => run_tcp(&spec, 2, workers),
         };
+        collect_telemetry(&reports, telemetry);
         assert_eq!(delivered, total_messages, "no message may be lost");
         let rate = delivered as f64 / wall.as_secs_f64();
         let speedup = rate / *baseline.get_or_insert(rate);
@@ -342,7 +397,7 @@ fn print_sweep(args: &Args) {
 /// the measured form of the paper's throughput-vs-servers figure; real
 /// multi-machine numbers are the same engine with `--addrs` pointed at
 /// real NICs (see `docs/operations.md`).
-fn run_scale_sweep(args: &Args) -> ScaleBaseline {
+fn run_scale_sweep(args: &Args, telemetry: &mut Vec<atom_obs::Snapshot>) -> ScaleBaseline {
     let total_messages = args.rounds * args.messages;
     println!(
         "scale sweep: {GROUPS}-group trap deployment, {} rounds x {} messages, \
@@ -358,15 +413,27 @@ fn run_scale_sweep(args: &Args) -> ScaleBaseline {
         for workers in JSON_SWEEP {
             let mut normal = spec(args, 0xBE_AC0);
             normal.sharded = false;
-            let (wall, delivered, _) = run_tcp(&normal, processes, workers);
+            let (wall, delivered, _, reports) = run_tcp(&normal, processes, workers);
             assert_eq!(delivered, total_messages, "no message may be lost");
             let rate = delivered as f64 / wall.as_secs_f64();
+            collect_telemetry(&reports, telemetry);
 
             let mut sharded = spec(args, 0xBE_AC0);
             sharded.sharded = true;
-            let (sharded_wall, sharded_delivered, setup) = run_tcp(&sharded, processes, workers);
+            let (sharded_wall, sharded_delivered, setup, sharded_reports) =
+                run_tcp(&sharded, processes, workers);
             assert_eq!(sharded_delivered, total_messages, "no message may be lost");
             let sharded_rate = sharded_delivered as f64 / sharded_wall.as_secs_f64();
+            collect_telemetry(&sharded_reports, telemetry);
+
+            // Per-phase medians come from both instrumented runs of this
+            // cell — the sharded one is the only one that records `setup`
+            // spans (all zeros when the sweep runs untraced).
+            let cell_snaps: Vec<atom_obs::Snapshot> = reports
+                .iter()
+                .chain(sharded_reports.iter())
+                .flat_map(|report| report.telemetry.iter().cloned())
+                .collect();
 
             let setup_ms = setup.as_secs_f64() * 1e3;
             println!(
@@ -378,6 +445,10 @@ fn run_scale_sweep(args: &Args) -> ScaleBaseline {
                 msgs_per_sec: rate,
                 sharded_msgs_per_sec: sharded_rate,
                 setup_ms,
+                setup_p50_ms: atom_obs::phase_median_ms(&cell_snaps, "setup"),
+                intake_p50_ms: atom_obs::phase_median_ms(&cell_snaps, "intake"),
+                mix_p50_ms: atom_obs::phase_median_ms(&cell_snaps, "mix"),
+                verify_p50_ms: atom_obs::phase_median_ms(&cell_snaps, "verify"),
             });
         }
     }
@@ -401,7 +472,7 @@ fn run_scale_sweep(args: &Args) -> ScaleBaseline {
 /// run gets the combined `2 * workers` threads — both sides spend the
 /// same compute, and the recorded gap is the transport's genuine cost
 /// (frame encode/decode, socket hops, the process split).
-fn write_net_baseline(args: &Args, path: &str) {
+fn write_net_baseline(args: &Args, path: &str, telemetry: &mut Vec<atom_obs::Snapshot>) {
     let spec = spec(args, 0xBE_AC0);
     let total_messages = args.rounds * args.messages;
     let mut rows = Vec::new();
@@ -414,8 +485,10 @@ fn write_net_baseline(args: &Args, path: &str) {
         "workers", "mem msgs/s", "tcp msgs/s", "overhead"
     );
     for workers in JSON_SWEEP {
-        let (mem_wall, mem_delivered, _) = run_memory(&spec, 2 * workers);
-        let (tcp_wall, tcp_delivered, tcp_setup) = run_tcp(&spec, 2, workers);
+        let (mem_wall, mem_delivered, _, mem_reports) = run_memory(&spec, 2 * workers);
+        collect_telemetry(&mem_reports, telemetry);
+        let (tcp_wall, tcp_delivered, tcp_setup, tcp_reports) = run_tcp(&spec, 2, workers);
+        collect_telemetry(&tcp_reports, telemetry);
         assert_eq!(mem_delivered, total_messages);
         assert_eq!(tcp_delivered, total_messages);
         let mem_rate = mem_delivered as f64 / mem_wall.as_secs_f64();
@@ -445,6 +518,25 @@ fn write_net_baseline(args: &Args, path: &str) {
     println!("wrote {path}");
 }
 
+/// Writes the `--trace` / `--metrics-out` artifacts from the accumulated
+/// fleet snapshots and prints the human span summary.
+fn write_telemetry(args: &Args, telemetry: &[atom_obs::Snapshot]) {
+    if let Some(path) = &args.trace {
+        std::fs::write(path, atom_obs::chrome_trace_json(telemetry))
+            .expect("write fleet trace JSON");
+        println!("wrote {path} ({} snapshots)", telemetry.len());
+        print!("{}", atom_obs::text_summary(telemetry));
+    }
+    if let Some(path) = &args.metrics_out {
+        assert!(
+            args.trace.is_some(),
+            "--metrics-out needs --trace (recording is off otherwise)"
+        );
+        std::fs::write(path, atom_obs::metrics_json(telemetry)).expect("write metrics JSON");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(member) = &args.member {
@@ -460,20 +552,23 @@ fn main() {
         process.run();
         return;
     }
+    let mut telemetry: Vec<atom_obs::Snapshot> = Vec::new();
     if !args.processes.is_empty() {
         assert!(
             args.transport == TransportKind::Tcp,
             "--processes sweeps OS processes; add --transport tcp"
         );
-        let baseline = run_scale_sweep(&args);
+        let baseline = run_scale_sweep(&args, &mut telemetry);
         if let Some(path) = &args.out {
             std::fs::write(path, baseline.to_json()).expect("write BENCH_scale.json");
             println!("wrote {path}");
         }
+        write_telemetry(&args, &telemetry);
         return;
     }
     match &args.out {
-        Some(path) => write_net_baseline(&args, path),
-        None => print_sweep(&args),
+        Some(path) => write_net_baseline(&args, path, &mut telemetry),
+        None => print_sweep(&args, &mut telemetry),
     }
+    write_telemetry(&args, &telemetry);
 }

@@ -54,6 +54,12 @@ pub struct NetSpec {
     /// not part of the workload derivation, but carried here so every
     /// process of a deployment agrees on it like on every other knob.
     pub stall_timeout: Duration,
+    /// Enables `atom-obs` span/counter recording in every process of the
+    /// deployment. Members then ship telemetry frames to the coordinator at
+    /// round end, so it must be on fleet-wide or not at all — which is why
+    /// it lives in the spec rather than in a per-process flag. Recording is
+    /// observational only: round outputs are byte-identical either way.
+    pub trace: bool,
 }
 
 impl Default for NetSpec {
@@ -67,6 +73,7 @@ impl Default for NetSpec {
             delay: Duration::ZERO,
             sharded: false,
             stall_timeout: Duration::from_secs(120),
+            trace: false,
         }
     }
 }
@@ -258,6 +265,10 @@ impl Process {
     /// the coordinator, the submissions): the DKGs themselves run inside
     /// [`Process::run`], sharded across the processes.
     pub fn start(spec: &NetSpec, addrs: Vec<String>, index: usize, workers: usize) -> Self {
+        if spec.trace {
+            atom_obs::set_process(index as u32);
+            atom_obs::set_enabled(true);
+        }
         let owner = owner_map(spec.groups, addrs.len());
         let hosted = hosted_groups(&owner, index);
         let transport = TcpTransport::bind(addrs, owner, index, TcpOptions::default())
@@ -359,10 +370,13 @@ impl ProcessFleet {
     /// Spawns one member per command. Each child's stdout is piped through
     /// a monitor thread that watches for [`READY_LINE`] and forwards every
     /// other line to this process's stderr, prefixed with the member's
-    /// process index — so an operator watching the coordinator sees the
-    /// whole fleet's output, attributed.
+    /// process index and the milliseconds elapsed since the fleet spawned —
+    /// so an operator watching the coordinator sees the whole fleet's
+    /// output, attributed and ordered in time (interleaving across members
+    /// is otherwise unreadable during a stall post-mortem).
     pub fn spawn(commands: Vec<Command>) -> Self {
         let (events_tx, events) = mpsc::channel();
+        let epoch = Instant::now();
         let members = commands
             .into_iter()
             .enumerate()
@@ -381,7 +395,8 @@ impl ProcessFleet {
                         if line == READY_LINE {
                             let _ = tx.send(FleetEvent::Ready(index));
                         } else {
-                            eprintln!("[p{index}] {line}");
+                            let ms = epoch.elapsed().as_millis();
+                            eprintln!("[p{index} +{ms}ms] {line}");
                         }
                     }
                     let _ = tx.send(FleetEvent::Eof(index));

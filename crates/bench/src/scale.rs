@@ -25,6 +25,15 @@ pub struct ScaleCell {
     pub sharded_msgs_per_sec: f64,
     /// Max per-round setup latency of the sharded run, milliseconds.
     pub setup_ms: f64,
+    /// Median duration of the `setup` spans of the cell's instrumented
+    /// runs, milliseconds; 0.0 when the sweep ran without `--trace`.
+    pub setup_p50_ms: f64,
+    /// Median `intake` span duration, milliseconds (0.0 untraced).
+    pub intake_p50_ms: f64,
+    /// Median per-hop `mix` span duration, milliseconds (0.0 untraced).
+    pub mix_p50_ms: f64,
+    /// Median `verify` span duration, milliseconds (0.0 untraced).
+    pub verify_p50_ms: f64,
 }
 
 /// The recorded scaling sweep: workload parameters plus one [`ScaleCell`]
@@ -56,12 +65,18 @@ impl ScaleBaseline {
                 format!(
                     "    {{\"processes\": {}, \"workers_per_process\": {}, \
                      \"msgs_per_sec\": {:.1}, \"sharded_msgs_per_sec\": {:.1}, \
-                     \"setup_ms\": {:.1}}}",
+                     \"setup_ms\": {:.1}, \"setup_p50_ms\": {:.3}, \
+                     \"intake_p50_ms\": {:.3}, \"mix_p50_ms\": {:.3}, \
+                     \"verify_p50_ms\": {:.3}}}",
                     cell.processes,
                     cell.workers_per_process,
                     cell.msgs_per_sec,
                     cell.sharded_msgs_per_sec,
-                    cell.setup_ms
+                    cell.setup_ms,
+                    cell.setup_p50_ms,
+                    cell.intake_p50_ms,
+                    cell.mix_p50_ms,
+                    cell.verify_p50_ms
                 )
             })
             .collect();
@@ -107,6 +122,10 @@ impl ScaleBaseline {
                 msgs_per_sec: field_num(body, "msgs_per_sec")?,
                 sharded_msgs_per_sec: field_num(body, "sharded_msgs_per_sec")?,
                 setup_ms: field_num(body, "setup_ms")?,
+                setup_p50_ms: field_num(body, "setup_p50_ms")?,
+                intake_p50_ms: field_num(body, "intake_p50_ms")?,
+                mix_p50_ms: field_num(body, "mix_p50_ms")?,
+                verify_p50_ms: field_num(body, "verify_p50_ms")?,
             });
         }
         if cells.is_empty() {
@@ -226,6 +245,38 @@ pub fn print_fig_scale(baseline: &ScaleBaseline) {
             cell.setup_ms
         );
     }
+
+    // Per-phase medians are recorded only when the sweep ran with --trace;
+    // an untraced baseline carries zeros and the breakdown is omitted.
+    let traced: Vec<&ScaleCell> = baseline
+        .cells
+        .iter()
+        .filter(|cell| {
+            cell.setup_p50_ms > 0.0
+                || cell.intake_p50_ms > 0.0
+                || cell.mix_p50_ms > 0.0
+                || cell.verify_p50_ms > 0.0
+        })
+        .collect();
+    if traced.is_empty() {
+        return;
+    }
+    println!("\nper-phase span medians (ms, instrumented runs):");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "processes", "workers", "setup", "intake", "mix", "verify"
+    );
+    for cell in traced {
+        println!(
+            "{:>10} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            cell.processes,
+            cell.workers_per_process,
+            cell.setup_p50_ms,
+            cell.intake_p50_ms,
+            cell.mix_p50_ms,
+            cell.verify_p50_ms
+        );
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +297,10 @@ mod tests {
                     msgs_per_sec: 101.5,
                     sharded_msgs_per_sec: 99.2,
                     setup_ms: 14.5,
+                    setup_p50_ms: 12.25,
+                    intake_p50_ms: 3.5,
+                    mix_p50_ms: 1.75,
+                    verify_p50_ms: 0.5,
                 },
                 ScaleCell {
                     processes: 2,
@@ -253,6 +308,10 @@ mod tests {
                     msgs_per_sec: 180.0,
                     sharded_msgs_per_sec: 175.4,
                     setup_ms: 9.1,
+                    setup_p50_ms: 0.0,
+                    intake_p50_ms: 0.0,
+                    mix_p50_ms: 0.0,
+                    verify_p50_ms: 0.0,
                 },
             ],
         }

@@ -275,6 +275,7 @@ fn killed_member_fails_rounds_with_errors_not_hangs() {
         delay: Duration::from_millis(100),
         sharded: false,
         stall_timeout: Duration::from_secs(5),
+        trace: false,
     };
     let addrs = netbench::free_addrs(3);
     let mut fleet = ProcessFleet::spawn(vec![

@@ -38,6 +38,41 @@ pub enum AtomError {
     },
     /// A message or batch was malformed.
     Malformed(String),
+    /// A round died inside the execution engine rather than in the protocol
+    /// itself: the runtime classifies the failure (stall, lost peer, peer
+    /// abort) so operators and telemetry can react to the *kind* without
+    /// parsing the free-text reason.
+    Engine {
+        /// Structured failure classification.
+        kind: EngineErrorKind,
+        /// Human-readable diagnosis (e.g. the engine's stall detail).
+        reason: String,
+    },
+}
+
+/// Classification of fatal engine-level round failures (the
+/// [`AtomError::Engine`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineErrorKind {
+    /// No task progress within the stall timeout: a peer process died
+    /// silently, or a local bug lost a wake-up.
+    Stall,
+    /// A peer process became unreachable mid-round (connect failure, reset
+    /// stream); the transport could not deliver a protocol frame.
+    TransportLost,
+    /// A peer reported the round aborted on its side; the authoritative
+    /// error lives with that peer.
+    ProtocolAbort,
+}
+
+impl fmt::Display for EngineErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineErrorKind::Stall => "stall",
+            EngineErrorKind::TransportLost => "transport-lost",
+            EngineErrorKind::ProtocolAbort => "protocol-abort",
+        })
+    }
 }
 
 impl fmt::Display for AtomError {
@@ -67,6 +102,9 @@ impl fmt::Display for AtomError {
                 "group {group} lost {failed} servers but tolerates only {tolerated}"
             ),
             AtomError::Malformed(msg) => write!(f, "malformed data: {msg}"),
+            AtomError::Engine { kind, reason } => {
+                write!(f, "engine failure ({kind}): {reason}")
+            }
         }
     }
 }

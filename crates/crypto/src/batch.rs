@@ -63,6 +63,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
+use atom_obs::Counter;
 use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
 use curve25519_dalek::ristretto::{RistrettoBasepointTable, RistrettoPoint};
 use curve25519_dalek::scalar::Scalar;
@@ -79,6 +80,29 @@ use crate::transcript::Transcript;
 /// only bounds pathological key churn (e.g. key-per-message tests).
 const TABLE_CACHE_CAP: usize = 64;
 
+/// Table-cache lookups that found an existing window table.
+static TABLE_CACHE_HITS: Counter = Counter::new("crypto.table_cache.hits");
+/// Table-cache lookups that had to build a fresh window table.
+static TABLE_CACHE_MISSES: Counter = Counter::new("crypto.table_cache.misses");
+/// Fixed-base scalar multiplications served through [`mul_fixed`].
+static FIXED_BASE_CALLS: Counter = Counter::new("crypto.fixed_base.calls");
+/// Multi-exponentiation invocations ([`multiscalar_mul`]).
+static MULTIEXP_CALLS: Counter = Counter::new("crypto.multiexp.calls");
+/// Total terms fed into multi-exponentiations (pre-coalescing).
+static MULTIEXP_TERMS: Counter = Counter::new("crypto.multiexp.terms");
+/// RLC-batched `EncProof` verification calls.
+static VERIFY_ENC_BATCHES: Counter = Counter::new("crypto.verify_enc.batches");
+/// Individual `EncProof`s covered by batched verification calls.
+static VERIFY_ENC_ITEMS: Counter = Counter::new("crypto.verify_enc.items");
+/// `EncProof` batches whose RLC check missed and fell back per-proof.
+static VERIFY_ENC_FALLBACKS: Counter = Counter::new("crypto.verify_enc.fallbacks");
+/// RLC-batched `ReEncProof` verification calls.
+static VERIFY_REENC_BATCHES: Counter = Counter::new("crypto.verify_reenc.batches");
+/// Individual `ReEncProof`s covered by batched verification calls.
+static VERIFY_REENC_ITEMS: Counter = Counter::new("crypto.verify_reenc.items");
+/// `ReEncProof` batches whose RLC check missed and fell back per-proof.
+static VERIFY_REENC_FALLBACKS: Counter = Counter::new("crypto.verify_reenc.fallbacks");
+
 fn table_cache() -> &'static Mutex<HashMap<[u8; 32], Arc<RistrettoBasepointTable>>> {
     static CACHE: OnceLock<Mutex<HashMap<[u8; 32], Arc<RistrettoBasepointTable>>>> =
         OnceLock::new();
@@ -92,8 +116,10 @@ pub fn fixed_base_table(point: &RistrettoPoint) -> Arc<RistrettoBasepointTable> 
     let key = point.compress().to_bytes();
     let mut cache = table_cache().lock();
     if let Some(table) = cache.get(&key) {
+        TABLE_CACHE_HITS.add(1);
         return table.clone();
     }
+    TABLE_CACHE_MISSES.add(1);
     if cache.len() >= TABLE_CACHE_CAP {
         // Evict a single arbitrary entry rather than flushing the map: with
         // more live bases than the cap, a full flush would degenerate into
@@ -110,6 +136,7 @@ pub fn fixed_base_table(point: &RistrettoPoint) -> Arc<RistrettoBasepointTable> 
 /// Fixed-base scalar multiplication `scalar · point` through the cached
 /// window table for `point`.
 pub fn mul_fixed(point: &RistrettoPoint, scalar: &Scalar) -> RistrettoPoint {
+    FIXED_BASE_CALLS.add(1);
     fixed_base_table(point).mul_scalar(scalar)
 }
 
@@ -120,6 +147,8 @@ pub fn mul_fixed(point: &RistrettoPoint, scalar: &Scalar) -> RistrettoPoint {
 /// key and next-group key).
 pub fn multiscalar_mul(scalars: &[Scalar], points: &[RistrettoPoint]) -> RistrettoPoint {
     debug_assert_eq!(scalars.len(), points.len());
+    MULTIEXP_CALLS.add(1);
+    MULTIEXP_TERMS.add(scalars.len() as u64);
     let mut index: HashMap<RistrettoPoint, usize> = HashMap::with_capacity(points.len());
     let mut unique_points: Vec<RistrettoPoint> = Vec::with_capacity(points.len());
     let mut coefficients: Vec<Scalar> = Vec::with_capacity(points.len());
@@ -167,8 +196,13 @@ pub struct EncVerification<'a> {
 /// identifies the first item (in slice order) that fails individually —
 /// exactly the verdict the sequential verifier would produce.
 pub fn verify_encryption_batch(items: &[EncVerification<'_>]) -> Result<(), (usize, CryptoError)> {
+    VERIFY_ENC_BATCHES.add(1);
+    VERIFY_ENC_ITEMS.add(items.len() as u64);
     if items.len() > 1 && try_verify_encryption_rlc(items).is_ok() {
         return Ok(());
+    }
+    if items.len() > 1 {
+        VERIFY_ENC_FALLBACKS.add(1);
     }
     // Single item, structural oddity, or combined-check rejection: decide
     // per proof so error identity matches the sequential path.
@@ -250,8 +284,13 @@ pub fn verify_reencryption_batch(
         proofs.len(),
         "one proof per re-encryption statement"
     );
+    VERIFY_REENC_BATCHES.add(1);
+    VERIFY_REENC_ITEMS.add(statements.len() as u64);
     if statements.len() > 1 && try_verify_reencryption_rlc(statements, proofs).is_ok() {
         return Ok(());
+    }
+    if statements.len() > 1 {
+        VERIFY_REENC_FALLBACKS.add(1);
     }
     for (i, (stmt, proof)) in statements.iter().zip(proofs.iter()).enumerate() {
         reenc::verify_reencryption(stmt, proof).map_err(|e| (i, e))?;
@@ -376,6 +415,31 @@ mod tests {
             let s = Scalar::random(&mut rng);
             assert_eq!(mul_fixed(&point, &s), s * point);
         }
+    }
+
+    #[test]
+    fn counters_record_only_while_recording_is_enabled() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let point = RistrettoPoint::random(&mut rng);
+        let s = Scalar::random(&mut rng);
+
+        // Disabled (the default): no counter movement at all.
+        atom_obs::set_enabled(false);
+        let before = FIXED_BASE_CALLS.get();
+        mul_fixed(&point, &s);
+        assert_eq!(FIXED_BASE_CALLS.get(), before);
+
+        // Enabled: the same call is counted. Other tests in this binary may
+        // run concurrently and also bump the counters, so assert growth
+        // rather than exact deltas.
+        atom_obs::set_enabled(true);
+        let calls = FIXED_BASE_CALLS.get();
+        let terms = MULTIEXP_TERMS.get();
+        mul_fixed(&point, &s);
+        multiscalar_mul(&[s, s], &[point, point]);
+        assert!(FIXED_BASE_CALLS.get() > calls);
+        assert!(MULTIEXP_TERMS.get() >= terms + 2);
+        atom_obs::set_enabled(false);
     }
 
     #[test]

@@ -286,6 +286,7 @@ fn connect_retry(inner: &Arc<TcpInner>, process: usize) -> io::Result<()> {
                 return Ok(());
             }
             Err(error) => {
+                atom_obs::count("net.tcp.connect_retries", 1);
                 if Instant::now() >= deadline {
                     return Err(io::Error::new(
                         error.kind(),
@@ -436,6 +437,15 @@ impl Transport for TcpTransport {
             delay: Duration::ZERO,
         };
         let process = self.inner.owner[to];
+        if atom_obs::enabled() {
+            let label = &envelope.label;
+            atom_obs::count(&format!("net.tcp.frames.{label}"), 1);
+            atom_obs::count(
+                &format!("net.tcp.bytes.{label}"),
+                envelope.payload.len() as u64,
+            );
+            atom_obs::count(&format!("net.tcp.to_process.{process}.frames"), 1);
+        }
         if process == self.inner.me {
             self.inner.deliver_local(envelope);
             return Duration::ZERO;

@@ -235,11 +235,16 @@ impl InMemoryNetwork {
         payload: Vec<u8>,
     ) -> Duration {
         assert!(from < self.nodes() && to < self.nodes(), "unknown node");
+        let label = label.into();
         let bytes = payload.len() as u64;
         let propagation = self.inner.latency.link(from, to);
         let transmission = transmission_time(bytes, self.inner.classes[from].bandwidth_mbps);
         let delay = propagation + transmission;
 
+        if atom_obs::enabled() {
+            atom_obs::count(&format!("net.mem.frames.{label}"), 1);
+            atom_obs::count(&format!("net.mem.bytes.{label}"), bytes);
+        }
         {
             let mut stats = self.inner.sent[from].lock();
             stats.messages += 1;
@@ -248,7 +253,7 @@ impl InMemoryNetwork {
         self.inner.mailboxes[to].lock().queue.push_back(Envelope {
             from,
             to,
-            label: label.into(),
+            label,
             payload,
             delay,
         });
@@ -448,6 +453,36 @@ mod tests {
         // Draining an empty mailbox credits nothing further.
         assert!(net.drain(1).is_empty());
         assert_eq!(net.received_stats(1).messages, 2);
+    }
+
+    #[test]
+    fn sends_feed_the_observability_counters_when_enabled() {
+        let net = InMemoryNetwork::local(2);
+        // Disabled (the default): nothing is recorded.
+        net.send(0, 1, "meter-probe", vec![0u8; 5]);
+        let disabled: u64 = atom_obs::counter_snapshot()
+            .into_iter()
+            .filter(|(name, _)| name == "net.mem.frames.meter-probe")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(disabled, 0);
+
+        atom_obs::set_enabled(true);
+        net.send(0, 1, "meter-probe", vec![0u8; 9]);
+        net.send(1, 0, "meter-probe", vec![0u8; 4]);
+        atom_obs::set_enabled(false);
+        let snapshot = atom_obs::counter_snapshot();
+        let get = |name: &str| -> u64 {
+            snapshot
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        // The label is unique to this test, so exact counts are safe even
+        // with other tests running concurrently in this binary.
+        assert_eq!(get("net.mem.frames.meter-probe"), 2);
+        assert_eq!(get("net.mem.bytes.meter-probe"), 13);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Span tracing and operation counters for the Atom reproduction.
+//!
+//! This crate is the observability floor the rest of the workspace reports
+//! through: a process-global, lock-cheap recorder for *phase spans*
+//! (setup / intake / verify / mix / exit, keyed by round and group) plus
+//! named *operation counters* (crypto batch sizes, transport frame volume),
+//! and emitters that render collected snapshots as a Chrome trace-event
+//! JSON file (loadable in Perfetto / `chrome://tracing`) or a human text
+//! summary with p50/p99 per phase per round.
+//!
+//! Everything is **disabled by default** and costs one relaxed atomic load
+//! per instrumentation site until [`set_enabled`]`(true)` is called, so the
+//! hot paths of an untraced run are unperturbed. Recording never touches
+//! protocol state or randomness: traced runs must stay byte-identical to
+//! untraced ones, and CI asserts exactly that.
+//!
+//! The crate deliberately depends on nothing but `std`. Spans are coarse
+//! (one per phase × round × group × hop), so a plain `Mutex<Vec<_>>` is
+//! cheap relative to the work each span brackets; counters are static
+//! relaxed atomics registered on first use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+
+pub use emit::{chrome_trace_json, metrics_json, phase_median_ms, text_summary};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Sentinel `gid` for spans that are not specific to one group
+/// (trustee setup, exit assembly, stall diagnostics).
+pub const GID_NONE: u32 = u32::MAX;
+
+/// Global enable flag. All instrumentation sites check this first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process index stamped on local snapshots (fleet member index).
+static PROCESS: AtomicU32 = AtomicU32::new(0);
+
+/// Monotonic epoch all span timestamps are measured against. Set lazily on
+/// the first timestamp so an untraced process never touches the clock.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Next thread id handed out by [`thread_id`].
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// Collected spans for this process.
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Registered static counters (see [`Counter`]).
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+/// Dynamically-named counters (see [`count`]).
+static DYN_COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// Small dense per-thread id used as the Perfetto track id. Assigned on
+    /// first use so worker threads get stable, compact tids.
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Turn recording on or off process-wide. Disabled (the default) makes every
+/// instrumentation site a single relaxed load.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record which fleet process this is (0 = coordinator). Stamped on
+/// [`local_snapshot`] and used as the Perfetto `pid` track.
+pub fn set_process(process: u32) {
+    PROCESS.store(process, Ordering::Relaxed);
+}
+
+/// The fleet process index previously set via [`set_process`] (default 0).
+pub fn process() -> u32 {
+    PROCESS.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process trace epoch.
+fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The calling thread's compact trace id.
+fn thread_id() -> u32 {
+    TID.with(|tid| *tid)
+}
+
+/// Clear all recorded spans and reset every counter to zero. Call between
+/// independent traced runs sharing one process (e.g. sweep cells) so spans
+/// from an earlier run's round N don't bleed into the next run's round N.
+pub fn reset() {
+    SPANS.lock().expect("span store poisoned").clear();
+    for counter in COUNTERS.lock().expect("counter registry poisoned").iter() {
+        counter.value.store(0, Ordering::Relaxed);
+    }
+    DYN_COUNTERS.lock().expect("dyn counters poisoned").clear();
+}
+
+/// One recorded phase span: `phase` ran for `dur_us` starting at `start_us`
+/// (microseconds since the process epoch) on worker thread `tid`, attributed
+/// to `round`/`gid` (`gid == `[`GID_NONE`] when not group-specific). `note`
+/// carries free-text detail (stall diagnoses) and is usually empty.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Short phase name: `setup`, `intake`, `verify`, `mix`, `exit`, `stall`.
+    pub phase: String,
+    /// Protocol round the span belongs to.
+    pub round: u32,
+    /// Group id, or [`GID_NONE`] for round-wide spans.
+    pub gid: u32,
+    /// Compact worker-thread id (Perfetto track within the process).
+    pub tid: u32,
+    /// Start time, microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for instant markers).
+    pub dur_us: u64,
+    /// Optional free-text detail (e.g. the engine's stall diagnosis).
+    pub note: String,
+}
+
+/// Live span guard returned by [`span`]; records a [`SpanRecord`] when
+/// dropped. Inert (no clock reads, no allocation) while recording is
+/// disabled.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    start: Option<(&'static str, u32, u32, u64)>,
+}
+
+impl Span {
+    /// An inert span that records nothing on drop.
+    pub fn disabled() -> Self {
+        Span { start: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((phase, round, gid, start_us)) = self.start.take() {
+            let end_us = now_us();
+            record(SpanRecord {
+                phase: phase.to_string(),
+                round,
+                gid,
+                tid: thread_id(),
+                start_us,
+                dur_us: end_us.saturating_sub(start_us),
+                note: String::new(),
+            });
+        }
+    }
+}
+
+/// Open a phase span; the returned guard records it on drop. Use
+/// [`GID_NONE`] for spans not tied to one group.
+pub fn span(phase: &'static str, round: u32, gid: u32) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    Span {
+        start: Some((phase, round, gid, now_us())),
+    }
+}
+
+/// Record an instant marker with free-text detail (e.g. a stall diagnosis).
+/// No-op while recording is disabled.
+pub fn note(phase: &'static str, round: u32, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    record(SpanRecord {
+        phase: phase.to_string(),
+        round,
+        gid: GID_NONE,
+        tid: thread_id(),
+        start_us: now_us(),
+        dur_us: 0,
+        note: detail.to_string(),
+    });
+}
+
+fn record(span: SpanRecord) {
+    SPANS.lock().expect("span store poisoned").push(span);
+}
+
+/// All spans recorded so far for `round`, in recording order.
+pub fn spans_for_round(round: u32) -> Vec<SpanRecord> {
+    SPANS
+        .lock()
+        .expect("span store poisoned")
+        .iter()
+        .filter(|span| span.round == round)
+        .cloned()
+        .collect()
+}
+
+/// A named, statically-allocated operation counter. Declare one per
+/// instrumentation site:
+///
+/// ```
+/// static FIXED_BASE_CALLS: atom_obs::Counter =
+///     atom_obs::Counter::new("crypto.fixed_base.calls");
+/// FIXED_BASE_CALLS.add(1);
+/// ```
+///
+/// `add` is a relaxed fetch-add when recording is enabled and a single
+/// relaxed load otherwise. The counter registers itself in the global
+/// snapshot registry on its first increment.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter reported under `name` (dot-separated, e.g.
+    /// `crypto.multiexp.terms`).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` to the counter. No-op while recording is disabled.
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS
+                .lock()
+                .expect("counter registry poisoned")
+                .push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The counter's current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Add `n` to a dynamically-named counter (for names only known at runtime,
+/// e.g. per-peer transport volume). Hotter sites should prefer a static
+/// [`Counter`]. No-op while recording is disabled.
+pub fn count(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = DYN_COUNTERS.lock().expect("dyn counters poisoned");
+    *map.entry(name.to_string()).or_insert(0) += n;
+}
+
+/// Current values of every counter touched so far, sorted by name.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = COUNTERS
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|counter| (counter.name.to_string(), counter.get()))
+        .collect();
+    out.extend(
+        DYN_COUNTERS
+            .lock()
+            .expect("dyn counters poisoned")
+            .iter()
+            .map(|(name, value)| (name.clone(), *value)),
+    );
+    out.sort();
+    out
+}
+
+/// One process's collected telemetry: its counters plus a set of spans.
+/// Members ship these to the coordinator inside `telemetry` wire frames;
+/// the coordinator merges one per process into each round's report and the
+/// fleet trace file (one Perfetto process track per `process`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Fleet process index the data came from (Perfetto `pid`).
+    pub process: u32,
+    /// Counter values at snapshot time, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Recorded spans (typically filtered to one round).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Snapshot this process's counters plus the spans of `round` (or all
+/// rounds when `round` is `None`), stamped with [`process`].
+pub fn local_snapshot(round: Option<u32>) -> Snapshot {
+    let spans = match round {
+        Some(round) => spans_for_round(round),
+        None => SPANS.lock().expect("span store poisoned").clone(),
+    };
+    Snapshot {
+        process: process(),
+        counters: counter_snapshot(),
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global, so tests that flip `ENABLED` or
+    /// inspect stores serialize through this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_and_counters_record_nothing() {
+        let _guard = exclusive();
+        set_enabled(false);
+        reset();
+        {
+            let _span = span("mix", 7, 3);
+        }
+        note("stall", 7, "detail");
+        static TEST_DISABLED: Counter = Counter::new("test.disabled");
+        TEST_DISABLED.add(5);
+        count("test.disabled.dyn", 5);
+        assert!(spans_for_round(7).is_empty());
+        assert_eq!(TEST_DISABLED.get(), 0);
+        assert!(counter_snapshot()
+            .iter()
+            .all(|(name, _)| !name.starts_with("test.disabled")));
+    }
+
+    #[test]
+    fn enabled_spans_capture_phase_round_gid_and_duration() {
+        let _guard = exclusive();
+        set_enabled(true);
+        reset();
+        {
+            let _span = span("setup", 2, 1);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        note("stall", 2, "no task progress");
+        set_enabled(false);
+        let spans = spans_for_round(2);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].phase, "setup");
+        assert_eq!((spans[0].round, spans[0].gid), (2, 1));
+        assert!(
+            spans[0].dur_us >= 1_000,
+            "slept 2ms, got {}",
+            spans[0].dur_us
+        );
+        assert_eq!(spans[1].phase, "stall");
+        assert_eq!(spans[1].gid, GID_NONE);
+        assert_eq!(spans[1].dur_us, 0);
+        assert_eq!(spans[1].note, "no task progress");
+        assert!(spans_for_round(3).is_empty());
+    }
+
+    #[test]
+    fn counters_snapshot_sorted_and_reset_zeroes() {
+        let _guard = exclusive();
+        set_enabled(true);
+        reset();
+        static TEST_B: Counter = Counter::new("test.b");
+        static TEST_A: Counter = Counter::new("test.a");
+        TEST_B.add(2);
+        TEST_A.add(1);
+        TEST_A.add(1);
+        count("test.dyn.z", 9);
+        set_enabled(false);
+        let snapshot = counter_snapshot();
+        let ours: Vec<_> = snapshot
+            .iter()
+            .filter(|(name, _)| name.starts_with("test."))
+            .cloned()
+            .collect();
+        assert_eq!(
+            ours,
+            vec![
+                ("test.a".to_string(), 2),
+                ("test.b".to_string(), 2),
+                ("test.dyn.z".to_string(), 9),
+            ]
+        );
+        reset();
+        assert_eq!(TEST_A.get(), 0);
+        assert!(counter_snapshot()
+            .iter()
+            .all(|(name, _)| !name.starts_with("test.dyn")));
+    }
+
+    #[test]
+    fn local_snapshot_filters_by_round_and_stamps_process() {
+        let _guard = exclusive();
+        set_enabled(true);
+        reset();
+        set_process(3);
+        {
+            let _a = span("mix", 0, 0);
+        }
+        {
+            let _b = span("mix", 1, 0);
+        }
+        set_enabled(false);
+        let snapshot = local_snapshot(Some(1));
+        assert_eq!(snapshot.process, 3);
+        assert_eq!(snapshot.spans.len(), 1);
+        assert_eq!(snapshot.spans[0].round, 1);
+        let all = local_snapshot(None);
+        assert_eq!(all.spans.len(), 2);
+        set_process(0);
+    }
+}

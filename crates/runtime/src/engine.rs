@@ -52,7 +52,7 @@ use atom_core::directory::{
     derive_buddies, derive_group, derive_members, derive_trustees, GroupContext, RoundSetup,
     TrusteeContext,
 };
-use atom_core::error::{AtomError, AtomResult};
+use atom_core::error::{AtomError, AtomResult, EngineErrorKind};
 use atom_core::group::GroupStepOptions;
 use atom_core::message::{NizkSubmission, TrapSubmission};
 use atom_core::round::{
@@ -67,7 +67,7 @@ use curve25519_dalek::traits::Identity;
 use atom_net::{InMemoryNetwork, LatencyModel, TrafficStats, Transport};
 
 use crate::wire;
-use crate::wire::{ExitFrame, Frame, SetupFrame};
+use crate::wire::{ExitFrame, Frame, SetupFrame, TelemetryFrame};
 
 /// Envelope label of serialized mixing sub-batches (static: no per-message
 /// allocation on the hot path).
@@ -81,6 +81,11 @@ pub const ABORT_LABEL: &str = "atom/abort";
 
 /// Envelope label of sharded-setup directory frames (group → peers).
 pub const SETUP_LABEL: &str = "atom/setup";
+
+/// Envelope label of telemetry snapshots (member → orchestrator). Purely
+/// observational: only sent while [`atom_obs`] recording is enabled, and
+/// never able to alter a round's protocol output.
+pub const TELEMETRY_LABEL: &str = "atom/telemetry";
 
 /// Engine-wide execution options.
 #[derive(Clone, Debug)]
@@ -317,6 +322,11 @@ pub struct RoundReport {
     pub mix_messages: u64,
     /// Mixing bytes this round pushed through the transport.
     pub mix_bytes: u64,
+    /// Fleet-wide telemetry for this round, one snapshot per process
+    /// (sorted by process index): the coordinator's own spans/counters plus
+    /// every member's `telemetry` wire frame. Empty unless
+    /// [`atom_obs`] recording was enabled for the run.
+    pub telemetry: Vec<atom_obs::Snapshot>,
 }
 
 enum Task {
@@ -372,6 +382,12 @@ struct ExitState {
     /// Mixing traffic accumulated from the groups' exit frames.
     group_mix_messages: u64,
     group_mix_bytes: u64,
+    /// Member telemetry snapshots collected at the orchestrator, at most
+    /// one per sending process (duplicates are benign no-ops). While
+    /// recording is enabled the round finalizes only once these cover
+    /// every remotely hosted group, so the merged report and fleet trace
+    /// span all processes.
+    telemetry: Vec<TelemetryFrame>,
 }
 
 /// What actor construction needs from a [`RoundJob`], retained per round so
@@ -609,9 +625,10 @@ impl Shared<'_> {
         }
         self.fail_job(
             round,
-            AtomError::Malformed(format!(
-                "send {from} -> {to} ({label}) failed: peer process unreachable"
-            )),
+            AtomError::Engine {
+                kind: EngineErrorKind::TransportLost,
+                reason: format!("send {from} -> {to} ({label}) failed: peer process unreachable"),
+            },
         );
         false
     }
@@ -626,12 +643,19 @@ impl Shared<'_> {
                 continue;
             }
             let detail = self.stall_detail(job);
+            // The diagnosis goes into the trace timeline too, so a traced
+            // run shows *where* the round was stuck next to the spans of
+            // the work that did complete — not only on stderr.
+            atom_obs::note("stall", round as u32, &detail);
             self.fail_job(
                 round,
-                AtomError::Malformed(format!(
-                    "engine stalled: no task progress for {elapsed:?} (remote peer lost?); \
-                     round {round} {detail}"
-                )),
+                AtomError::Engine {
+                    kind: EngineErrorKind::Stall,
+                    reason: format!(
+                        "engine stalled: no task progress for {elapsed:?} (remote peer \
+                         lost?); round {round} {detail}"
+                    ),
+                },
             );
         }
     }
@@ -890,6 +914,7 @@ impl Engine {
                     pipelined: Duration::ZERO,
                     group_mix_messages: 0,
                     group_mix_bytes: 0,
+                    telemetry: Vec::new(),
                 }),
                 result: Mutex::new(result),
                 intake_mix_messages: AtomicU64::new(0),
@@ -1020,6 +1045,7 @@ fn member_stub_report(
         setup_latency,
         mix_messages,
         mix_bytes,
+        telemetry: Vec::new(),
     }
 }
 
@@ -1144,6 +1170,7 @@ fn chunk_ranges(submissions: usize, chunk: usize, workers: usize) -> Vec<(usize,
 /// records the full context locally. The worker completing the round's last
 /// missing piece assembles the directory ([`finish_setup`]).
 fn run_setup_group(shared: &Shared<'_>, round: usize, gid: usize) {
+    let _span = atom_obs::span("setup", round as u32, gid as u32);
     let job = &shared.jobs[round];
     if job.failed() {
         return;
@@ -1200,6 +1227,7 @@ fn run_setup_group(shared: &Shared<'_>, round: usize, gid: usize) {
 /// Derives the trustee DKG of a sharded round (coordinator only; members
 /// record a placeholder — see [`member_trustee_placeholder`]).
 fn run_setup_trustees(shared: &Shared<'_>, round: usize) {
+    let _span = atom_obs::span("setup", round as u32, atom_obs::GID_NONE);
     let job = &shared.jobs[round];
     if job.failed() {
         return;
@@ -1421,6 +1449,7 @@ fn finish_setup(shared: &Shared<'_>, round: usize) {
 /// completes the round's last chunk merges the results and releases the
 /// iteration-0 batches ([`finish_intake`]).
 fn run_intake_chunk(shared: &Shared<'_>, round: usize, chunk: usize) {
+    let _span = atom_obs::span("intake", round as u32, atom_obs::GID_NONE);
     let job = &shared.jobs[round];
     if job.failed() {
         return;
@@ -1434,22 +1463,27 @@ fn run_intake_chunk(shared: &Shared<'_>, round: usize, chunk: usize) {
 
     let (start, end) = job.chunks[chunk];
     let setup = job.round_setup();
-    let result = match &job.submissions {
-        RoundSubmissions::Nizk(submissions) => {
-            verify_nizk_submissions_range(setup, &submissions[start..end], start).map(|batches| {
-                ChunkIntake {
-                    batches,
-                    commitments: Vec::new(),
-                }
-            })
-        }
-        RoundSubmissions::Trap(submissions) => {
-            verify_trap_submissions_range(setup, &submissions[start..end], start).map(|intake| {
-                ChunkIntake {
-                    batches: intake.batches,
-                    commitments: intake.commitments,
-                }
-            })
+    let result = {
+        // Proof verification dominates intake; give it its own phase so the
+        // trace separates crypto cost from chunk bookkeeping.
+        let _verify_span = atom_obs::span("verify", round as u32, atom_obs::GID_NONE);
+        match &job.submissions {
+            RoundSubmissions::Nizk(submissions) => {
+                verify_nizk_submissions_range(setup, &submissions[start..end], start).map(
+                    |batches| ChunkIntake {
+                        batches,
+                        commitments: Vec::new(),
+                    },
+                )
+            }
+            RoundSubmissions::Trap(submissions) => {
+                verify_trap_submissions_range(setup, &submissions[start..end], start).map(
+                    |intake| ChunkIntake {
+                        batches: intake.batches,
+                        commitments: intake.commitments,
+                    },
+                )
+            }
         }
     };
 
@@ -1554,6 +1588,7 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
             Frame::Mix(mix) => on_mix_frame(shared, node, mix),
             Frame::Exit(exit) => on_exit_frame(shared, node, exit),
             Frame::Setup(setup) => on_setup_frame(shared, setup),
+            Frame::Telemetry(telemetry) => on_telemetry_frame(shared, node, telemetry),
             Frame::Abort(abort) => {
                 let Some(_job) = shared.jobs.get(abort.round) else {
                     shared.fail_all("abort frame names an unknown round");
@@ -1561,7 +1596,10 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
                 };
                 shared.fail_job(
                     abort.round,
-                    AtomError::Malformed(format!("round aborted by a peer: {}", abort.reason)),
+                    AtomError::Engine {
+                        kind: EngineErrorKind::ProtocolAbort,
+                        reason: format!("round aborted by a peer: {}", abort.reason),
+                    },
                 );
             }
         }
@@ -1631,6 +1669,10 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
     let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
     let mut exit_send: Option<(Vec<u8>, Duration)> = None;
     {
+        // One span per hop. Scoped to the actor section (not the sends), so
+        // a member's final hop is recorded before `note_local_exit` builds
+        // the round's telemetry snapshot.
+        let _span = atom_obs::span("mix", round as u32, gid as u32);
         let mut actor = actor_slot.lock();
         actor.note_arrival(mix.iteration, arrival);
         let outputs = match actor.on_batch(mix.iteration, mix.from, mix.batch) {
@@ -1705,6 +1747,38 @@ fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration
     };
     if shared.role.coordinator || !all_local_done {
         return;
+    }
+    // All local groups are done: ship this process's span/counter snapshot
+    // to the orchestrator so the coordinator's merged report and fleet
+    // trace cover this process. Observational only — sent exclusively when
+    // recording is enabled, after the last local exit frame (ordered
+    // delivery per peer means it cannot overtake the exits).
+    if atom_obs::enabled() {
+        let hosted: Vec<usize> = shared
+            .role
+            .hosted
+            .iter()
+            .copied()
+            .filter(|&gid| gid < job.num_groups())
+            .collect();
+        let from = hosted.first().copied().unwrap_or(0);
+        let snapshot = atom_obs::local_snapshot(Some(round as u32));
+        let frame = TelemetryFrame {
+            round,
+            process: snapshot.process,
+            gids: hosted,
+            counters: snapshot.counters,
+            spans: snapshot.spans,
+        };
+        if !shared.send_for_round(
+            round,
+            from,
+            shared.orchestrator,
+            TELEMETRY_LABEL,
+            wire::encode_telemetry(&frame),
+        ) {
+            return;
+        }
     }
     let (pipelined, wall_clock) = {
         let exit = job.exit.lock();
@@ -1791,9 +1865,57 @@ fn on_exit_frame(shared: &Shared<'_>, node: usize, frame: ExitFrame) {
         exit.group_mix_bytes += frame.mix_bytes;
         exit.exits_done += 1;
         exit.pipelined = exit.pipelined.max(frame.finished_virtual);
-        exit.exits_done == job.num_groups()
+        exit.exits_done == job.num_groups() && telemetry_complete(shared, job, &exit)
     };
     if complete {
+        finalize_round(shared, round);
+    }
+}
+
+/// Whether the orchestrator holds all the telemetry it is waiting for:
+/// trivially true while recording is disabled; otherwise every remotely
+/// hosted group must be covered by some member's snapshot, so the merged
+/// report and fleet trace span every process. Members send their snapshot
+/// after their last exit frame on the same ordered channel, so this always
+/// resolves shortly after the exits do.
+fn telemetry_complete(shared: &Shared<'_>, job: &JobState, exit: &ExitState) -> bool {
+    if !atom_obs::enabled() {
+        return true;
+    }
+    (0..job.num_groups())
+        .filter(|&gid| !shared.role.hosts(gid))
+        .all(|gid| exit.telemetry.iter().any(|frame| frame.gids.contains(&gid)))
+}
+
+/// Collects one member process's telemetry snapshot at the orchestrator.
+/// Observational traffic: a duplicate from the same process is a benign
+/// no-op (idempotent), and a misrouted or unattributable frame is dropped
+/// rather than failing anything — telemetry must never be able to abort a
+/// round.
+fn on_telemetry_frame(shared: &Shared<'_>, node: usize, frame: TelemetryFrame) {
+    if node != shared.orchestrator || !shared.role.coordinator {
+        return;
+    }
+    let round = frame.round;
+    let Some(job) = shared.jobs.get(round) else {
+        return;
+    };
+    if job.failed() {
+        return;
+    }
+    let complete = {
+        let mut exit = job.exit.lock();
+        if exit
+            .telemetry
+            .iter()
+            .any(|existing| existing.process == frame.process)
+        {
+            return; // duplicate snapshot from a process we already heard
+        }
+        exit.telemetry.push(frame);
+        exit.exits_done == job.num_groups() && telemetry_complete(shared, job, &exit)
+    };
+    if complete && !job.finalized() {
         finalize_round(shared, round);
     }
 }
@@ -1803,7 +1925,7 @@ fn on_exit_frame(shared: &Shared<'_>, node: usize, frame: ExitFrame) {
 fn finalize_round(shared: &Shared<'_>, round: usize) {
     let job = &shared.jobs[round];
 
-    let (payloads, routed, commitments, computes, started, pipelined, group_mix) = {
+    let (payloads, routed, commitments, computes, started, pipelined, group_mix, member_telemetry) = {
         let mut exit = job.exit.lock();
         let payloads: Vec<Vec<Vec<u8>>> = exit
             .payloads
@@ -1818,32 +1940,55 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
             exit.started,
             exit.pipelined,
             (exit.group_mix_messages, exit.group_mix_bytes),
+            std::mem::take(&mut exit.telemetry),
         )
     };
-    // Per-iteration compute critical path as reported in the groups' exit
-    // frames, plus the analytic barrier-model network critical path, via
-    // the accounting helper shared with the sequential driver.
-    let setup = job.round_setup();
-    let mut timings = collect_round_timings(setup, &shared.latency, &computes);
-    // Same field semantics as the sequential driver: end-to-end wall time of
-    // the round in the coordinator process.
-    let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
-    timings.wall_clock = wall_clock;
+    let (output, wall_clock) = {
+        let _span = atom_obs::span("exit", round as u32, atom_obs::GID_NONE);
+        // Per-iteration compute critical path as reported in the groups'
+        // exit frames, plus the analytic barrier-model network critical
+        // path, via the accounting helper shared with the sequential driver.
+        let setup = job.round_setup();
+        let mut timings = collect_round_timings(setup, &shared.latency, &computes);
+        // Same field semantics as the sequential driver: end-to-end wall
+        // time of the round in the coordinator process.
+        let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
+        timings.wall_clock = wall_clock;
 
-    let output = match &job.submissions {
-        RoundSubmissions::Nizk(_) => finish_nizk_round(payloads, routed, timings),
-        RoundSubmissions::Trap(_) => {
-            finish_trap_round(setup, &commitments, payloads, routed, timings)
-        }
+        let output = match &job.submissions {
+            RoundSubmissions::Nizk(_) => finish_nizk_round(payloads, routed, timings),
+            RoundSubmissions::Trap(_) => {
+                finish_trap_round(setup, &commitments, payloads, routed, timings)
+            }
+        };
+        (output, wall_clock)
     };
 
-    let report = output.map(|output| RoundReport {
-        pipelined_latency: pipelined,
-        wall_clock,
-        setup_latency: *job.setup_latency.lock(),
-        mix_messages: job.intake_mix_messages.load(Ordering::Relaxed) + group_mix.0,
-        mix_bytes: job.intake_mix_bytes.load(Ordering::Relaxed) + group_mix.1,
-        output,
+    let report = output.map(|output| {
+        // Merge the fleet's telemetry: this process's snapshot — taken
+        // *after* the exit span above closed — plus every member frame, one
+        // Perfetto process track each, in process order.
+        let mut telemetry: Vec<atom_obs::Snapshot> = Vec::new();
+        if atom_obs::enabled() {
+            telemetry.push(atom_obs::local_snapshot(Some(round as u32)));
+            for frame in &member_telemetry {
+                telemetry.push(atom_obs::Snapshot {
+                    process: frame.process,
+                    counters: frame.counters.clone(),
+                    spans: frame.spans.clone(),
+                });
+            }
+            telemetry.sort_by_key(|snapshot| snapshot.process);
+        }
+        RoundReport {
+            pipelined_latency: pipelined,
+            wall_clock,
+            setup_latency: *job.setup_latency.lock(),
+            mix_messages: job.intake_mix_messages.load(Ordering::Relaxed) + group_mix.0,
+            mix_bytes: job.intake_mix_bytes.load(Ordering::Relaxed) + group_mix.1,
+            output,
+            telemetry,
+        }
     });
 
     // The exit phase itself can reject a round (trap-check failure,

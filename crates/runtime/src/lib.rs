@@ -124,6 +124,6 @@ pub mod wire;
 
 pub use engine::{
     total_traffic, Engine, EngineOptions, EngineRole, RoundDirectory, RoundJob, RoundReport,
-    RoundSubmissions, ABORT_LABEL, EXIT_LABEL, MIX_LABEL, SETUP_LABEL,
+    RoundSubmissions, ABORT_LABEL, EXIT_LABEL, MIX_LABEL, SETUP_LABEL, TELEMETRY_LABEL,
 };
 pub use scenarios::{ScenarioOptions, ScenarioReport};

@@ -18,6 +18,13 @@
 //! abort: 0x03 ‖ round u32 ‖ reason_len u32 ‖ reason (UTF-8)
 //! setup: 0x04 ‖ round u32 ‖ gid u32 ‖ flags u8 (must be 0) ‖ threshold u32
 //!        ‖ member_count u32 ‖ member u32 * ‖ group_public_key 32B
+//! telemetry:
+//!        0x05 ‖ round u32 ‖ process u32 ‖ flags u8 (must be 0)
+//!        ‖ gid_count u32 ‖ gid u32 *
+//!        ‖ counter_count u32 ‖ (name_len u16 ‖ name ‖ value u64) *
+//!        ‖ span_count u32 ‖ span *
+//!        span: phase_len u16 ‖ phase ‖ note_len u16 ‖ note
+//!              ‖ round u32 ‖ gid u32 ‖ tid u32 ‖ start_us u64 ‖ dur_us u64
 //! ```
 //!
 //! `from == u32::MAX` in a mix frame encodes the round orchestrator
@@ -39,6 +46,7 @@ use atom_core::actor::SOURCE;
 use atom_core::error::{AtomError, AtomResult};
 use atom_crypto::elgamal::{Ciphertext, MessageCiphertext, PublicKey};
 use atom_crypto::RistrettoPoint;
+use atom_obs::SpanRecord;
 use curve25519_dalek::ristretto::CompressedRistretto;
 
 /// A decoded mixing frame.
@@ -109,6 +117,28 @@ pub struct SetupFrame {
     pub public_key: PublicKey,
 }
 
+/// A decoded telemetry frame: one member process's span/counter snapshot
+/// for a finished round, sent to the round orchestrator after the member's
+/// last hosted group exits. Purely observational — the engine merges it
+/// into the round's [`RoundReport`](crate::engine::RoundReport) and the
+/// fleet trace file, and a duplicate from the same process is a benign
+/// no-op (unlike a duplicate exit frame, which fails the round).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryFrame {
+    /// Index of the round within the engine run.
+    pub round: usize,
+    /// Fleet process index the snapshot came from (Perfetto `pid`).
+    pub process: u32,
+    /// The groups whose spans this snapshot covers (the sender's hosted
+    /// groups); the orchestrator uses them to know when every remote
+    /// group's telemetry has arrived.
+    pub gids: Vec<usize>,
+    /// Counter name/value pairs at snapshot time.
+    pub counters: Vec<(String, u64)>,
+    /// The process's recorded spans for this round.
+    pub spans: Vec<SpanRecord>,
+}
+
 /// Any frame of the inter-group protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
@@ -120,12 +150,20 @@ pub enum Frame {
     Abort(AbortFrame),
     /// One group's public directory entry (sharded setup).
     Setup(SetupFrame),
+    /// One process's span/counter snapshot for a finished round.
+    Telemetry(TelemetryFrame),
 }
 
 const KIND_MIX: u8 = 1;
 const KIND_EXIT: u8 = 2;
 const KIND_ABORT: u8 = 3;
 const KIND_SETUP: u8 = 4;
+const KIND_TELEMETRY: u8 = 5;
+
+/// Minimum encoded size of one telemetry counter entry (empty name).
+const MIN_COUNTER_LEN: usize = 2 + 8;
+/// Minimum encoded size of one telemetry span (empty phase and note).
+const MIN_SPAN_LEN: usize = 2 + 2 + 4 + 4 + 4 + 8 + 8;
 
 const MIX_HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 4;
 const POINT_LEN: usize = 32;
@@ -156,6 +194,39 @@ fn get_u32(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u32> {
         .ok_or_else(|| AtomError::Malformed(format!("frame truncated at {what}")))?;
     *offset += 4;
     Ok(u32::from_le_bytes(slice.try_into().unwrap()))
+}
+
+fn get_u16(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u16> {
+    let slice = bytes
+        .get(*offset..*offset + 2)
+        .ok_or_else(|| AtomError::Malformed(format!("frame truncated at {what}")))?;
+    *offset += 2;
+    Ok(u16::from_le_bytes(slice.try_into().unwrap()))
+}
+
+/// Reads a `len u16 ‖ bytes` UTF-8 string. The length is untrusted but a
+/// `u16` cannot exceed 64 KiB, and the slice lookup bounds it against the
+/// actual body before the copy.
+fn get_string(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<String> {
+    let len = get_u16(bytes, offset, what)? as usize;
+    let slice = bytes
+        .get(*offset..*offset + len)
+        .ok_or_else(|| AtomError::Malformed(format!("{what} of {len} bytes past frame end")))?;
+    *offset += len;
+    Ok(std::str::from_utf8(slice)
+        .map_err(|_| AtomError::Malformed(format!("{what} is not UTF-8")))?
+        .to_string())
+}
+
+/// Writes a `len u16 ‖ bytes` string; over-long text is truncated at a
+/// character boundary so the decoder's UTF-8 check still passes.
+fn put_string(out: &mut Vec<u8>, text: &str) {
+    let mut cut = text.len().min(u16::MAX as usize);
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    out.extend_from_slice(&(cut as u16).to_le_bytes());
+    out.extend_from_slice(&text.as_bytes()[..cut]);
 }
 
 fn get_u64(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u64> {
@@ -272,6 +343,47 @@ pub fn encode_setup(frame: &SetupFrame) -> Vec<u8> {
     out
 }
 
+/// Serializes a telemetry frame.
+pub fn encode_telemetry(frame: &TelemetryFrame) -> Vec<u8> {
+    let counter_bytes: usize = frame
+        .counters
+        .iter()
+        .map(|(name, _)| MIN_COUNTER_LEN + name.len())
+        .sum();
+    let span_bytes: usize = frame
+        .spans
+        .iter()
+        .map(|span| MIN_SPAN_LEN + span.phase.len() + span.note.len())
+        .sum();
+    let mut out = Vec::with_capacity(
+        1 + 4 + 4 + 1 + 4 + frame.gids.len() * 4 + 4 + counter_bytes + 4 + span_bytes,
+    );
+    out.push(KIND_TELEMETRY);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.extend_from_slice(&frame.process.to_le_bytes());
+    out.push(0); // flags: none defined yet
+    out.extend_from_slice(&(frame.gids.len() as u32).to_le_bytes());
+    for gid in &frame.gids {
+        out.extend_from_slice(&(*gid as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(frame.counters.len() as u32).to_le_bytes());
+    for (name, value) in &frame.counters {
+        put_string(&mut out, name);
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(frame.spans.len() as u32).to_le_bytes());
+    for span in &frame.spans {
+        put_string(&mut out, &span.phase);
+        put_string(&mut out, &span.note);
+        out.extend_from_slice(&span.round.to_le_bytes());
+        out.extend_from_slice(&span.gid.to_le_bytes());
+        out.extend_from_slice(&span.tid.to_le_bytes());
+        out.extend_from_slice(&span.start_us.to_le_bytes());
+        out.extend_from_slice(&span.dur_us.to_le_bytes());
+    }
+    out
+}
+
 /// Best-effort extraction of the round index from a (possibly corrupt)
 /// frame, so a decode failure can still be attributed to its round. Every
 /// frame kind stores the round as a `u32` right after the kind byte.
@@ -288,6 +400,7 @@ pub fn decode(bytes: &[u8]) -> AtomResult<Frame> {
         Some(&KIND_EXIT) => decode_exit(bytes).map(Frame::Exit),
         Some(&KIND_ABORT) => decode_abort(bytes).map(Frame::Abort),
         Some(&KIND_SETUP) => decode_setup(bytes).map(Frame::Setup),
+        Some(&KIND_TELEMETRY) => decode_telemetry(bytes).map(Frame::Telemetry),
         Some(kind) => Err(AtomError::Malformed(format!("unknown frame kind {kind}"))),
         None => Err(AtomError::Malformed("empty frame".into())),
     }
@@ -495,6 +608,86 @@ fn decode_setup(bytes: &[u8]) -> AtomResult<SetupFrame> {
     })
 }
 
+fn decode_telemetry(bytes: &[u8]) -> AtomResult<TelemetryFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "telemetry round")? as usize;
+    let process = get_u32(bytes, &mut offset, "telemetry process")?;
+    let flags = *bytes
+        .get(offset)
+        .ok_or_else(|| AtomError::Malformed("telemetry frame truncated at flags".into()))?;
+    offset += 1;
+    if flags != 0 {
+        return Err(AtomError::Malformed(format!(
+            "telemetry frame carries unknown flags {flags:#04x}"
+        )));
+    }
+
+    let gid_count = get_u32(bytes, &mut offset, "telemetry gid count")? as usize;
+    // Counts are untrusted: bound each against the minimum bytes one entry
+    // occupies in the remaining body before allocating anything.
+    if gid_count > bytes.len().saturating_sub(offset) / 4 {
+        return Err(AtomError::Malformed(format!(
+            "telemetry frame claims {gid_count} gids past its end"
+        )));
+    }
+    let mut gids = Vec::with_capacity(gid_count);
+    for _ in 0..gid_count {
+        gids.push(get_u32(bytes, &mut offset, "telemetry gid")? as usize);
+    }
+
+    let counter_count = get_u32(bytes, &mut offset, "telemetry counter count")? as usize;
+    if counter_count > bytes.len().saturating_sub(offset) / MIN_COUNTER_LEN {
+        return Err(AtomError::Malformed(format!(
+            "telemetry frame claims {counter_count} counters past its end"
+        )));
+    }
+    let mut counters = Vec::with_capacity(counter_count);
+    for _ in 0..counter_count {
+        let name = get_string(bytes, &mut offset, "telemetry counter name")?;
+        let value = get_u64(bytes, &mut offset, "telemetry counter value")?;
+        counters.push((name, value));
+    }
+
+    let span_count = get_u32(bytes, &mut offset, "telemetry span count")? as usize;
+    if span_count > bytes.len().saturating_sub(offset) / MIN_SPAN_LEN {
+        return Err(AtomError::Malformed(format!(
+            "telemetry frame claims {span_count} spans past its end"
+        )));
+    }
+    let mut spans = Vec::with_capacity(span_count);
+    for _ in 0..span_count {
+        let phase = get_string(bytes, &mut offset, "telemetry span phase")?;
+        let note = get_string(bytes, &mut offset, "telemetry span note")?;
+        let span_round = get_u32(bytes, &mut offset, "telemetry span round")?;
+        let gid = get_u32(bytes, &mut offset, "telemetry span gid")?;
+        let tid = get_u32(bytes, &mut offset, "telemetry span tid")?;
+        let start_us = get_u64(bytes, &mut offset, "telemetry span start")?;
+        let dur_us = get_u64(bytes, &mut offset, "telemetry span duration")?;
+        spans.push(SpanRecord {
+            phase,
+            note,
+            round: span_round,
+            gid,
+            tid,
+            start_us,
+            dur_us,
+        });
+    }
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "telemetry frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(TelemetryFrame {
+        round,
+        process,
+        gids,
+        counters,
+        spans,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +804,55 @@ mod tests {
         assert_eq!(decode(&bytes).unwrap(), Frame::Setup(empty));
     }
 
+    fn sample_telemetry() -> TelemetryFrame {
+        TelemetryFrame {
+            round: 8,
+            process: 2,
+            gids: vec![1, 3],
+            counters: vec![
+                ("crypto.multiexp.calls".to_string(), 12),
+                ("net.frames".to_string(), 7),
+            ],
+            spans: vec![
+                atom_obs::SpanRecord {
+                    phase: "mix".to_string(),
+                    round: 8,
+                    gid: 1,
+                    tid: 4,
+                    start_us: 1_000,
+                    dur_us: 250,
+                    note: String::new(),
+                },
+                atom_obs::SpanRecord {
+                    phase: "stall".to_string(),
+                    round: 8,
+                    gid: u32::MAX,
+                    tid: 0,
+                    start_us: 9_000,
+                    dur_us: 0,
+                    note: "no task progress".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn telemetry_frame_roundtrips() {
+        let frame = sample_telemetry();
+        let bytes = encode_telemetry(&frame);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Telemetry(frame));
+        // An empty snapshot (process hosted nothing measurable) is still
+        // well-formed.
+        let empty = TelemetryFrame {
+            gids: Vec::new(),
+            counters: Vec::new(),
+            spans: Vec::new(),
+            ..sample_telemetry()
+        };
+        let bytes = encode_telemetry(&empty);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Telemetry(empty));
+    }
+
     #[test]
     fn decode_round_works_for_every_kind() {
         let mix = encode_mix(3, 0, SOURCE, Duration::ZERO, &[]);
@@ -625,10 +867,12 @@ mod tests {
         });
         let abort = encode_abort(5, "r");
         let setup = encode_setup(&sample_setup());
+        let telemetry = encode_telemetry(&sample_telemetry());
         assert_eq!(decode_round(&mix), Some(3));
         assert_eq!(decode_round(&exit), Some(4));
         assert_eq!(decode_round(&abort), Some(5));
         assert_eq!(decode_round(&setup), Some(6));
+        assert_eq!(decode_round(&telemetry), Some(8));
         assert_eq!(decode_round(&[1, 2]), None);
     }
 
@@ -677,6 +921,7 @@ mod tests {
             }),
             encode_abort(1, "reason"),
             encode_setup(&sample_setup()),
+            encode_telemetry(&sample_telemetry()),
         ] {
             for len in 0..full.len() {
                 assert!(
@@ -877,5 +1122,112 @@ mod tests {
         let mut bytes = encode_setup(&sample_setup());
         bytes.push(0);
         assert!(decode(&bytes).is_err());
+    }
+
+    // Telemetry-frame adversarial coverage, mirroring the other suites.
+
+    /// Byte offset of the gid-count field in an encoded telemetry frame.
+    const TELEMETRY_GID_COUNT_AT: usize = 1 + 4 + 4 + 1;
+
+    #[test]
+    fn telemetry_count_overflows_rejected_before_allocation() {
+        let clean = encode_telemetry(&sample_telemetry());
+        // u32::MAX gids claimed over a 2-gid body.
+        let mut bytes = clean.clone();
+        bytes[TELEMETRY_GID_COUNT_AT..TELEMETRY_GID_COUNT_AT + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the gid bounds error, got {error:?}"
+        );
+        // Counter count follows the two gids.
+        let counter_count_at = TELEMETRY_GID_COUNT_AT + 4 + 2 * 4;
+        let mut bytes = clean.clone();
+        bytes[counter_count_at..counter_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the counter bounds error, got {error:?}"
+        );
+        // Span count sits after the two counter entries.
+        let frame = sample_telemetry();
+        let span_count_at = counter_count_at
+            + 4
+            + frame
+                .counters
+                .iter()
+                .map(|(name, _)| MIN_COUNTER_LEN + name.len())
+                .sum::<usize>();
+        let mut bytes = clean.clone();
+        bytes[span_count_at..span_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the span bounds error, got {error:?}"
+        );
+        // A counter-name length pointing past the end of the frame.
+        let name_len_at = counter_count_at + 4;
+        let mut bytes = clean.clone();
+        bytes[name_len_at..name_len_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn telemetry_unknown_flags_rejected() {
+        let flags_at = 1 + 4 + 4;
+        for flags in [1u8, 0x80, 0xff] {
+            let mut bytes = encode_telemetry(&sample_telemetry());
+            bytes[flags_at] = flags;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("flags"),
+                "want the flags error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_trailing_bytes_rejected() {
+        let mut bytes = encode_telemetry(&sample_telemetry());
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn telemetry_non_utf8_strings_rejected() {
+        let frame = TelemetryFrame {
+            gids: Vec::new(),
+            counters: vec![("ab".to_string(), 1)],
+            spans: Vec::new(),
+            ..sample_telemetry()
+        };
+        let mut bytes = encode_telemetry(&frame);
+        // The counter name's two bytes sit between its u16 length and the
+        // u64 value at the tail of the frame (span count is the final u32).
+        let name_at = bytes.len() - 4 - 8 - 2;
+        bytes[name_at] = 0xff;
+        bytes[name_at + 1] = 0xfe;
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("UTF-8"),
+            "want the UTF-8 error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_overlong_note_truncated_at_char_boundary_on_encode() {
+        let mut frame = sample_telemetry();
+        // 70k of two-byte codepoints: must be cut to ≤ 64 KiB on a char
+        // boundary so the decode below still passes.
+        frame.spans[1].note = "é".repeat(35_000);
+        let bytes = encode_telemetry(&frame);
+        match decode(&bytes).unwrap() {
+            Frame::Telemetry(decoded) => {
+                assert!(decoded.spans[1].note.len() <= u16::MAX as usize);
+                assert!(decoded.spans[1].note.chars().all(|ch| ch == 'é'));
+            }
+            other => panic!("expected telemetry, got {other:?}"),
+        }
     }
 }
