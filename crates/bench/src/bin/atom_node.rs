@@ -39,6 +39,16 @@
 //! directory before the engine starts. The coordinator reports the
 //! measured per-round setup latency.
 //!
+//! With `--heal`, the process joins a *self-healing* deployment instead
+//! (`atom_bench::heal`): rounds run in batches of `--batch`, separated by
+//! a membership handshake, and a vanished process is evicted — the
+//! survivors re-form its groups and keep delivering — rather than fatal.
+//! `--honest` sets the per-group honest-member assumption `h` (losses up
+//! to `h − 1` per group heal by Lagrange reweighting, deeper ones via
+//! buddy escrow). A member restarted after a crash passes `--rejoin` as
+//! well: it announces itself to the coordinator with a catch-up handshake
+//! and is readmitted at the next healthy batch boundary.
+//!
 //! With `--trace PATH` on **every** process, each one records `atom-obs`
 //! spans and counters while it runs; members ship their snapshots to the
 //! coordinator as `telemetry` wire frames at round end (their PATH is
@@ -51,6 +61,7 @@
 use std::io::Write;
 use std::time::{Duration, Instant};
 
+use atom_bench::heal;
 use atom_bench::netbench::{self, NetSpec};
 
 struct Args {
@@ -59,6 +70,14 @@ struct Args {
     index: usize,
     workers: usize,
     out: Option<String>,
+    /// Self-healing mode: survive member loss via eviction + re-formation.
+    heal: bool,
+    /// Healing member only: announce as a restarted process (rejoin
+    /// handshake) instead of expecting to be part of the fleet from round 0.
+    rejoin: bool,
+    /// Healing mode: rounds per batch (the re-formation / readmission
+    /// boundary spacing).
+    batch: usize,
     /// Coordinator: write the merged fleet Chrome trace here. Members pass
     /// the flag with any path to turn recording on (their snapshots travel
     /// to the coordinator as telemetry frames; the path is ignored).
@@ -74,6 +93,9 @@ fn parse_args() -> Args {
         index: 0,
         workers: 2,
         out: None,
+        heal: false,
+        rejoin: false,
+        batch: 1,
         trace: None,
         metrics_out: None,
     };
@@ -113,6 +135,13 @@ fn parse_args() -> Args {
                 args.spec.stall_timeout =
                     Duration::from_millis(num("--stall-timeout-ms", grab("--stall-timeout-ms")))
             }
+            "--honest" => args.spec.honest = num("--honest", grab("--honest")) as usize,
+            "--heal" => args.heal = true,
+            "--rejoin" => {
+                args.heal = true;
+                args.rejoin = true;
+            }
+            "--batch" => args.batch = num("--batch", grab("--batch")) as usize,
             "--out" => args.out = Some(grab("--out")),
             "--trace" => args.trace = Some(grab("--trace")),
             "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")),
@@ -134,8 +163,76 @@ fn parse_args() -> Args {
     args
 }
 
+/// The self-healing variant: coordinator runs the recovery loop, members
+/// the plan/ack/go handshake loop. Exits non-zero on an unrecoverable
+/// failure; member-side round failures during churn are expected and do
+/// not fail the process (the coordinator owns the diagnosis).
+fn run_heal(args: &Args) {
+    if args.index == 0 {
+        let start = Instant::now();
+        let outcome = heal::run_recovery_coordinator(
+            &args.spec,
+            args.batch,
+            args.addrs.clone(),
+            args.workers,
+            None,
+        )
+        .unwrap_or_else(|error| {
+            eprintln!("atom-node coordinator: recovery failed: {error}");
+            std::process::exit(1);
+        });
+        let wall = start.elapsed();
+        let delivered: usize = outcome
+            .reports
+            .iter()
+            .map(|r| r.output.plaintexts.len())
+            .sum();
+        println!(
+            "atom-node coordinator: healed deployment — {} rounds in {} epoch(s), \
+             {} eviction(s), {} rejoin(s), {delivered} delivered in {wall:.2?}",
+            args.spec.rounds,
+            outcome.epochs,
+            outcome.evictions.len(),
+            outcome.rejoins.len(),
+        );
+        if let Some(latency) = outcome.healed_latency {
+            println!("atom-node coordinator: detection -> first healed round in {latency:.2?}");
+        }
+        if let Some(path) = &args.out {
+            std::fs::write(path, netbench::serialize_reports(&outcome.reports))
+                .expect("write round outputs");
+            println!("atom-node coordinator: outputs written to {path}");
+        }
+    } else {
+        let result = heal::run_healing_member(
+            &args.spec,
+            args.batch,
+            args.addrs.clone(),
+            args.index,
+            args.workers,
+            args.rejoin,
+            || {
+                println!("{}", netbench::READY_LINE);
+                std::io::stdout().flush().expect("flush readiness signal");
+            },
+        );
+        if let Err(error) = result {
+            eprintln!("atom-node member {}: {error}", args.index);
+            std::process::exit(1);
+        }
+        println!(
+            "atom-node member {}: left the healed deployment cleanly",
+            args.index
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.heal {
+        run_heal(&args);
+        return;
+    }
     // Setup (job derivation, bind, connect retries) first, then the
     // readiness line: an orchestrator (`netbench::ProcessFleet`) waiting
     // for it knows this engine is about to run, so its timed region starts

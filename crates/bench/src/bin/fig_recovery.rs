@@ -1,0 +1,28 @@
+//! Renders the recovery experiment — eviction, healing and rejoin under
+//! churn — from the recorded baseline.
+//!
+//! Reads `BENCH_recovery.json` (path overridable as the first argument)
+//! and prints the churn summary, the detection-to-healed-round latency and
+//! the healed-vs-overall throughput bars. Regenerate the baseline with:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin recovery -- --out BENCH_recovery.json
+//! ```
+//!
+//! Schema and units: `docs/benchmarks.md`.
+
+use atom_bench::recovery::{print_fig_recovery, RecoveryBaseline};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "read {path}: {error} — regenerate with `cargo run --release -p atom-bench \
+             --bin recovery -- --out BENCH_recovery.json`"
+        )
+    });
+    let baseline = RecoveryBaseline::parse(&json).unwrap_or_else(|error| panic!("{path}: {error}"));
+    print_fig_recovery(&baseline);
+}

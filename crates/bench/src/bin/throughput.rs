@@ -214,6 +214,7 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
         sharded: args.sharded,
         stall_timeout: args.stall_timeout,
         trace: args.trace.is_some() || args.traced,
+        honest: 1,
     }
 }
 

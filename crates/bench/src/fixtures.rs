@@ -28,6 +28,7 @@ pub fn bench_config(defense: Defense, groups: usize, group_size: usize) -> AtomC
         buddy_groups: 1,
         beacon_seed: 7,
         round: 0,
+        evicted_servers: Vec::new(),
     }
 }
 

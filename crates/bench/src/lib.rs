@@ -17,7 +17,9 @@
 
 pub mod experiments;
 pub mod fixtures;
+pub mod heal;
 pub mod netbench;
+pub mod recovery;
 pub mod scale;
 
 pub use experiments::*;

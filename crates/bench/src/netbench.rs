@@ -60,6 +60,12 @@ pub struct NetSpec {
     /// it lives in the spec rather than in a per-process flag. Recording is
     /// observational only: round outputs are byte-identical either way.
     pub trace: bool,
+    /// Honest members assumed per group (`h`): the DKG threshold becomes
+    /// `k − (h − 1)`, so `h − 1` member losses per group heal by Lagrange
+    /// reweighting alone and only deeper losses need the buddy escrow. The
+    /// default (1) keeps the historical all-shares threshold; the recovery
+    /// harness runs with 2 so evictions exercise both healing paths.
+    pub honest: usize,
 }
 
 impl Default for NetSpec {
@@ -74,16 +80,18 @@ impl Default for NetSpec {
             sharded: false,
             stall_timeout: Duration::from_secs(120),
             trace: false,
+            honest: 1,
         }
     }
 }
 
 /// The deployment configuration of round `round` under `spec`.
-fn round_config(spec: &NetSpec, round: usize) -> AtomConfig {
+pub(crate) fn round_config(spec: &NetSpec, round: usize) -> AtomConfig {
     let mut config = AtomConfig::test_default();
     config.defense = Defense::Trap;
     config.num_groups = spec.groups;
     config.num_servers = (spec.groups * 3).max(config.group_size);
+    config.required_honest = spec.honest;
     config.iterations = spec.iterations;
     config.message_len = 32;
     config.round = round as u64;
@@ -92,7 +100,7 @@ fn round_config(spec: &NetSpec, round: usize) -> AtomConfig {
 }
 
 /// The spec's submissions for one round, encrypted to the given directory.
-fn round_submissions(
+pub(crate) fn round_submissions(
     spec: &NetSpec,
     round: usize,
     setup: &RoundSetup,
@@ -337,10 +345,12 @@ pub fn run_process(
 pub const READY_LINE: &str = "atom-process-ready";
 
 enum FleetEvent {
-    /// The member printed [`READY_LINE`].
-    Ready(usize),
+    /// The member printed [`READY_LINE`]. Carries the member's spawn
+    /// generation so a restarted member's readiness is never confused with
+    /// its predecessor's.
+    Ready(usize, u64),
     /// The member's stdout hit EOF — it exited (or crashed).
-    Eof(usize),
+    Eof(usize, u64),
 }
 
 struct FleetMember {
@@ -351,6 +361,64 @@ struct FleetMember {
     ready: bool,
     reaped: Option<ExitStatus>,
     reader: Option<std::thread::JoinHandle<()>>,
+    /// Bumped by [`ProcessFleet::restart_member`]; events from a previous
+    /// child of this slot carry an older generation and are ignored.
+    generation: u64,
+}
+
+/// Human-readable exit description, including the fatal signal on Unix —
+/// a SIGKILLed member reads `signal 9`, not an opaque failure.
+#[cfg(unix)]
+fn describe_exit(status: &ExitStatus) -> String {
+    use std::os::unix::process::ExitStatusExt;
+    match (status.code(), status.signal()) {
+        (Some(code), _) => format!("exit code {code}"),
+        (None, Some(signal)) => {
+            let core = if status.core_dumped() {
+                " (core dumped)"
+            } else {
+                ""
+            };
+            format!("signal {signal}{core}")
+        }
+        _ => format!("{status}"),
+    }
+}
+
+#[cfg(not(unix))]
+fn describe_exit(status: &ExitStatus) -> String {
+    format!("{status}")
+}
+
+/// One timestamped, attributed line on stderr when a member is reaped, so
+/// a churn post-mortem shows *how* each process died alongside its output.
+fn record_exit(index: usize, epoch: Instant, status: &ExitStatus) {
+    eprintln!(
+        "[p{index} +{}ms] exited ({})",
+        epoch.elapsed().as_millis(),
+        describe_exit(status)
+    );
+}
+
+fn spawn_reader(
+    index: usize,
+    generation: u64,
+    stdout: std::process::ChildStdout,
+    tx: mpsc::Sender<FleetEvent>,
+    epoch: Instant,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if line == READY_LINE {
+                let _ = tx.send(FleetEvent::Ready(index, generation));
+            } else {
+                let ms = epoch.elapsed().as_millis();
+                eprintln!("[p{index} +{ms}ms] {line}");
+            }
+        }
+        let _ = tx.send(FleetEvent::Eof(index, generation));
+    })
 }
 
 /// The member processes of one N-process deployment: spawned together,
@@ -364,6 +432,8 @@ struct FleetMember {
 pub struct ProcessFleet {
     members: Vec<FleetMember>,
     events: mpsc::Receiver<FleetEvent>,
+    events_tx: mpsc::Sender<FleetEvent>,
+    epoch: Instant,
 }
 
 impl ProcessFleet {
@@ -388,29 +458,23 @@ impl ProcessFleet {
                     .spawn()
                     .expect("spawn fleet member process");
                 let stdout = child.stdout.take().expect("fleet member stdout piped");
-                let tx = events_tx.clone();
-                let reader = std::thread::spawn(move || {
-                    let mut lines = BufReader::new(stdout).lines();
-                    while let Some(Ok(line)) = lines.next() {
-                        if line == READY_LINE {
-                            let _ = tx.send(FleetEvent::Ready(index));
-                        } else {
-                            let ms = epoch.elapsed().as_millis();
-                            eprintln!("[p{index} +{ms}ms] {line}");
-                        }
-                    }
-                    let _ = tx.send(FleetEvent::Eof(index));
-                });
+                let reader = spawn_reader(index, 0, stdout, events_tx.clone(), epoch);
                 FleetMember {
                     index,
                     child,
                     ready: false,
                     reaped: None,
                     reader: Some(reader),
+                    generation: 0,
                 }
             })
             .collect();
-        Self { members, events }
+        Self {
+            members,
+            events,
+            events_tx,
+            epoch,
+        }
     }
 
     /// Number of member processes (the deployment has one more: the caller).
@@ -438,16 +502,20 @@ impl ProcessFleet {
                 ));
             }
             match self.events.recv_timeout(left) {
-                Ok(FleetEvent::Ready(index)) => {
-                    if let Some(member) = self.members.iter_mut().find(|m| m.index == index) {
+                Ok(FleetEvent::Ready(index, generation)) => {
+                    if let Some(member) = self
+                        .members
+                        .iter_mut()
+                        .find(|m| m.index == index && m.generation == generation)
+                    {
                         member.ready = true;
                     }
                 }
-                Ok(FleetEvent::Eof(index)) => {
+                Ok(FleetEvent::Eof(index, generation)) => {
                     let premature = self
                         .members
                         .iter()
-                        .any(|member| member.index == index && !member.ready);
+                        .any(|m| m.index == index && m.generation == generation && !m.ready);
                     if premature {
                         self.kill_all();
                         return Err(format!(
@@ -485,6 +553,7 @@ impl ProcessFleet {
             for member in &mut self.members {
                 if member.reaped.is_none() {
                     if let Some(status) = member.child.try_wait().expect("wait on fleet member") {
+                        record_exit(member.index, self.epoch, &status);
                         member.reaped = Some(status);
                     }
                 }
@@ -514,8 +583,9 @@ impl ProcessFleet {
             .iter()
             .filter_map(|member| match member.reaped {
                 Some(status) if !status.success() => Some(format!(
-                    "fleet member process {} exited with {status}",
-                    member.index
+                    "fleet member process {} exited with {}",
+                    member.index,
+                    describe_exit(&status)
                 )),
                 _ => None,
             })
@@ -528,17 +598,70 @@ impl ProcessFleet {
     }
 
     /// Kills one member by its deployment process index (fault injection:
-    /// the acceptance tests kill a member mid-round and assert the
-    /// coordinator fails the sweep with per-round errors, not a hang).
+    /// the chaos tests kill a member mid-round and assert the coordinator
+    /// evicts it and the surviving fleet heals).
     pub fn kill_member(&mut self, index: usize) {
+        let epoch = self.epoch;
         if let Some(member) = self.members.iter_mut().find(|m| m.index == index) {
             if member.reaped.is_none() {
                 let _ = member.child.kill();
                 if let Ok(status) = member.child.wait() {
+                    record_exit(index, epoch, &status);
                     member.reaped = Some(status);
                 }
             }
         }
+    }
+
+    /// The exit status of member `index`, if it has been reaped — on Unix
+    /// the status carries the fatal signal, so a chaos test can assert the
+    /// member died of SIGKILL rather than of its own accord.
+    pub fn member_status(&self, index: usize) -> Option<ExitStatus> {
+        self.members
+            .iter()
+            .find(|m| m.index == index)
+            .and_then(|m| m.reaped)
+    }
+
+    /// Restarts a dead member slot with a fresh command (same deployment
+    /// index — rejoin drills restart the killed process on its old
+    /// address). Errors if the old child is still running. The new child
+    /// gets a fresh generation, so stale events from its predecessor are
+    /// ignored; wait for it with [`ProcessFleet::await_ready`].
+    pub fn restart_member(&mut self, index: usize, mut command: Command) -> Result<(), String> {
+        let epoch = self.epoch;
+        let tx = self.events_tx.clone();
+        let member = self
+            .members
+            .iter_mut()
+            .find(|m| m.index == index)
+            .ok_or_else(|| format!("no fleet member with process index {index}"))?;
+        if member.reaped.is_none() {
+            match member.child.try_wait() {
+                Ok(Some(status)) => {
+                    record_exit(index, epoch, &status);
+                    member.reaped = Some(status);
+                }
+                Ok(None) => return Err(format!("fleet member {index} is still running")),
+                Err(error) => return Err(format!("wait on fleet member {index}: {error}")),
+            }
+        }
+        if let Some(reader) = member.reader.take() {
+            let _ = reader.join();
+        }
+        let mut child = command
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|error| format!("respawn fleet member {index}: {error}"))?;
+        let stdout = child.stdout.take().expect("fleet member stdout piped");
+        member.generation += 1;
+        member.reader = Some(spawn_reader(index, member.generation, stdout, tx, epoch));
+        member.child = child;
+        member.ready = false;
+        member.reaped = None;
+        eprintln!("[p{index} +{}ms] restarted", epoch.elapsed().as_millis());
+        Ok(())
     }
 
     /// Kills and reaps every still-running member and joins the monitor

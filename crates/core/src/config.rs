@@ -58,6 +58,14 @@ pub struct AtomConfig {
     pub beacon_seed: u64,
     /// Round number (bound into proofs and inner-ciphertext associated data).
     pub round: u64,
+    /// Servers the directory has evicted (§4.5): they are excluded from
+    /// group formation for this round. Membership derivation substitutes a
+    /// beacon-determined surviving server for every evicted one, so the
+    /// re-formed directory is a pure function of `(config, eviction log)` —
+    /// the DKG streams do not depend on membership, so group keys (and
+    /// therefore already-collected user submissions) survive eviction
+    /// unchanged.
+    pub evicted_servers: Vec<usize>,
 }
 
 impl AtomConfig {
@@ -75,7 +83,16 @@ impl AtomConfig {
             buddy_groups: 1,
             beacon_seed: 0,
             round: 0,
+            evicted_servers: Vec::new(),
         }
+    }
+
+    /// Server ids still participating in group formation (everything not in
+    /// [`Self::evicted_servers`]), in ascending order.
+    pub fn surviving_servers(&self) -> Vec<usize> {
+        (0..self.num_servers)
+            .filter(|server| !self.evicted_servers.contains(server))
+            .collect()
     }
 
     /// The security parameters implied by this configuration, using the
@@ -142,6 +159,23 @@ impl AtomConfig {
                 "butterfly topology requires a power-of-two group count".into(),
             ));
         }
+        if let Some(server) = self
+            .evicted_servers
+            .iter()
+            .find(|server| **server >= self.num_servers)
+        {
+            return Err(AtomError::Config(format!(
+                "evicted server {server} out of range for {} servers",
+                self.num_servers
+            )));
+        }
+        if self.surviving_servers().len() < self.group_size {
+            return Err(AtomError::Config(format!(
+                "{} evictions leave fewer than {} (group size) surviving servers",
+                self.evicted_servers.len(),
+                self.group_size
+            )));
+        }
         Ok(())
     }
 }
@@ -188,6 +222,18 @@ mod tests {
         assert!(c.validate().is_err());
         c.num_groups = 4;
         assert!(c.validate().is_ok());
+
+        // Evictions: out-of-range ids and eviction sets that leave fewer
+        // survivors than one full group are both rejected.
+        let mut c = base.clone();
+        c.evicted_servers = vec![c.num_servers];
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.evicted_servers = (0..6).collect();
+        assert!(c.validate().is_err());
+        c.evicted_servers = vec![1, 5];
+        assert!(c.validate().is_ok());
+        assert_eq!(c.surviving_servers(), vec![0, 2, 3, 4, 6, 7]);
     }
 
     #[test]

@@ -152,6 +152,43 @@ pub fn setup_stream_seed(beacon_seed: u64, round: u64, gid: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Substitutes a beacon-determined surviving server for every evicted member
+/// of a beacon-formed group (§4.5 re-formation after eviction).
+///
+/// Substitutes walk the surviving server list from a start offset derived
+/// from the group's setup stream seed, skipping servers already in the
+/// group, so the healed membership is a pure function of
+/// `(config, evicted_servers)` — any process re-derives it identically.
+/// The DKG streams never see membership, so the group key is unchanged and
+/// submissions encrypted before the eviction remain decryptable.
+fn remap_evicted_members(config: &AtomConfig, gid: u64, mut members: Vec<usize>) -> Vec<usize> {
+    if config.evicted_servers.is_empty() {
+        return members;
+    }
+    let survivors = config.surviving_servers();
+    let start = setup_stream_seed(config.beacon_seed, config.round, gid) as usize % survivors.len();
+    let mut cursor = 0usize;
+    for position in 0..members.len() {
+        if !config.evicted_servers.contains(&members[position]) {
+            continue;
+        }
+        // First surviving server (in rotated order) not already a member.
+        let replacement = loop {
+            assert!(
+                cursor < survivors.len(),
+                "validate() guarantees enough survivors for a full group"
+            );
+            let candidate = survivors[(start + cursor) % survivors.len()];
+            cursor += 1;
+            if !members.contains(&candidate) {
+                break candidate;
+            }
+        };
+        members[position] = replacement;
+    }
+    members
+}
+
 /// Derives the full context — membership *and* DKG key material — of group
 /// `gid` alone, without touching any other group's DKG.
 ///
@@ -183,7 +220,7 @@ pub fn derive_group(config: &AtomConfig, gid: usize) -> AtomResult<GroupContext>
     let (public_key, shares) = run_dkg(&params, &mut rng).map_err(AtomError::Crypto)?;
     Ok(GroupContext {
         id: assignment.id,
-        members: assignment.members,
+        members: remap_evicted_members(config, gid as u64, assignment.members),
         shares,
         public_key,
         threshold,
@@ -212,7 +249,7 @@ pub fn derive_trustees(config: &AtomConfig) -> AtomResult<TrusteeContext> {
     ));
     let (public_key, shares) = run_dkg(&params, &mut rng).map_err(AtomError::Crypto)?;
     Ok(TrusteeContext {
-        members: assignment.members,
+        members: remap_evicted_members(config, TRUSTEE_STREAM, assignment.members),
         shares,
         public_key,
     })
@@ -237,14 +274,18 @@ pub fn derive_members(config: &AtomConfig, gid: usize) -> AtomResult<Vec<usize>>
             config.num_groups
         )));
     }
-    Ok(form_group(
-        config.num_servers,
-        config.num_groups,
-        config.group_size,
-        config.beacon_seed,
-        gid,
-    )
-    .members)
+    Ok(remap_evicted_members(
+        config,
+        gid as u64,
+        form_group(
+            config.num_servers,
+            config.num_groups,
+            config.group_size,
+            config.beacon_seed,
+            gid,
+        )
+        .members,
+    ))
 }
 
 /// Monolithic composition of the shardable units: derives every group, the
@@ -291,9 +332,10 @@ pub fn setup_round<R: RngCore + CryptoRng>(
     let mut groups = Vec::with_capacity(config.num_groups);
     for assignment in assignments {
         let (public_key, shares) = run_dkg(&params, rng).map_err(AtomError::Crypto)?;
+        let gid = assignment.id as u64;
         groups.push(GroupContext {
             id: assignment.id,
-            members: assignment.members,
+            members: remap_evicted_members(config, gid, assignment.members),
             shares,
             public_key,
             threshold,
@@ -313,7 +355,7 @@ pub fn setup_round<R: RngCore + CryptoRng>(
     let trustee_params = DkgParams::new(config.group_size, threshold).map_err(AtomError::Crypto)?;
     let (trustee_key, trustee_shares) = run_dkg(&trustee_params, rng).map_err(AtomError::Crypto)?;
     let trustees = TrusteeContext {
-        members: trustee_assignment.members,
+        members: remap_evicted_members(config, TRUSTEE_STREAM, trustee_assignment.members),
         shares: trustee_shares,
         public_key: trustee_key,
     };
@@ -457,6 +499,53 @@ mod tests {
         assert_eq!(public.members, setup.groups[1].members);
         assert_eq!(public.threshold, setup.groups[1].threshold);
         assert_eq!(public.public_key, setup.groups[1].public_key);
+    }
+
+    #[test]
+    fn eviction_reforms_membership_but_not_keys() {
+        let mut config = AtomConfig::test_default();
+        config.beacon_seed = 0x5EED;
+        let baseline = derive_setup(&config).unwrap();
+        let victim = baseline.groups[0].members[0];
+
+        let mut healed_config = config.clone();
+        healed_config.evicted_servers = vec![victim];
+        let healed = derive_setup(&healed_config).unwrap();
+
+        for (before, after) in baseline.groups.iter().zip(&healed.groups) {
+            // The DKG never sees membership: keys (and hence submissions
+            // encrypted before the eviction) survive re-formation.
+            assert_eq!(before.public_key, after.public_key);
+            assert_eq!(before.shares.len(), after.shares.len());
+            // The victim is gone and the group is still full and duplicate-free.
+            assert!(!after.members.contains(&victim));
+            assert_eq!(after.members.len(), before.members.len());
+            for (position, member) in after.members.iter().enumerate() {
+                assert!(!after.members[position + 1..].contains(member));
+                assert!(*member < config.num_servers);
+            }
+        }
+        assert_eq!(healed.trustees.public_key, baseline.trustees.public_key);
+        assert!(!healed.trustees.members.contains(&victim));
+        assert_eq!(derive_buddies(&healed_config), baseline.buddies);
+
+        // Pure function of (config, eviction log): any process re-derives the
+        // same healed membership, shardably.
+        for gid in 0..config.num_groups {
+            let alone = derive_group(&healed_config, gid).unwrap();
+            assert_eq!(alone.members, healed.groups[gid].members);
+            assert_eq!(
+                derive_members(&healed_config, gid).unwrap(),
+                healed.groups[gid].members
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_that_exhausts_survivors_is_rejected() {
+        let mut config = AtomConfig::test_default();
+        config.evicted_servers = (0..6).collect(); // 2 survivors < group size 3
+        assert!(matches!(derive_setup(&config), Err(AtomError::Config(_))));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum AtomError {
         kind: EngineErrorKind,
         /// Human-readable diagnosis (e.g. the engine's stall detail).
         reason: String,
+        /// Transport nodes implicated in the failure: the mailboxes the
+        /// engine was still waiting on when a stall fired, or the peer node
+        /// a send could not reach. The runtime maps these to the processes
+        /// (and then servers) a fault verdict should evict, so recovery
+        /// never has to parse `reason`.
+        nodes: Vec<usize>,
     },
 }
 
@@ -102,7 +108,7 @@ impl fmt::Display for AtomError {
                 "group {group} lost {failed} servers but tolerates only {tolerated}"
             ),
             AtomError::Malformed(msg) => write!(f, "malformed data: {msg}"),
-            AtomError::Engine { kind, reason } => {
+            AtomError::Engine { kind, reason, .. } => {
                 write!(f, "engine failure ({kind}): {reason}")
             }
         }

@@ -9,14 +9,15 @@
 //! from one (live) buddy group and reconstructs the lost members' shares, so
 //! the group key survives and the round can continue.
 
-use rand::{CryptoRng, RngCore};
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use atom_crypto::dkg::DkgShare;
 use atom_crypto::sharing::{reconstruct, split, Share};
 use atom_crypto::Scalar;
 
-use crate::directory::GroupContext;
+use crate::directory::{setup_stream_seed, GroupContext, RoundSetup};
 use crate::error::{AtomError, AtomResult};
 
 /// Escrow of one group's key shares with one buddy group.
@@ -112,6 +113,77 @@ pub fn recover_group(
     Ok(recovered)
 }
 
+/// Beacon tweak separating the escrow sub-share streams from the setup
+/// streams, so escrow randomness can be re-derived by any process without
+/// perturbing the DKGs.
+const ESCROW_BEACON_TWEAK: u64 = 0x6573_6372_6F77; // "escrow"
+
+/// The deterministic RNG the escrow of group `gid` draws its sub-shares
+/// from. In a deployment each member splits its own share with fresh local
+/// randomness at group-formation time; this reproduction derives the escrow
+/// from a dedicated beacon stream so every surviving process reconstructs
+/// the identical [`BuddyEscrow`] when recovery is needed — escrow recovery
+/// stays byte-deterministic across the fleet.
+pub fn escrow_stream_rng(config: &crate::config::AtomConfig, gid: usize) -> StdRng {
+    StdRng::seed_from_u64(setup_stream_seed(
+        config.beacon_seed ^ ESCROW_BEACON_TWEAK,
+        config.round,
+        gid as u64,
+    ))
+}
+
+/// Heals group `gid` of `setup` after a catastrophic failure: when more
+/// than `h − 1` members are in `failed_servers`, the group cannot reach its
+/// `k − (h−1)` decryption threshold by Lagrange reweighting alone, so the
+/// failed members' DKG shares are reconstructed from the buddy-group escrow
+/// (§4.5) and handed to replacement servers drawn from the buddy group.
+///
+/// Pure function of `(setup, failed_servers)`: the escrow is re-derived
+/// from the beacon stream, the buddy group is `buddies[gid][0]`, and
+/// replacements are the first live buddy members not already in the group —
+/// every surviving process computes the identical recovered context.
+pub fn heal_group_via_escrow(
+    setup: &RoundSetup,
+    gid: usize,
+    failed_servers: &[usize],
+) -> AtomResult<GroupContext> {
+    let group = setup
+        .groups
+        .get(gid)
+        .ok_or_else(|| AtomError::Malformed(format!("no group {gid} to heal")))?;
+    let buddy_gid = *setup
+        .buddies
+        .get(gid)
+        .and_then(|buddies| buddies.first())
+        .ok_or_else(|| AtomError::Malformed(format!("group {gid} has no buddy group")))?;
+    let buddy = &setup.groups[buddy_gid];
+
+    let failed_positions: Vec<usize> = group
+        .members
+        .iter()
+        .enumerate()
+        .filter(|(_, server)| failed_servers.contains(server))
+        .map(|(position, _)| position)
+        .collect();
+    let mut replacements = Vec::with_capacity(failed_positions.len());
+    let mut candidates = buddy
+        .members
+        .iter()
+        .copied()
+        .filter(|server| !failed_servers.contains(server) && !group.members.contains(server));
+    for &position in &failed_positions {
+        let replacement = candidates.next().ok_or(AtomError::TooManyFailures {
+            group: gid,
+            failed: failed_positions.len(),
+            tolerated: group.members.len() - group.threshold,
+        })?;
+        replacements.push((position, replacement));
+    }
+
+    let escrow = escrow_group_shares(group, buddy, &mut escrow_stream_rng(&setup.config, gid))?;
+    recover_group(group, &escrow, &replacements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +273,44 @@ mod tests {
             MixPayload::Inner(content) => assert_eq!(content, b"recovered"),
             other => panic!("unexpected payload {other:?}"),
         }
+    }
+
+    #[test]
+    fn heal_group_via_escrow_is_deterministic_and_complete() {
+        let mut rng = rng();
+        let mut config = AtomConfig::test_default();
+        config.required_honest = 2; // tolerate one failure; two is catastrophic
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let group = &setup.groups[0];
+
+        // More members fail than Lagrange reweighting can absorb.
+        let failed = vec![group.members[0], group.members[1]];
+        assert!(group.participating(&failed).is_err());
+
+        let healed = heal_group_via_escrow(&setup, 0, &failed).unwrap();
+        // Same key, failed slots handed to live buddy-group servers.
+        assert_eq!(healed.public_key, group.public_key);
+        assert!(!failed.contains(&healed.members[0]));
+        assert!(!failed.contains(&healed.members[1]));
+        assert_eq!(healed.members[2], group.members[2]);
+        assert!(healed.participating(&failed).is_ok());
+
+        // Every process derives the identical recovered context: the escrow
+        // randomness comes from the beacon stream, not a caller RNG.
+        let again = heal_group_via_escrow(&setup, 0, &failed).unwrap();
+        assert_eq!(again.members, healed.members);
+        for (a, b) in again.shares.iter().zip(&healed.shares) {
+            assert_eq!(a.secret_share, b.secret_share);
+        }
+
+        // Exhausting the buddy group's live members is still an error.
+        let buddy = &setup.groups[setup.buddies[0][0]];
+        let mut everyone = failed.clone();
+        everyone.extend_from_slice(&buddy.members);
+        assert!(matches!(
+            heal_group_via_escrow(&setup, 0, &everyone),
+            Err(AtomError::TooManyFailures { .. })
+        ));
     }
 
     #[test]

@@ -89,8 +89,12 @@ impl Default for TcpOptions {
 
 struct TcpInner {
     /// `owner[node]` is the index (into `peer_addrs`) of the process
-    /// hosting `node`'s mailbox.
-    owner: Vec<usize>,
+    /// hosting `node`'s mailbox. Mutable because fleet recovery reassigns
+    /// a dead process's nodes to survivors ([`TcpTransport::set_owner`]);
+    /// the vector's length — the node-id space — never changes.
+    owner: Mutex<Vec<usize>>,
+    /// Cached `owner.len()`, so the hot paths never lock just for bounds.
+    num_nodes: usize,
     /// This process's index.
     me: usize,
     /// One outbound stream slot per process (slot `me` stays empty).
@@ -100,6 +104,11 @@ struct TcpInner {
     /// mesh can bind every listener on port `0` first and exchange the
     /// resolved addresses afterwards — no reserve-then-rebind races.
     peer_addrs: Mutex<Vec<String>>,
+    /// Clones of the accepted inbound streams, so `shutdown` can force the
+    /// detached reader threads off their blocking reads (without this, an
+    /// in-process "restart" leaves the old readers absorbing frames meant
+    /// for the new transport on the same address).
+    inbound: Mutex<Vec<TcpStream>>,
     mailboxes: Vec<Mutex<VecDeque<Envelope>>>,
     sent: Vec<Mutex<TrafficStats>>,
     received: Vec<Mutex<TrafficStats>>,
@@ -161,10 +170,12 @@ impl TcpTransport {
         let local_addr = listener.local_addr()?;
         let nodes = owner.len();
         let inner = Arc::new(TcpInner {
-            owner,
+            owner: Mutex::new(owner),
+            num_nodes: nodes,
             me,
             outbound: (0..peer_addrs.len()).map(|_| Mutex::new(None)).collect(),
             peer_addrs: Mutex::new(peer_addrs),
+            inbound: Mutex::new(Vec::new()),
             mailboxes: (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect(),
             sent: (0..nodes)
                 .map(|_| Mutex::new(TrafficStats::default()))
@@ -223,9 +234,73 @@ impl TcpTransport {
 
     /// Node ids hosted by this process.
     pub fn local_nodes(&self) -> Vec<NodeId> {
-        (0..self.inner.owner.len())
-            .filter(|&n| self.inner.owner[n] == self.inner.me)
+        let owner = self.inner.owner.lock();
+        (0..owner.len())
+            .filter(|&n| owner[n] == self.inner.me)
             .collect()
+    }
+
+    /// Reassigns the mailbox of `node` to `process`. Fleet recovery uses
+    /// this to hand a dead process's nodes to survivors (and to hand them
+    /// back when the process rejoins); envelopes already queued in the
+    /// local mailbox stay put, so reassign between rounds and drain first.
+    pub fn set_owner(&self, node: NodeId, process: usize) {
+        assert!(node < self.inner.num_nodes, "unknown node in set_owner");
+        assert!(
+            process < self.inner.outbound.len(),
+            "unknown process in set_owner"
+        );
+        self.inner.owner.lock()[node] = process;
+    }
+
+    /// The process currently hosting `node`'s mailbox.
+    pub fn owner_of(&self, node: NodeId) -> usize {
+        self.inner.owner.lock()[node]
+    }
+
+    /// Sends an envelope straight to `process`, regardless of who owns the
+    /// destination mailbox. Recovery handshakes need this: a coordinator
+    /// answering a rejoin request must reach the *restarted* process even
+    /// while the node's mailbox is still assigned to a survivor.
+    pub fn send_to_process(
+        &self,
+        process: usize,
+        from: NodeId,
+        to: NodeId,
+        label: Cow<'static, str>,
+        payload: Vec<u8>,
+    ) {
+        assert!(
+            from < self.inner.num_nodes && to < self.inner.num_nodes,
+            "unknown node in TCP send"
+        );
+        let envelope = Envelope {
+            from,
+            to,
+            label,
+            payload,
+            delay: Duration::ZERO,
+        };
+        if process == self.inner.me {
+            self.inner.deliver_local(envelope);
+            return;
+        }
+        send_remote(&self.inner, process, &envelope);
+    }
+
+    /// Drops the outbound stream to `process`, forcing the next send to
+    /// reconnect. Call when a peer is known to have restarted on the same
+    /// address: the old half-dead socket accepts one buffered write before
+    /// erroring, so the lazy in-band repair alone would silently lose the
+    /// first frame to the restarted process.
+    pub fn reset_peer(&self, process: usize) {
+        assert!(
+            process < self.inner.outbound.len(),
+            "unknown process in reset_peer"
+        );
+        if let Some(stream) = self.inner.outbound[process].lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 
     /// Eagerly connects to every peer process, retrying each until
@@ -253,6 +328,9 @@ impl TcpTransport {
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
+        for stream in self.inner.inbound.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         // Wake the accept loop so it observes `closing`.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept_thread.lock().take() {
@@ -267,12 +345,34 @@ impl Drop for TcpTransport {
     }
 }
 
+/// First retry delay of the exponential backoff in [`connect_retry`].
+const CONNECT_BACKOFF_BASE_MS: u64 = 5;
+/// Ceiling on a single backoff sleep.
+const CONNECT_BACKOFF_CAP_MS: u64 = 200;
+
+/// Backoff before retry `attempt` (0-based): `min(base · 2ᵃ, cap)` plus a
+/// deterministic jitter of up to half that, de-phased per `(me, peer)`
+/// pair so a fleet restarting in lockstep does not hammer one listener at
+/// synchronized instants.
+fn connect_backoff(me: usize, peer: usize, attempt: u32) -> Duration {
+    let exp = CONNECT_BACKOFF_BASE_MS
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(CONNECT_BACKOFF_CAP_MS);
+    // Cheap multiplicative hash — only the spread matters, not quality.
+    let hash = (me as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((peer as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add((attempt as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
+    Duration::from_millis(exp + hash % (exp / 2 + 1))
+}
+
 fn connect_retry(inner: &Arc<TcpInner>, process: usize) -> io::Result<()> {
     let mut slot = inner.outbound[process].lock();
     if slot.is_some() {
         return Ok(());
     }
     let deadline = Instant::now() + inner.options.connect_timeout;
+    let mut attempt = 0u32;
     loop {
         // Re-read each attempt: the address may be filled in concurrently
         // by `set_peer_addr` while we retry.
@@ -293,10 +393,50 @@ fn connect_retry(inner: &Arc<TcpInner>, process: usize) -> io::Result<()> {
                         format!("connecting to peer process {process} at {addr}: {error}"),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(connect_backoff(inner.me, process, attempt));
+                attempt += 1;
             }
         }
     }
+}
+
+/// Writes `envelope` to the outbound stream of `process`, establishing it
+/// if absent. A write failure means the peer died since the stream was
+/// established (or the peer restarted, leaving a half-dead socket): the
+/// slot is cleared and ONE reconnect-and-resend repair is attempted — a
+/// restarted peer listening on the same address picks the frame up — before
+/// panicking like any other dead-peer send.
+fn send_remote(inner: &Arc<TcpInner>, process: usize, envelope: &Envelope) {
+    if inner.outbound[process].lock().is_none() {
+        connect_retry(inner, process).unwrap_or_else(|error| panic!("tcp transport: {error}"));
+    }
+    {
+        let mut slot = inner.outbound[process].lock();
+        let stream = slot.as_mut().expect("peer stream established above");
+        match write_frame(stream, envelope) {
+            Ok(()) => return,
+            Err(_) => {
+                atom_obs::count("net.tcp.send_repairs", 1);
+                *slot = None;
+            }
+        }
+    }
+    connect_retry(inner, process).unwrap_or_else(|error| {
+        panic!(
+            "tcp transport: sending {} -> {} via process {process} failed and \
+             the peer is unreachable: {error}",
+            envelope.from, envelope.to
+        )
+    });
+    let mut slot = inner.outbound[process].lock();
+    let stream = slot.as_mut().expect("peer stream established above");
+    write_frame(stream, envelope).unwrap_or_else(|error| {
+        panic!(
+            "tcp transport: sending {} -> {} via process {process} failed after \
+             reconnect: {error}",
+            envelope.from, envelope.to
+        )
+    });
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
@@ -308,6 +448,9 @@ fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
                 }
                 if inner.options.nodelay {
                     let _ = stream.set_nodelay(true);
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    inner.inbound.lock().push(clone);
                 }
                 let reader_inner = Arc::clone(&inner);
                 // Reader threads are detached: they exit on EOF, which
@@ -328,10 +471,19 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>) {
     loop {
         match read_frame(&mut stream, &inner.options) {
             Ok(Some(envelope)) => {
-                if inner.owner.get(envelope.to) != Some(&inner.me) {
+                if inner.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Buffer frames for ANY node of the deployment, not just
+                // currently-hosted ones: during recovery a peer may send to
+                // a mailbox this process is about to take over (ownership
+                // reassignment), and rejoin responses are addressed
+                // directly. Only out-of-range node ids poison the
+                // connection.
+                if envelope.to >= inner.num_nodes {
                     eprintln!(
-                        "atom-net: dropping connection after a frame for node {} \
-                         not hosted by process {}",
+                        "atom-net: dropping connection after a frame for unknown \
+                         node {} at process {}",
                         envelope.to, inner.me
                     );
                     return;
@@ -406,11 +558,11 @@ fn read_frame(stream: &mut TcpStream, options: &TcpOptions) -> io::Result<Option
 
 impl Transport for TcpTransport {
     fn nodes(&self) -> usize {
-        self.inner.owner.len()
+        self.inner.num_nodes
     }
 
     fn is_local(&self, node: NodeId) -> bool {
-        self.inner.owner.get(node) == Some(&self.inner.me)
+        node < self.inner.num_nodes && self.inner.owner.lock()[node] == self.inner.me
     }
 
     fn send(
@@ -436,7 +588,7 @@ impl Transport for TcpTransport {
             payload,
             delay: Duration::ZERO,
         };
-        let process = self.inner.owner[to];
+        let process = self.inner.owner.lock()[to];
         if atom_obs::enabled() {
             let label = &envelope.label;
             atom_obs::count(&format!("net.tcp.frames.{label}"), 1);
@@ -450,18 +602,7 @@ impl Transport for TcpTransport {
             self.inner.deliver_local(envelope);
             return Duration::ZERO;
         }
-        if self.inner.outbound[process].lock().is_none() {
-            connect_retry(&self.inner, process)
-                .unwrap_or_else(|error| panic!("tcp transport: {error}"));
-        }
-        let mut slot = self.inner.outbound[process].lock();
-        let stream = slot.as_mut().expect("peer stream established above");
-        write_frame(stream, &envelope).unwrap_or_else(|error| {
-            panic!(
-                "tcp transport: sending {} -> {} via process {process} failed: {error}",
-                envelope.from, envelope.to
-            )
-        });
+        send_remote(&self.inner, process, &envelope);
         Duration::ZERO
     }
 
@@ -587,25 +728,156 @@ mod tests {
     }
 
     #[test]
-    fn frames_for_foreign_nodes_are_rejected() {
+    fn frames_for_unknown_nodes_are_rejected_but_unowned_ones_buffer() {
         let (a, b) = pair(vec![0, 1]);
-        // Process 0 hosts node 0; a frame addressed to it arriving at
-        // process 1 is a routing violation and drops the connection.
+        // A frame for a node id outside the deployment poisons its
+        // connection.
         let mut rogue = TcpStream::connect(b.local_addr()).unwrap();
         let envelope = Envelope {
             from: 1,
-            to: 0,
-            label: "misrouted".into(),
+            to: 99,
+            label: "unknown".into(),
             payload: vec![1],
             delay: Duration::ZERO,
         };
         write_frame(&mut rogue, &envelope).unwrap();
-        // Give the reader a moment; node 0's mailbox lives in `a` and must
-        // stay empty in `b` (which doesn't even host it).
-        std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(Transport::pending(&a, 0), 0);
+        // A frame for a valid node this process does NOT currently own is
+        // buffered — recovery reassigns mailboxes between rounds and the
+        // frame may arrive first.
+        let mut early = TcpStream::connect(b.local_addr()).unwrap();
+        let envelope = Envelope {
+            from: 1,
+            to: 0,
+            label: "early".into(),
+            payload: vec![2],
+            delay: Duration::ZERO,
+        };
+        write_frame(&mut early, &envelope).unwrap();
+        wait_pending(&b, 0);
+        assert_eq!(Transport::drain(&b, 0)[0].payload, vec![2]);
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn ownership_handoff_redirects_sends() {
+        // Nodes 1 and 2 start on process 1; after the handoff of node 2,
+        // process 0 delivers to itself locally.
+        let (a, b) = pair(vec![0, 1, 1]);
+        Transport::send(&a, 0, 2, "before".into(), vec![1]);
+        wait_pending(&b, 2);
+        assert_eq!(Transport::drain(&b, 2).len(), 1);
+        assert!(!Transport::is_local(&a, 2));
+        a.set_owner(2, 0);
+        assert!(Transport::is_local(&a, 2));
+        assert_eq!(a.owner_of(2), 0);
+        assert_eq!(a.local_nodes(), vec![0, 2]);
+        Transport::send(&a, 0, 2, "after".into(), vec![2]);
+        assert_eq!(Transport::drain(&a, 2)[0].payload, vec![2]);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn send_to_process_bypasses_the_owner_map() {
+        let (a, b) = pair(vec![0, 1]);
+        // Node 0's mailbox is owned by process 0, but the direct-addressed
+        // send reaches process 1's buffer for it anyway.
+        a.send_to_process(1, 0, 0, "direct".into(), vec![7]);
+        wait_pending(&b, 0);
+        assert_eq!(Transport::drain(&b, 0)[0].payload, vec![7]);
+        // Loopback path.
+        a.send_to_process(0, 0, 0, "loop".into(), vec![8]);
+        assert_eq!(Transport::drain(&a, 0)[0].payload, vec![8]);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn send_repairs_a_dead_stream_to_a_restarted_peer() {
+        let owner = vec![0usize, 1];
+        let a = TcpTransport::bind_any(2, owner.clone(), 0, TcpOptions::default()).unwrap();
+        let b = TcpTransport::bind_any(2, owner.clone(), 1, TcpOptions::default()).unwrap();
+        a.set_peer_addr(1, b.local_addr().to_string());
+        a.connect_peers().unwrap();
+        Transport::send(&a, 0, 1, "first".into(), vec![1]);
+        wait_pending(&b, 1);
+        // The peer process "restarts": same address, fresh listener. The
+        // old stream dies with it.
+        let addr = b.local_addr();
+        b.shutdown();
+        drop(b);
+        let b2 = TcpTransport::bind(
+            vec![String::new(), addr.to_string()],
+            owner,
+            1,
+            TcpOptions::default(),
+        )
+        .unwrap();
+        // The first send after the restart hits the dead socket (possibly
+        // only on the second write, once the kernel notices the reset);
+        // the repair path reconnects and the frame arrives.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Transport::pending(&b2, 1) == 0 {
+            assert!(Instant::now() < deadline, "repair never delivered");
+            Transport::send(&a, 0, 1, "after-restart".into(), vec![2]);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(Transport::try_receive(&b2, 1).unwrap().payload, vec![2]);
+        a.shutdown();
+        b2.shutdown();
+    }
+
+    #[test]
+    fn connect_backoff_grows_exponentially_to_a_cap() {
+        // Deterministic: delay(n) ∈ [exp, 1.5·exp] with exp = min(5·2ⁿ, 200).
+        for attempt in 0..24u32 {
+            let exp = CONNECT_BACKOFF_BASE_MS
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(CONNECT_BACKOFF_CAP_MS);
+            for (me, peer) in [(0usize, 1usize), (3, 7), (11, 2)] {
+                let delay = connect_backoff(me, peer, attempt).as_millis() as u64;
+                assert!(
+                    delay >= exp && delay <= exp + exp / 2,
+                    "attempt {attempt}: delay {delay} outside [{exp}, {}]",
+                    exp + exp / 2
+                );
+            }
+        }
+        // The jitter actually de-phases distinct processes somewhere.
+        assert!((0..8).any(|me| connect_backoff(me, 1, 3) != connect_backoff(me + 8, 1, 3)));
+    }
+
+    #[test]
+    fn failed_connects_meter_retries() {
+        atom_obs::set_enabled(true);
+        let before = retries_counter();
+        // Nobody listens on the peer address: the connect loop must retry
+        // (metering each attempt) until the budget expires.
+        let options = TcpOptions {
+            connect_timeout: Duration::from_millis(60),
+            ..TcpOptions::default()
+        };
+        let a = TcpTransport::bind_any(2, vec![0, 1], 0, options).unwrap();
+        // A port from the dynamic range with no listener; connecting fails
+        // fast on loopback.
+        a.set_peer_addr(1, "127.0.0.1:59999".to_string());
+        assert!(a.connect_peers().is_err());
+        let after = retries_counter();
+        assert!(
+            after > before,
+            "net.tcp.connect_retries must increment ({before} -> {after})"
+        );
+        a.shutdown();
+        atom_obs::set_enabled(false);
+    }
+
+    fn retries_counter() -> u64 {
+        atom_obs::counter_snapshot()
+            .into_iter()
+            .find(|(name, _)| name == "net.tcp.connect_retries")
+            .map(|(_, value)| value)
+            .unwrap_or(0)
     }
 
     #[test]

@@ -87,8 +87,29 @@ pub const SETUP_LABEL: &str = "atom/setup";
 /// never able to alter a round's protocol output.
 pub const TELEMETRY_LABEL: &str = "atom/telemetry";
 
+/// Envelope label of eviction verdicts (coordinator → members).
+pub const EVICT_LABEL: &str = "atom/evict";
+
+/// Envelope label of rejoin/catch-up handshake frames.
+pub const REJOIN_LABEL: &str = "atom/rejoin";
+
+/// Callback invoked with a round index each time that round resolves
+/// *successfully* in this process (see
+/// [`EngineOptions::on_round_complete`]).
+pub type RoundCompleteHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Shared stash for membership-control frames (`evict`, `rejoin`) observed
+/// while an engine run is active (see [`EngineOptions::control_sink`]).
+pub type ControlSink = Arc<Mutex<Vec<wire::Frame>>>;
+
+/// A fresh, empty [`ControlSink`] — the constructor crates without a
+/// `parking_lot` dependency use.
+pub fn new_control_sink() -> ControlSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
 /// Engine-wide execution options.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EngineOptions {
     /// Worker threads driving group actors.
     pub workers: usize,
@@ -114,6 +135,27 @@ pub struct EngineOptions {
     /// dying without a word (crash, OOM-kill) surfaces — TCP gives the
     /// survivor no abort frame, only silence. Default 120 s.
     pub stall_timeout: Duration,
+    /// Invoked each time a round resolves successfully in this process
+    /// (coordinator: the full report is finalized; member: the local stub
+    /// resolved). Recovery orchestration uses it for round-indexed fault
+    /// scheduling and detection-to-healed-round latency without polling.
+    /// Called from worker threads; must not call back into the engine.
+    pub on_round_complete: Option<RoundCompleteHook>,
+    /// Where `evict`/`rejoin` frames that race into an *active* engine run
+    /// are stashed. Membership control is an orchestration-layer concern
+    /// that happens *between* engine runs; a control frame arriving mid-run
+    /// (e.g. an eviction broadcast overtaking a member's own stall
+    /// detection) must neither fail a round as malformed traffic nor be
+    /// silently eaten. With no sink configured such frames are counted and
+    /// dropped.
+    pub control_sink: Option<ControlSink>,
+    /// Epoch fence: the wire round id of this run's first job. Protocol
+    /// frames go out as `round_offset + job_index` and inbound frames below
+    /// the offset are dropped as stale. Recovery orchestration gives each
+    /// engine run (epoch) a disjoint id range, so a straggler frame from a
+    /// failed epoch can never alias the retry of the same round. `0`
+    /// (default) reproduces the historical wire bytes exactly.
+    pub round_offset: usize,
 }
 
 impl Default for EngineOptions {
@@ -127,7 +169,26 @@ impl Default for EngineOptions {
             stragglers: Vec::new(),
             intake_chunk: 0,
             stall_timeout: Duration::from_secs(120),
+            on_round_complete: None,
+            control_sink: None,
+            round_offset: 0,
         }
+    }
+}
+
+impl std::fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("workers", &self.workers)
+            .field("latency", &self.latency)
+            .field("parallelism", &self.parallelism)
+            .field("stragglers", &self.stragglers)
+            .field("intake_chunk", &self.intake_chunk)
+            .field("stall_timeout", &self.stall_timeout)
+            .field("on_round_complete", &self.on_round_complete.is_some())
+            .field("control_sink", &self.control_sink.is_some())
+            .field("round_offset", &self.round_offset)
+            .finish()
     }
 }
 
@@ -530,6 +591,20 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
+    /// The wire round id of local job index `round` (see
+    /// [`EngineOptions::round_offset`]).
+    fn wire_round(&self, round: usize) -> usize {
+        round + self.options.round_offset
+    }
+
+    /// Maps an inbound wire round id back to a local job index. `None`
+    /// means the frame predates this run's id range — a stale frame from an
+    /// earlier recovery epoch, to be fenced off rather than misdelivered to
+    /// whatever round currently reuses the low indices.
+    fn job_index(&self, wire_round: usize) -> Option<usize> {
+        wire_round.checked_sub(self.options.round_offset)
+    }
+
     fn job_done(&self) {
         if self.sched.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Hold the queue lock while notifying: a worker that observed
@@ -582,7 +657,7 @@ impl Shared<'_> {
         } else {
             self.role.hosted.first().copied().unwrap_or(0)
         };
-        let payload = wire::encode_abort(round, reason);
+        let payload = wire::encode_abort(self.wire_round(round), reason);
         for node in targets {
             let send = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.transport
@@ -628,6 +703,7 @@ impl Shared<'_> {
             AtomError::Engine {
                 kind: EngineErrorKind::TransportLost,
                 reason: format!("send {from} -> {to} ({label}) failed: peer process unreachable"),
+                nodes: vec![to],
             },
         );
         false
@@ -642,7 +718,7 @@ impl Shared<'_> {
             if job.finalized() {
                 continue;
             }
-            let detail = self.stall_detail(job);
+            let (detail, missing) = self.stall_detail(job);
             // The diagnosis goes into the trace timeline too, so a traced
             // run shows *where* the round was stuck next to the spans of
             // the work that did complete — not only on stderr.
@@ -655,6 +731,7 @@ impl Shared<'_> {
                         "engine stalled: no task progress for {elapsed:?} (remote peer \
                          lost?); round {round} {detail}"
                     ),
+                    nodes: missing,
                 },
             );
         }
@@ -662,8 +739,11 @@ impl Shared<'_> {
 
     /// What an unresolved round is waiting for, phase by phase, with each
     /// outstanding group tagged local/remote (a remote tag names a peer
-    /// process as the likely casualty).
-    fn stall_detail(&self, job: &JobState) -> String {
+    /// process as the likely casualty). Besides the human-readable
+    /// diagnosis, returns the outstanding *remote* group nodes as data: the
+    /// structured half that a [`FaultVerdict`](crate::fault::FaultVerdict)
+    /// maps back to the dead process without parsing the string.
+    fn stall_detail(&self, job: &JobState) -> (String, Vec<usize>) {
         let locality = |gid: usize| {
             if self.transport.is_local(gid) {
                 format!("{gid} (local)")
@@ -671,53 +751,77 @@ impl Shared<'_> {
                 format!("{gid} (remote)")
             }
         };
+        let remote_only = |gids: &[usize]| -> Vec<usize> {
+            gids.iter()
+                .copied()
+                .filter(|&gid| !self.transport.is_local(gid))
+                .collect()
+        };
         if let Some(phase_lock) = &job.phase {
             let phase = phase_lock.lock();
             if !phase.ready {
-                let waiting: Vec<String> = phase
+                let waiting: Vec<usize> = phase
                     .groups
                     .iter()
                     .enumerate()
                     .filter(|(_, slot)| slot.is_none())
-                    .map(|(gid, _)| locality(gid))
+                    .map(|(gid, _)| gid)
                     .collect();
                 let trustees = if phase.need_trustees && phase.trustees.is_none() {
                     " and the trustee DKG"
                 } else {
                     ""
                 };
-                return format!(
-                    "stuck in sharded setup, waiting on group directories [{}]{trustees}",
-                    waiting.join(", ")
+                let named: Vec<String> = waiting.iter().map(|&gid| locality(gid)).collect();
+                return (
+                    format!(
+                        "stuck in sharded setup, waiting on group directories [{}]{trustees}",
+                        named.join(", ")
+                    ),
+                    remote_only(&waiting),
                 );
             }
         }
         if self.role.coordinator {
             let pending_chunks = job.intake.lock().pending;
             if pending_chunks > 0 {
-                return format!(
-                    "stuck before batch release: {pending_chunks} intake chunk(s) unverified"
+                return (
+                    format!(
+                        "stuck before batch release: {pending_chunks} intake chunk(s) unverified"
+                    ),
+                    Vec::new(),
                 );
             }
             let exit = job.exit.lock();
-            let missing: Vec<String> = exit
+            let missing: Vec<usize> = exit
                 .payloads
                 .iter()
                 .enumerate()
                 .filter(|(_, slot)| slot.is_none())
-                .map(|(gid, _)| locality(gid))
+                .map(|(gid, _)| gid)
                 .collect();
-            format!(
-                "waiting on exit frames from groups [{}]",
-                missing.join(", ")
+            let named: Vec<String> = missing.iter().map(|&gid| locality(gid)).collect();
+            (
+                format!("waiting on exit frames from groups [{}]", named.join(", ")),
+                remote_only(&missing),
             )
         } else {
             let exit = job.exit.lock();
-            format!(
-                "member still mixing: {}/{} hosted groups exited",
-                exit.local_exits,
-                self.role.hosted_in_round(job.num_groups())
+            (
+                format!(
+                    "member still mixing: {}/{} hosted groups exited",
+                    exit.local_exits,
+                    self.role.hosted_in_round(job.num_groups())
+                ),
+                Vec::new(),
             )
+        }
+    }
+
+    /// Fires the configured round-completion hook, if any.
+    fn notify_round_complete(&self, round: usize) {
+        if let Some(hook) = &self.options.on_round_complete {
+            hook(round);
         }
     }
 }
@@ -1071,6 +1175,27 @@ fn build_actor(
         .find(|(slow, _)| *slow == gid)
         .map(|(_, delay)| *delay)
         .unwrap_or(Duration::ZERO);
+    // A group that lost more members than its DKG threshold tolerates
+    // cannot run threshold decryption with Lagrange reweighting alone; fall
+    // back to the buddy-group escrow (§4.5), which deterministically
+    // reconstructs the missing shares onto replacement servers drawn from
+    // the buddy group. The group public key is unchanged, so already
+    // collected submissions stay decryptable.
+    let healed;
+    let setup = if !spec.failed_servers.is_empty()
+        && setup.groups[gid]
+            .participating(&spec.failed_servers)
+            .is_err()
+    {
+        let group = atom_core::faults::heal_group_via_escrow(setup, gid, &spec.failed_servers)?;
+        atom_obs::count("engine.escrow.reconstructions", 1);
+        let mut patched = setup.clone();
+        patched.groups[gid] = group;
+        healed = patched;
+        &healed
+    } else {
+        setup
+    };
     GroupActor::new(setup, gid, spec.master_seed, config)
 }
 
@@ -1195,7 +1320,7 @@ fn run_setup_group(shared: &Shared<'_>, round: usize, gid: usize) {
     // may leave this process: secret shares stay behind.
     let public = context.public_only();
     let frame = SetupFrame {
-        round,
+        round: shared.wire_round(round),
         gid,
         members: public.members,
         threshold: public.threshold,
@@ -1541,7 +1666,7 @@ fn finish_intake(shared: &Shared<'_>, round: usize) {
     }
 
     for (gid, batch) in batches.into_iter().enumerate() {
-        let payload = wire::encode_mix(round, 0, SOURCE, Duration::ZERO, &batch);
+        let payload = wire::encode_mix(shared.wire_round(round), 0, SOURCE, Duration::ZERO, &batch);
         job.intake_mix_messages.fetch_add(1, Ordering::Relaxed);
         job.intake_mix_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
@@ -1568,7 +1693,7 @@ fn inbound_hop(shared: &Shared<'_>, setup: &RoundSetup, from: usize, to: usize) 
 /// frames fail their round.
 fn run_deliver(shared: &Shared<'_>, node: usize) {
     for envelope in shared.transport.drain(node) {
-        let decoded = match wire::decode(&envelope.payload) {
+        let mut decoded = match wire::decode(&envelope.payload) {
             Ok(decoded) => decoded,
             Err(error) => {
                 // Within one process every envelope is engine-generated, so
@@ -1577,13 +1702,38 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
                 // strand the receiving actor forever: fail the named round
                 // (the header's round field survives most corruptions) or,
                 // failing that, everything.
-                match wire::decode_round(&envelope.payload) {
+                match wire::decode_round(&envelope.payload).and_then(|r| shared.job_index(r)) {
                     Some(round) if round < shared.jobs.len() => shared.fail_job(round, error),
+                    // An undecodable frame from before this run's id range
+                    // is a stale-epoch leftover: fence it off.
+                    None => atom_obs::count("engine.stale.frames", 1),
                     _ => shared.fail_all("undecodable protocol frame"),
                 }
                 continue;
             }
         };
+        // Translate the wire round id into this run's job index; a frame
+        // below the epoch fence is a straggler from an earlier epoch and
+        // must never be misdelivered to the round reusing its index.
+        let round_slot = match &mut decoded {
+            Frame::Mix(frame) => Some(&mut frame.round),
+            Frame::Exit(frame) => Some(&mut frame.round),
+            Frame::Abort(frame) => Some(&mut frame.round),
+            Frame::Setup(frame) => Some(&mut frame.round),
+            Frame::Telemetry(frame) => Some(&mut frame.round),
+            // Control frames carry *global* round numbers for the
+            // orchestration layer; the engine never indexes jobs by them.
+            Frame::Evict(_) | Frame::Rejoin(_) => None,
+        };
+        if let Some(slot) = round_slot {
+            match shared.job_index(*slot) {
+                Some(index) => *slot = index,
+                None => {
+                    atom_obs::count("engine.stale.frames", 1);
+                    continue;
+                }
+            }
+        }
         match decoded {
             Frame::Mix(mix) => on_mix_frame(shared, node, mix),
             Frame::Exit(exit) => on_exit_frame(shared, node, exit),
@@ -1599,8 +1749,18 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
                     AtomError::Engine {
                         kind: EngineErrorKind::ProtocolAbort,
                         reason: format!("round aborted by a peer: {}", abort.reason),
+                        nodes: Vec::new(),
                     },
                 );
+            }
+            // Membership control (evict / rejoin) is handled by the
+            // recovery orchestration *between* engine runs; a control frame
+            // overtaking this run is stashed for it, never a round failure.
+            Frame::Evict(_) | Frame::Rejoin(_) => {
+                atom_obs::count("engine.control.frames_in_run", 1);
+                if let Some(sink) = &shared.options.control_sink {
+                    sink.lock().push(decoded);
+                }
             }
         }
     }
@@ -1691,7 +1851,13 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
                     batch,
                     sent_virtual,
                 } => {
-                    let payload = wire::encode_mix(round, iteration, gid, sent_virtual, &batch);
+                    let payload = wire::encode_mix(
+                        shared.wire_round(round),
+                        iteration,
+                        gid,
+                        sent_virtual,
+                        &batch,
+                    );
                     let (messages, bytes) = &job.group_mix[gid];
                     messages.fetch_add(1, Ordering::Relaxed);
                     bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
@@ -1707,7 +1873,7 @@ fn on_mix_frame(shared: &Shared<'_>, gid: usize, mix: wire::MixEnvelope) {
                     // is remote.
                     let (messages, bytes) = &job.group_mix[gid];
                     let frame = ExitFrame {
-                        round,
+                        round: shared.wire_round(round),
                         gid,
                         finished_virtual,
                         mix_messages: messages.load(Ordering::Relaxed),
@@ -1764,7 +1930,7 @@ fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration
         let from = hosted.first().copied().unwrap_or(0);
         let snapshot = atom_obs::local_snapshot(Some(round as u32));
         let frame = TelemetryFrame {
-            round,
+            round: shared.wire_round(round),
             process: snapshot.process,
             gids: hosted,
             counters: snapshot.counters,
@@ -1808,6 +1974,7 @@ fn note_local_exit(shared: &Shared<'_>, round: usize, finished_virtual: Duration
             setup_latency,
         )));
         drop(result);
+        shared.notify_round_complete(round);
         shared.job_done();
     }
 }
@@ -2003,8 +2170,9 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
     if result.is_none() {
         *result = Some(report);
         drop(result);
-        if let Some(reason) = exit_failure {
-            shared.broadcast_abort(round, &reason);
+        match exit_failure {
+            Some(reason) => shared.broadcast_abort(round, &reason),
+            None => shared.notify_round_complete(round),
         }
         shared.job_done();
     }
@@ -2140,6 +2308,101 @@ mod tests {
         let mut want = expected[1].clone();
         want.sort();
         assert_eq!(recovered(&ok.output), want);
+    }
+
+    #[test]
+    fn escrow_reconstruction_heals_a_group_past_its_tolerance() {
+        // h = 2: Lagrange reweighting covers one failure per group. Killing
+        // TWO members of group 0 exceeds that, so building its actor must
+        // take the buddy-escrow fallback (§4.5) — and the round still
+        // delivers every message, because the reconstructed shares belong
+        // to the same group key the submissions were encrypted under.
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut config = AtomConfig::test_default();
+        config.num_servers = 16;
+        config.required_honest = 2;
+        config.message_len = 24;
+        let setup = setup_round(&config, &mut rng).unwrap();
+        let victims = vec![setup.groups[0].members[0], setup.groups[0].members[1]];
+        assert!(
+            setup.groups[0].participating(&victims).is_err(),
+            "two failures must exceed the Lagrange path's tolerance"
+        );
+        let messages: Vec<String> = (0..4).map(|i| format!("escrow msg {i}")).collect();
+        let submissions: Vec<TrapSubmission> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, message)| {
+                let gid = i % config.num_groups;
+                make_trap_submission(
+                    gid,
+                    &setup.groups[gid].public_key,
+                    &setup.trustees.public_key,
+                    config.round,
+                    message.as_bytes(),
+                    config.message_len,
+                    &mut rng,
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        let mut job = RoundJob::new(setup, RoundSubmissions::Trap(submissions), 4100);
+        job.failed_servers = victims;
+        let report = Engine::with_workers(3).run_round(job).unwrap();
+        let mut want = messages;
+        want.sort();
+        assert_eq!(recovered(&report.output), want);
+    }
+
+    #[test]
+    fn epoch_fence_drops_stale_frames_but_maps_current_ones() {
+        // A stale abort from an earlier epoch (wire round id below the
+        // fence) must be dropped, not misdelivered to the retried round
+        // that reuses job index 0.
+        let (jobs, expected) = trap_jobs(1, 9100);
+        let groups = jobs[0].config().num_groups;
+        let network = InMemoryNetwork::new(groups + 1, LatencyModel::Zero, Vec::new());
+        Transport::send(
+            &network,
+            0,
+            groups,
+            ABORT_LABEL.into(),
+            wire::encode_abort(2, "stale"),
+        );
+        let mut options = EngineOptions::with_workers(2);
+        options.round_offset = 7;
+        let report = Engine::new(options.clone())
+            .run_rounds_on(jobs, &network, &EngineRole::standalone(groups))
+            .pop()
+            .unwrap()
+            .unwrap();
+        let mut want = expected[0].clone();
+        want.sort();
+        assert_eq!(recovered(&report.output), want);
+
+        // An abort in the current epoch's id range still maps back onto
+        // the job it names and fails it, exactly as without the fence.
+        let (jobs, _) = trap_jobs(1, 9100);
+        let network = InMemoryNetwork::new(groups + 1, LatencyModel::Zero, Vec::new());
+        Transport::send(
+            &network,
+            0,
+            groups,
+            ABORT_LABEL.into(),
+            wire::encode_abort(7, "current"),
+        );
+        let result = Engine::new(options)
+            .run_rounds_on(jobs, &network, &EngineRole::standalone(groups))
+            .pop()
+            .unwrap();
+        match result {
+            Err(AtomError::Engine {
+                kind: EngineErrorKind::ProtocolAbort,
+                ..
+            }) => {}
+            other => panic!("want a ProtocolAbort failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Structured fault verdicts: the bridge from a dead round to an eviction.
+//!
+//! When a round fails with an [`AtomError::Engine`] the error carries the
+//! transport nodes implicated in the failure (the mailboxes a stall was
+//! still waiting on, or the peer a send could not reach). This module turns
+//! that raw evidence into a [`FaultVerdict`] — which *process* is at fault,
+//! which *servers* that process hosted, and how confident the diagnosis is
+//! — which the coordinator gossips in an `evict` wire frame
+//! ([`crate::wire::EvictFrame`]) so every surviving process applies the
+//! identical membership change and the healed directory stays a pure
+//! function of `(config, eviction log)`.
+
+use atom_core::error::{AtomError, EngineErrorKind};
+
+/// How a fault verdict classifies the failed process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process is gone: its peer reset the connection, or it produced
+    /// no frames at all before the stall timeout. Evict immediately.
+    Dead,
+    /// The process (or one of its servers) provably deviated — it sent an
+    /// abort, a malformed frame, or failed a protocol check. Evict and
+    /// attribute.
+    Blamed,
+    /// The process was implicated but the evidence is circumstantial
+    /// (e.g. a stall that points at several processes). Evict it to heal
+    /// the round, but a real deployment would only deprioritize it.
+    Slow,
+}
+
+impl FaultKind {
+    /// The verdict byte used by the `evict` wire frame.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            FaultKind::Dead => 0,
+            FaultKind::Blamed => 1,
+            FaultKind::Slow => 2,
+        }
+    }
+
+    /// Parses a wire verdict byte; unknown values are rejected by the
+    /// frame decoder.
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(FaultKind::Dead),
+            1 => Some(FaultKind::Blamed),
+            2 => Some(FaultKind::Slow),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Dead => "dead",
+            FaultKind::Blamed => "blamed",
+            FaultKind::Slow => "slow",
+        })
+    }
+}
+
+/// One entry of the fleet's eviction log: a process (and the servers it
+/// hosted) convicted of killing round `round`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultVerdict {
+    /// The round whose failure produced this verdict.
+    pub round: usize,
+    /// The convicted fleet process index.
+    pub process: usize,
+    /// Classification of the conviction.
+    pub kind: FaultKind,
+    /// Global server ids the process hosted — the ids fed into
+    /// [`AtomConfig::evicted_servers`](atom_core::config::AtomConfig::evicted_servers).
+    pub servers: Vec<usize>,
+    /// Human-readable evidence (the engine error's diagnosis).
+    pub reason: String,
+}
+
+impl FaultVerdict {
+    /// Diagnoses a failed round: maps the engine error's implicated
+    /// transport nodes through `owners` (node → fleet process, the
+    /// coordinator's group-ownership map) and convicts the process owning
+    /// the most implicated nodes (ties broken toward the lowest index).
+    /// `servers_of` supplies the global server ids a process hosts.
+    ///
+    /// Returns `None` when the error carries no usable evidence — a
+    /// non-engine error, an engine error with no implicated nodes, or
+    /// nodes that only point back at the coordinator itself
+    /// (`own_process`): evicting nobody is better than evicting at random.
+    pub fn diagnose(
+        round: usize,
+        error: &AtomError,
+        owners: &[usize],
+        own_process: usize,
+        servers_of: impl Fn(usize) -> Vec<usize>,
+    ) -> Option<FaultVerdict> {
+        let AtomError::Engine {
+            kind,
+            reason,
+            nodes,
+        } = error
+        else {
+            return None;
+        };
+        let mut votes = vec![0usize; owners.iter().max().map_or(0, |max| max + 1)];
+        for node in nodes {
+            if let Some(&owner) = owners.get(*node) {
+                if owner != own_process {
+                    votes[owner] += 1;
+                }
+            }
+        }
+        let process = votes
+            .iter()
+            .enumerate()
+            .filter(|(_, votes)| **votes > 0)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(process, _)| process)?;
+        let implicated = votes.iter().filter(|votes| **votes > 0).count();
+        let kind = match kind {
+            // A lost transport names the unreachable peer exactly.
+            EngineErrorKind::TransportLost => FaultKind::Dead,
+            // A stall pointing at a single process is as good as dead; one
+            // pointing at several is circumstantial.
+            EngineErrorKind::Stall if implicated == 1 => FaultKind::Dead,
+            EngineErrorKind::Stall => FaultKind::Slow,
+            // The aborting peer holds the authoritative error; convicting
+            // the first implicated node is the best available attribution.
+            EngineErrorKind::ProtocolAbort => FaultKind::Blamed,
+        };
+        Some(FaultVerdict {
+            round,
+            process,
+            kind,
+            servers: servers_of(process),
+            reason: reason.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_error(kind: EngineErrorKind, nodes: Vec<usize>) -> AtomError {
+        AtomError::Engine {
+            kind,
+            reason: "test failure".into(),
+            nodes,
+        }
+    }
+
+    /// owners: nodes 0,1 on process 0 (the coordinator), 2,3 on 1, 4,5 on 2.
+    const OWNERS: [usize; 6] = [0, 0, 1, 1, 2, 2];
+
+    #[test]
+    fn transport_lost_convicts_the_unreachable_peer() {
+        let error = engine_error(EngineErrorKind::TransportLost, vec![4]);
+        let verdict = FaultVerdict::diagnose(3, &error, &OWNERS, 0, |p| vec![p * 10]).unwrap();
+        assert_eq!(verdict.round, 3);
+        assert_eq!(verdict.process, 2);
+        assert_eq!(verdict.kind, FaultKind::Dead);
+        assert_eq!(verdict.servers, vec![20]);
+        assert_eq!(verdict.reason, "test failure");
+    }
+
+    #[test]
+    fn single_process_stall_is_dead_multi_process_is_slow() {
+        let error = engine_error(EngineErrorKind::Stall, vec![2, 3]);
+        let verdict = FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).unwrap();
+        assert_eq!((verdict.process, verdict.kind), (1, FaultKind::Dead));
+
+        // Nodes across two processes: circumstantial, majority wins.
+        let error = engine_error(EngineErrorKind::Stall, vec![2, 3, 4]);
+        let verdict = FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).unwrap();
+        assert_eq!((verdict.process, verdict.kind), (1, FaultKind::Slow));
+
+        // A tie convicts the lower process index.
+        let error = engine_error(EngineErrorKind::Stall, vec![3, 5]);
+        let verdict = FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).unwrap();
+        assert_eq!(verdict.process, 1);
+    }
+
+    #[test]
+    fn evidence_free_errors_yield_no_verdict() {
+        // No implicated nodes.
+        let error = engine_error(EngineErrorKind::Stall, Vec::new());
+        assert!(FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).is_none());
+        // Nodes that only point at the diagnosing process itself.
+        let error = engine_error(EngineErrorKind::Stall, vec![0, 1]);
+        assert!(FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).is_none());
+        // Non-engine errors carry no node evidence at all.
+        let error = AtomError::Config("nope".into());
+        assert!(FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).is_none());
+        // Out-of-range nodes are ignored rather than panicking.
+        let error = engine_error(EngineErrorKind::Stall, vec![99]);
+        assert!(FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).is_none());
+    }
+
+    #[test]
+    fn wire_byte_roundtrips() {
+        for kind in [FaultKind::Dead, FaultKind::Blamed, FaultKind::Slow] {
+            assert_eq!(FaultKind::from_wire(kind.to_wire()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_wire(3), None);
+        assert_eq!(FaultKind::from_wire(0xff), None);
+    }
+}

@@ -119,11 +119,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod scenarios;
 pub mod wire;
 
 pub use engine::{
-    total_traffic, Engine, EngineOptions, EngineRole, RoundDirectory, RoundJob, RoundReport,
-    RoundSubmissions, ABORT_LABEL, EXIT_LABEL, MIX_LABEL, SETUP_LABEL, TELEMETRY_LABEL,
+    new_control_sink, total_traffic, ControlSink, Engine, EngineOptions, EngineRole,
+    RoundCompleteHook, RoundDirectory, RoundJob, RoundReport, RoundSubmissions, ABORT_LABEL,
+    EVICT_LABEL, EXIT_LABEL, MIX_LABEL, REJOIN_LABEL, SETUP_LABEL, TELEMETRY_LABEL,
 };
+pub use fault::{FaultKind, FaultVerdict};
 pub use scenarios::{ScenarioOptions, ScenarioReport};

@@ -4,7 +4,7 @@
 //! The engine ships everything through [`atom_net::Transport`] envelopes
 //! rather than passing Rust values by reference, so traffic metering sees
 //! the true wire size and the TCP transport ships the identical bytes
-//! between processes. Four frame kinds, discriminated by the leading
+//! between processes. Seven frame kinds, discriminated by the leading
 //! byte (all integers little-endian):
 //!
 //! ```text
@@ -25,6 +25,13 @@
 //!        ‖ span_count u32 ‖ span *
 //!        span: phase_len u16 ‖ phase ‖ note_len u16 ‖ note
 //!              ‖ round u32 ‖ gid u32 ‖ tid u32 ‖ start_us u64 ‖ dur_us u64
+//! evict: 0x06 ‖ verdict
+//!        verdict: round u32 ‖ process u32 ‖ kind u8 (0 dead, 1 blamed,
+//!                 2 slow) ‖ server_count u32 ‖ server u32 *
+//!                 ‖ reason_len u16 ‖ reason (UTF-8)
+//! rejoin:
+//!        0x07 ‖ round u32 ‖ process u32 ‖ epoch u32 ‖ flags u8 (bit0:
+//!        response, bit1: commit) ‖ digest 32B ‖ evict_count u32 ‖ verdict *
 //! ```
 //!
 //! `from == u32::MAX` in a mix frame encodes the round orchestrator
@@ -48,6 +55,8 @@ use atom_crypto::elgamal::{Ciphertext, MessageCiphertext, PublicKey};
 use atom_crypto::RistrettoPoint;
 use atom_obs::SpanRecord;
 use curve25519_dalek::ristretto::CompressedRistretto;
+
+use crate::fault::{FaultKind, FaultVerdict};
 
 /// A decoded mixing frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -139,6 +148,55 @@ pub struct TelemetryFrame {
     pub spans: Vec<SpanRecord>,
 }
 
+/// A decoded evict frame: the coordinator's fault verdict for a dead or
+/// misbehaving process, gossiped to every surviving member so all of them
+/// apply the identical membership change before the healed rounds run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictFrame {
+    /// The verdict being gossiped; its `round` field doubles as the frame's
+    /// round header (the detection round).
+    pub verdict: FaultVerdict,
+}
+
+/// A decoded rejoin frame. Doubles as the recovery handshake's
+/// acknowledgement: a restarted (or surviving) member sends a *request*
+/// carrying its last-known round and eviction-log digest; the coordinator
+/// answers with a *response* (`response == true`) carrying the
+/// authoritative eviction log and the current round, and treats a
+/// survivor's matching digest as the barrier that keeps new-epoch traffic
+/// from racing ahead of membership reassignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejoinFrame {
+    /// Request: the sender's last completed round. Response: the round the
+    /// fleet will run next.
+    pub round: usize,
+    /// The fleet process index of the sender.
+    pub process: usize,
+    /// The recovery epoch this handshake opens (coordinator frames) or
+    /// acknowledges (member acks). Each epoch's engine run uses a disjoint
+    /// wire-round id range (`EngineOptions::round_offset`), so both sides
+    /// must agree on the count — including a rejoining process that was
+    /// dead for any number of epochs.
+    pub epoch: usize,
+    /// `false` for a member's request/ack, `true` for the coordinator's
+    /// authoritative answer.
+    pub response: bool,
+    /// Set on the coordinator's *go* frame — the second phase of the
+    /// inter-epoch barrier. A plan (`response` only) tells members what to
+    /// apply; the commit (`response` + `commit`) tells them every survivor
+    /// has acknowledged and drained, so the next epoch's frames cannot be
+    /// confused with stale ones.
+    pub commit: bool,
+    /// Digest of the sender's eviction log (`eviction_log_digest` in the
+    /// recovery harness, four FNV-64 lanes over the log's encoding); lets
+    /// both sides detect divergent membership views without shipping the
+    /// directory.
+    pub digest: [u8; 32],
+    /// The eviction log as the sender knows it (authoritative in a
+    /// response; the member's view in a request).
+    pub evictions: Vec<FaultVerdict>,
+}
+
 /// Any frame of the inter-group protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
@@ -152,6 +210,10 @@ pub enum Frame {
     Setup(SetupFrame),
     /// One process's span/counter snapshot for a finished round.
     Telemetry(TelemetryFrame),
+    /// A fault verdict evicting a process from the fleet.
+    Evict(EvictFrame),
+    /// A catch-up / acknowledgement handshake frame.
+    Rejoin(RejoinFrame),
 }
 
 const KIND_MIX: u8 = 1;
@@ -159,6 +221,8 @@ const KIND_EXIT: u8 = 2;
 const KIND_ABORT: u8 = 3;
 const KIND_SETUP: u8 = 4;
 const KIND_TELEMETRY: u8 = 5;
+const KIND_EVICT: u8 = 6;
+const KIND_REJOIN: u8 = 7;
 
 /// Minimum encoded size of one telemetry counter entry (empty name).
 const MIN_COUNTER_LEN: usize = 2 + 8;
@@ -170,6 +234,10 @@ const POINT_LEN: usize = 32;
 /// Hard cap on `reason` strings so a corrupt length cannot force a large
 /// allocation before the bounds check against the body runs.
 const MAX_ABORT_REASON: usize = 4096;
+/// Minimum encoded size of one fault verdict (no servers, empty reason).
+const MIN_VERDICT_LEN: usize = 4 + 4 + 1 + 4 + 2;
+/// Size of the eviction-log digest carried by rejoin frames.
+const DIGEST_LEN: usize = 32;
 
 fn put_point(out: &mut Vec<u8>, point: &RistrettoPoint) {
     out.extend_from_slice(&point.compress().to_bytes());
@@ -384,6 +452,145 @@ pub fn encode_telemetry(frame: &TelemetryFrame) -> Vec<u8> {
     out
 }
 
+fn put_verdict(out: &mut Vec<u8>, verdict: &FaultVerdict) {
+    out.extend_from_slice(&(verdict.round as u32).to_le_bytes());
+    out.extend_from_slice(&(verdict.process as u32).to_le_bytes());
+    out.push(verdict.kind.to_wire());
+    out.extend_from_slice(&(verdict.servers.len() as u32).to_le_bytes());
+    for server in &verdict.servers {
+        out.extend_from_slice(&(*server as u32).to_le_bytes());
+    }
+    put_string(out, &verdict.reason);
+}
+
+fn get_verdict(bytes: &[u8], offset: &mut usize) -> AtomResult<FaultVerdict> {
+    let round = get_u32(bytes, offset, "verdict round")? as usize;
+    let process = get_u32(bytes, offset, "verdict process")? as usize;
+    let kind_byte = *bytes
+        .get(*offset)
+        .ok_or_else(|| AtomError::Malformed("frame truncated at a verdict kind".into()))?;
+    *offset += 1;
+    let kind = FaultKind::from_wire(kind_byte).ok_or_else(|| {
+        AtomError::Malformed(format!(
+            "verdict carries unknown kind byte {kind_byte:#04x}"
+        ))
+    })?;
+    let server_count = get_u32(bytes, offset, "verdict server count")? as usize;
+    // The count is untrusted: each server occupies 4 bytes of body, so
+    // bound it against the remainder before allocating.
+    if server_count > bytes.len().saturating_sub(*offset) / 4 {
+        return Err(AtomError::Malformed(format!(
+            "verdict claims {server_count} servers past its end"
+        )));
+    }
+    let mut servers = Vec::with_capacity(server_count);
+    for _ in 0..server_count {
+        servers.push(get_u32(bytes, offset, "verdict server")? as usize);
+    }
+    let reason = get_string(bytes, offset, "verdict reason")?;
+    Ok(FaultVerdict {
+        round,
+        process,
+        kind,
+        servers,
+        reason,
+    })
+}
+
+/// Serializes an evict frame. The verdict's detection round lands right
+/// after the kind byte so [`decode_round`] attributes the frame correctly.
+pub fn encode_evict(frame: &EvictFrame) -> Vec<u8> {
+    let verdict = &frame.verdict;
+    let mut out =
+        Vec::with_capacity(1 + MIN_VERDICT_LEN + verdict.servers.len() * 4 + verdict.reason.len());
+    out.push(KIND_EVICT);
+    put_verdict(&mut out, verdict);
+    out
+}
+
+/// Serializes a rejoin frame.
+pub fn encode_rejoin(frame: &RejoinFrame) -> Vec<u8> {
+    let verdict_bytes: usize = frame
+        .evictions
+        .iter()
+        .map(|verdict| MIN_VERDICT_LEN + verdict.servers.len() * 4 + verdict.reason.len())
+        .sum();
+    let mut out = Vec::with_capacity(1 + 4 + 4 + 4 + 1 + DIGEST_LEN + 4 + verdict_bytes);
+    out.push(KIND_REJOIN);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.process as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.epoch as u32).to_le_bytes());
+    out.push(frame.response as u8 | (frame.commit as u8) << 1);
+    out.extend_from_slice(&frame.digest);
+    out.extend_from_slice(&(frame.evictions.len() as u32).to_le_bytes());
+    for verdict in &frame.evictions {
+        put_verdict(&mut out, verdict);
+    }
+    out
+}
+
+fn decode_evict(bytes: &[u8]) -> AtomResult<EvictFrame> {
+    let mut offset = 1;
+    let verdict = get_verdict(bytes, &mut offset)?;
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "evict frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(EvictFrame { verdict })
+}
+
+fn decode_rejoin(bytes: &[u8]) -> AtomResult<RejoinFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "rejoin round")? as usize;
+    let process = get_u32(bytes, &mut offset, "rejoin process")? as usize;
+    let epoch = get_u32(bytes, &mut offset, "rejoin epoch")? as usize;
+    let flags = *bytes
+        .get(offset)
+        .ok_or_else(|| AtomError::Malformed("rejoin frame truncated at flags".into()))?;
+    offset += 1;
+    if flags & !3 != 0 {
+        return Err(AtomError::Malformed(format!(
+            "rejoin frame carries unknown flags {flags:#04x}"
+        )));
+    }
+    let response = flags & 1 == 1;
+    let commit = flags & 2 == 2;
+    let digest_slice = bytes
+        .get(offset..offset + DIGEST_LEN)
+        .ok_or_else(|| AtomError::Malformed("rejoin frame truncated in its digest".into()))?;
+    offset += DIGEST_LEN;
+    let mut digest = [0u8; DIGEST_LEN];
+    digest.copy_from_slice(digest_slice);
+    let evict_count = get_u32(bytes, &mut offset, "rejoin evict count")? as usize;
+    // Bound the untrusted count by the minimum bytes one verdict occupies.
+    if evict_count > bytes.len().saturating_sub(offset) / MIN_VERDICT_LEN {
+        return Err(AtomError::Malformed(format!(
+            "rejoin frame claims {evict_count} evictions past its end"
+        )));
+    }
+    let mut evictions = Vec::with_capacity(evict_count);
+    for _ in 0..evict_count {
+        evictions.push(get_verdict(bytes, &mut offset)?);
+    }
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "rejoin frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(RejoinFrame {
+        round,
+        process,
+        epoch,
+        response,
+        commit,
+        digest,
+        evictions,
+    })
+}
+
 /// Best-effort extraction of the round index from a (possibly corrupt)
 /// frame, so a decode failure can still be attributed to its round. Every
 /// frame kind stores the round as a `u32` right after the kind byte.
@@ -401,6 +608,8 @@ pub fn decode(bytes: &[u8]) -> AtomResult<Frame> {
         Some(&KIND_ABORT) => decode_abort(bytes).map(Frame::Abort),
         Some(&KIND_SETUP) => decode_setup(bytes).map(Frame::Setup),
         Some(&KIND_TELEMETRY) => decode_telemetry(bytes).map(Frame::Telemetry),
+        Some(&KIND_EVICT) => decode_evict(bytes).map(Frame::Evict),
+        Some(&KIND_REJOIN) => decode_rejoin(bytes).map(Frame::Rejoin),
         Some(kind) => Err(AtomError::Malformed(format!("unknown frame kind {kind}"))),
         None => Err(AtomError::Malformed("empty frame".into())),
     }
@@ -868,11 +1077,15 @@ mod tests {
         let abort = encode_abort(5, "r");
         let setup = encode_setup(&sample_setup());
         let telemetry = encode_telemetry(&sample_telemetry());
+        let evict = encode_evict(&sample_evict());
+        let rejoin = encode_rejoin(&sample_rejoin());
         assert_eq!(decode_round(&mix), Some(3));
         assert_eq!(decode_round(&exit), Some(4));
         assert_eq!(decode_round(&abort), Some(5));
         assert_eq!(decode_round(&setup), Some(6));
         assert_eq!(decode_round(&telemetry), Some(8));
+        assert_eq!(decode_round(&evict), Some(11));
+        assert_eq!(decode_round(&rejoin), Some(12));
         assert_eq!(decode_round(&[1, 2]), None);
     }
 
@@ -922,6 +1135,8 @@ mod tests {
             encode_abort(1, "reason"),
             encode_setup(&sample_setup()),
             encode_telemetry(&sample_telemetry()),
+            encode_evict(&sample_evict()),
+            encode_rejoin(&sample_rejoin()),
         ] {
             for len in 0..full.len() {
                 assert!(
@@ -1213,6 +1428,175 @@ mod tests {
             format!("{error:?}").contains("UTF-8"),
             "want the UTF-8 error, got {error:?}"
         );
+    }
+
+    // Evict/rejoin-frame adversarial coverage, mirroring the other suites.
+
+    fn sample_evict() -> EvictFrame {
+        EvictFrame {
+            verdict: FaultVerdict {
+                round: 11,
+                process: 2,
+                kind: FaultKind::Dead,
+                servers: vec![4, 5],
+                reason: "no frames before the stall timeout".to_string(),
+            },
+        }
+    }
+
+    fn sample_rejoin() -> RejoinFrame {
+        RejoinFrame {
+            round: 12,
+            process: 1,
+            epoch: 3,
+            response: false,
+            commit: false,
+            digest: [0xA7; 32],
+            evictions: vec![
+                sample_evict().verdict,
+                FaultVerdict {
+                    round: 9,
+                    process: 3,
+                    kind: FaultKind::Slow,
+                    servers: Vec::new(),
+                    reason: String::new(),
+                },
+            ],
+        }
+    }
+
+    /// Byte offset of the server-count field in an encoded evict frame.
+    const EVICT_SERVER_COUNT_AT: usize = 1 + 4 + 4 + 1;
+
+    #[test]
+    fn evict_frame_roundtrips() {
+        let frame = sample_evict();
+        let bytes = encode_evict(&frame);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Evict(frame));
+        // Every verdict kind survives the trip.
+        for kind in [FaultKind::Dead, FaultKind::Blamed, FaultKind::Slow] {
+            let frame = EvictFrame {
+                verdict: FaultVerdict {
+                    kind,
+                    ..sample_evict().verdict
+                },
+            };
+            let bytes = encode_evict(&frame);
+            assert_eq!(decode(&bytes).unwrap(), Frame::Evict(frame));
+        }
+    }
+
+    #[test]
+    fn rejoin_frame_roundtrips() {
+        for response in [false, true] {
+            for commit in [false, true] {
+                let frame = RejoinFrame {
+                    response,
+                    commit,
+                    ..sample_rejoin()
+                };
+                let bytes = encode_rejoin(&frame);
+                assert_eq!(decode(&bytes).unwrap(), Frame::Rejoin(frame));
+            }
+        }
+        // An empty eviction log (a fresh fleet's handshake) is well-formed.
+        let empty = RejoinFrame {
+            evictions: Vec::new(),
+            ..sample_rejoin()
+        };
+        let bytes = encode_rejoin(&empty);
+        assert_eq!(decode(&bytes).unwrap(), Frame::Rejoin(empty));
+    }
+
+    #[test]
+    fn evict_unknown_verdict_kind_rejected() {
+        let kind_at = 1 + 4 + 4;
+        for byte in [3u8, 0x80, 0xff] {
+            let mut bytes = encode_evict(&sample_evict());
+            bytes[kind_at] = byte;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("kind byte"),
+                "want the verdict-kind error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn evict_count_overflows_rejected_before_allocation() {
+        // u32::MAX servers claimed over a 2-server body.
+        let mut bytes = encode_evict(&sample_evict());
+        bytes[EVICT_SERVER_COUNT_AT..EVICT_SERVER_COUNT_AT + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+        // A reason length pointing past the frame end.
+        let mut bytes = encode_evict(&sample_evict());
+        let reason_len_at = EVICT_SERVER_COUNT_AT + 4 + 2 * 4;
+        bytes[reason_len_at..reason_len_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn evict_non_utf8_reason_rejected() {
+        let mut bytes = encode_evict(&sample_evict());
+        let end = bytes.len();
+        bytes[end - 2] = 0xff;
+        bytes[end - 1] = 0xfe;
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("UTF-8"),
+            "want the UTF-8 error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn evict_trailing_bytes_rejected() {
+        let mut bytes = encode_evict(&sample_evict());
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejoin_unknown_flags_rejected() {
+        let flags_at = 1 + 4 + 4 + 4;
+        for flags in [4u8, 0x80, 0xff] {
+            let mut bytes = encode_rejoin(&sample_rejoin());
+            bytes[flags_at] = flags;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("flags"),
+                "want the flags error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_evict_count_overflow_rejected_before_allocation() {
+        // u32::MAX verdicts claimed over a 2-verdict body: the bound by
+        // MIN_VERDICT_LEN must fire before any allocation.
+        let evict_count_at = 1 + 4 + 4 + 4 + 1 + DIGEST_LEN;
+        let mut bytes = encode_rejoin(&sample_rejoin());
+        bytes[evict_count_at..evict_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+        // A count that is too small leaves trailing bytes, also rejected.
+        let mut bytes = encode_rejoin(&sample_rejoin());
+        bytes[evict_count_at..evict_count_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejoin_trailing_bytes_rejected() {
+        let mut bytes = encode_rejoin(&sample_rejoin());
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]
