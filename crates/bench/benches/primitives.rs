@@ -4,6 +4,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use atom_crypto::batch::{verify_shuffle_batch, ShuffleVerification};
 use atom_crypto::elgamal::{encrypt, encrypt_message, reencrypt, shuffle, KeyPair};
 use atom_crypto::encoding::encode_message;
 use atom_crypto::nizk::enc::{prove_encryption, verify_encryption};
@@ -54,6 +55,30 @@ fn bench_primitives(c: &mut Criterion) {
         let (outputs, witness) = shuffle(&kp.public, &batch, &mut rng).unwrap();
         let proof = prove_shuffle(&kp.public, &batch, &outputs, &witness, &mut rng).unwrap();
         b.iter(|| verify_shuffle(&kp.public, &batch, &outputs, &proof).unwrap())
+    });
+    group.bench_function("shufproof_verify_batch_4x64", |b| {
+        // A 4-member shuffle chain settled in one combined RLC check — the
+        // group engine's verification hot path.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut stages = vec![batch.clone()];
+        let mut proofs = Vec::new();
+        for _ in 0..4 {
+            let inputs = stages.last().unwrap();
+            let (outputs, witness) = shuffle(&kp.public, inputs, &mut rng).unwrap();
+            proofs.push(prove_shuffle(&kp.public, inputs, &outputs, &witness, &mut rng).unwrap());
+            stages.push(outputs);
+        }
+        let items: Vec<ShuffleVerification<'_>> = proofs
+            .iter()
+            .enumerate()
+            .map(|(link, proof)| ShuffleVerification {
+                pk: &kp.public,
+                inputs: &stages[link],
+                outputs: &stages[link + 1],
+                proof,
+            })
+            .collect();
+        b.iter(|| verify_shuffle_batch(&items).unwrap())
     });
 
     let points = encode_message(b"bench").unwrap();

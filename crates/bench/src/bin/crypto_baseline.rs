@@ -7,7 +7,8 @@
 //!
 //! The emitted JSON holds mean microseconds per operation plus the speedup
 //! ratios the acceptance gates care about (`fixed_base_speedup`,
-//! `enc_batch_speedup`, `reenc_batch_speedup`).
+//! `enc_batch_speedup`, `reenc_batch_speedup`, `shuffle_batch_speedup`).
+//! The binary asserts the gated ratios itself, so a regression fails CI.
 
 use std::time::Instant;
 
@@ -16,13 +17,21 @@ use rand::SeedableRng;
 
 use curve25519_dalek::field::{PowTable, P, U256};
 
-use atom_crypto::batch::{verify_encryption_batch, verify_reencryption_batch, EncVerification};
-use atom_crypto::elgamal::{encrypt_message, reencrypt_message, KeyPair};
+use atom_crypto::batch::{
+    verify_encryption_batch, verify_reencryption_batch, verify_shuffle_batch, EncVerification,
+    ShuffleVerification,
+};
+use atom_crypto::elgamal::{encrypt_message, reencrypt_message, shuffle, KeyPair};
 use atom_crypto::encoding::encode_message;
 use atom_crypto::nizk::enc::{prove_encryption, verify_encryption};
 use atom_crypto::nizk::reenc::{prove_reencryption, verify_reencryption, ReEncStatement};
+use atom_crypto::nizk::shuffle::{prove_shuffle, verify_shuffle_sequential, ShuffleProof};
 
 const BATCH: usize = 16;
+/// Members in the benchmarked shuffle chain (one proof per member).
+const SHUF_MEMBERS: usize = 4;
+/// Messages flowing through the benchmarked shuffle chain.
+const SHUF_MSGS: usize = 32;
 
 struct Args {
     out: String,
@@ -230,6 +239,43 @@ fn main() {
         verify_reencryption_batch(&statements, &proofs).unwrap()
     });
 
+    // ShufProof: sequential per-proof verification vs one combined RLC check
+    // over a SHUF_MEMBERS-link shuffle chain (distinct statements per link,
+    // exactly what the group engine hands to `verify_shuffle_batch`).
+    let group = KeyPair::generate(&mut rng);
+    let initial: Vec<_> = (0..SHUF_MSGS)
+        .map(|i| {
+            let points = encode_message(format!("mix {i}").as_bytes()).unwrap();
+            encrypt_message(&group.public, &points, &mut rng).0
+        })
+        .collect();
+    let mut stages = vec![initial];
+    let mut shuffle_proofs: Vec<ShuffleProof> = Vec::with_capacity(SHUF_MEMBERS);
+    for _ in 0..SHUF_MEMBERS {
+        let inputs = stages.last().unwrap();
+        let (outputs, witness) = shuffle(&group.public, inputs, &mut rng).unwrap();
+        shuffle_proofs
+            .push(prove_shuffle(&group.public, inputs, &outputs, &witness, &mut rng).unwrap());
+        stages.push(outputs);
+    }
+    let shuffle_items: Vec<ShuffleVerification<'_>> = shuffle_proofs
+        .iter()
+        .enumerate()
+        .map(|(link, proof)| ShuffleVerification {
+            pk: &group.public,
+            inputs: &stages[link],
+            outputs: &stages[link + 1],
+            proof,
+        })
+        .collect();
+    let shuffle_per_proof_us = time_us(args.iters, || {
+        for item in &shuffle_items {
+            verify_shuffle_sequential(item.pk, item.inputs, item.outputs, item.proof).unwrap();
+        }
+    }) / SHUF_MEMBERS as f64;
+    let shuffle_batch_us =
+        time_us(args.iters, || verify_shuffle_batch(&shuffle_items).unwrap()) / SHUF_MEMBERS as f64;
+
     let json = format!(
         "{{\n  \"batch_size\": {BATCH},\n  \"pow_naive_us\": {pow_naive_us:.2},\n  \
          \"pow_windowed_us\": {pow_windowed_us:.2},\n  \"pow_fixed_base_us\": {pow_fixed_base_us:.2},\n  \
@@ -237,14 +283,17 @@ fn main() {
          \"enc_verify_naive_us\": {enc_naive_us:.2},\n  \
          \"enc_verify_per_proof_us\": {enc_per_proof_us:.2},\n  \"enc_verify_batch_us\": {enc_batch_us:.2},\n  \
          \"reenc_verify_per_proof_us\": {reenc_per_proof_us:.2},\n  \"reenc_verify_batch_us\": {reenc_batch_us:.2},\n  \
+         \"shuffle_verify_per_proof_us\": {shuffle_per_proof_us:.2},\n  \
+         \"shuffle_verify_batch_us\": {shuffle_batch_us:.2},\n  \
          \"windowed_speedup\": {:.2},\n  \"fixed_base_speedup\": {:.2},\n  \
          \"enc_batch_speedup_vs_naive\": {:.2},\n  \"enc_batch_speedup_vs_per_proof\": {:.2},\n  \
-         \"reenc_batch_speedup\": {:.2}\n}}\n",
+         \"reenc_batch_speedup\": {:.2},\n  \"shuffle_batch_speedup\": {:.2}\n}}\n",
         pow_naive_us / pow_windowed_us,
         pow_naive_us / pow_fixed_base_us,
         enc_naive_us / enc_batch_us,
         enc_per_proof_us / enc_batch_us,
         reenc_per_proof_us / reenc_batch_us,
+        shuffle_per_proof_us / shuffle_batch_us,
     );
     print!("{json}");
     std::fs::write(&args.out, &json).expect("write baseline json");
@@ -257,5 +306,9 @@ fn main() {
     assert!(
         enc_naive_us / enc_batch_us >= 3.0,
         "batched EncProof verification must be at least 3x over the naive path"
+    );
+    assert!(
+        shuffle_per_proof_us / shuffle_batch_us >= 3.0,
+        "batched ShufProof verification must be at least 3x over the sequential verifier"
     );
 }

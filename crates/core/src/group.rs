@@ -20,13 +20,13 @@
 use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 
-use atom_crypto::batch::verify_reencryption_batch;
+use atom_crypto::batch::{verify_reencryption_batch, verify_shuffle_batch, ShuffleVerification};
 use atom_crypto::elgamal::{
     encrypt_message, reencrypt_message, shuffle, MessageCiphertext, PublicKey,
 };
 use atom_crypto::encoding::{decode_message, encode_message_padded};
 use atom_crypto::nizk::reenc::{prove_reencryption, ReEncStatement};
-use atom_crypto::nizk::shuffle::{prove_shuffle, verify_shuffle};
+use atom_crypto::nizk::shuffle::prove_shuffle;
 
 use crate::adversary::{AdversaryPlan, Misbehavior};
 use crate::config::Defense;
@@ -205,17 +205,81 @@ pub fn group_mix_iteration<R: RngCore + CryptoRng>(
     }
 
     // ----- Step 1: sequential shuffles under the group key. -----
-    for &member in participating {
-        let misbehaving = adversary.filter(|plan| plan.member == member);
-
-        let (mut shuffled, witness) =
-            shuffle(&group.public_key, &batch, rng).map_err(AtomError::Crypto)?;
-
-        if options.defense == Defense::Nizk {
-            let proof = prove_shuffle(&group.public_key, &batch, &shuffled, &witness, rng)
-                .map_err(AtomError::Crypto)?;
+    if options.defense == Defense::Nizk {
+        // Run the whole shuffle chain first (same RNG draw order as proving
+        // and verifying inline — verification draws nothing), collecting
+        // each member's (inputs, outputs, proof) link, then settle every
+        // proof through one combined RLC check. On batch failure the
+        // verifier falls back per proof and reports the first failing link,
+        // so the blamed member and reason match inline verification
+        // exactly. A prover-side error mid-chain only surfaces after the
+        // links collected before it have been checked: an earlier member's
+        // violation outranks it, exactly as it would inline.
+        let mut stages: Vec<Vec<MessageCiphertext>> = vec![std::mem::take(&mut batch)];
+        let mut proofs = Vec::with_capacity(participating.len());
+        let mut provers = Vec::with_capacity(participating.len());
+        let mut chain_error = None;
+        for &member in participating {
+            let misbehaving = adversary.filter(|plan| plan.member == member);
+            let inputs = stages.last().expect("stage 0 seeded");
+            let (mut shuffled, witness) = match shuffle(&group.public_key, inputs, rng) {
+                Ok(pair) => pair,
+                Err(err) => {
+                    chain_error = Some(AtomError::Crypto(err));
+                    break;
+                }
+            };
+            let proof = match prove_shuffle(&group.public_key, inputs, &shuffled, &witness, rng) {
+                Ok(proof) => proof,
+                Err(err) => {
+                    chain_error = Some(AtomError::Crypto(err));
+                    break;
+                }
+            };
             // Misbehaviour happens *after* proving: the server publishes a
             // tampered output batch alongside an honest-looking proof.
+            if let Some(plan) = misbehaving {
+                if let Err(err) = apply_misbehavior(
+                    &plan.action,
+                    &mut shuffled,
+                    &group.public_key,
+                    padded_len,
+                    rng,
+                ) {
+                    chain_error = Some(err);
+                    break;
+                }
+            }
+            stages.push(shuffled);
+            proofs.push(proof);
+            provers.push(member);
+        }
+        let items: Vec<ShuffleVerification<'_>> = proofs
+            .iter()
+            .enumerate()
+            .map(|(link, proof)| ShuffleVerification {
+                pk: &group.public_key,
+                inputs: &stages[link],
+                outputs: &stages[link + 1],
+                proof,
+            })
+            .collect();
+        if let Err((link, err)) = verify_shuffle_batch(&items) {
+            return Err(AtomError::ProtocolViolation {
+                group: group.id,
+                member: Some(provers[link] as usize),
+                reason: format!("shuffle proof rejected: {err}"),
+            });
+        }
+        if let Some(err) = chain_error {
+            return Err(err);
+        }
+        batch = stages.pop().expect("stage 0 seeded");
+    } else {
+        for &member in participating {
+            let misbehaving = adversary.filter(|plan| plan.member == member);
+            let (mut shuffled, _witness) =
+                shuffle(&group.public_key, &batch, rng).map_err(AtomError::Crypto)?;
             if let Some(plan) = misbehaving {
                 apply_misbehavior(
                     &plan.action,
@@ -225,24 +289,8 @@ pub fn group_mix_iteration<R: RngCore + CryptoRng>(
                     rng,
                 )?;
             }
-            if let Err(err) = verify_shuffle(&group.public_key, &batch, &shuffled, &proof) {
-                return Err(AtomError::ProtocolViolation {
-                    group: group.id,
-                    member: Some(member as usize),
-                    reason: format!("shuffle proof rejected: {err}"),
-                });
-            }
-        } else if let Some(plan) = misbehaving {
-            apply_misbehavior(
-                &plan.action,
-                &mut shuffled,
-                &group.public_key,
-                padded_len,
-                rng,
-            )?;
+            batch = shuffled;
         }
-
-        batch = shuffled;
     }
 
     // ----- Step 2: the last member divides the batch into β sub-batches. -----

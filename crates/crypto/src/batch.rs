@@ -15,19 +15,25 @@
 //!   ~15·64 multiplies to build and pays for itself after three or four
 //!   uses; round keys are reused thousands of times.
 //!
-//! * **Straus/Shamir multi-exponentiation** ([`multiscalar_mul`]): the
-//!   two-term checks of `ReEncProof`/`ShufProof` verification and the big
-//!   RLC combinations below share a single squaring chain across all terms
-//!   (4-bit interleaved windows), instead of one 255-squaring chain per
-//!   term. Subtractions are folded in as negated scalar coefficients, which
-//!   also eliminates the per-`Sub` Fermat inversion of the vendored group
-//!   (`a − b` costs a full inverse exponentiation there).
+//! * **Multi-exponentiation** ([`multiscalar_mul`]): the two-term checks of
+//!   `ReEncProof`/`ShufProof` verification and the big RLC combinations
+//!   below share a single squaring chain across all terms. Small products
+//!   use Straus/Shamir interleaving (4-bit windows); past the backend's
+//!   `PIPPENGER_CUTOFF` the vendored `multi_pow` switches to the Pippenger
+//!   bucket method, whose per-term cost keeps shrinking as the combined
+//!   shuffle-chain products grow into the thousands of terms. Subtractions
+//!   are folded in as negated scalar coefficients, which also eliminates
+//!   the per-`Sub` Fermat inversion of the vendored group (`a − b` costs a
+//!   full inverse exponentiation there).
 //!
 //! * **RLC batch verification** ([`verify_encryption_batch`],
-//!   [`verify_reencryption_batch`]): N Schnorr-style proof equations
-//!   `LHS_e = RHS_e` collapse into the single check
-//!   `Σ_e ρ_e·LHS_e = Σ_e ρ_e·RHS_e`, evaluated as one fixed-base
-//!   multiplication plus one multi-exponentiation.
+//!   [`verify_reencryption_batch`], [`verify_shuffle_batch`]): N
+//!   Schnorr-style proof equations `LHS_e = RHS_e` collapse into the single
+//!   check `Σ_e ρ_e·LHS_e = Σ_e ρ_e·RHS_e`, evaluated as one fixed-base
+//!   multiplication plus one multi-exponentiation. For shuffle proofs the
+//!   combination spans *all* equations of *all* proofs of a group step's
+//!   shuffle chain (~5n per proof), so the multi-exponentiation routinely
+//!   exceeds the Pippenger crossover of the backend's `multi_pow`.
 //!
 //! ## Soundness of the RLC combination
 //!
@@ -73,6 +79,7 @@ use crate::elgamal::{MessageCiphertext, PublicKey};
 use crate::error::{CryptoError, CryptoResult};
 use crate::nizk::enc::{self, EncProof};
 use crate::nizk::reenc::{self, ReEncProof, ReEncStatement};
+use crate::nizk::shuffle::{self, ShuffleProof};
 use crate::transcript::Transcript;
 
 /// Entries kept in the fixed-base table cache before it is flushed. Keys are
@@ -102,6 +109,12 @@ static VERIFY_REENC_BATCHES: Counter = Counter::new("crypto.verify_reenc.batches
 static VERIFY_REENC_ITEMS: Counter = Counter::new("crypto.verify_reenc.items");
 /// `ReEncProof` batches whose RLC check missed and fell back per-proof.
 static VERIFY_REENC_FALLBACKS: Counter = Counter::new("crypto.verify_reenc.fallbacks");
+/// RLC-batched `ShuffleProof` verification calls.
+static VERIFY_SHUF_BATCHES: Counter = Counter::new("crypto.verify_shuffle.batches");
+/// Individual `ShuffleProof`s covered by batched verification calls.
+static VERIFY_SHUF_ITEMS: Counter = Counter::new("crypto.verify_shuffle.items");
+/// `ShuffleProof` batches whose RLC check missed and fell back per-proof.
+static VERIFY_SHUF_FALLBACKS: Counter = Counter::new("crypto.verify_shuffle.fallbacks");
 
 fn table_cache() -> &'static Mutex<HashMap<[u8; 32], Arc<RistrettoBasepointTable>>> {
     static CACHE: OnceLock<Mutex<HashMap<[u8; 32], Arc<RistrettoBasepointTable>>>> =
@@ -173,7 +186,7 @@ pub fn batch_invert(scalars: &[Scalar]) -> Vec<Scalar> {
 
 /// Draws a 128-bit RLC coefficient from the transcript (see the module docs
 /// for the soundness trade-off).
-fn rlc_coefficient(transcript: &mut Transcript, label: &'static [u8]) -> Scalar {
+pub(crate) fn rlc_coefficient(transcript: &mut Transcript, label: &'static [u8]) -> Scalar {
     let mut bytes = [0u8; 32];
     transcript.challenge_bytes(label, &mut bytes[..16]);
     Scalar::from_bytes_mod_order(bytes)
@@ -393,6 +406,70 @@ fn try_verify_reencryption_rlc(
     } else {
         Err(CryptoError::ProofInvalid(
             "batched ReEncProof check failed".into(),
+        ))
+    }
+}
+
+/// One `ShuffleProof` verification instance for [`verify_shuffle_batch`]:
+/// the statement (group key, input batch, output batch) plus the proof.
+pub struct ShuffleVerification<'a> {
+    /// The group public key the shuffle rerandomizes under.
+    pub pk: &'a PublicKey,
+    /// The batch entering this member's shuffle.
+    pub inputs: &'a [MessageCiphertext],
+    /// The batch leaving it.
+    pub outputs: &'a [MessageCiphertext],
+    /// The member's shuffle proof.
+    pub proof: &'a ShuffleProof,
+}
+
+/// Verifies a batch of `ShuffleProof`s — typically one per member of a
+/// group's shuffle chain — with one combined RLC check, falling back to
+/// per-proof verification when the combined check rejects. `Err((i, e))`
+/// identifies the first item (in slice order) that fails individually, so
+/// blame assignment localizes the same faulty server as verifying each
+/// member's proof inline.
+pub fn verify_shuffle_batch(items: &[ShuffleVerification<'_>]) -> Result<(), (usize, CryptoError)> {
+    VERIFY_SHUF_BATCHES.add(1);
+    VERIFY_SHUF_ITEMS.add(items.len() as u64);
+    if items.len() > 1 && try_verify_shuffle_rlc(items).is_ok() {
+        return Ok(());
+    }
+    if items.len() > 1 {
+        VERIFY_SHUF_FALLBACKS.add(1);
+    }
+    // Single item, structural oddity, or combined-check rejection: decide
+    // per proof so error identity matches the sequential path. (The single
+    // item still takes its own intra-proof RLC fast path.)
+    for (i, item) in items.iter().enumerate() {
+        shuffle::verify_shuffle(item.pk, item.inputs, item.outputs, item.proof)
+            .map_err(|e| (i, e))?;
+    }
+    Ok(())
+}
+
+/// The RLC fast path for `ShuffleProof` batches: every equation of every
+/// proof joins one [`shuffle::RlcAccumulator`] combination, settled by a
+/// single multiscalar multiplication across the whole chain. All challenges
+/// and responses are absorbed before the first coefficient is squeezed.
+fn try_verify_shuffle_rlc(items: &[ShuffleVerification<'_>]) -> CryptoResult<()> {
+    let mut rlc = Transcript::new(shuffle::RLC_DOMAIN);
+    rlc.append_u64(b"count", items.len() as u64);
+    let mut challenges = Vec::with_capacity(items.len());
+    for item in items {
+        let ch = shuffle::replay_challenges(item.pk, item.inputs, item.outputs, item.proof)?;
+        shuffle::absorb_proof(&mut rlc, &ch, item.proof);
+        challenges.push(ch);
+    }
+    let mut acc = shuffle::RlcAccumulator::new();
+    for (item, ch) in items.iter().zip(challenges.iter()) {
+        acc.accumulate(&mut rlc, item.pk, item.inputs, item.outputs, item.proof, ch);
+    }
+    if acc.check() {
+        Ok(())
+    } else {
+        Err(CryptoError::ProofInvalid(
+            "batched ShuffleProof check failed".into(),
         ))
     }
 }
@@ -653,6 +730,181 @@ mod tests {
             match (&sequential, &batched) {
                 (Ok(()), Ok(())) => {}
                 (Err((i, _)), Err((j, _))) => assert_eq!(i, j, "seed {seed}"),
+                other => panic!("verdicts diverge at seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    /// A `members`-stage shuffle chain (the shape `verify_shuffle_batch` is
+    /// built for): stage `m` feeds member `m`'s shuffle, whose output is
+    /// stage `m + 1`.
+    fn shuffle_chain(
+        rng: &mut StdRng,
+        kp: &KeyPair,
+        members: usize,
+        count: usize,
+    ) -> (Vec<Vec<MessageCiphertext>>, Vec<ShuffleProof>) {
+        let initial: Vec<MessageCiphertext> = (0..count)
+            .map(|i| {
+                let points = encode_message(&[i as u8 + 1; 24]).unwrap();
+                encrypt_message(&kp.public, &points, rng).0
+            })
+            .collect();
+        let mut stages = vec![initial];
+        let mut proofs = Vec::with_capacity(members);
+        for _ in 0..members {
+            let inputs = stages.last().unwrap();
+            let (outputs, witness) = crate::elgamal::shuffle(&kp.public, inputs, rng).unwrap();
+            let proof =
+                shuffle::prove_shuffle(&kp.public, inputs, &outputs, &witness, rng).unwrap();
+            stages.push(outputs);
+            proofs.push(proof);
+        }
+        (stages, proofs)
+    }
+
+    fn chain_items<'a>(
+        pk: &'a PublicKey,
+        stages: &'a [Vec<MessageCiphertext>],
+        proofs: &'a [ShuffleProof],
+    ) -> Vec<ShuffleVerification<'a>> {
+        proofs
+            .iter()
+            .enumerate()
+            .map(|(m, proof)| ShuffleVerification {
+                pk,
+                inputs: &stages[m],
+                outputs: &stages[m + 1],
+                proof,
+            })
+            .collect()
+    }
+
+    fn sequential_shuffle_verdict(
+        items: &[ShuffleVerification<'_>],
+    ) -> Result<(), (usize, CryptoError)> {
+        items.iter().enumerate().try_for_each(|(i, item)| {
+            shuffle::verify_shuffle_sequential(item.pk, item.inputs, item.outputs, item.proof)
+                .map_err(|e| (i, e))
+        })
+    }
+
+    #[test]
+    fn shuffle_batch_accepts_honest_chain_via_combined_rlc() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let kp = KeyPair::generate(&mut rng);
+        let (stages, proofs) = shuffle_chain(&mut rng, &kp, 3, 6);
+        let items = chain_items(&kp.public, &stages, &proofs);
+        // The combined check itself must accept — no hiding behind the
+        // per-proof fallback.
+        assert!(try_verify_shuffle_rlc(&items).is_ok());
+        assert!(verify_shuffle_batch(&items).is_ok());
+        // Degenerate batch sizes.
+        assert!(verify_shuffle_batch(&[]).is_ok());
+        assert!(verify_shuffle_batch(&items[..1]).is_ok());
+    }
+
+    #[test]
+    fn shuffle_batch_with_one_tampered_proof_names_its_member() {
+        for corrupt in 0..3usize {
+            let mut rng = StdRng::seed_from_u64(51);
+            let kp = KeyPair::generate(&mut rng);
+            let (stages, mut proofs) = shuffle_chain(&mut rng, &kp, 3, 5);
+            proofs[corrupt].response_final += Scalar::ONE;
+            let items = chain_items(&kp.public, &stages, &proofs);
+            let (index, error) = verify_shuffle_batch(&items).unwrap_err();
+            assert_eq!(index, corrupt);
+            assert!(matches!(error, CryptoError::ProofInvalid(_)));
+            // Verdict-identical to the sequential path, message included.
+            let (seq_index, seq_error) = sequential_shuffle_verdict(&items).unwrap_err();
+            assert_eq!(index, seq_index);
+            assert_eq!(format!("{error:?}"), format!("{seq_error:?}"));
+        }
+    }
+
+    #[test]
+    fn shuffle_batch_with_tampered_stage_blames_first_affected_member() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let kp = KeyPair::generate(&mut rng);
+        let (mut stages, proofs) = shuffle_chain(&mut rng, &kp, 3, 5);
+        // Mauling stage 2 invalidates member 1's outputs (and member 2's
+        // inputs); the first failing item in slice order is member 1 —
+        // the verdict inline verification would reach.
+        let g = crate::pedersen::CommitmentKey::atom().g;
+        stages[2][3].components[0].c += g;
+        let items = chain_items(&kp.public, &stages, &proofs);
+        let (index, error) = verify_shuffle_batch(&items).unwrap_err();
+        assert_eq!(index, 1);
+        let (seq_index, seq_error) = sequential_shuffle_verdict(&items).unwrap_err();
+        assert_eq!(index, seq_index);
+        assert_eq!(format!("{error:?}"), format!("{seq_error:?}"));
+    }
+
+    #[test]
+    fn shuffle_batch_rejects_wrong_shapes_and_duplicate_proofs() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let kp = KeyPair::generate(&mut rng);
+        let (stages, proofs) = shuffle_chain(&mut rng, &kp, 3, 5);
+
+        // Truncated inputs: shape error, attributed to the malformed item.
+        let mut items = chain_items(&kp.public, &stages, &proofs);
+        items[1].inputs = &stages[1][..3];
+        let (index, error) = verify_shuffle_batch(&items).unwrap_err();
+        assert_eq!(index, 1);
+        assert!(matches!(error, CryptoError::Parameter(_)));
+
+        // A proof replayed for the wrong link of the chain.
+        let mut items = chain_items(&kp.public, &stages, &proofs);
+        items[2].proof = &proofs[0];
+        let (index, _) = verify_shuffle_batch(&items).unwrap_err();
+        assert_eq!(index, 2);
+
+        // The same (valid) proof presented twice for the same link still
+        // verifies per item; duplicating the *item* must not confuse blame
+        // when one copy is broken.
+        let mut dup_proofs = [proofs[0].clone(), proofs[0].clone()];
+        dup_proofs[1].response_final += Scalar::ONE;
+        let dup_items: Vec<ShuffleVerification<'_>> = dup_proofs
+            .iter()
+            .map(|proof| ShuffleVerification {
+                pk: &kp.public,
+                inputs: &stages[0],
+                outputs: &stages[1],
+                proof,
+            })
+            .collect();
+        let (index, _) = verify_shuffle_batch(&dup_items).unwrap_err();
+        assert_eq!(index, 1);
+    }
+
+    #[test]
+    fn property_shuffle_batch_agrees_with_per_proof_over_random_corruptions() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(700 + seed);
+            let kp = KeyPair::generate(&mut rng);
+            let (mut stages, mut proofs) = shuffle_chain(&mut rng, &kp, 3, 4);
+            let corrupt = (seed as usize) % 4;
+            if corrupt < 3 {
+                match seed % 3 {
+                    0 => proofs[corrupt].response_powers[0] += Scalar::ONE,
+                    1 => {
+                        proofs[corrupt].announce_rand[0] = RistrettoPoint::random(&mut rng);
+                    }
+                    _ => {
+                        let g = crate::pedersen::CommitmentKey::atom().g;
+                        stages[corrupt + 1][0].components[0].r += g;
+                    }
+                }
+            }
+            let items = chain_items(&kp.public, &stages, &proofs);
+            let sequential = sequential_shuffle_verdict(&items);
+            let batched = verify_shuffle_batch(&items);
+            match (&sequential, &batched) {
+                (Ok(()), Ok(())) => {}
+                (Err((i, ei)), Err((j, ej))) => {
+                    assert_eq!(i, j, "seed {seed}");
+                    assert_eq!(format!("{ei:?}"), format!("{ej:?}"), "seed {seed}");
+                }
                 other => panic!("verdicts diverge at seed {seed}: {other:?}"),
             }
         }

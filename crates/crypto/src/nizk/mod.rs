@@ -9,7 +9,11 @@
 //!   and re-encrypted toward the next group's key (Chaum-Pedersen style).
 //! * [`shuffle`] — `ShufProof`: proof that a batch of ciphertexts was
 //!   permuted and rerandomized correctly (a Bayer-Groth-style argument with
-//!   linear-size sub-arguments standing in for Neff's shuffle; see DESIGN.md).
+//!   linear-size sub-arguments standing in for Neff's shuffle; the module
+//!   docs carry the substitution note). Verification is RLC-batched: the
+//!   default verifier settles a whole proof in one multiscalar equation,
+//!   and `crate::batch::verify_shuffle_batch` extends the combination
+//!   across every proof of a shuffle chain.
 
 pub mod enc;
 pub mod reenc;
@@ -17,4 +21,4 @@ pub mod shuffle;
 
 pub use enc::{prove_encryption, verify_encryption, EncProof};
 pub use reenc::{prove_reencryption, verify_reencryption, ReEncProof};
-pub use shuffle::{prove_shuffle, verify_shuffle, ShuffleProof};
+pub use shuffle::{prove_shuffle, verify_shuffle, verify_shuffle_sequential, ShuffleProof};

@@ -1,12 +1,18 @@
 //! `ShufProof`: a NIZK argument that a batch of message ciphertexts was
 //! correctly shuffled (permuted and rerandomized) under a group public key.
 //!
-//! The paper instantiates this with Neff's verifiable shuffle (ref. \[59\]
-//! in the paper); we use a
-//! Bayer-Groth-style argument with linear-size sub-arguments, which fills the
-//! same role with the same asymptotic cost (a small constant number of
-//! exponentiations per shuffled element for both prover and verifier). See
-//! DESIGN.md for the substitution note.
+//! **Substitution note.** The paper instantiates this with Neff's verifiable
+//! shuffle (ref. \[59\] in the paper); we use a Bayer-Groth-style argument
+//! with linear-size sub-arguments (commitment to the permutation + a product
+//! argument + a multi-exponentiation argument), which fills the same role
+//! with the same asymptotic cost — a small constant number of exponentiations
+//! per shuffled element for both prover and verifier. Verification further
+//! collapses all ~5n per-element equality checks into a single
+//! random-linear-combination multiscalar equation ([`verify_shuffle`]), with
+//! the textbook per-equation verifier retained as
+//! [`verify_shuffle_sequential`] for exact blame attribution;
+//! [`crate::batch::verify_shuffle_batch`] extends the same combination
+//! across all of a group step's proofs.
 //!
 //! ## Protocol sketch
 //!
@@ -37,6 +43,7 @@
 use curve25519_dalek::constants::RISTRETTO_BASEPOINT_TABLE;
 use curve25519_dalek::ristretto::RistrettoPoint;
 use curve25519_dalek::scalar::Scalar;
+use curve25519_dalek::traits::Identity;
 use rand::{CryptoRng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -396,15 +403,29 @@ pub fn prove_shuffle<R: RngCore + CryptoRng>(
     })
 }
 
-/// Verifies a shuffle proof.
-pub fn verify_shuffle(
+/// Shape-checked statement dimensions plus the Fiat-Shamir challenges
+/// replayed from a proof's transcript — everything verification needs
+/// besides the equations themselves. Shared by the sequential verifier, the
+/// single-proof RLC path and [`crate::batch::verify_shuffle_batch`], so all
+/// three reject malformed statements with identical errors.
+pub(crate) struct ShuffleChallenges {
+    pub(crate) n: usize,
+    pub(crate) components: usize,
+    pub(crate) x: Scalar,
+    pub(crate) y: Scalar,
+    pub(crate) z: Scalar,
+    pub(crate) challenge: Scalar,
+}
+
+/// Checks the statement and proof shapes, replays the Fiat-Shamir transcript
+/// and returns the derived challenges.
+pub(crate) fn replay_challenges(
     pk: &PublicKey,
     inputs: &[MessageCiphertext],
     outputs: &[MessageCiphertext],
     proof: &ShuffleProof,
-) -> CryptoResult<()> {
+) -> CryptoResult<ShuffleChallenges> {
     let (n, components) = check_shape(inputs, outputs)?;
-    let key = CommitmentKey::atom();
 
     // Shape checks on the proof itself.
     if proof.commit_perm.len() != n
@@ -452,6 +473,37 @@ pub fn verify_shuffle(
         t.append_point(b"announce-multiexp", a);
     }
     let challenge = t.challenge_scalar(b"challenge");
+    Ok(ShuffleChallenges {
+        n,
+        components,
+        x,
+        y,
+        z,
+        challenge,
+    })
+}
+
+/// Verifies a shuffle proof equation by equation — the textbook path.
+///
+/// [`verify_shuffle`] collapses all of these checks into one random linear
+/// combination; this verifier is retained as its fallback (so a rejection
+/// names the exact failing relation) and as the benchmark baseline the
+/// batched path is gated against.
+pub fn verify_shuffle_sequential(
+    pk: &PublicKey,
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+    proof: &ShuffleProof,
+) -> CryptoResult<()> {
+    let ShuffleChallenges {
+        n,
+        components,
+        x,
+        y,
+        z,
+        challenge,
+    } = replay_challenges(pk, inputs, outputs, proof)?;
+    let key = CommitmentKey::atom();
 
     // Homomorphically derived commitments to v_j (`−z·G` hoisted: one
     // fixed-base walk instead of an inversion per element).
@@ -543,6 +595,215 @@ pub fn verify_shuffle(
     }
 
     Ok(())
+}
+
+/// Domain separator of the RLC transcript that derives the combination
+/// coefficients, shared with [`crate::batch::verify_shuffle_batch`].
+pub(crate) const RLC_DOMAIN: &[u8] = b"atom-batch-shuffle";
+
+/// Absorbs one proof's challenge and responses into the RLC transcript, so
+/// the combination coefficients depend on every verified quantity: the
+/// Fiat-Shamir challenge already binds the statement, commitments and
+/// announcements, and the responses are appended explicitly.
+pub(crate) fn absorb_proof(rlc: &mut Transcript, ch: &ShuffleChallenges, proof: &ShuffleProof) {
+    rlc.append_scalar(b"challenge", &ch.challenge);
+    for step in &proof.product_steps {
+        rlc.append_scalar(b"response-value", &step.response_value);
+        rlc.append_scalar(b"response-value-blinding", &step.response_value_blinding);
+        rlc.append_scalar(b"response-step-blinding", &step.response_step_blinding);
+    }
+    rlc.append_scalar(b"response-final", &proof.response_final);
+    for s in &proof.response_powers {
+        rlc.append_scalar(b"response-powers", s);
+    }
+    for s in &proof.response_power_blindings {
+        rlc.append_scalar(b"response-power-blindings", s);
+    }
+    for s in &proof.response_rho {
+        rlc.append_scalar(b"response-rho", s);
+    }
+}
+
+/// Accumulator for the random linear combination of shuffle-verification
+/// equations. Every equation is rearranged into the canonical form
+/// `g·G + h·H = Σ s_k·P_k + Σ ρ·ρ*·X` (fixed bases on the left, statement
+/// and proof points on the right, group keys `X` kept separate so their
+/// cached fixed-base tables are used), scaled by a fresh 128-bit
+/// transcript-derived coefficient, and summed. One [`check`] then settles
+/// every equation of every accumulated proof at once: a single pair of
+/// fixed-base walks plus one size-O(Σ terms) multiscalar multiplication
+/// (coalescing repeated points, Pippenger buckets past the crossover).
+/// By Schwartz-Zippel a batch containing any false equation passes with
+/// probability ≤ 2^-128 over the coefficients.
+///
+/// [`check`]: RlcAccumulator::check
+pub(crate) struct RlcAccumulator {
+    g_coeff: Scalar,
+    h_coeff: Scalar,
+    /// `Σ ρ·ρ*·X` terms (group keys go through their cached tables).
+    rhs_extra: RistrettoPoint,
+    scalars: Vec<Scalar>,
+    points: Vec<RistrettoPoint>,
+}
+
+impl RlcAccumulator {
+    pub(crate) fn new() -> Self {
+        Self {
+            g_coeff: Scalar::ZERO,
+            h_coeff: Scalar::ZERO,
+            rhs_extra: RistrettoPoint::identity(),
+            scalars: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, scalar: Scalar, point: RistrettoPoint) {
+        self.scalars.push(scalar);
+        self.points.push(point);
+    }
+
+    /// Folds every verification equation of one proof into the running
+    /// combination, drawing one coefficient per equation from `rlc`.
+    pub(crate) fn accumulate(
+        &mut self,
+        rlc: &mut Transcript,
+        pk: &PublicKey,
+        inputs: &[MessageCiphertext],
+        outputs: &[MessageCiphertext],
+        proof: &ShuffleProof,
+        ch: &ShuffleChallenges,
+    ) {
+        let n = ch.n;
+        let c = ch.challenge;
+        self.scalars
+            .reserve(10 * n + 2 * ch.components * (n + 1) + 8);
+        self.points
+            .reserve(10 * n + 2 * ch.components * (n + 1) + 8);
+
+        // x^{i+1} weights of the public multi-exponentiation targets.
+        let mut x_powers = Vec::with_capacity(n);
+        let mut x_power = Scalar::ONE;
+        for _ in 0..n {
+            x_power *= ch.x;
+            x_powers.push(x_power);
+        }
+
+        // Product argument, per step j: the value opening
+        //   rv·G + rvb·H = A_v + c·(y·CP_j + CB_j − z·G)
+        // and the multiplicative step
+        //   rv·prev + rsb·H = A_s + c·c_p[j−1]
+        // with prev = c_v[0] (expanded homomorphically) for j = 1, else
+        // c_p[j−2]. Negations fold into scalar coefficients — a point `Sub`
+        // on this backend costs a Fermat inversion.
+        for j in 1..n {
+            let step = &proof.product_steps[j - 1];
+            let rho = crate::batch::rlc_coefficient(rlc, b"rho-value");
+            self.g_coeff += rho * (step.response_value + c * ch.z);
+            self.h_coeff += rho * step.response_value_blinding;
+            self.push(rho, step.announce_value);
+            self.push(rho * c * ch.y, proof.commit_perm[j]);
+            self.push(rho * c, proof.commit_powers[j]);
+
+            let rho = crate::batch::rlc_coefficient(rlc, b"rho-step");
+            self.h_coeff += rho * step.response_step_blinding;
+            self.push(rho, step.announce_step);
+            self.push(rho * c, proof.commit_partial[j - 1]);
+            let rv = rho * step.response_value;
+            if j == 1 {
+                self.push(-(rv * ch.y), proof.commit_perm[0]);
+                self.push(-rv, proof.commit_powers[0]);
+                self.g_coeff -= rv * ch.z;
+            } else {
+                self.push(-rv, proof.commit_partial[j - 2]);
+            }
+        }
+
+        // Final opening: rf·H + c·P·G = A_f + c·c_p[n−1].
+        let rho = crate::batch::rlc_coefficient(rlc, b"rho-final");
+        let product = public_product(n, &ch.x, &ch.y, &ch.z);
+        self.g_coeff += rho * c * product;
+        self.h_coeff += rho * proof.response_final;
+        self.push(rho, proof.announce_final);
+        if n == 1 {
+            self.push(rho * c * ch.y, proof.commit_perm[0]);
+            self.push(rho * c, proof.commit_powers[0]);
+            self.g_coeff += rho * c * ch.z;
+        } else {
+            self.push(rho * c, proof.commit_partial[n - 2]);
+        }
+
+        // Power openings: rp_j·G + rpb_j·H = A_p[j] + c·CB_j.
+        for j in 0..n {
+            let rho = crate::batch::rlc_coefficient(rlc, b"rho-power");
+            self.g_coeff += rho * proof.response_powers[j];
+            self.h_coeff += rho * proof.response_power_blindings[j];
+            self.push(rho, proof.announce_powers[j]);
+            self.push(rho * c, proof.commit_powers[j]);
+        }
+
+        // Multi-exponentiation relations, per component l: the randomness
+        // half Σ_j rp_j·R'_j − rρ_l·B = A_R[l] + c·Σ_i x^{i+1}·R_i and the
+        // payload half with c-components and the group key X in place of B.
+        let mut pk_coeff = Scalar::ZERO;
+        for l in 0..ch.components {
+            let rho = crate::batch::rlc_coefficient(rlc, b"rho-rand");
+            self.g_coeff -= rho * proof.response_rho[l];
+            self.push(rho, proof.announce_rand[l]);
+            for (i, message) in inputs.iter().enumerate() {
+                self.push(rho * c * x_powers[i], message.components[l].r);
+            }
+            for (j, message) in outputs.iter().enumerate() {
+                self.push(-(rho * proof.response_powers[j]), message.components[l].r);
+            }
+
+            let rho = crate::batch::rlc_coefficient(rlc, b"rho-payload");
+            pk_coeff += rho * proof.response_rho[l];
+            self.push(rho, proof.announce_payload[l]);
+            for (i, message) in inputs.iter().enumerate() {
+                self.push(rho * c * x_powers[i], message.components[l].c);
+            }
+            for (j, message) in outputs.iter().enumerate() {
+                self.push(-(rho * proof.response_powers[j]), message.components[l].c);
+            }
+        }
+        self.rhs_extra += crate::batch::mul_fixed(&pk.0, &pk_coeff);
+    }
+
+    /// Settles the combined equation.
+    pub(crate) fn check(&self) -> bool {
+        let key = CommitmentKey::atom();
+        let lhs = RISTRETTO_BASEPOINT_TABLE.mul_scalar(&self.g_coeff)
+            + crate::batch::mul_fixed(&key.h, &self.h_coeff);
+        lhs == crate::batch::multiscalar_mul(&self.scalars, &self.points) + self.rhs_extra
+    }
+}
+
+/// Verifies a shuffle proof.
+///
+/// Fast path: all ~5n per-element equality checks are folded into one random
+/// linear combination and settled by a single multiscalar multiplication
+/// (see `RlcAccumulator`). An RLC miss can only mean some underlying
+/// equation is false (an honest proof satisfies every equation identically,
+/// so its combination holds for *any* coefficients), in which case the
+/// sequential verifier re-runs the equations one by one to report the exact
+/// failing relation — the cold path, taken only for invalid proofs.
+pub fn verify_shuffle(
+    pk: &PublicKey,
+    inputs: &[MessageCiphertext],
+    outputs: &[MessageCiphertext],
+    proof: &ShuffleProof,
+) -> CryptoResult<()> {
+    let ch = replay_challenges(pk, inputs, outputs, proof)?;
+    let mut rlc = Transcript::new(RLC_DOMAIN);
+    rlc.append_u64(b"count", 1);
+    absorb_proof(&mut rlc, &ch, proof);
+    let mut acc = RlcAccumulator::new();
+    acc.accumulate(&mut rlc, pk, inputs, outputs, proof, &ch);
+    if acc.check() {
+        Ok(())
+    } else {
+        verify_shuffle_sequential(pk, inputs, outputs, proof)
+    }
 }
 
 #[cfg(test)]
@@ -687,5 +948,108 @@ mod tests {
 
     fn key_g() -> RistrettoPoint {
         CommitmentKey::atom().g
+    }
+
+    /// Runs the RLC combination directly (no fallback) so a bug in the
+    /// accumulation equations cannot hide behind the sequential verifier.
+    fn rlc_check(
+        pk: &PublicKey,
+        inputs: &[MessageCiphertext],
+        outputs: &[MessageCiphertext],
+        proof: &ShuffleProof,
+    ) -> bool {
+        let ch = replay_challenges(pk, inputs, outputs, proof).unwrap();
+        let mut rlc = Transcript::new(RLC_DOMAIN);
+        rlc.append_u64(b"count", 1);
+        absorb_proof(&mut rlc, &ch, proof);
+        let mut acc = RlcAccumulator::new();
+        acc.accumulate(&mut rlc, pk, inputs, outputs, proof, &ch);
+        acc.check()
+    }
+
+    #[test]
+    fn rlc_fast_path_accepts_honest_proofs_without_fallback() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let kp = KeyPair::generate(&mut rng);
+        // Multi-element, single-element and single-component statements all
+        // exercise different accumulation branches (j == 1 expansion,
+        // n == 1 final opening).
+        for (count, len) in [(8, 40), (1, 10), (5, 8), (2, 20)] {
+            let inputs = batch(&mut rng, &kp, count, len);
+            let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+            let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+            assert!(
+                rlc_check(&kp.public, &inputs, &outputs, &proof),
+                "honest proof (n={count}) must pass the RLC combination itself"
+            );
+        }
+    }
+
+    #[test]
+    fn rlc_fast_path_rejects_every_tampered_field() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 5, 30);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+        let one = Scalar::ONE;
+
+        let mut tampered = Vec::new();
+        let mut p = proof.clone();
+        p.response_final += one;
+        tampered.push(("response_final", p));
+        let mut p = proof.clone();
+        p.response_powers[2] += one;
+        tampered.push(("response_powers", p));
+        let mut p = proof.clone();
+        p.response_power_blindings[0] += one;
+        tampered.push(("response_power_blindings", p));
+        let mut p = proof.clone();
+        p.response_rho[0] += one;
+        tampered.push(("response_rho", p));
+        let mut p = proof.clone();
+        p.product_steps[1].response_value += one;
+        tampered.push(("response_value", p));
+        let mut p = proof.clone();
+        p.product_steps[0].response_step_blinding += one;
+        tampered.push(("response_step_blinding", p));
+        let mut p = proof.clone();
+        p.announce_final += key_g();
+        tampered.push(("announce_final", p));
+        let mut p = proof.clone();
+        p.commit_perm[3] += key_g();
+        tampered.push(("commit_perm", p));
+
+        for (field, p) in tampered {
+            assert!(
+                !rlc_check(&kp.public, &inputs, &outputs, &p),
+                "tampered {field} must miss the RLC combination"
+            );
+            // And the public verifier agrees with the sequential one.
+            let fast = verify_shuffle(&kp.public, &inputs, &outputs, &p);
+            let slow = verify_shuffle_sequential(&kp.public, &inputs, &outputs, &p);
+            assert_eq!(
+                format!("{:?}", fast),
+                format!("{:?}", slow),
+                "verdicts diverge for tampered {field}"
+            );
+            assert!(fast.is_err());
+        }
+    }
+
+    #[test]
+    fn fast_and_sequential_verdicts_agree_on_statement_tampering() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let kp = KeyPair::generate(&mut rng);
+        let inputs = batch(&mut rng, &kp, 6, 40);
+        let (outputs, witness) = shuffle(&kp.public, &inputs, &mut rng).unwrap();
+        let proof = prove_shuffle(&kp.public, &inputs, &outputs, &witness, &mut rng).unwrap();
+
+        let mut mauled = outputs.clone();
+        mauled[4].components[0].c += key_g();
+        let fast = verify_shuffle(&kp.public, &inputs, &mauled, &proof);
+        let slow = verify_shuffle_sequential(&kp.public, &inputs, &mauled, &proof);
+        assert!(fast.is_err());
+        assert_eq!(format!("{:?}", fast), format!("{:?}", slow));
     }
 }

@@ -148,11 +148,13 @@ pub fn estimate_round(spec: &DeploymentSpec, costs: &PrimitiveCosts) -> RoundEst
         Defense::Nizk => {
             // Proof generation/verification dominates and is only partially
             // parallelizable (Fig. 7 shows sub-linear speed-up); charge the
-            // proof work at half the core count.
+            // proof work at half the core count. Verification is charged at
+            // the batched rate: the engine settles each group step's whole
+            // shuffle chain in one combined RLC check.
             let proofs = per_group_messages
                 * points
                 * (costs.shufproof_prove_per_msg
-                    + costs.shufproof_verify_per_msg
+                    + costs.shufproof_verify_batch_per_msg
                     + costs.reencproof_prove
                     + costs.reencproof_verify);
             (shuffle_cost + reenc_cost) / avg_cores + proofs / (avg_cores / 2.0).max(1.0)
