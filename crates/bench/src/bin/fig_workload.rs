@@ -1,0 +1,30 @@
+//! Renders the recorded workload baseline — deterministic traffic models
+//! through the streaming intake, and the adversary suite's verdicts.
+//!
+//! Reads `BENCH_workload.json` (path overridable as the first argument)
+//! and prints the pattern table (throughput, peak intake residency,
+//! streaming-equivalence flag) plus each adversary scenario's verdict and
+//! liveness floor. Regenerate the baseline with:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin workload -- \
+//!     --users 1000000 --submissions 1000000 --out BENCH_workload.json
+//! ```
+//!
+//! Schema and units: `docs/benchmarks.md`.
+
+use atom_bench::workload::{print_fig_workload, WorkloadBaseline};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_workload.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "read {path}: {error} — regenerate with `cargo run --release -p atom-bench \
+             --bin workload -- --users 1000000 --submissions 1000000 --out BENCH_workload.json`"
+        )
+    });
+    let baseline = WorkloadBaseline::parse(&json).unwrap_or_else(|error| panic!("{path}: {error}"));
+    print_fig_workload(&baseline);
+}

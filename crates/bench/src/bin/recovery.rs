@@ -55,6 +55,7 @@ fn parse_args() -> Args {
             stall_timeout: Duration::from_secs(2),
             trace: false,
             honest: 2,
+            ..NetSpec::default()
         },
         batch: 1,
         workers: 2,

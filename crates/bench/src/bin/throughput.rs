@@ -215,6 +215,7 @@ fn spec(args: &Args, seed: u64) -> NetSpec {
         stall_timeout: args.stall_timeout,
         trace: args.trace.is_some() || args.traced,
         honest: 1,
+        ..NetSpec::default()
     }
 }
 

@@ -451,11 +451,23 @@ fn engine_options(
     workers: usize,
     sink: &ControlSink,
     epoch: usize,
+    process: usize,
 ) -> EngineOptions {
     let mut options = EngineOptions::with_workers(workers);
     options.stall_timeout = spec.stall_timeout;
     if !spec.delay.is_zero() {
         options.stragglers = (0..spec.groups).map(|gid| (gid, spec.delay)).collect();
+    }
+    if process == 0 {
+        // The round clock is the coordinator's alone: it owns the diagnosis,
+        // and a member that also deadlined would race its abort against the
+        // coordinator's verdict (turning `Slow` into `Blamed`).
+        options.round_deadline = spec.round_deadline;
+    } else if process == 1 && !spec.loris.is_zero() {
+        // Chaos knob: member process 1 plays the slow loris, dripping its
+        // hosted groups' iterations slowly enough to defeat the stall
+        // detector but not the round clock.
+        options.stragglers = (0..spec.groups).map(|gid| (gid, spec.loris)).collect();
     }
     options.control_sink = Some(sink.clone());
     options.round_offset = epoch * EPOCH_STRIDE;
@@ -591,6 +603,19 @@ pub fn run_recovery_coordinator(
         let mut awaiting: BTreeSet<usize> = BTreeSet::new();
         for process in 1..processes {
             if !live[process] {
+                // A convicted process may be gone — or merely slow and still
+                // listening (a slow-loris eviction). Courtesy-copy it the
+                // plan over any still-open stream, without awaiting an ack:
+                // seeing itself on the dead list is what prompts its rejoin
+                // request. Best-effort by design — a crashed peer must not
+                // cost a connect-timeout stall per epoch.
+                transport.try_send_to_process(
+                    process,
+                    orch,
+                    orch,
+                    Cow::Borrowed(REJOIN_LABEL),
+                    wire::encode_rejoin(&plan),
+                );
                 continue;
             }
             match send_control(
@@ -771,7 +796,7 @@ pub fn run_recovery_coordinator(
             transport.set_owner(node, process);
         }
         let role = EngineRole::coordinator(hosted_groups(&owner, 0));
-        let mut options = engine_options(spec, workers, &sink, epoch);
+        let mut options = engine_options(spec, workers, &sink, epoch, 0);
         let base = next;
         let completion_tap = completions.clone();
         let user_hook = on_round.clone();
@@ -1188,7 +1213,7 @@ pub fn run_healing_member(
             break Err(error);
         }
 
-        let options = engine_options(spec, workers, &sink, epoch);
+        let options = engine_options(spec, workers, &sink, epoch, index);
         let role = EngineRole::member(hosted);
         let total = jobs.len();
         let results = Engine::new(options).run_rounds_on(jobs, &transport, &role);
@@ -1466,6 +1491,108 @@ mod tests {
         assert!(outcome.round_evicted[0].is_empty());
         assert_eq!(outcome.round_evicted[1], process_servers(9, 3, 2));
         assert!(outcome.round_evicted[round].is_empty());
+    }
+
+    /// Slow-loris chaos drill: process 1 drips frames slowly enough to keep
+    /// the stall detector happy forever, so only the coordinator's round
+    /// clock can catch it. The drill asserts the full arc — `Slow`
+    /// conviction, the courtesy plan reaching the evicted-but-alive member,
+    /// its rejoin and readmission, a fresh conviction after every
+    /// readmission — and that the healed rounds are byte-identical to an
+    /// in-memory rebuild from the recorded per-round membership.
+    #[test]
+    fn fleet_convicts_slow_loris_member_and_heals() {
+        let loris = Duration::from_secs(5);
+        let spec = NetSpec {
+            groups: 3,
+            rounds: 3,
+            messages: 6,
+            iterations: 2,
+            seed: 0x510E,
+            // The drip (one 5 s straggle per iteration) never leaves a 20 s
+            // progress gap; the 5 s round clock fires long before the
+            // member's ~10 s round could finish.
+            stall_timeout: Duration::from_secs(20),
+            round_deadline: Duration::from_secs(5),
+            loris,
+            honest: 2,
+            ..NetSpec::default()
+        };
+        let addrs = crate::netbench::free_addrs(3);
+        let batch = 1;
+
+        let m1 = {
+            let (spec, addrs) = (spec.clone(), addrs.clone());
+            std::thread::spawn(move || run_healing_member(&spec, batch, addrs, 1, 2, false, || {}))
+        };
+        let m2 = {
+            let (spec, addrs) = (spec.clone(), addrs.clone());
+            std::thread::spawn(move || run_healing_member(&spec, batch, addrs, 2, 2, false, || {}))
+        };
+        // Gate: hold the coordinator at the first healed round until the
+        // convicted member has certainly woken from its drip sleep and sent
+        // its rejoin request (bounded by one residual drip plus slack), so
+        // at least one readmission happens before the final batch boundary.
+        // WHICH boundary collects the request still races the member's
+        // wake-up, so the assertions below are boundary-agnostic.
+        let hook: RoundCompleteHook = Arc::new(move |round| {
+            if round == 0 {
+                std::thread::sleep(loris + Duration::from_secs(2));
+            }
+        });
+
+        let outcome = run_recovery_coordinator(&spec, batch, addrs, 2, Some(hook))
+            .expect("recovery completes every round");
+        assert!(
+            m1.join().unwrap().is_ok(),
+            "loris member exits cleanly on the done sentinel"
+        );
+        assert!(m2.join().unwrap().is_ok(), "honest member exits cleanly");
+
+        // Convicted as slow (not dead, not blamed) every time it was
+        // admitted: once in the original membership, once more after every
+        // readmission — the drip always outlives the round clock.
+        assert_eq!(
+            outcome.evictions.len(),
+            outcome.rejoins.len() + 1,
+            "one conviction per admission: {:?} vs {:?}",
+            outcome.evictions,
+            outcome.rejoins
+        );
+        for verdict in &outcome.evictions {
+            assert_eq!(verdict.process, 1);
+            assert!(
+                matches!(verdict.kind, FaultKind::Slow),
+                "expected a Slow verdict: {verdict:?}"
+            );
+        }
+        // The courtesy plan told the evicted-but-alive member about its
+        // eviction; it asked back in and was readmitted at a later batch
+        // boundary (which one depends on when its wake-up races the epoch
+        // purge — any admitted round except the first qualifies).
+        assert!(!outcome.rejoins.is_empty(), "never readmitted");
+        for &(process, round) in &outcome.rejoins {
+            assert_eq!(process, 1);
+            assert!((1..spec.rounds).contains(&round), "rejoin at {round}");
+        }
+
+        // Liveness floor: every round delivered despite repeated evictions.
+        let delivered: usize = outcome
+            .reports
+            .iter()
+            .map(|r| r.output.plaintexts.len())
+            .sum();
+        assert_eq!(delivered, spec.rounds * spec.messages);
+        assert!(outcome.detected_at.is_some());
+
+        // Byte-determinism given the eviction log: an in-memory rebuild
+        // from the recorded per-round membership matches the fleet.
+        let reference =
+            build_healed_reference(&spec, &outcome.round_evicted, &outcome.round_failed);
+        assert_eq!(
+            serialize_reports(&outcome.reports),
+            serialize_reports(&reference)
+        );
     }
 
     #[test]

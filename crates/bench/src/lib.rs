@@ -21,5 +21,6 @@ pub mod heal;
 pub mod netbench;
 pub mod recovery;
 pub mod scale;
+pub mod workload;
 
 pub use experiments::*;

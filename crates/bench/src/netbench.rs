@@ -60,6 +60,21 @@ pub struct NetSpec {
     /// it lives in the spec rather than in a per-process flag. Recording is
     /// observational only: round outputs are byte-identical either way.
     pub trace: bool,
+    /// Coordinator round clock (`EngineOptions::round_deadline`; zero =
+    /// disabled): the wall-clock budget a round gets before the coordinator
+    /// fails it even though progress keeps trickling in. The slow-loris
+    /// countermeasure — a peer dripping one frame per stall window resets
+    /// the stall detector forever, but cannot stop the round clock. Armed
+    /// on the coordinator only: it owns the diagnosis, and a member that
+    /// also deadlined would race its `abort` against the coordinator's
+    /// verdict and turn a `Slow` conviction into a `Blamed` one.
+    pub round_deadline: Duration,
+    /// Slow-loris drip (zero = none): member process 1 delays each mixing
+    /// iteration of its hosted groups by this, while everyone else runs at
+    /// full speed. Combined with `round_deadline` this is the chaos-drill
+    /// knob: the drip defeats the stall detector, the round clock catches
+    /// it anyway.
+    pub loris: Duration,
     /// Honest members assumed per group (`h`): the DKG threshold becomes
     /// `k − (h − 1)`, so `h − 1` member losses per group heal by Lagrange
     /// reweighting alone and only deeper losses need the buddy escrow. The
@@ -79,6 +94,8 @@ impl Default for NetSpec {
             delay: Duration::ZERO,
             sharded: false,
             stall_timeout: Duration::from_secs(120),
+            round_deadline: Duration::ZERO,
+            loris: Duration::ZERO,
             trace: false,
             honest: 1,
         }

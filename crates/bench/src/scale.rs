@@ -169,8 +169,9 @@ impl ScaleBaseline {
     }
 }
 
-/// The first number following `"key":` in `text`.
-fn field_num(text: &str, key: &str) -> Result<f64, String> {
+/// The first number following `"key":` in `text`. Shared with the other
+/// hand-rolled baseline parsers (the offline build vendors a no-op serde).
+pub(crate) fn field_num(text: &str, key: &str) -> Result<f64, String> {
     let pattern = format!("\"{key}\":");
     let at = text
         .find(&pattern)

@@ -310,6 +310,7 @@ fn killed_member_is_evicted_fleet_heals_and_restart_rejoins() {
         stall_timeout: Duration::from_secs(2),
         trace: false,
         honest: 2,
+        ..NetSpec::default()
     };
     let batch = 1;
     let addrs = netbench::free_addrs(3);

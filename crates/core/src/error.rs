@@ -69,6 +69,11 @@ pub enum EngineErrorKind {
     /// A peer reported the round aborted on its side; the authoritative
     /// error lives with that peer.
     ProtocolAbort,
+    /// The round made progress but blew past its wall-clock deadline: the
+    /// classic slow-loris shape, where a peer drips frames just often
+    /// enough to keep the stall detector quiet while the round never
+    /// finishes.
+    Deadline,
 }
 
 impl fmt::Display for EngineErrorKind {
@@ -77,6 +82,7 @@ impl fmt::Display for EngineErrorKind {
             EngineErrorKind::Stall => "stall",
             EngineErrorKind::TransportLost => "transport-lost",
             EngineErrorKind::ProtocolAbort => "protocol-abort",
+            EngineErrorKind::Deadline => "deadline",
         })
     }
 }

@@ -149,7 +149,7 @@ pub fn inner_target_group(inner_bytes: &[u8], num_groups: usize) -> usize {
 }
 
 /// A user submission in the NIZK variant.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NizkSubmission {
     /// The entry group chosen by the user.
     pub entry_group: usize,
@@ -160,7 +160,7 @@ pub struct NizkSubmission {
 }
 
 /// A user submission in the trap variant.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrapSubmission {
     /// The entry group chosen by the user.
     pub entry_group: usize,

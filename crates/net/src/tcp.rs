@@ -288,6 +288,51 @@ impl TcpTransport {
         send_remote(&self.inner, process, &envelope);
     }
 
+    /// Best-effort variant of [`send_to_process`](Self::send_to_process):
+    /// writes the envelope only if an outbound stream to `process` is
+    /// already established — it never connects, never retries and never
+    /// panics. Returns whether the frame was written. Recovery uses this to
+    /// courtesy-copy plans to convicted processes: a slow-but-alive victim
+    /// still holds its connection open and learns of its eviction, while a
+    /// genuinely crashed one costs nothing (no connect-timeout stall).
+    pub fn try_send_to_process(
+        &self,
+        process: usize,
+        from: NodeId,
+        to: NodeId,
+        label: Cow<'static, str>,
+        payload: Vec<u8>,
+    ) -> bool {
+        assert!(
+            from < self.inner.num_nodes && to < self.inner.num_nodes,
+            "unknown node in TCP send"
+        );
+        let envelope = Envelope {
+            from,
+            to,
+            label,
+            payload,
+            delay: Duration::ZERO,
+        };
+        if process == self.inner.me {
+            self.inner.deliver_local(envelope);
+            return true;
+        }
+        let mut slot = self.inner.outbound[process].lock();
+        let Some(stream) = slot.as_mut() else {
+            return false;
+        };
+        match write_frame(stream, &envelope) {
+            Ok(()) => true,
+            Err(_) => {
+                // Half-dead socket: clear it so a later authoritative send
+                // goes through the reconnect-and-repair path cleanly.
+                *slot = None;
+                false
+            }
+        }
+    }
+
     /// Drops the outbound stream to `process`, forcing the next send to
     /// reconnect. Call when a peer is known to have restarted on the same
     /// address: the old half-dead socket accepts one buffered write before
@@ -776,6 +821,29 @@ mod tests {
         assert_eq!(Transport::drain(&a, 2)[0].payload, vec![2]);
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn try_send_is_best_effort_and_never_connects() {
+        let (a, b) = pair(vec![0, 1]);
+        // Established stream: the frame goes through like a normal send.
+        assert!(a.try_send_to_process(1, 0, 0, "courtesy".into(), vec![9]));
+        wait_pending(&b, 0);
+        assert_eq!(Transport::drain(&b, 0)[0].payload, vec![9]);
+        // Local delivery always succeeds.
+        assert!(a.try_send_to_process(0, 0, 1, "loop".into(), vec![3]));
+        assert_eq!(Transport::try_receive(&a, 1).unwrap().payload, vec![3]);
+        // No established stream (and nobody listening): returns false
+        // immediately instead of spinning in the connect-retry loop.
+        a.reset_peer(1);
+        b.shutdown();
+        let start = Instant::now();
+        assert!(!a.try_send_to_process(1, 0, 0, "courtesy".into(), vec![9]));
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "blocked on connect"
+        );
+        a.shutdown();
     }
 
     #[test]

@@ -57,6 +57,11 @@ static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
 /// Dynamically-named counters (see [`count`]).
 static DYN_COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 
+/// Dynamically-named high-water-mark gauges (see [`gauge_max`]). Kept apart
+/// from [`DYN_COUNTERS`] because counters merge additively while gauges merge
+/// by maximum — peak memory summed across samples would be nonsense.
+static DYN_GAUGES: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
 thread_local! {
     /// Small dense per-thread id used as the Perfetto track id. Assigned on
     /// first use so worker threads get stable, compact tids.
@@ -105,6 +110,7 @@ pub fn reset() {
         counter.value.store(0, Ordering::Relaxed);
     }
     DYN_COUNTERS.lock().expect("dyn counters poisoned").clear();
+    DYN_GAUGES.lock().expect("dyn gauges poisoned").clear();
 }
 
 /// One recorded phase span: `phase` ran for `dur_us` starting at `start_us`
@@ -264,7 +270,32 @@ pub fn count(name: &str, n: u64) {
     *map.entry(name.to_string()).or_insert(0) += n;
 }
 
+/// Raise a dynamically-named high-water-mark gauge to at least `value`.
+/// Samples merge by maximum, so the snapshot reports the peak ever observed
+/// (e.g. peak in-flight intake submissions), not a running sum. No-op while
+/// recording is disabled.
+pub fn gauge_max(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = DYN_GAUGES.lock().expect("dyn gauges poisoned");
+    let slot = map.entry(name.to_string()).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// The peak value a [`gauge_max`] gauge has reached, or `None` if the gauge
+/// was never touched (or recording was disabled at every touch).
+pub fn gauge_peak(name: &str) -> Option<u64> {
+    DYN_GAUGES
+        .lock()
+        .expect("dyn gauges poisoned")
+        .get(name)
+        .copied()
+}
+
 /// Current values of every counter touched so far, sorted by name.
+/// High-water-mark gauges ride along so snapshots and telemetry frames carry
+/// them for free.
 pub fn counter_snapshot() -> Vec<(String, u64)> {
     let mut out: Vec<(String, u64)> = COUNTERS
         .lock()
@@ -276,6 +307,13 @@ pub fn counter_snapshot() -> Vec<(String, u64)> {
         DYN_COUNTERS
             .lock()
             .expect("dyn counters poisoned")
+            .iter()
+            .map(|(name, value)| (name.clone(), *value)),
+    );
+    out.extend(
+        DYN_GAUGES
+            .lock()
+            .expect("dyn gauges poisoned")
             .iter()
             .map(|(name, value)| (name.clone(), *value)),
     );
@@ -369,6 +407,23 @@ mod tests {
         assert_eq!(spans[1].dur_us, 0);
         assert_eq!(spans[1].note, "no task progress");
         assert!(spans_for_round(3).is_empty());
+    }
+
+    #[test]
+    fn gauges_keep_the_peak_and_reset_clears_them() {
+        let _guard = exclusive();
+        set_enabled(true);
+        reset();
+        gauge_max("test.gauge.peak", 4);
+        gauge_max("test.gauge.peak", 9);
+        gauge_max("test.gauge.peak", 2);
+        assert_eq!(gauge_peak("test.gauge.peak"), Some(9));
+        assert!(counter_snapshot().contains(&("test.gauge.peak".to_string(), 9)));
+        set_enabled(false);
+        gauge_max("test.gauge.peak", 100); // disabled: must not record
+        assert_eq!(gauge_peak("test.gauge.peak"), Some(9));
+        reset();
+        assert_eq!(gauge_peak("test.gauge.peak"), None);
     }
 
     #[test]

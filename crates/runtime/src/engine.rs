@@ -156,6 +156,27 @@ pub struct EngineOptions {
     /// failed epoch can never alias the retry of the same round. `0`
     /// (default) reproduces the historical wire bytes exactly.
     pub round_offset: usize,
+    /// Streaming-intake window: at most this many intake chunks are
+    /// scheduled (and therefore materialized) at once per round, so a
+    /// 10M-submission round holds only `intake_window × intake_chunk`
+    /// submissions in memory. Each finishing chunk releases the next, and
+    /// chunk results still merge in chunk order, so the produced
+    /// `RoundOutput` is byte-identical for any window. `0` (default)
+    /// schedules every chunk up front (the historical behaviour).
+    pub intake_window: usize,
+    /// Hard cap on a round's offered submissions. A round offering more
+    /// fails closed at admission — before a single submission is
+    /// materialized or verified — with a `ProtocolAbort` diagnosis naming
+    /// the flood. `0` (default) disables the cap.
+    pub intake_cap: usize,
+    /// Wall-clock deadline per round, measured from the coordinator's first
+    /// intake work for that round. The stall detector only catches total
+    /// silence; a slow-loris peer dripping one frame per stall window keeps
+    /// it quiet forever. When a round outlives this deadline it fails with
+    /// [`EngineErrorKind::Deadline`] and the usual named stall diagnosis, so
+    /// recovery can convict the slow peer. `Duration::ZERO` (default)
+    /// disables the deadline.
+    pub round_deadline: Duration,
 }
 
 impl Default for EngineOptions {
@@ -172,6 +193,9 @@ impl Default for EngineOptions {
             on_round_complete: None,
             control_sink: None,
             round_offset: 0,
+            intake_window: 0,
+            intake_cap: 0,
+            round_deadline: Duration::ZERO,
         }
     }
 }
@@ -188,6 +212,9 @@ impl std::fmt::Debug for EngineOptions {
             .field("on_round_complete", &self.on_round_complete.is_some())
             .field("control_sink", &self.control_sink.is_some())
             .field("round_offset", &self.round_offset)
+            .field("intake_window", &self.intake_window)
+            .field("intake_cap", &self.intake_cap)
+            .field("round_deadline", &self.round_deadline)
             .finish()
     }
 }
@@ -256,13 +283,103 @@ impl EngineRole {
     }
 }
 
-/// The submissions of one round.
+/// A materialized block of submissions, as produced by a
+/// [`SubmissionSource`] for one intake chunk.
 #[derive(Clone, Debug)]
-pub enum RoundSubmissions {
+pub enum SubmissionBlock {
     /// NIZK-variant submissions (§4.3).
     Nizk(Vec<NizkSubmission>),
     /// Trap-variant submissions (§4.4).
     Trap(Vec<TrapSubmission>),
+}
+
+impl SubmissionBlock {
+    /// Number of submissions in the block.
+    pub fn len(&self) -> usize {
+        match self {
+            SubmissionBlock::Nizk(subs) => subs.len(),
+            SubmissionBlock::Trap(subs) => subs.len(),
+        }
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A deterministic, range-addressable stream of round submissions.
+///
+/// The engine never materializes the whole stream: intake pulls one
+/// [`SubmissionBlock`] per chunk via [`generate`](Self::generate), bounded
+/// by [`EngineOptions::intake_window`], so a 10M-submission round holds
+/// only a window in memory. Implementations must be **pure in the range**:
+/// `generate(a..b)` followed by `generate(b..c)` yields exactly the
+/// submissions `generate(a..c)` would — typically by seeding a per-index
+/// RNG from a hash of `(seed, index)` — so the round output is
+/// byte-identical to materializing the stream up front, whatever the
+/// window or chunking.
+pub trait SubmissionSource: Send + Sync {
+    /// Total submissions the stream offers this round.
+    fn total(&self) -> usize;
+    /// Which protocol variant the submissions belong to.
+    fn defense(&self) -> Defense;
+    /// Materialize the half-open index range `range.0 .. range.1`. The
+    /// returned block must match [`defense`](Self::defense) and hold
+    /// exactly `range.1 - range.0` submissions.
+    fn generate(&self, range: (usize, usize)) -> AtomResult<SubmissionBlock>;
+}
+
+/// The submissions of one round.
+#[derive(Clone)]
+pub enum RoundSubmissions {
+    /// NIZK-variant submissions (§4.3), materialized up front.
+    Nizk(Vec<NizkSubmission>),
+    /// Trap-variant submissions (§4.4), materialized up front.
+    Trap(Vec<TrapSubmission>),
+    /// A deterministic stream materialized chunk-by-chunk during intake
+    /// (see [`SubmissionSource`]).
+    Stream(Arc<dyn SubmissionSource>),
+}
+
+impl std::fmt::Debug for RoundSubmissions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundSubmissions::Nizk(subs) => f.debug_tuple("Nizk").field(&subs.len()).finish(),
+            RoundSubmissions::Trap(subs) => f.debug_tuple("Trap").field(&subs.len()).finish(),
+            RoundSubmissions::Stream(source) => f
+                .debug_struct("Stream")
+                .field("total", &source.total())
+                .field("defense", &source.defense())
+                .finish(),
+        }
+    }
+}
+
+impl RoundSubmissions {
+    /// Number of submissions the round offers (streams report their total
+    /// without materializing anything).
+    pub fn len(&self) -> usize {
+        match self {
+            RoundSubmissions::Nizk(subs) => subs.len(),
+            RoundSubmissions::Trap(subs) => subs.len(),
+            RoundSubmissions::Stream(source) => source.total(),
+        }
+    }
+
+    /// Whether the round offers no submissions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The protocol variant of the submissions.
+    pub fn defense(&self) -> Defense {
+        match self {
+            RoundSubmissions::Nizk(_) => Defense::Nizk,
+            RoundSubmissions::Trap(_) => Defense::Trap,
+            RoundSubmissions::Stream(source) => source.defense(),
+        }
+    }
 }
 
 /// How a round's directory ([`RoundSetup`]) comes to exist in this process.
@@ -490,6 +607,12 @@ struct SetupPhase {
     /// Set once `finish_setup` has taken ownership of the collected
     /// contexts: no further frame may mutate this state.
     sealed: bool,
+    /// The group public keys the directory was assembled with, recorded at
+    /// seal time. Late setup frames are cross-checked against these: an
+    /// equivocating peer that lands its forged frame first must still be
+    /// caught — and the round killed with the conflict named — when its
+    /// genuine frame (or a second forged story) arrives after sealing.
+    sealed_keys: Vec<PublicKey>,
     /// Set once actors exist and mixing may proceed.
     ready: bool,
 }
@@ -520,6 +643,15 @@ struct JobState {
     /// Submission index ranges of the intake chunks.
     chunks: Vec<(usize, usize)>,
     intake: Mutex<IntakeState>,
+    /// Next intake chunk index to schedule under the streaming window
+    /// ([`EngineOptions::intake_window`]): each finishing chunk fetch-adds
+    /// here and enqueues the claimed index, keeping at most `window` chunks
+    /// in flight. Starts at `chunks.len()` when the window is unbounded so
+    /// the fetch-add finds nothing left to schedule.
+    next_chunk: AtomicUsize,
+    /// Submissions currently materialized by in-flight streaming chunks
+    /// (feeds the `engine.intake.peak_in_flight` gauge).
+    stream_in_flight: AtomicUsize,
     exit: Mutex<ExitState>,
     result: Mutex<Option<AtomResult<RoundReport>>>,
     /// Iteration-0 injections by the local intake (coordinator only).
@@ -737,6 +869,52 @@ impl Shared<'_> {
         }
     }
 
+    /// Remaining time until the earliest round-deadline expiry among
+    /// unresolved rounds whose clock is running, or `None` when nothing has
+    /// started yet. `Some(ZERO)` means a deadline already passed.
+    fn nearest_deadline(&self, deadline: Duration) -> Option<Duration> {
+        self.jobs
+            .iter()
+            .filter(|job| !job.finalized())
+            .filter_map(|job| job.exit.lock().started)
+            .map(|started| deadline.saturating_sub(started.elapsed()))
+            .min()
+    }
+
+    /// Fails every unresolved round whose wall clock outlived the
+    /// configured per-round deadline, with the same named diagnosis a
+    /// stall would get. This is the slow-loris countermeasure: a peer
+    /// dripping one frame per stall window resets the stall detector
+    /// forever, but it cannot stop the round clock.
+    fn fail_deadlined(&self, deadline: Duration) {
+        for (round, job) in self.jobs.iter().enumerate() {
+            if job.finalized() {
+                continue;
+            }
+            let Some(started) = job.exit.lock().started else {
+                continue;
+            };
+            let elapsed = started.elapsed();
+            if elapsed < deadline {
+                continue;
+            }
+            let (detail, missing) = self.stall_detail(job);
+            atom_obs::note("deadline", round as u32, &detail);
+            self.fail_job(
+                round,
+                AtomError::Engine {
+                    kind: EngineErrorKind::Deadline,
+                    reason: format!(
+                        "round {round} outlived its {deadline:?} deadline ({elapsed:?} \
+                         elapsed): progress kept trickling in — slow-loris peer? — but \
+                         the round never finished; {detail}"
+                    ),
+                    nodes: missing,
+                },
+            );
+        }
+    }
+
     /// What an unresolved round is waiting for, phase by phase, with each
     /// outstanding group tagged local/remote (a remote tag names a peer
     /// process as the likely casualty). Besides the human-readable
@@ -932,10 +1110,7 @@ impl Engine {
             let num_groups = config.num_groups;
             let actor_spec = ActorSpec {
                 master_seed,
-                defense: match job.submissions {
-                    RoundSubmissions::Nizk(_) => Defense::Nizk,
-                    RoundSubmissions::Trap(_) => Defense::Trap,
-                },
+                defense: job.submissions.defense(),
                 adversary: job.adversary,
                 failed_servers: job.failed_servers,
                 churn: job.churn,
@@ -979,17 +1154,34 @@ impl Engine {
                             buffer_cap: num_groups
                                 .saturating_mul(1 + num_groups.saturating_mul(iterations)),
                             sealed: false,
+                            sealed_keys: Vec::new(),
                             ready: false,
                         }));
                     }
                     Err(error) => construction_error = Some(error),
                 },
             }
-            let submissions_len = match &job.submissions {
-                RoundSubmissions::Nizk(s) => s.len(),
-                RoundSubmissions::Trap(s) => s.len(),
-            };
+            let submissions_len = job.submissions.len();
             let chunks = chunk_ranges(submissions_len, self.options.intake_chunk, workers);
+            // The intake cap fails a flood closed *here*, at admission:
+            // not one of the flood's submissions gets materialized or
+            // verified, so an attacker can spend our memory only up to the
+            // cap, never up to their offer.
+            if construction_error.is_none()
+                && role.coordinator
+                && self.options.intake_cap > 0
+                && submissions_len > self.options.intake_cap
+            {
+                construction_error = Some(AtomError::Engine {
+                    kind: EngineErrorKind::ProtocolAbort,
+                    reason: format!(
+                        "submission flood: round {round} offers {submissions_len} submissions, \
+                         over the intake cap of {}; failing closed without buffering the flood",
+                        self.options.intake_cap
+                    ),
+                    nodes: Vec::new(),
+                });
+            }
             if let Some(error) = &construction_error {
                 construction_failures.push((round, format!("{error:?}")));
             }
@@ -1007,6 +1199,8 @@ impl Engine {
                     pending: chunks.len(),
                     results: (0..chunks.len()).map(|_| None).collect(),
                 }),
+                next_chunk: AtomicUsize::new(intake_window(&self.options, chunks.len())),
+                stream_in_flight: AtomicUsize::new(0),
                 exit: Mutex::new(ExitState {
                     payloads: vec![None; num_groups],
                     exits_done: 0,
@@ -1083,7 +1277,7 @@ impl Engine {
                         queue.push_back(Task::SetupTrustees { round });
                     }
                 } else if role.coordinator {
-                    for chunk in 0..state.chunks.len() {
+                    for chunk in 0..intake_window(&self.options, state.chunks.len()) {
                         queue.push_back(Task::IntakeChunk { round, chunk });
                     }
                 }
@@ -1213,6 +1407,7 @@ fn member_trustee_placeholder() -> TrusteeContext {
 }
 
 fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
+    let round_deadline = shared.options.round_deadline;
     loop {
         let task = {
             let mut queue = shared.sched.queue_lock();
@@ -1235,11 +1430,26 @@ fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
                     shared.fail_stalled(elapsed);
                     return;
                 }
-                let wait = if idle {
+                let mut wait = if idle {
                     stall_timeout - elapsed
                 } else {
                     stall_timeout
                 };
+                // Round-deadline enforcement. Like the stall path, failing
+                // rounds re-acquires the queue lock (`job_done` notifies
+                // under it), so the lock must be dropped first.
+                if !round_deadline.is_zero() {
+                    match shared.nearest_deadline(round_deadline) {
+                        Some(remaining) if remaining.is_zero() => {
+                            drop(queue);
+                            shared.fail_deadlined(round_deadline);
+                            queue = shared.sched.queue_lock();
+                            continue;
+                        }
+                        Some(remaining) => wait = wait.min(remaining),
+                        None => {}
+                    }
+                }
                 let (guard, _) = shared
                     .sched
                     .ready
@@ -1265,6 +1475,17 @@ fn worker_loop(shared: &Shared<'_>, stall_timeout: Duration) {
             shared.fail_all("engine worker panicked; round abandoned");
             std::panic::resume_unwind(panic);
         }
+    }
+}
+
+/// How many of a round's `chunks` intake chunks may be scheduled — and
+/// therefore materialized — at once (see [`EngineOptions::intake_window`];
+/// `0` = all of them).
+fn intake_window(options: &EngineOptions, chunks: usize) -> usize {
+    if options.intake_window == 0 {
+        chunks
+    } else {
+        options.intake_window.min(chunks).max(1)
     }
 }
 
@@ -1431,6 +1652,24 @@ fn on_setup_frame(shared: &Shared<'_>, frame: SetupFrame) {
     {
         let phase = phase_lock.lock();
         if phase.sealed {
+            // The directory is already assembled. Benign duplicate copies
+            // are dropped, but a frame disagreeing with the key the round
+            // is mixing under is an equivocation — name it, even though the
+            // first (possibly forged) story already won the slot.
+            let benign = phase
+                .sealed_keys
+                .get(frame.gid)
+                .is_none_or(|key| *key == frame.public_key);
+            drop(phase);
+            if !benign {
+                shared.fail_job(
+                    round,
+                    AtomError::Malformed(format!(
+                        "conflicting setup frames for group {}",
+                        frame.gid
+                    )),
+                );
+            }
             return;
         }
         if let Some(existing) = &phase.groups[frame.gid] {
@@ -1487,7 +1726,20 @@ fn on_setup_frame(shared: &Shared<'_>, frame: SetupFrame) {
     let verdict = {
         let mut phase = phase_lock.lock();
         if phase.sealed {
-            Ok(false)
+            // Sealed while this frame was being validated: cross-check the
+            // key it carries against the one the round is mixing under.
+            if phase
+                .sealed_keys
+                .get(frame.gid)
+                .is_none_or(|key| *key == frame.public_key)
+            {
+                Ok(false)
+            } else {
+                Err(AtomError::Malformed(format!(
+                    "conflicting setup frames for group {}",
+                    frame.gid
+                )))
+            }
         } else if let Some(existing) = &phase.groups[frame.gid] {
             if existing.public_key == frame.public_key {
                 Ok(false) // benign duplicate via another local mailbox
@@ -1532,6 +1784,7 @@ fn finish_setup(shared: &Shared<'_>, round: usize) {
             .iter_mut()
             .map(|slot| slot.take().expect("setup phase complete"))
             .collect();
+        phase.sealed_keys = groups.iter().map(|group| group.public_key).collect();
         (groups, phase.trustees.take(), phase.started)
     };
     let setup = RoundSetup {
@@ -1559,9 +1812,12 @@ fn finish_setup(shared: &Shared<'_>, round: usize) {
         std::mem::take(&mut phase.buffered)
     };
     // Intake could not run before the directory existed (submission proofs
-    // verify against the group and trustee keys); release it now.
+    // verify against the group and trustee keys); release it now, bounded
+    // by the same streaming window as the prebuilt path. `next_chunk` was
+    // preset to the window size at construction, so the finishing chunks
+    // continue from there.
     if shared.role.coordinator && !job.finalized() {
-        for chunk in 0..job.chunks.len() {
+        for chunk in 0..intake_window(shared.options, job.chunks.len()) {
             shared.sched.push_task(Task::IntakeChunk { round, chunk });
         }
     }
@@ -1609,8 +1865,57 @@ fn run_intake_chunk(shared: &Shared<'_>, round: usize, chunk: usize) {
                     },
                 )
             }
+            // Streaming intake: materialize exactly this chunk's range, feed
+            // it through the same range verifiers, and drop it again. The
+            // in-flight accounting brackets the verify so the peak gauge
+            // reflects what was actually resident at once.
+            RoundSubmissions::Stream(source) => {
+                let span = end - start;
+                let in_flight = job.stream_in_flight.fetch_add(span, Ordering::SeqCst) + span;
+                atom_obs::gauge_max("engine.intake.peak_in_flight", in_flight as u64);
+                atom_obs::count("engine.intake.streamed", span as u64);
+                let verified = source.generate((start, end)).and_then(|block| {
+                    if block.len() != span {
+                        return Err(AtomError::Malformed(format!(
+                            "submission source returned {} submissions for range \
+                             {start}..{end}",
+                            block.len()
+                        )));
+                    }
+                    match block {
+                        SubmissionBlock::Nizk(submissions) => {
+                            verify_nizk_submissions_range(setup, &submissions, start).map(
+                                |batches| ChunkIntake {
+                                    batches,
+                                    commitments: Vec::new(),
+                                },
+                            )
+                        }
+                        SubmissionBlock::Trap(submissions) => {
+                            verify_trap_submissions_range(setup, &submissions, start).map(
+                                |intake| ChunkIntake {
+                                    batches: intake.batches,
+                                    commitments: intake.commitments,
+                                },
+                            )
+                        }
+                    }
+                });
+                job.stream_in_flight.fetch_sub(span, Ordering::SeqCst);
+                verified
+            }
         }
     };
+
+    // Under a bounded window, a finishing chunk releases the next unclaimed
+    // one. This also runs for failed chunks: the release path needs every
+    // chunk's slot filled before it can diagnose the round.
+    let next = job.next_chunk.fetch_add(1, Ordering::SeqCst);
+    if next < job.chunks.len() {
+        shared
+            .sched
+            .push_task(Task::IntakeChunk { round, chunk: next });
+    }
 
     let release = {
         let mut intake = job.intake.lock();
@@ -2122,11 +2427,9 @@ fn finalize_round(shared: &Shared<'_>, round: usize) {
         let wall_clock = started.map(|at| at.elapsed()).unwrap_or_default();
         timings.wall_clock = wall_clock;
 
-        let output = match &job.submissions {
-            RoundSubmissions::Nizk(_) => finish_nizk_round(payloads, routed, timings),
-            RoundSubmissions::Trap(_) => {
-                finish_trap_round(setup, &commitments, payloads, routed, timings)
-            }
+        let output = match job.submissions.defense() {
+            Defense::Nizk => finish_nizk_round(payloads, routed, timings),
+            Defense::Trap => finish_trap_round(setup, &commitments, payloads, routed, timings),
         };
         (output, wall_clock)
     };
@@ -2436,6 +2739,135 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A [`SubmissionSource`] over a prebuilt vector that counts how many
+    /// submissions it actually materialized — the streaming tests' probe
+    /// for "the flood was never buffered" and "only a window was resident".
+    struct SlicedSource {
+        submissions: Vec<TrapSubmission>,
+        generated: AtomicUsize,
+    }
+
+    impl SlicedSource {
+        fn new(submissions: Vec<TrapSubmission>) -> Self {
+            Self {
+                submissions,
+                generated: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl SubmissionSource for SlicedSource {
+        fn total(&self) -> usize {
+            self.submissions.len()
+        }
+
+        fn defense(&self) -> Defense {
+            Defense::Trap
+        }
+
+        fn generate(&self, (start, end): (usize, usize)) -> AtomResult<SubmissionBlock> {
+            self.generated.fetch_add(end - start, Ordering::SeqCst);
+            Ok(SubmissionBlock::Trap(self.submissions[start..end].to_vec()))
+        }
+    }
+
+    fn trap_submissions_of(job: &RoundJob) -> Vec<TrapSubmission> {
+        match &job.submissions {
+            RoundSubmissions::Trap(s) => s.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn streaming_intake_is_byte_identical_across_windows() {
+        let (jobs, _) = trap_jobs(1, 8200);
+        let job = jobs.into_iter().next().unwrap();
+        let submissions = trap_submissions_of(&job);
+        let reference = Engine::with_workers(3).run_round(job.clone()).unwrap();
+
+        for (window, chunk) in [(1usize, 1usize), (1, 2), (2, 1), (3, 3), (0, 1)] {
+            let source = Arc::new(SlicedSource::new(submissions.clone()));
+            let mut streamed = job.clone();
+            streamed.submissions = RoundSubmissions::Stream(Arc::clone(&source) as _);
+            let mut options = EngineOptions::with_workers(3);
+            options.intake_chunk = chunk;
+            options.intake_window = window;
+            let report = Engine::new(options).run_round(streamed).unwrap();
+            assert_eq!(
+                report.output.plaintexts, reference.output.plaintexts,
+                "window={window} chunk={chunk}"
+            );
+            assert_eq!(report.output.per_group, reference.output.per_group);
+            assert_eq!(
+                report.output.routed_ciphertexts,
+                reference.output.routed_ciphertexts
+            );
+            assert_eq!(
+                source.generated.load(Ordering::SeqCst),
+                submissions.len(),
+                "every submission must stream through exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_window_keeps_only_a_window_resident() {
+        let (jobs, _) = trap_jobs(1, 8300);
+        let job = jobs.into_iter().next().unwrap();
+        let submissions = trap_submissions_of(&job);
+        let total = submissions.len();
+        let mut streamed = job;
+        streamed.submissions = RoundSubmissions::Stream(Arc::new(SlicedSource::new(submissions)));
+        let mut options = EngineOptions::with_workers(3);
+        options.intake_chunk = 1;
+        options.intake_window = 1;
+
+        atom_obs::reset();
+        atom_obs::set_enabled(true);
+        let report = Engine::new(options).run_round(streamed);
+        let peak = atom_obs::gauge_peak("engine.intake.peak_in_flight");
+        atom_obs::set_enabled(false);
+        atom_obs::reset();
+
+        report.unwrap();
+        let peak = peak.expect("streaming intake records its peak");
+        assert!(
+            peak >= 1 && peak < total as u64,
+            "window of 1 chunk x 1 submission must keep fewer than all \
+             {total} submissions resident, saw peak {peak}"
+        );
+    }
+
+    #[test]
+    fn intake_cap_rejects_a_flood_without_materializing_it() {
+        let (jobs, _) = trap_jobs(1, 8400);
+        let job = jobs.into_iter().next().unwrap();
+        let submissions = trap_submissions_of(&job);
+        let total = submissions.len();
+        let source = Arc::new(SlicedSource::new(submissions));
+        let mut flooded = job;
+        flooded.submissions = RoundSubmissions::Stream(Arc::clone(&source) as _);
+        let mut options = EngineOptions::with_workers(2);
+        options.intake_cap = total - 1;
+
+        let err = Engine::new(options).run_round(flooded).unwrap_err();
+        match &err {
+            AtomError::Engine { kind, reason, .. } => {
+                assert_eq!(*kind, EngineErrorKind::ProtocolAbort);
+                assert!(
+                    reason.contains("submission flood") && reason.contains("intake cap"),
+                    "diagnosis must name the flood: {reason}"
+                );
+            }
+            other => panic!("expected an engine abort, got {other:?}"),
+        }
+        assert_eq!(
+            source.generated.load(Ordering::SeqCst),
+            0,
+            "a capped flood must fail closed before materializing anything"
+        );
     }
 
     #[test]

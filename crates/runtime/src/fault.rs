@@ -128,6 +128,10 @@ impl FaultVerdict {
             // The aborting peer holds the authoritative error; convicting
             // the first implicated node is the best available attribution.
             EngineErrorKind::ProtocolAbort => FaultKind::Blamed,
+            // A blown round deadline means the peer *was* making progress —
+            // a drip-feeding slow-loris, not a corpse. Evicting it as Slow
+            // keeps the door open for a later readmission.
+            EngineErrorKind::Deadline => FaultKind::Slow,
         };
         Some(FaultVerdict {
             round,
@@ -180,6 +184,15 @@ mod tests {
         let error = engine_error(EngineErrorKind::Stall, vec![3, 5]);
         let verdict = FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).unwrap();
         assert_eq!(verdict.process, 1);
+    }
+
+    #[test]
+    fn deadline_is_slow_even_with_one_implicated_node() {
+        // Unlike a stall, a single-node deadline conviction stays `Slow`:
+        // the peer demonstrably kept sending, just not fast enough.
+        let error = engine_error(EngineErrorKind::Deadline, vec![2]);
+        let verdict = FaultVerdict::diagnose(0, &error, &OWNERS, 0, |_| Vec::new()).unwrap();
+        assert_eq!((verdict.process, verdict.kind), (1, FaultKind::Slow));
     }
 
     #[test]

@@ -125,8 +125,9 @@ pub mod wire;
 
 pub use engine::{
     new_control_sink, total_traffic, ControlSink, Engine, EngineOptions, EngineRole,
-    RoundCompleteHook, RoundDirectory, RoundJob, RoundReport, RoundSubmissions, ABORT_LABEL,
-    EVICT_LABEL, EXIT_LABEL, MIX_LABEL, REJOIN_LABEL, SETUP_LABEL, TELEMETRY_LABEL,
+    RoundCompleteHook, RoundDirectory, RoundJob, RoundReport, RoundSubmissions, SubmissionBlock,
+    SubmissionSource, ABORT_LABEL, EVICT_LABEL, EXIT_LABEL, MIX_LABEL, REJOIN_LABEL, SETUP_LABEL,
+    TELEMETRY_LABEL,
 };
 pub use fault::{FaultKind, FaultVerdict};
-pub use scenarios::{ScenarioOptions, ScenarioReport};
+pub use scenarios::{AdversaryReport, ScenarioOptions, ScenarioReport};

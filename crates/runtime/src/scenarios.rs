@@ -26,22 +26,43 @@
 //!   the rest from `setup` wire frames; the coordinator's outputs must be
 //!   byte-identical to an in-memory run with a prebuilt
 //!   [`derive_setup`] directory.
+//!
+//! The **adversary suite** attacks the same deployments and asserts both
+//! halves of the defence: the engine names the attack in its verdict, and a
+//! paired healthy control round still clears traffic (the liveness floor an
+//! [`AdversaryReport`] records):
+//!
+//! * [`submission_flood`] — a streamed flood over the intake cap must fail
+//!   closed at admission, before a single flood submission materializes.
+//! * [`slow_loris`] — a member that drips progress forever resets the stall
+//!   detector but cannot stop the round clock: the coordinator's deadline
+//!   fires and the [`FaultVerdict`] convicts the member as `Slow`.
+//! * [`equivocating_setup`] — a forged sharded-setup frame advertising a
+//!   different group key is caught by the directory cross-check, whichever
+//!   order the conflicting frames arrive in.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use atom_core::config::{AtomConfig, Defense};
-use atom_core::directory::{derive_setup, setup_round};
-use atom_core::error::{AtomError, AtomResult};
+use atom_core::directory::{derive_members, derive_setup, setup_round, RoundSetup};
+use atom_core::error::{AtomError, AtomResult, EngineErrorKind};
 use atom_core::message::{make_nizk_submission, make_trap_submission};
 use atom_core::round::RoundDriver;
-use atom_net::{LatencyModel, TcpOptions, TcpTransport};
+use atom_net::{LatencyModel, TcpOptions, TcpTransport, Transport};
 
 use atom_apps::dialing::{make_dial_submission, DialIdentity, Mailboxes};
 
-use crate::engine::{Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions};
+use crate::engine::{
+    Engine, EngineOptions, EngineRole, RoundJob, RoundReport, RoundSubmissions, SubmissionBlock,
+    SubmissionSource, SETUP_LABEL,
+};
+use crate::fault::{FaultKind, FaultVerdict};
+use crate::wire;
 
 /// Common knobs for every scenario.
 #[derive(Clone, Debug)]
@@ -61,6 +82,53 @@ impl Default for ScenarioOptions {
             seed: 7,
             latency: LatencyModel::Zero,
         }
+    }
+}
+
+impl ScenarioOptions {
+    /// Options with an explicit seed, every other knob at its default.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The scenario's deterministic RNG. Every scenario draws its setup
+    /// and submissions from this one constructor, so two scenarios handed
+    /// equal options can never silently diverge on seeding.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// The shared small-deployment config: `groups` groups of the default
+    /// test group size, 2 iterations, 32-byte messages, and a beacon seed
+    /// derived from the scenario seed. Hoisted here (rather than copied
+    /// per scenario) so a knob change reaches every scenario at once.
+    pub fn config(&self, defense: Defense, groups: usize, round: u64) -> AtomConfig {
+        let mut config = AtomConfig::test_default();
+        config.defense = defense;
+        config.num_groups = groups;
+        config.num_servers = (groups * 2).max(config.group_size);
+        config.iterations = 2;
+        config.message_len = 32;
+        config.round = round;
+        config.beacon_seed = self.seed ^ round;
+        config
+    }
+
+    /// Engine options carrying the scenario's shared knobs. Scenarios that
+    /// need more (chunking, caps, deadlines) start from this and override,
+    /// so the shared knobs stay shared.
+    pub fn engine_options(&self) -> EngineOptions {
+        let mut engine_options = EngineOptions::with_workers(self.workers);
+        engine_options.latency = self.latency;
+        engine_options
+    }
+
+    /// An engine over [`engine_options`](Self::engine_options).
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.engine_options())
     }
 }
 
@@ -106,24 +174,6 @@ impl ScenarioReport {
     }
 }
 
-fn small_config(defense: Defense, groups: usize, round: u64, seed: u64) -> AtomConfig {
-    let mut config = AtomConfig::test_default();
-    config.defense = defense;
-    config.num_groups = groups;
-    config.num_servers = (groups * 2).max(config.group_size);
-    config.iterations = 2;
-    config.message_len = 32;
-    config.round = round;
-    config.beacon_seed = seed ^ round;
-    config
-}
-
-fn engine(options: &ScenarioOptions) -> Engine {
-    let mut engine_options = EngineOptions::with_workers(options.workers);
-    engine_options.latency = options.latency;
-    Engine::new(engine_options)
-}
-
 fn collect(reports: Vec<AtomResult<RoundReport>>) -> AtomResult<Vec<RoundReport>> {
     reports.into_iter().collect()
 }
@@ -150,11 +200,11 @@ fn microblog_jobs(
     rounds: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<(Vec<RoundJob>, Vec<Vec<String>>)> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = options.rng();
     let mut jobs = Vec::with_capacity(rounds);
     let mut expected = Vec::with_capacity(rounds);
     for round in 0..rounds {
-        let config = small_config(Defense::Trap, groups, round as u64, options.seed);
+        let config = options.config(Defense::Trap, groups, round as u64);
         let setup = setup_round(&config, &mut rng)?;
         let posts: Vec<String> = (0..posts_per_round)
             .map(|i| format!("r{round} post {i}"))
@@ -197,7 +247,7 @@ pub fn microblog(
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
     let (jobs, expected) = microblog_jobs(groups, posts_per_round, rounds, options)?;
-    let reports = collect(engine(options).run_rounds(jobs))?;
+    let reports = collect(options.engine().run_rounds(jobs))?;
     for (report, want) in reports.iter().zip(&expected) {
         let got = decode_texts(report);
         if &got != want {
@@ -219,8 +269,8 @@ pub fn dialing(
     callers: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut config = small_config(Defense::Trap, groups, 0, options.seed);
+    let mut rng = options.rng();
+    let mut config = options.config(Defense::Trap, groups, 0);
     // Room for `mailbox (2B) ‖ sealed key (32B KEM + 16B tag + 32B key)`.
     config.message_len = 96;
     let setup = setup_round(&config, &mut rng)?;
@@ -245,7 +295,7 @@ pub fn dialing(
         pairs.push((caller, callee));
     }
 
-    let report = engine(options).run_round(RoundJob::new(
+    let report = options.engine().run_round(RoundJob::new(
         setup,
         RoundSubmissions::Trap(submissions),
         options.seed,
@@ -273,8 +323,8 @@ pub fn server_churn(
     messages: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut config = small_config(Defense::Trap, groups, 0, options.seed);
+    let mut rng = options.rng();
+    let mut config = options.config(Defense::Trap, groups, 0);
     config.required_honest = 2; // tolerate one failure per group
     let setup = setup_round(&config, &mut rng)?;
     let texts: Vec<String> = (0..messages).map(|i| format!("churn {i}")).collect();
@@ -300,7 +350,7 @@ pub fn server_churn(
     let mut job = RoundJob::new(setup, RoundSubmissions::Trap(submissions), options.seed);
     job.churn = vec![(1, victim)];
 
-    let report = engine(options).run_round(job)?;
+    let report = options.engine().run_round(job)?;
     let got = decode_texts(&report);
     let mut want = texts;
     want.sort();
@@ -324,8 +374,8 @@ pub fn stragglers(
     delay: Duration,
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let config = small_config(Defense::Trap, groups, 0, options.seed);
+    let mut rng = options.rng();
+    let config = options.config(Defense::Trap, groups, 0);
     let setup = setup_round(&config, &mut rng)?;
     let texts: Vec<String> = (0..messages).map(|i| format!("slow {i}")).collect();
     let submissions = texts
@@ -345,8 +395,7 @@ pub fn stragglers(
         })
         .collect::<AtomResult<Vec<_>>>()?;
 
-    let mut engine_options = EngineOptions::with_workers(options.workers);
-    engine_options.latency = options.latency;
+    let mut engine_options = options.engine_options();
     engine_options.stragglers = vec![(0, delay)];
     let report = Engine::new(engine_options).run_round(RoundJob::new(
         setup,
@@ -375,8 +424,8 @@ pub fn batched_intake(
     messages: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let config = small_config(Defense::Nizk, groups, 0, options.seed);
+    let mut rng = options.rng();
+    let config = options.config(Defense::Nizk, groups, 0);
     let setup = setup_round(&config, &mut rng)?;
     let submissions = (0..messages)
         .map(|i| {
@@ -392,8 +441,7 @@ pub fn batched_intake(
         .collect::<AtomResult<Vec<_>>>()?;
 
     let run = |intake_chunk: usize| -> AtomResult<RoundReport> {
-        let mut engine_options = EngineOptions::with_workers(options.workers);
-        engine_options.latency = options.latency;
+        let mut engine_options = options.engine_options();
         engine_options.intake_chunk = intake_chunk;
         Engine::new(engine_options).run_round(RoundJob::new(
             setup.clone(),
@@ -405,7 +453,7 @@ pub fn batched_intake(
     let single = run(usize::MAX)?;
 
     let driver = RoundDriver::new(setup.clone());
-    let mut driver_rng = StdRng::seed_from_u64(options.seed);
+    let mut driver_rng = options.rng();
     let sequential = driver.run_nizk_round(&submissions, &mut driver_rng)?;
 
     for (label, output) in [("single-task", &single.output), ("sequential", &sequential)] {
@@ -438,7 +486,7 @@ pub fn tcp_loopback(
     options: &ScenarioOptions,
 ) -> AtomResult<ScenarioReport> {
     let (jobs, _) = microblog_jobs(groups, posts_per_round, rounds, options)?;
-    let reference = collect(engine(options).run_rounds(jobs.clone()))?;
+    let reference = collect(options.engine().run_rounds(jobs.clone()))?;
     let reports = run_loopback_split(groups, jobs.clone(), jobs, options)?;
     check_against_reference(&reports, &reference, "tcp")?;
     Ok(ScenarioReport::from_reports(
@@ -463,7 +511,7 @@ pub fn sharded_loopback(
 ) -> AtomResult<ScenarioReport> {
     let (full_jobs, sharded_jobs) =
         sharded_microblog_jobs(groups, posts_per_round, rounds, options)?;
-    let reference = collect(engine(options).run_rounds(full_jobs))?;
+    let reference = collect(options.engine().run_rounds(full_jobs))?;
     // Members never run intake, so their copy of the jobs carries no
     // submissions — the same contract `atom-node --sharded` ships.
     let member_jobs: Vec<RoundJob> = sharded_jobs
@@ -501,11 +549,11 @@ fn sharded_microblog_jobs(
     rounds: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<(Vec<RoundJob>, Vec<RoundJob>)> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = options.rng();
     let mut full = Vec::with_capacity(rounds);
     let mut sharded = Vec::with_capacity(rounds);
     for round in 0..rounds {
-        let config = small_config(Defense::Trap, groups, round as u64, options.seed);
+        let config = options.config(Defense::Trap, groups, round as u64);
         let setup = derive_setup(&config)?;
         let posts: Vec<String> = (0..posts_per_round)
             .map(|i| format!("r{round} sharded post {i}"))
@@ -552,6 +600,35 @@ fn run_loopback_split(
     member_jobs: Vec<RoundJob>,
     options: &ScenarioOptions,
 ) -> AtomResult<Vec<RoundReport>> {
+    let (coordinator_results, member_results) = run_loopback_split_raw(
+        groups,
+        coordinator_jobs,
+        member_jobs,
+        options.engine_options(),
+        options.engine_options(),
+        |_| {},
+    )?;
+    member_results.into_iter().collect::<AtomResult<Vec<_>>>()?;
+    collect(coordinator_results)
+}
+
+/// Per-round results of one side of a split run, failures kept in place.
+type RawRoundResults = Vec<AtomResult<RoundReport>>;
+
+/// The raw two-instance split: like [`run_loopback_split`], but with
+/// per-side engine options (adversary scenarios slow one side down or arm
+/// the other side's deadline), an `inject` hook that may push forged wire
+/// frames through the member's transport before either engine starts, and
+/// the per-round results returned raw — a coordinator round that *fails* is
+/// the observation adversary scenarios exist to capture, not an early exit.
+fn run_loopback_split_raw(
+    groups: usize,
+    coordinator_jobs: Vec<RoundJob>,
+    member_jobs: Vec<RoundJob>,
+    coordinator_options: EngineOptions,
+    member_options: EngineOptions,
+    inject: impl FnOnce(&TcpTransport),
+) -> AtomResult<(RawRoundResults, RawRoundResults)> {
     let net_error = |what: &str, error: std::io::Error| {
         AtomError::Malformed(format!("tcp loopback scenario: {what}: {error}"))
     };
@@ -563,28 +640,26 @@ fn run_loopback_split(
         .map_err(|e| net_error("binding member", e))?;
     coordinator_net.set_peer_addr(1, member_net.local_addr().to_string());
     member_net.set_peer_addr(0, coordinator_net.local_addr().to_string());
+    inject(&member_net);
 
     let hosted_even: Vec<usize> = (0..groups).step_by(2).collect();
     let hosted_odd: Vec<usize> = (1..groups).step_by(2).collect();
-    let member_options = options.clone();
     let member_thread = std::thread::spawn(move || {
-        engine(&member_options).run_rounds_on(
+        Engine::new(member_options).run_rounds_on(
             member_jobs,
             &member_net,
             &EngineRole::member(hosted_odd),
         )
     });
-    let reports = collect(engine(options).run_rounds_on(
+    let coordinator_results = Engine::new(coordinator_options).run_rounds_on(
         coordinator_jobs,
         &coordinator_net,
         &EngineRole::coordinator(hosted_even),
-    ))?;
-    member_thread
+    );
+    let member_results = member_thread
         .join()
-        .map_err(|_| AtomError::Malformed("tcp loopback member thread panicked".into()))?
-        .into_iter()
-        .collect::<AtomResult<Vec<_>>>()?;
-    Ok(reports)
+        .map_err(|_| AtomError::Malformed("tcp loopback member thread panicked".into()))?;
+    Ok((coordinator_results, member_results))
 }
 
 /// Byte-equality check of the deterministic `RoundOutput` fields against a
@@ -614,10 +689,10 @@ pub fn defense_matrix(
     messages: usize,
     options: &ScenarioOptions,
 ) -> AtomResult<(ScenarioReport, ScenarioReport)> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = options.rng();
 
     // NIZK round.
-    let nizk_config = small_config(Defense::Nizk, groups, 0, options.seed);
+    let nizk_config = options.config(Defense::Nizk, groups, 0);
     let nizk_setup = setup_round(&nizk_config, &mut rng)?;
     let nizk_submissions = (0..messages)
         .map(|i| {
@@ -633,7 +708,7 @@ pub fn defense_matrix(
         .collect::<AtomResult<Vec<_>>>()?;
 
     // Trap round over the same texts.
-    let trap_config = small_config(Defense::Trap, groups, 1, options.seed);
+    let trap_config = options.config(Defense::Trap, groups, 1);
     let trap_setup = setup_round(&trap_config, &mut rng)?;
     let trap_submissions = (0..messages)
         .map(|i| {
@@ -650,7 +725,7 @@ pub fn defense_matrix(
         })
         .collect::<AtomResult<Vec<_>>>()?;
 
-    let reports = collect(engine(options).run_rounds(vec![
+    let reports = collect(options.engine().run_rounds(vec![
         RoundJob::new(
             nizk_setup,
             RoundSubmissions::Nizk(nizk_submissions),
@@ -679,4 +754,383 @@ pub fn defense_matrix(
         ScenarioReport::from_reports(std::slice::from_ref(&nizk), messages),
         ScenarioReport::from_reports(std::slice::from_ref(&trap), messages),
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Adversary suite
+// ---------------------------------------------------------------------------
+
+/// What an adversary scenario observed: the engine's named verdict on the
+/// attacked round, plus a healthy control round under the *same* defensive
+/// knobs proving legitimate traffic still flows — the liveness floor.
+#[derive(Clone, Debug)]
+pub struct AdversaryReport {
+    /// Scenario name (`"submission_flood"`, `"slow_loris"`,
+    /// `"equivocating_setup"`).
+    pub scenario: &'static str,
+    /// The engine's diagnosis of the attacked round, verbatim.
+    pub verdict: String,
+    /// Messages submitted in the healthy control round.
+    pub submitted: usize,
+    /// Messages delivered by the healthy control round.
+    pub delivered: usize,
+    /// Wall-clock duration of the healthy control round.
+    pub elapsed: Duration,
+}
+
+impl AdversaryReport {
+    /// Control-round throughput in messages per second — the number a
+    /// liveness floor is asserted against.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.delivered as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs the healthy control round an adversary scenario pairs with its
+/// attack: the same deployment shape and the same defensive engine knobs,
+/// minus the adversary. Any lost message fails the scenario — an "attack
+/// repelled" verdict is worthless if the defence also repels users.
+fn control_round(
+    scenario: &'static str,
+    verdict: String,
+    groups: usize,
+    messages: usize,
+    engine_options: EngineOptions,
+    options: &ScenarioOptions,
+) -> AtomResult<AdversaryReport> {
+    let mut rng = options.rng();
+    let config = options.config(Defense::Trap, groups, 1);
+    let setup = setup_round(&config, &mut rng)?;
+    let submissions = (0..messages)
+        .map(|i| {
+            make_trap_submission(
+                i % groups,
+                &setup.groups[i % groups].public_key,
+                &setup.trustees.public_key,
+                config.round,
+                format!("ctrl {i}").as_bytes(),
+                config.message_len,
+                &mut rng,
+            )
+            .map(|(submission, _)| submission)
+        })
+        .collect::<AtomResult<Vec<_>>>()?;
+    let started = Instant::now();
+    let report = Engine::new(engine_options).run_round(RoundJob::new(
+        setup,
+        RoundSubmissions::Trap(submissions),
+        options.seed,
+    ))?;
+    let elapsed = started.elapsed();
+    let delivered = report.output.plaintexts.len();
+    if delivered != messages {
+        return Err(AtomError::Malformed(format!(
+            "{scenario} control round lost messages: delivered {delivered} of {messages}"
+        )));
+    }
+    Ok(AdversaryReport {
+        scenario,
+        verdict,
+        submitted: messages,
+        delivered,
+        elapsed,
+    })
+}
+
+/// A streaming submission source that *counts* every generation request.
+/// The flood scenario uses the count as its no-buffering proof: a round
+/// rejected at admission must have generated exactly zero submissions.
+struct FloodSource {
+    setup: Arc<RoundSetup>,
+    total: usize,
+    seed: u64,
+    generated: AtomicUsize,
+}
+
+impl SubmissionSource for FloodSource {
+    fn total(&self) -> usize {
+        self.total
+    }
+
+    fn defense(&self) -> Defense {
+        Defense::Trap
+    }
+
+    fn generate(&self, range: (usize, usize)) -> AtomResult<SubmissionBlock> {
+        let (start, end) = range;
+        self.generated.fetch_add(end - start, Ordering::SeqCst);
+        let groups = self.setup.config.num_groups;
+        let mut block = Vec::with_capacity(end - start);
+        for index in start..end {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ index as u64);
+            let gid = index % groups;
+            let (submission, _) = make_trap_submission(
+                gid,
+                &self.setup.groups[gid].public_key,
+                &self.setup.trustees.public_key,
+                self.setup.config.round,
+                format!("flood {index}").as_bytes(),
+                self.setup.config.message_len,
+                &mut rng,
+            )?;
+            block.push(submission);
+        }
+        Ok(SubmissionBlock::Trap(block))
+    }
+}
+
+/// Submission flood vs. the intake cap: a streamed round offering `flood`
+/// submissions against a cap of `cap` must fail closed at admission — a
+/// [`ProtocolAbort`](EngineErrorKind::ProtocolAbort) naming the flood and
+/// the cap, with **zero** submissions generated (the engine never buffers
+/// what it already knows it will reject). The paired control round pushes
+/// `cap` legitimate messages through the same capped engine.
+pub fn submission_flood(
+    groups: usize,
+    flood: usize,
+    cap: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<AdversaryReport> {
+    if flood <= cap {
+        return Err(AtomError::Config(format!(
+            "submission_flood wants flood > cap, got {flood} <= {cap}"
+        )));
+    }
+    let mut rng = options.rng();
+    let config = options.config(Defense::Trap, groups, 0);
+    let setup = setup_round(&config, &mut rng)?;
+    let source = Arc::new(FloodSource {
+        setup: Arc::new(setup.clone()),
+        total: flood,
+        seed: options.seed,
+        generated: AtomicUsize::new(0),
+    });
+    let mut engine_options = options.engine_options();
+    engine_options.intake_cap = cap;
+
+    let outcome = Engine::new(engine_options.clone()).run_round(RoundJob::new(
+        setup,
+        RoundSubmissions::Stream(source.clone() as Arc<dyn SubmissionSource>),
+        options.seed,
+    ));
+    let verdict = match outcome {
+        Ok(_) => {
+            return Err(AtomError::Malformed(format!(
+                "flood of {flood} was accepted despite the intake cap of {cap}"
+            )))
+        }
+        Err(AtomError::Engine {
+            kind: EngineErrorKind::ProtocolAbort,
+            reason,
+            ..
+        }) => reason,
+        Err(other) => {
+            return Err(AtomError::Malformed(format!(
+                "flood round failed for the wrong reason: {other:?}"
+            )))
+        }
+    };
+    if !verdict.contains("submission flood") || !verdict.contains("intake cap") {
+        return Err(AtomError::Malformed(format!(
+            "flood verdict does not name the attack: {verdict}"
+        )));
+    }
+    let generated = source.generated.load(Ordering::SeqCst);
+    if generated != 0 {
+        return Err(AtomError::Malformed(format!(
+            "the engine materialized {generated} flood submissions before failing closed"
+        )));
+    }
+    control_round(
+        "submission_flood",
+        verdict,
+        groups,
+        cap,
+        engine_options,
+        options,
+    )
+}
+
+/// Slow-loris member: the member instance of a TCP loopback split delays
+/// every mixing iteration of its hosted (odd) groups by `drip` — always
+/// making *some* progress, so the stall detector never fires — while the
+/// coordinator arms a `deadline` round clock. The round must die with a
+/// [`Deadline`](EngineErrorKind::Deadline) verdict implicating the member's
+/// groups, and [`FaultVerdict::diagnose`] must convict the member process
+/// as [`Slow`](FaultKind::Slow) — the verdict PR 7's recovery loop turns
+/// into an eviction. The control round re-runs drip-free under a deadline.
+pub fn slow_loris(
+    groups: usize,
+    posts: usize,
+    drip: Duration,
+    deadline: Duration,
+    options: &ScenarioOptions,
+) -> AtomResult<AdversaryReport> {
+    if groups < 2 {
+        return Err(AtomError::Config(
+            "slow_loris wants at least one member-hosted (odd) group".into(),
+        ));
+    }
+    let (jobs, _) = microblog_jobs(groups, posts, 1, options)?;
+    let mut member_options = options.engine_options();
+    member_options.stragglers = (1..groups).step_by(2).map(|gid| (gid, drip)).collect();
+    let mut coordinator_options = options.engine_options();
+    coordinator_options.round_deadline = deadline;
+
+    let (coordinator_results, _member_results) = run_loopback_split_raw(
+        groups,
+        jobs.clone(),
+        jobs,
+        coordinator_options,
+        member_options,
+        |_| {},
+    )?;
+    let error = match coordinator_results.into_iter().next() {
+        Some(Err(error)) => error,
+        Some(Ok(_)) => {
+            return Err(AtomError::Malformed(format!(
+                "slow-loris round beat its {deadline:?} deadline despite a {drip:?} drip; \
+                 widen the gap between drip and deadline"
+            )))
+        }
+        None => {
+            return Err(AtomError::Malformed(
+                "slow-loris run produced no round".into(),
+            ))
+        }
+    };
+    let AtomError::Engine { kind, reason, .. } = &error else {
+        return Err(AtomError::Malformed(format!(
+            "slow-loris round failed outside the engine: {error:?}"
+        )));
+    };
+    if *kind != EngineErrorKind::Deadline {
+        return Err(AtomError::Malformed(format!(
+            "slow-loris round died of {kind}, not the deadline: {reason}"
+        )));
+    }
+    let verdict = reason.clone();
+
+    // The coordinator's ownership map: even gids (and the orchestrator,
+    // node `groups`) live on process 0, odd gids on the loris member.
+    let mut owners: Vec<usize> = (0..groups).map(|gid| gid % 2).collect();
+    owners.push(0);
+    let conviction =
+        FaultVerdict::diagnose(0, &error, &owners, 0, |_| Vec::new()).ok_or_else(|| {
+            AtomError::Malformed(format!(
+                "deadline verdict implicated nobody diagnosable: {verdict}"
+            ))
+        })?;
+    if conviction.process != 1 || conviction.kind != FaultKind::Slow {
+        return Err(AtomError::Malformed(format!(
+            "slow-loris conviction went to process {} as {}, want process 1 as slow",
+            conviction.process, conviction.kind
+        )));
+    }
+    // Drip-free, the same deployment must clear a deadline of the same
+    // order — armed with headroom so a loaded CI host cannot flake it.
+    let mut control_options = options.engine_options();
+    control_options.round_deadline = deadline.saturating_mul(100);
+    control_round(
+        "slow_loris",
+        verdict,
+        groups,
+        posts,
+        control_options,
+        options,
+    )
+}
+
+/// Equivocating setup frames: before a sharded loopback round starts, the
+/// adversary injects a forged `setup` wire frame for a member-hosted group
+/// advertising a *different* group key (here: another group's genuine key,
+/// so every field except the key cross-checks clean). Whichever order the
+/// forged and genuine frames arrive in, the coordinator's directory
+/// cross-check must kill the round naming the conflicting group — it must
+/// never pick one frame and mix under an attacker-chosen key.
+pub fn equivocating_setup(
+    groups: usize,
+    posts: usize,
+    options: &ScenarioOptions,
+) -> AtomResult<AdversaryReport> {
+    if groups < 2 {
+        return Err(AtomError::Config(
+            "equivocating_setup wants at least one member-hosted (odd) group".into(),
+        ));
+    }
+    let (_, sharded_jobs) = sharded_microblog_jobs(groups, posts, 1, options)?;
+    let member_jobs: Vec<RoundJob> = sharded_jobs
+        .iter()
+        .map(|job| {
+            RoundJob::sharded(
+                job.config().clone(),
+                RoundSubmissions::Trap(Vec::new()),
+                job.seed,
+            )
+        })
+        .collect();
+    let config = sharded_jobs[0].config().clone();
+    // The equivocator tells two stories about group 1's key. The forged
+    // story passes every public cross-check except the key: membership and
+    // threshold are the genuine derived values, and the key is a *valid*
+    // group element — group 0's — that simply is not group 1's. The second
+    // story carries the genuine key, the one the member must also use to
+    // actually participate. Both are injected back-to-back on the same
+    // ordered connection, so the coordinator's cross-check meets the
+    // conflict deterministically — before intake can misdiagnose the wrong
+    // key as a wave of bad user proofs.
+    let honest = derive_setup(&config)?;
+    let story = |public_key| {
+        wire::encode_setup(&wire::SetupFrame {
+            round: 0,
+            gid: 1,
+            members: derive_members(&config, 1).unwrap_or_default(),
+            threshold: config.group_threshold(),
+            public_key,
+        })
+    };
+    let forged = story(honest.groups[0].public_key);
+    let genuine = story(honest.groups[1].public_key);
+
+    let (coordinator_results, _member_results) = run_loopback_split_raw(
+        groups,
+        sharded_jobs,
+        member_jobs,
+        options.engine_options(),
+        options.engine_options(),
+        move |member_net| {
+            let _ = member_net.send(1, 0, SETUP_LABEL.into(), forged);
+            let _ = member_net.send(1, 0, SETUP_LABEL.into(), genuine);
+        },
+    )?;
+    let error = match coordinator_results.into_iter().next() {
+        Some(Err(error)) => error,
+        Some(Ok(_)) => {
+            return Err(AtomError::Malformed(
+                "the coordinator mixed under an equivocated setup frame".into(),
+            ))
+        }
+        None => {
+            return Err(AtomError::Malformed(
+                "equivocation run produced no round".into(),
+            ))
+        }
+    };
+    let verdict = format!("{error}");
+    if !verdict.contains("conflicting setup frames for group 1") {
+        return Err(AtomError::Malformed(format!(
+            "equivocation verdict does not name the conflict: {verdict}"
+        )));
+    }
+    control_round(
+        "equivocating_setup",
+        verdict,
+        groups,
+        posts,
+        options.engine_options(),
+        options,
+    )
 }

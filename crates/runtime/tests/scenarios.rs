@@ -68,6 +68,56 @@ fn sharded_loopback_matches_the_monolithic_derivation_byte_for_byte() {
 }
 
 #[test]
+fn submission_flood_fails_closed_and_control_traffic_flows() {
+    let report = scenarios::submission_flood(3, 5_000, 6, &options(41)).unwrap();
+    assert_eq!(report.scenario, "submission_flood");
+    assert!(
+        report.verdict.contains("submission flood"),
+        "{}",
+        report.verdict
+    );
+    assert_eq!(report.delivered, 6);
+    // Liveness floor: the capped engine still clears legitimate traffic at
+    // a usable rate (a deliberately conservative bar for loaded CI hosts).
+    assert!(
+        report.msgs_per_sec() >= 1.0,
+        "control throughput collapsed: {:.2} msg/s",
+        report.msgs_per_sec()
+    );
+}
+
+#[test]
+fn slow_loris_member_is_convicted_as_slow() {
+    let report = scenarios::slow_loris(
+        3,
+        4,
+        Duration::from_millis(600),
+        Duration::from_millis(150),
+        &options(43),
+    )
+    .unwrap();
+    assert_eq!(report.scenario, "slow_loris");
+    assert!(report.verdict.contains("deadline"), "{}", report.verdict);
+    assert_eq!(report.delivered, 4);
+    assert!(report.msgs_per_sec() >= 1.0);
+}
+
+#[test]
+fn equivocating_setup_frames_kill_the_round() {
+    let report = scenarios::equivocating_setup(3, 4, &options(47)).unwrap();
+    assert_eq!(report.scenario, "equivocating_setup");
+    assert!(
+        report
+            .verdict
+            .contains("conflicting setup frames for group 1"),
+        "{}",
+        report.verdict
+    );
+    assert_eq!(report.delivered, 4);
+    assert!(report.msgs_per_sec() >= 1.0);
+}
+
+#[test]
 fn both_defense_variants_deliver_the_same_workload() {
     let (nizk, trap) = scenarios::defense_matrix(2, 3, &options(23)).unwrap();
     assert_eq!(nizk.delivered, 3);

@@ -1,0 +1,521 @@
+//! Deterministic traffic models for million-user Atom deployments.
+//!
+//! The paper's claim is horizontal scaling of strong anonymity to millions
+//! of users; exercising that claim needs workloads *shaped* like real
+//! traffic — Zipf-distributed microblog fan-in, diurnal load curves,
+//! dialing bursts, mixed trap/NIZK deployments — at sizes that must never
+//! be materialized in one `Vec`. Every generator here is a pure function
+//! of `(seed, index)`: submission `i` is derived from its own
+//! [`StdRng`] seeded by a splitmix64 hash of the workload seed and `i`, so
+//! any index range can be generated independently and
+//! [`WorkloadSource::generate`] yields byte-identical streams whatever the
+//! chunking or [window](atom_runtime::EngineOptions::intake_window) the
+//! engine pulls it through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use atom_core::config::Defense;
+use atom_core::directory::RoundSetup;
+use atom_core::error::{AtomError, AtomResult};
+use atom_core::message::{make_nizk_submission, make_trap_submission};
+use atom_runtime::{RoundSubmissions, SubmissionBlock, SubmissionSource};
+
+/// Sebastiano Vigna's splitmix64 finalizer: the standard cheap bijection
+/// for turning a counter into an independent-looking 64-bit seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of submission `index` under workload seed `seed`. Mixing
+/// the index in *before* the splitmix finalizer keeps adjacent indices
+/// statistically unrelated, which is what lets `generate(a..b)` and
+/// `generate(b..c)` concatenate into exactly `generate(a..c)`.
+pub fn index_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// The per-submission RNG: every random choice of submission `index`
+/// (author, entry group, encryption randomness, trap nonce) draws from
+/// this stream and nothing else.
+pub fn index_rng(seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(index_seed(seed, index))
+}
+
+/// A uniform draw in `[0, 1)` from one `u64` (53 mantissa bits).
+fn unit_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A Zipf(`exponent`) sampler over ranks `0..ranks` via its cumulative
+/// distribution: rank `r` has weight `1/(r+1)^exponent`. Microblog fan-in
+/// is the canonical use — a handful of prolific authors produce most
+/// posts, with a long tail of occasional ones.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `ranks` ranks with the given exponent. Panics on
+    /// zero ranks or a non-finite exponent.
+    pub fn new(ranks: usize, exponent: f64) -> Self {
+        assert!(ranks > 0, "a Zipf law needs at least one rank");
+        assert!(exponent.is_finite(), "non-finite Zipf exponent");
+        let mut cdf = Vec::with_capacity(ranks);
+        let mut acc = 0.0;
+        for rank in 0..ranks {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for slot in &mut cdf {
+            *slot /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The rank a uniform `u ∈ [0, 1)` maps to.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf
+            .partition_point(|&cum| cum <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of `rank`.
+    pub fn share(&self, rank: usize) -> f64 {
+        let below = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - below
+    }
+}
+
+/// A 24-bucket diurnal load curve: relative traffic weight per hour of
+/// day, used to spread a day's submissions over a round schedule the way
+/// real load ebbs and flows instead of uniformly.
+#[derive(Clone, Debug)]
+pub struct DiurnalCurve {
+    weights: [f64; 24],
+}
+
+impl DiurnalCurve {
+    /// A curve from explicit per-hour weights. Panics unless every weight
+    /// is positive and finite.
+    pub fn new(weights: [f64; 24]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "diurnal weights must be positive"
+        );
+        Self { weights }
+    }
+
+    /// The classic single-peak shape: a quiet small-hours trough, a ramp
+    /// through the morning, and an evening peak — a raised cosine with its
+    /// minimum at 04:00.
+    pub fn standard() -> Self {
+        let mut weights = [0.0; 24];
+        for (hour, slot) in weights.iter_mut().enumerate() {
+            let phase = (hour as f64 - 4.0) / 24.0 * std::f64::consts::TAU;
+            *slot = 1.0 - 0.8 * phase.cos();
+        }
+        Self::new(weights)
+    }
+
+    /// The relative weight of `hour` (mod 24).
+    pub fn weight(&self, hour: usize) -> f64 {
+        self.weights[hour % 24]
+    }
+
+    /// Spreads `total` submissions over `rounds` rounds proportional to
+    /// the curve (round `r` maps to hour `r * 24 / rounds`), with
+    /// largest-remainder rounding so the counts sum to exactly `total`.
+    pub fn round_counts(&self, rounds: usize, total: usize) -> Vec<usize> {
+        if rounds == 0 {
+            return Vec::new();
+        }
+        let hour_weights: Vec<f64> = (0..rounds)
+            .map(|round| self.weight(round * 24 / rounds))
+            .collect();
+        let sum: f64 = hour_weights.iter().sum();
+        let mut counts = Vec::with_capacity(rounds);
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(rounds);
+        let mut assigned = 0usize;
+        for (round, weight) in hour_weights.iter().enumerate() {
+            let exact = total as f64 * weight / sum;
+            let floor = exact.floor() as usize;
+            assigned += floor;
+            counts.push(floor);
+            remainders.push((round, exact - floor as f64));
+        }
+        // Largest remainders (ties to the earlier round) soak up the slack.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for &(round, _) in remainders.iter().take(total - assigned) {
+            counts[round] += 1;
+        }
+        counts
+    }
+}
+
+/// Per-round submission counts for a dialing workload with periodic
+/// bursts: every round offers `base` dials, and every `burst_every`-th
+/// round (starting at the first) multiplies that by `burst_scale` — the
+/// "everyone calls at the top of the hour" shape.
+pub fn dialing_burst_counts(
+    rounds: usize,
+    base: usize,
+    burst_every: usize,
+    burst_scale: usize,
+) -> Vec<usize> {
+    let period = burst_every.max(1);
+    (0..rounds)
+        .map(|round| {
+            if round % period == 0 {
+                base * burst_scale.max(1)
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// What the submissions of one workload round look like.
+#[derive(Clone, Debug)]
+pub enum TrafficPattern {
+    /// Microblog fan-in: the author of each post is drawn from a
+    /// Zipf(`exponent`) law over `users` users.
+    ZipfMicroblog {
+        /// User population size.
+        users: usize,
+        /// Zipf exponent (≈1.0 for classic microblog fan-in).
+        exponent: f64,
+    },
+    /// Dialing: each submission is a caller→callee invitation with both
+    /// endpoints uniform over `users` users.
+    Dialing {
+        /// User population size.
+        users: usize,
+    },
+}
+
+/// One round's workload: a traffic pattern, a protocol variant, a size
+/// and a seed. Equal specs (against equal directories) generate
+/// byte-identical streams.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Shape of the submission payloads.
+    pub pattern: TrafficPattern,
+    /// Protocol variant the submissions are built for.
+    pub defense: Defense,
+    /// Submissions the round offers.
+    pub submissions: usize,
+    /// Seed of every random choice in the stream.
+    pub seed: u64,
+}
+
+/// A deterministic, range-addressable stream of submissions for one round
+/// (the [`SubmissionSource`] the engine's streaming intake pulls from).
+/// Holds the round's directory for the group/trustee keys submissions
+/// encrypt to.
+pub struct WorkloadSource {
+    setup: Arc<RoundSetup>,
+    spec: WorkloadSpec,
+    zipf: Option<Zipf>,
+}
+
+impl WorkloadSource {
+    /// A stream of `spec` submissions against the `setup` directory.
+    pub fn new(setup: Arc<RoundSetup>, spec: WorkloadSpec) -> AtomResult<Self> {
+        let zipf = match &spec.pattern {
+            TrafficPattern::ZipfMicroblog { users, exponent } => {
+                if *users == 0 {
+                    return Err(AtomError::Config(
+                        "a Zipf microblog workload needs at least one user".into(),
+                    ));
+                }
+                Some(Zipf::new(*users, *exponent))
+            }
+            TrafficPattern::Dialing { users } => {
+                if *users == 0 {
+                    return Err(AtomError::Config(
+                        "a dialing workload needs at least one user".into(),
+                    ));
+                }
+                None
+            }
+        };
+        Ok(Self { setup, spec, zipf })
+    }
+
+    /// The payload text of submission `index` — pattern-shaped, and short
+    /// enough for any test-sized `message_len`.
+    pub fn text_at(&self, index: usize) -> String {
+        let mut rng = index_rng(self.spec.seed, index as u64);
+        // First draw: entry group (must match generate()'s draw order).
+        let gid = (rng.next_u64() % self.setup.config.num_groups as u64) as usize;
+        let _ = gid;
+        match &self.spec.pattern {
+            TrafficPattern::ZipfMicroblog { .. } => {
+                let author = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf sampler exists for microblog patterns")
+                    .sample(unit_f64(rng.next_u64()));
+                format!("u{author} p{index}")
+            }
+            TrafficPattern::Dialing { users } => {
+                let caller = rng.next_u64() % *users as u64;
+                let callee = rng.next_u64() % *users as u64;
+                format!("dial {caller}>{callee} #{index}")
+            }
+        }
+    }
+
+    /// The entry group of submission `index`.
+    pub fn entry_group_at(&self, index: usize) -> usize {
+        let mut rng = index_rng(self.spec.seed, index as u64);
+        (rng.next_u64() % self.setup.config.num_groups as u64) as usize
+    }
+
+    /// The author rank of submission `index` (microblog patterns only).
+    pub fn author_at(&self, index: usize) -> Option<usize> {
+        self.zipf.as_ref().map(|zipf| {
+            let mut rng = index_rng(self.spec.seed, index as u64);
+            let _gid = rng.next_u64();
+            zipf.sample(unit_f64(rng.next_u64()))
+        })
+    }
+
+    /// Materializes the whole stream as engine-ready submissions — the
+    /// equivalence baseline the streaming path is byte-compared against.
+    pub fn materialize(&self) -> AtomResult<RoundSubmissions> {
+        Ok(match self.generate((0, self.spec.submissions))? {
+            SubmissionBlock::Nizk(subs) => RoundSubmissions::Nizk(subs),
+            SubmissionBlock::Trap(subs) => RoundSubmissions::Trap(subs),
+        })
+    }
+}
+
+impl SubmissionSource for WorkloadSource {
+    fn total(&self) -> usize {
+        self.spec.submissions
+    }
+
+    fn defense(&self) -> Defense {
+        self.spec.defense
+    }
+
+    fn generate(&self, (start, end): (usize, usize)) -> AtomResult<SubmissionBlock> {
+        let config = &self.setup.config;
+        match self.spec.defense {
+            Defense::Nizk => {
+                let mut block = Vec::with_capacity(end - start);
+                for index in start..end {
+                    let mut rng = index_rng(self.spec.seed, index as u64);
+                    let gid = (rng.next_u64() % config.num_groups as u64) as usize;
+                    let text = self.text_at(index);
+                    let (submission, _receipt) = make_nizk_submission(
+                        gid,
+                        &self.setup.groups[gid].public_key,
+                        text.as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )?;
+                    block.push(submission);
+                }
+                Ok(SubmissionBlock::Nizk(block))
+            }
+            Defense::Trap => {
+                let mut block = Vec::with_capacity(end - start);
+                for index in start..end {
+                    let mut rng = index_rng(self.spec.seed, index as u64);
+                    let gid = (rng.next_u64() % config.num_groups as u64) as usize;
+                    let text = self.text_at(index);
+                    let (submission, _receipt) = make_trap_submission(
+                        gid,
+                        &self.setup.groups[gid].public_key,
+                        &self.setup.trustees.public_key,
+                        config.round,
+                        text.as_bytes(),
+                        config.message_len,
+                        &mut rng,
+                    )?;
+                    block.push(submission);
+                }
+                Ok(SubmissionBlock::Trap(block))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_core::config::AtomConfig;
+    use atom_core::directory::derive_setup;
+
+    fn test_setup(defense: Defense, groups: usize, seed: u64) -> Arc<RoundSetup> {
+        let mut config = AtomConfig::test_default();
+        config.defense = defense;
+        config.num_groups = groups;
+        config.num_servers = (groups * 2).max(config.group_size);
+        config.iterations = 2;
+        config.message_len = 32;
+        config.beacon_seed = seed;
+        Arc::new(derive_setup(&config).unwrap())
+    }
+
+    fn microblog_source(defense: Defense, submissions: usize, seed: u64) -> WorkloadSource {
+        WorkloadSource::new(
+            test_setup(defense, 3, seed ^ 0xD1),
+            WorkloadSpec {
+                pattern: TrafficPattern::ZipfMicroblog {
+                    users: 100,
+                    exponent: 1.1,
+                },
+                defense,
+                submissions,
+                seed,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_seed_means_identical_stream_across_runs() {
+        let a = microblog_source(Defense::Nizk, 12, 0x5EED);
+        let b = microblog_source(Defense::Nizk, 12, 0x5EED);
+        let (SubmissionBlock::Nizk(left), SubmissionBlock::Nizk(right)) =
+            (a.generate((0, 12)).unwrap(), b.generate((0, 12)).unwrap())
+        else {
+            panic!("nizk spec must yield nizk blocks");
+        };
+        assert_eq!(left, right);
+
+        // A different seed must not reproduce the stream.
+        let c = microblog_source(Defense::Nizk, 12, 0x5EEE);
+        let SubmissionBlock::Nizk(other) = c.generate((0, 12)).unwrap() else {
+            panic!("nizk spec must yield nizk blocks");
+        };
+        assert_ne!(left, other);
+    }
+
+    #[test]
+    fn stream_is_identical_across_window_sizes() {
+        // generate(0..n) must equal the concatenation of any partition of
+        // 0..n — the property the engine's windowed intake stands on.
+        let source = microblog_source(Defense::Trap, 13, 0xA11);
+        let SubmissionBlock::Trap(whole) = source.generate((0, 13)).unwrap() else {
+            panic!("trap spec must yield trap blocks");
+        };
+        for cuts in [
+            vec![0, 13],
+            vec![0, 1, 13],
+            vec![0, 4, 8, 13],
+            vec![0, 5, 5, 13],
+        ] {
+            let mut stitched = Vec::new();
+            for pair in cuts.windows(2) {
+                let SubmissionBlock::Trap(part) = source.generate((pair[0], pair[1])).unwrap()
+                else {
+                    panic!("trap spec must yield trap blocks");
+                };
+                stitched.extend(part);
+            }
+            assert_eq!(stitched, whole, "partition {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_share_is_within_tolerance() {
+        let zipf = Zipf::new(50, 1.0);
+        let samples = 20_000usize;
+        let mut rank_one = 0usize;
+        for i in 0..samples {
+            if zipf.sample(unit_f64(splitmix64(0xBEEF ^ i as u64))) == 0 {
+                rank_one += 1;
+            }
+        }
+        let expected = zipf.share(0);
+        let observed = rank_one as f64 / samples as f64;
+        assert!(
+            (observed - expected).abs() < 0.15 * expected,
+            "rank-1 share {observed:.4} strays from the law's {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn zipf_bucket_counts_decrease_monotonically() {
+        // Bucket the empirical counts of rank decades: a Zipf law's decade
+        // masses must be non-increasing.
+        let zipf = Zipf::new(100, 1.1);
+        let mut buckets = [0usize; 10];
+        for i in 0..50_000u64 {
+            buckets[zipf.sample(unit_f64(splitmix64(0xCAFE ^ i))) / 10] += 1;
+        }
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[0] >= pair[1],
+                "bucket counts must be monotone, got {buckets:?}"
+            );
+        }
+        assert!(buckets[0] > buckets[9] * 5, "no fan-in skew: {buckets:?}");
+    }
+
+    #[test]
+    fn diurnal_counts_sum_exactly_and_follow_the_curve() {
+        let curve = DiurnalCurve::standard();
+        let counts = curve.round_counts(24, 100_003);
+        assert_eq!(counts.iter().sum::<usize>(), 100_003);
+        // The 04:00 trough must carry less than the evening peak.
+        let trough = counts[4];
+        let peak = *counts.iter().max().unwrap();
+        assert!(
+            trough * 2 < peak,
+            "diurnal shape lost: trough {trough} vs peak {peak}"
+        );
+        // Counts rise monotonically from the trough to the peak hour.
+        let peak_at = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        for hour in 4..peak_at {
+            assert!(
+                counts[hour] <= counts[hour + 1],
+                "ramp must be monotone at hour {hour}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dialing_bursts_scale_the_burst_rounds_only() {
+        let counts = dialing_burst_counts(7, 10, 3, 5);
+        assert_eq!(counts, vec![50, 10, 10, 50, 10, 10, 50]);
+    }
+
+    #[test]
+    fn mixed_deployments_generate_both_variants() {
+        let trap = microblog_source(Defense::Trap, 3, 0x77);
+        let nizk = microblog_source(Defense::Nizk, 3, 0x77);
+        assert!(matches!(
+            trap.generate((0, 3)).unwrap(),
+            SubmissionBlock::Trap(_)
+        ));
+        assert!(matches!(
+            nizk.generate((0, 3)).unwrap(),
+            SubmissionBlock::Nizk(_)
+        ));
+        // Same seed, same pattern: the payload *texts* agree across
+        // variants even though the ciphertexts differ.
+        assert_eq!(trap.text_at(2), nizk.text_at(2));
+    }
+}
