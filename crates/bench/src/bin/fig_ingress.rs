@@ -1,0 +1,30 @@
+//! Renders the recorded ingress baseline — the concurrent client swarm's
+//! admission throughput and latency through the event-driven ingress
+//! tier, the socket-vs-materialized equivalence verdict, and the flood
+//! phase's shed accounting.
+//!
+//! Reads `BENCH_ingress.json` (path overridable as the first argument).
+//! Regenerate the baseline with:
+//!
+//! ```text
+//! cargo run --release -p atom-bench --bin ingress -- \
+//!     --clients 1200 --out BENCH_ingress.json
+//! ```
+//!
+//! Schema and units: `docs/benchmarks.md`.
+
+use atom_bench::ingress::{print_fig_ingress, IngressBaseline};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingress.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "read {path}: {error} — regenerate with `cargo run --release -p atom-bench \
+             --bin ingress -- --clients 1200 --out BENCH_ingress.json`"
+        )
+    });
+    let baseline = IngressBaseline::parse(&json).unwrap_or_else(|error| panic!("{path}: {error}"));
+    print_fig_ingress(&baseline);
+}

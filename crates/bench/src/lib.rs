@@ -18,6 +18,7 @@
 pub mod experiments;
 pub mod fixtures;
 pub mod heal;
+pub mod ingress;
 pub mod netbench;
 pub mod recovery;
 pub mod scale;

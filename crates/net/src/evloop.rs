@@ -1,0 +1,867 @@
+//! Single-threaded, event-driven client transport: a hand-rolled
+//! readiness loop multiplexing thousands of connections.
+//!
+//! The server-to-server backend ([`crate::tcp`]) spends one blocking
+//! reader thread per peer — fine for ≤ 8 server processes, a wall for
+//! client fan-in where *millions* of users must reach the coordinator
+//! (conf. SOSP'17 §6: Atom's horizontal-scaling claim is about exactly
+//! this edge). [`EventLoop`] is the poll-based alternative the roadmap
+//! calls for: one listener, non-blocking accept, per-connection read and
+//! write buffers, and registered write interest — all driven by a single
+//! thread calling [`EventLoop::poll`].
+//!
+//! The vendored dependency set has no `mio` and the crate forbids
+//! `unsafe`, so there is no way to reach `poll(2)`/`epoll(7)` directly.
+//! Readiness is therefore discovered by a *level-triggered scan*: every
+//! socket is switched to non-blocking mode at accept time, each `poll`
+//! pass attempts the reads and writes the registered interest set says
+//! are wanted, and `WouldBlock` simply moves on to the next connection.
+//! `std::os::fd::AsRawFd` supplies the stable kernel identity that seeds
+//! each [`ConnId`]. The scan is O(connections) per pass, which is the
+//! same asymptotic cost `poll(2)` pays; callers are expected to sleep
+//! briefly (≤ 1 ms) whenever a pass reports no progress so an idle loop
+//! does not spin a core.
+//!
+//! ## Client frame layout
+//!
+//! Client connections speak a deliberately smaller framing than the
+//! server mesh (no node addressing — a client talks only to the process
+//! it dialed). All integers little-endian:
+//!
+//! ```text
+//! magic       u32  = 0x434F5441 ("ATOC")
+//! version     u8   = 1
+//! payload_len u32  (bounded by EvloopOptions::max_frame before use)
+//! payload     [u8; payload_len]
+//! ```
+//!
+//! The header is this module's validation boundary: bad magic, bad
+//! version or an oversized length claim closes the connection before a
+//! single byte of payload is buffered beyond what already arrived. The
+//! payload stays opaque — protocol validation of untrusted bytes belongs
+//! to `atom_runtime::wire`.
+//!
+//! ## Conviction of slow and unresponsive clients
+//!
+//! Two timers protect the loop from adversarial clients:
+//!
+//! * **Idle timeout** — measured from the last *completed frame* (or the
+//!   accept), not the last byte. A slow-drip client feeding one byte per
+//!   tick keeps a byte-activity timer alive forever; keying on frame
+//!   completion convicts it after [`EvloopOptions::idle_timeout`].
+//! * **Write backpressure** — [`EventLoop::send`] buffers at most
+//!   [`EvloopOptions::max_write_buffer`] unflushed bytes per connection.
+//!   A client that stops draining its socket is closed rather than
+//!   allowed to grow the buffer without bound.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// Magic leading every client frame: "ATOC" in little-endian byte order
+/// (deliberately distinct from the server-mesh magic `"ATOM"` so a client
+/// dialing a mesh port — or vice versa — is rejected on the first frame).
+pub const CLIENT_MAGIC: u32 = 0x434F_5441;
+/// Client framing version this loop speaks.
+pub const CLIENT_VERSION: u8 = 1;
+/// Bytes in a client frame header (`magic u32 ‖ version u8 ‖ len u32`).
+pub const CLIENT_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Tuning knobs of an [`EventLoop`].
+#[derive(Clone, Debug)]
+pub struct EvloopOptions {
+    /// Upper bound on a frame's payload length; larger claims close the
+    /// connection before any allocation sized by the claim.
+    pub max_frame: usize,
+    /// A connection that completes no frame for this long is convicted
+    /// and closed ([`CloseReason::IdleTimeout`]). Keyed on completed
+    /// frames, so slow-drip clients cannot stay alive byte by byte.
+    pub idle_timeout: Duration,
+    /// Maximum concurrently open connections; accepts beyond this are
+    /// closed immediately (counted as `net.evloop.overflow`).
+    pub max_connections: usize,
+    /// Per-connection cap on unflushed outbound bytes; exceeding it
+    /// closes the connection ([`CloseReason::Backpressure`]).
+    pub max_write_buffer: usize,
+    /// Per-connection, per-poll read budget in bytes — bounds how long
+    /// one fast connection can monopolize a scan pass.
+    pub read_budget: usize,
+    /// Sets `TCP_NODELAY` on accepted streams (submission/ack exchanges
+    /// are small and latency-sensitive).
+    pub nodelay: bool,
+}
+
+impl Default for EvloopOptions {
+    fn default() -> Self {
+        Self {
+            max_frame: 1 << 20,
+            idle_timeout: Duration::from_secs(10),
+            max_connections: 4096,
+            max_write_buffer: 256 << 10,
+            read_budget: 256 << 10,
+            nodelay: true,
+        }
+    }
+}
+
+/// Identity of one accepted connection, unique for the lifetime of the
+/// loop. The low bits carry a monotonic sequence number; the high bits
+/// carry the socket's raw fd at accept time, so an id remains meaningful
+/// in logs even after the kernel recycles the descriptor.
+pub type ConnId = u64;
+
+/// Why a connection was closed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed its half; everything buffered was parsed first.
+    Eof,
+    /// The peer violated the framing (bad magic/version, oversized
+    /// length claim); the message says which check failed.
+    Malformed(String),
+    /// No frame completed within [`EvloopOptions::idle_timeout`].
+    IdleTimeout,
+    /// The peer stopped draining its socket and the unflushed write
+    /// buffer exceeded [`EvloopOptions::max_write_buffer`].
+    Backpressure,
+    /// The local side closed it deliberately ([`EventLoop::close`] or
+    /// [`EventLoop::close_all`]).
+    Shutdown,
+    /// A socket-level error; the message carries the `io::Error` text.
+    Io(String),
+}
+
+/// One observation surfaced by [`EventLoop::poll`].
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A connection was accepted.
+    Opened {
+        /// Identity of the new connection.
+        conn: ConnId,
+        /// The peer's socket address.
+        peer: SocketAddr,
+    },
+    /// A complete, well-framed payload arrived.
+    Frame {
+        /// Connection the frame arrived on.
+        conn: ConnId,
+        /// The frame's payload (opaque to the loop).
+        payload: Vec<u8>,
+    },
+    /// A connection ended; no further events reference `conn`.
+    Closed {
+        /// Identity of the closed connection.
+        conn: ConnId,
+        /// Why it ended.
+        reason: CloseReason,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    /// Unflushed outbound bytes (`write_buf[write_off..]` is pending).
+    write_buf: Vec<u8>,
+    write_off: usize,
+    /// Registered interest: the scan only attempts a write when set.
+    want_write: bool,
+    /// Instant of the last *completed* frame (or the accept).
+    last_frame: Instant,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_off
+    }
+}
+
+/// The readiness loop: owns the listener and every accepted connection.
+///
+/// Not `Sync` — the loop belongs to exactly one thread, which calls
+/// [`EventLoop::poll`] in a cycle and reacts to the returned [`Event`]s.
+/// See the [module docs](self) for the design constraints.
+pub struct EventLoop {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    options: EvloopOptions,
+    conns: BTreeMap<ConnId, Conn>,
+    next_seq: u64,
+    /// Events produced outside `poll` (e.g. a backpressure conviction
+    /// inside [`EventLoop::send`]), drained at the next `poll`.
+    deferred: Vec<Event>,
+}
+
+impl EventLoop {
+    /// Binds the listener (port `0` picks a free port — see
+    /// [`EventLoop::local_addr`]) and switches it to non-blocking mode.
+    pub fn bind(addr: &str, options: EvloopOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            options,
+            conns: BTreeMap::new(),
+            next_seq: 0,
+            deferred: Vec::new(),
+        })
+    }
+
+    /// The listener's resolved address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of currently open connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// One scan pass: accept ready connections, flush registered write
+    /// interest, read and frame inbound bytes, convict idle connections.
+    /// Appends observations to `events` and returns whether the pass
+    /// made progress (accepted, read, wrote or emitted anything) — when
+    /// it did not, the caller should sleep briefly before the next pass.
+    pub fn poll(&mut self, events: &mut Vec<Event>) -> bool {
+        let before = events.len();
+        let mut progress = !self.deferred.is_empty();
+        events.append(&mut self.deferred);
+        progress |= self.accept_ready(events);
+        let now = Instant::now();
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            let (moved, verdict) = self.service(id, now, events);
+            progress |= moved;
+            if let Some(reason) = verdict {
+                self.drop_conn(id, reason, Some(events));
+                progress = true;
+            }
+        }
+        progress || events.len() > before
+    }
+
+    /// Queues `payload` as one client frame on `conn` and attempts an
+    /// immediate flush. Returns `false` — and convicts the connection
+    /// for backpressure — when the unflushed backlog would exceed
+    /// [`EvloopOptions::max_write_buffer`]; also `false` for unknown
+    /// ids. The `Closed` event surfaces at the next [`EventLoop::poll`].
+    pub fn send(&mut self, conn: ConnId, payload: &[u8]) -> bool {
+        let frame = client_frame(payload);
+        let max = self.options.max_write_buffer;
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return false;
+        };
+        // Drain what the peer is ready to take before judging backlog.
+        if let Err(reason) = flush_writes(c) {
+            self.drop_conn(conn, reason, None);
+            return false;
+        }
+        let c = self.conns.get_mut(&conn).expect("conn present");
+        if c.pending_write() + frame.len() > max {
+            self.drop_conn(conn, CloseReason::Backpressure, None);
+            return false;
+        }
+        c.write_buf.extend_from_slice(&frame);
+        c.want_write = true;
+        if let Err(reason) = flush_writes(c) {
+            self.drop_conn(conn, reason, None);
+            return false;
+        }
+        true
+    }
+
+    /// Closes one connection deliberately (flushing nothing further);
+    /// the `Closed { reason: Shutdown }` event surfaces at the next
+    /// [`EventLoop::poll`]. Unknown ids are ignored.
+    pub fn close(&mut self, conn: ConnId) {
+        if self.conns.contains_key(&conn) {
+            self.drop_conn(conn, CloseReason::Shutdown, None);
+        }
+    }
+
+    /// Closes every open connection (used at server shutdown).
+    pub fn close_all(&mut self) {
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.drop_conn(id, CloseReason::Shutdown, None);
+        }
+    }
+
+    fn accept_ready(&mut self, events: &mut Vec<Event>) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    progress = true;
+                    if self.conns.len() >= self.options.max_connections {
+                        atom_obs::count("net.evloop.overflow", 1);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(self.options.nodelay);
+                    let fd = stream.as_raw_fd() as u64;
+                    self.next_seq += 1;
+                    let conn: ConnId = (fd << 32) | (self.next_seq & 0xFFFF_FFFF);
+                    self.conns.insert(
+                        conn,
+                        Conn {
+                            stream,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_off: 0,
+                            want_write: false,
+                            last_frame: Instant::now(),
+                        },
+                    );
+                    atom_obs::count("net.evloop.accepted", 1);
+                    atom_obs::gauge_max("net.evloop.connections.peak", self.conns.len() as u64);
+                    events.push(Event::Opened { conn, peer });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// Services one connection for a pass; returns whether any bytes
+    /// moved plus the close verdict, if one was reached.
+    fn service(
+        &mut self,
+        id: ConnId,
+        now: Instant,
+        events: &mut Vec<Event>,
+    ) -> (bool, Option<CloseReason>) {
+        let max_frame = self.options.max_frame;
+        let read_budget = self.options.read_budget;
+        let idle = self.options.idle_timeout;
+        let Some(c) = self.conns.get_mut(&id) else {
+            return (false, None);
+        };
+
+        let mut moved = false;
+        if c.want_write {
+            let pending_before = c.pending_write();
+            if let Err(reason) = flush_writes(c) {
+                return (true, Some(reason));
+            }
+            moved |= c.pending_write() != pending_before;
+        }
+
+        let mut taken = 0usize;
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            if taken >= read_budget {
+                break;
+            }
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Parse what already arrived, then report EOF.
+                    if let Err(m) = parse_frames(c, id, max_frame, now, events) {
+                        return (true, Some(CloseReason::Malformed(m)));
+                    }
+                    return (true, Some(CloseReason::Eof));
+                }
+                Ok(n) => {
+                    taken += n;
+                    c.read_buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return (true, Some(CloseReason::Io(e.to_string()))),
+            }
+        }
+        moved |= taken > 0;
+        if let Err(m) = parse_frames(c, id, max_frame, now, events) {
+            return (moved, Some(CloseReason::Malformed(m)));
+        }
+        if now.duration_since(c.last_frame) > idle {
+            atom_obs::count("net.evloop.idle_convictions", 1);
+            return (moved, Some(CloseReason::IdleTimeout));
+        }
+        (moved, None)
+    }
+
+    fn drop_conn(&mut self, id: ConnId, reason: CloseReason, events: Option<&mut Vec<Event>>) {
+        if let Some(c) = self.conns.remove(&id) {
+            if matches!(reason, CloseReason::Malformed(_)) {
+                atom_obs::count("net.evloop.malformed", 1);
+            }
+            let _ = c.stream.shutdown(Shutdown::Both);
+            let ev = Event::Closed { conn: id, reason };
+            // Reached both from `poll` (events vec live) and from
+            // `send`/`close` (no vec); defer to the next poll otherwise.
+            match events {
+                Some(events) => events.push(ev),
+                None => self.deferred.push(ev),
+            }
+        }
+    }
+}
+
+/// Flushes a connection's pending writes as far as the socket allows.
+fn flush_writes(c: &mut Conn) -> Result<(), CloseReason> {
+    while c.write_off < c.write_buf.len() {
+        match c.stream.write(&c.write_buf[c.write_off..]) {
+            Ok(0) => return Err(CloseReason::Io("write returned 0".into())),
+            Ok(n) => c.write_off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CloseReason::Io(e.to_string())),
+        }
+    }
+    c.write_buf.clear();
+    c.write_off = 0;
+    c.want_write = false;
+    Ok(())
+}
+
+/// Extracts every complete frame from a connection's read buffer,
+/// emitting `Frame` events and refreshing the idle timer. Errors carry
+/// the framing violation.
+fn parse_frames(
+    c: &mut Conn,
+    id: ConnId,
+    max_frame: usize,
+    now: Instant,
+    events: &mut Vec<Event>,
+) -> Result<(), String> {
+    let mut consumed = 0usize;
+    loop {
+        let buf = &c.read_buf[consumed..];
+        if buf.len() < CLIENT_HEADER_LEN {
+            break;
+        }
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != CLIENT_MAGIC {
+            return Err(format!("bad client frame magic 0x{magic:08X}"));
+        }
+        if buf[4] != CLIENT_VERSION {
+            return Err(format!("unsupported client frame version {}", buf[4]));
+        }
+        let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+        if len > max_frame {
+            return Err(format!(
+                "frame claims {len} payload bytes, cap is {max_frame}"
+            ));
+        }
+        if buf.len() < CLIENT_HEADER_LEN + len {
+            break;
+        }
+        let payload = buf[CLIENT_HEADER_LEN..CLIENT_HEADER_LEN + len].to_vec();
+        consumed += CLIENT_HEADER_LEN + len;
+        c.last_frame = now;
+        atom_obs::count("net.evloop.frames", 1);
+        events.push(Event::Frame { conn: id, payload });
+    }
+    if consumed > 0 {
+        c.read_buf.drain(..consumed);
+    }
+    Ok(())
+}
+
+/// Encodes one client frame (`ATOC` header + payload) — the encoding
+/// side of the framing [`EventLoop`] decodes; used by client drivers.
+pub fn client_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CLIENT_HEADER_LEN + payload.len());
+    out.extend_from_slice(&CLIENT_MAGIC.to_le_bytes());
+    out.push(CLIENT_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Blocking helper for simple clients: reads exactly one client frame
+/// from `stream` and returns its payload. `max_frame` bounds the length
+/// claim before allocation.
+pub fn read_client_frame(stream: &mut TcpStream, max_frame: usize) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; CLIENT_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != CLIENT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad client frame magic",
+        ));
+    }
+    if header[4] != CLIENT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad client frame version",
+        ));
+    }
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized client frame",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn options() -> EvloopOptions {
+        EvloopOptions {
+            idle_timeout: Duration::from_secs(5),
+            ..EvloopOptions::default()
+        }
+    }
+
+    /// Polls until `done(events)` or the deadline; panics on timeout.
+    fn poll_until(
+        evloop: &mut EventLoop,
+        events: &mut Vec<Event>,
+        timeout: Duration,
+        mut done: impl FnMut(&[Event]) -> bool,
+    ) {
+        let deadline = Instant::now() + timeout;
+        while !done(events) {
+            assert!(
+                Instant::now() < deadline,
+                "poll_until timed out; events: {events:?}"
+            );
+            if !evloop.poll(events) {
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    fn frames(events: &[Event]) -> Vec<(ConnId, Vec<u8>)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Frame { conn, payload } => Some((*conn, payload.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn closes(events: &[Event]) -> Vec<(ConnId, CloseReason)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Closed { conn, reason } => Some((*conn, reason.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_real_socket() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(&client_frame(b"hello ingress")).unwrap();
+
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !frames(ev).is_empty()
+        });
+        let got = frames(&events);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"hello ingress");
+
+        assert!(evloop.send(got[0].0, b"ack!"));
+        let mut drained = Vec::new();
+        // A pass or two flushes the ack.
+        for _ in 0..10 {
+            evloop.poll(&mut drained);
+        }
+        let reply = read_client_frame(&mut client, 1 << 20).unwrap();
+        assert_eq!(reply, b"ack!");
+    }
+
+    #[test]
+    fn multiplexes_many_connections_on_one_loop() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let n = 50usize;
+        let mut clients: Vec<TcpStream> = (0..n)
+            .map(|i| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(&client_frame(format!("client-{i}").as_bytes()))
+                    .unwrap();
+                s
+            })
+            .collect();
+
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(10), |ev| {
+            frames(ev).len() >= n
+        });
+        let got = frames(&events);
+        assert_eq!(got.len(), n);
+        let mut ids: Vec<ConnId> = got.iter().map(|(c, _)| *c).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "every frame arrived on a distinct connection");
+        assert_eq!(evloop.connections(), n);
+
+        // Echo each payload back on its own connection.
+        for (conn, payload) in &got {
+            assert!(evloop.send(*conn, payload));
+        }
+        let mut drained = Vec::new();
+        for _ in 0..20 {
+            evloop.poll(&mut drained);
+        }
+        let mut replies: Vec<String> = clients
+            .iter_mut()
+            .map(|s| String::from_utf8(read_client_frame(s, 1 << 20).unwrap()).unwrap())
+            .collect();
+        replies.sort();
+        let mut expect: Vec<String> = (0..n).map(|i| format!("client-{i}")).collect();
+        expect.sort();
+        assert_eq!(replies, expect);
+    }
+
+    #[test]
+    fn malformed_magic_closes_only_that_connection() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(b"GARBAGE???").unwrap();
+        let mut good = TcpStream::connect(addr).unwrap();
+        good.write_all(&client_frame(b"still fine")).unwrap();
+
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !frames(ev).is_empty() && !closes(ev).is_empty()
+        });
+        let cl = closes(&events);
+        assert_eq!(cl.len(), 1);
+        assert!(
+            matches!(&cl[0].1, CloseReason::Malformed(m) if m.contains("magic")),
+            "unexpected close: {:?}",
+            cl[0].1
+        );
+        assert_eq!(frames(&events)[0].1, b"still fine");
+        assert_eq!(evloop.connections(), 1);
+    }
+
+    #[test]
+    fn oversized_length_claim_rejected_at_the_header() {
+        let opts = EvloopOptions {
+            max_frame: 1024,
+            ..options()
+        };
+        let mut evloop = EventLoop::bind("127.0.0.1:0", opts).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut header = Vec::new();
+        header.extend_from_slice(&CLIENT_MAGIC.to_le_bytes());
+        header.push(CLIENT_VERSION);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        client.write_all(&header).unwrap();
+
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !closes(ev).is_empty()
+        });
+        let cl = closes(&events);
+        assert!(
+            matches!(&cl[0].1, CloseReason::Malformed(m) if m.contains("cap")),
+            "unexpected close: {:?}",
+            cl[0].1
+        );
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut frame = client_frame(b"x");
+        frame[4] = 9;
+        client.write_all(&frame).unwrap();
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !closes(ev).is_empty()
+        });
+        assert!(
+            matches!(&closes(&events)[0].1, CloseReason::Malformed(m) if m.contains("version"))
+        );
+    }
+
+    #[test]
+    fn slow_drip_client_is_convicted_without_hanging_the_loop() {
+        let opts = EvloopOptions {
+            idle_timeout: Duration::from_millis(150),
+            ..EvloopOptions::default()
+        };
+        let mut evloop = EventLoop::bind("127.0.0.1:0", opts).unwrap();
+        let addr = evloop.local_addr();
+
+        // The dripper feeds one header byte at a time, never completing a
+        // frame: byte activity must NOT reset the idle clock.
+        let dripper = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let frame = client_frame(b"never finishes");
+            for b in frame.iter().take(6) {
+                if s.write_all(&[*b]).is_err() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(40));
+            }
+            // Hold the socket open; the server must convict us anyway.
+            thread::sleep(Duration::from_millis(400));
+        });
+
+        // A healthy client must still be served while the drip is live.
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        healthy.write_all(&client_frame(b"prompt")).unwrap();
+
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            closes(ev)
+                .iter()
+                .any(|(_, r)| *r == CloseReason::IdleTimeout)
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "conviction took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(
+            frames(&events).len(),
+            1,
+            "healthy client served during the drip"
+        );
+        assert_eq!(frames(&events)[0].1, b"prompt");
+        dripper.join().unwrap();
+    }
+
+    #[test]
+    fn unresponsive_reader_is_convicted_for_backpressure() {
+        let opts = EvloopOptions {
+            max_frame: 1 << 22,
+            max_write_buffer: 4096,
+            ..options()
+        };
+        let mut evloop = EventLoop::bind("127.0.0.1:0", opts).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(&client_frame(b"hi")).unwrap();
+
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !frames(ev).is_empty()
+        });
+        let conn = frames(&events)[0].0;
+
+        // The client never reads. Keep shoving large frames until the OS
+        // socket buffer fills and our bounded write buffer overflows.
+        let big = vec![0xABu8; 256 << 10];
+        let mut convicted = false;
+        for _ in 0..256 {
+            if !evloop.send(conn, &big) {
+                convicted = true;
+                break;
+            }
+        }
+        assert!(convicted, "send never hit the backpressure cap");
+        let mut drained = Vec::new();
+        evloop.poll(&mut drained);
+        assert!(closes(&drained)
+            .iter()
+            .any(|(c, r)| *c == conn && *r == CloseReason::Backpressure));
+        assert_eq!(evloop.connections(), 0);
+    }
+
+    #[test]
+    fn accepts_beyond_max_connections_are_shed() {
+        let opts = EvloopOptions {
+            max_connections: 2,
+            ..options()
+        };
+        let mut evloop = EventLoop::bind("127.0.0.1:0", opts).unwrap();
+        let addr = evloop.local_addr();
+        let _a = TcpStream::connect(addr).unwrap();
+        let _b = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            ev.iter()
+                .filter(|e| matches!(e, Event::Opened { .. }))
+                .count()
+                >= 2
+        });
+        assert_eq!(evloop.connections(), 2);
+
+        let mut third = TcpStream::connect(addr).unwrap();
+        third
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        // The overflow accept is closed immediately: our read sees EOF or
+        // a reset, never data.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let shed = loop {
+            assert!(Instant::now() < deadline, "third connection never shed");
+            let mut ev = Vec::new();
+            evloop.poll(&mut ev);
+            let mut byte = [0u8; 1];
+            match third.read(&mut byte) {
+                Ok(0) => break true,
+                Ok(_) => break false,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break true,
+                Err(_) => {}
+            }
+        };
+        assert!(
+            shed,
+            "overflow connection delivered data instead of closing"
+        );
+        assert_eq!(evloop.connections(), 2);
+    }
+
+    #[test]
+    fn split_delivery_reassembles_frames() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let frame = client_frame(b"split across writes");
+        let (a, b) = frame.split_at(7);
+        client.write_all(a).unwrap();
+        let mut events = Vec::new();
+        for _ in 0..5 {
+            evloop.poll(&mut events);
+        }
+        assert!(frames(&events).is_empty(), "half a frame must not surface");
+        client.write_all(b).unwrap();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            !frames(ev).is_empty()
+        });
+        assert_eq!(frames(&events)[0].1, b"split across writes");
+    }
+
+    #[test]
+    fn two_frames_in_one_write_both_surface() {
+        let mut evloop = EventLoop::bind("127.0.0.1:0", options()).unwrap();
+        let addr = evloop.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut bytes = client_frame(b"first");
+        bytes.extend_from_slice(&client_frame(b"second"));
+        client.write_all(&bytes).unwrap();
+        let mut events = Vec::new();
+        poll_until(&mut evloop, &mut events, Duration::from_secs(5), |ev| {
+            frames(ev).len() >= 2
+        });
+        let got = frames(&events);
+        assert_eq!(got[0].1, b"first");
+        assert_eq!(got[1].1, b"second");
+        assert_eq!(got[0].0, got[1].0);
+    }
+}

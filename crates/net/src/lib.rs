@@ -18,6 +18,12 @@
 //!   accounting stays with the caller, so virtual-clock figures are
 //!   identical across backends.
 //!
+//! [`evloop`] adds the client-facing edge: a single-threaded, poll-based
+//! readiness loop ([`evloop::EventLoop`]) that multiplexes thousands of
+//! non-blocking client connections — length-framed submissions in, acks
+//! out, with write backpressure and idle conviction — without spending a
+//! reader thread per connection the way the server mesh does.
+//!
 //! [`latency`] provides the per-link latency models, the heterogeneous
 //! server-class mix, and transmission-time accounting both backends and the
 //! figure harnesses share.
@@ -25,10 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evloop;
 pub mod latency;
 pub mod tcp;
 pub mod transport;
 
+pub use evloop::{
+    client_frame, read_client_frame, CloseReason, ConnId, Event, EventLoop, EvloopOptions,
+};
 pub use latency::{assign_server_classes, paper_server_mix, LatencyModel, ServerClass};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use transport::{

@@ -49,7 +49,7 @@ use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -109,6 +109,14 @@ struct TcpInner {
     /// in-process "restart" leaves the old readers absorbing frames meant
     /// for the new transport on the same address).
     inbound: Mutex<Vec<TcpStream>>,
+    /// Join handles of the per-connection reader threads, pushed by the
+    /// accept loop and joined by `shutdown` after the inbound streams are
+    /// closed. Without the join there is a teardown window where a reader
+    /// whose peer never closes its half outlives the transport.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Readers currently running (incremented before spawn, decremented
+    /// at reader exit) — lets teardown tests assert none leaked.
+    live_readers: AtomicUsize,
     mailboxes: Vec<Mutex<VecDeque<Envelope>>>,
     sent: Vec<Mutex<TrafficStats>>,
     received: Vec<Mutex<TrafficStats>>,
@@ -176,6 +184,8 @@ impl TcpTransport {
             outbound: (0..peer_addrs.len()).map(|_| Mutex::new(None)).collect(),
             peer_addrs: Mutex::new(peer_addrs),
             inbound: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            live_readers: AtomicUsize::new(0),
             mailboxes: (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect(),
             sent: (0..nodes)
                 .map(|_| Mutex::new(TrafficStats::default()))
@@ -381,6 +391,14 @@ impl TcpTransport {
         if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
+        // With the accept thread gone, no new readers can appear; join
+        // the existing ones. Their streams were all shut down above, so
+        // each blocking read has already returned (or will immediately),
+        // even when the remote peer never closes its half.
+        let readers: Vec<JoinHandle<()>> = self.inner.readers.lock().drain(..).collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -494,14 +512,27 @@ fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
                 if inner.options.nodelay {
                     let _ = stream.set_nodelay(true);
                 }
-                if let Ok(clone) = stream.try_clone() {
-                    inner.inbound.lock().push(clone);
+                // Without a registered clone, `shutdown` could not force
+                // this reader off its blocking read and the join below
+                // would hang on a peer that never closes its half — so a
+                // failed clone means no reader at all.
+                match stream.try_clone() {
+                    Ok(clone) => inner.inbound.lock().push(clone),
+                    Err(_) => {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
                 }
                 let reader_inner = Arc::clone(&inner);
-                // Reader threads are detached: they exit on EOF, which
-                // `shutdown` forces by closing the peer streams (and a
-                // vanishing peer process forces by itself).
-                std::thread::spawn(move || reader_loop(stream, reader_inner));
+                // Readers are joined at teardown: `shutdown` closes the
+                // registered stream clones (forcing EOF even under a peer
+                // that holds its half open), then drains `readers`.
+                inner.live_readers.fetch_add(1, Ordering::SeqCst);
+                let handle = std::thread::spawn(move || {
+                    reader_loop(stream, Arc::clone(&reader_inner));
+                    reader_inner.live_readers.fetch_sub(1, Ordering::SeqCst);
+                });
+                inner.readers.lock().push(handle);
             }
             Err(_) => {
                 if inner.closing.load(Ordering::SeqCst) {
@@ -954,5 +985,45 @@ mod tests {
         a.shutdown();
         a.shutdown();
         b.shutdown();
+    }
+
+    /// Regression: reader threads used to be detached, so a peer that
+    /// held its half of the connection open could leave a reader alive
+    /// (blocked or draining) after `shutdown` returned. Readers are now
+    /// joined, so teardown must return promptly with zero readers left —
+    /// even under a rogue peer that never closes and never reads.
+    #[test]
+    fn shutdown_joins_readers_despite_a_peer_that_never_closes() {
+        let a = TcpTransport::bind_any(2, vec![0, 1], 0, TcpOptions::default()).unwrap();
+        // A rogue "peer": sends one valid frame to prove its reader is
+        // live, then sits on the open socket without closing either half.
+        let mut rogue = TcpStream::connect(a.local_addr()).unwrap();
+        let envelope = Envelope {
+            from: 1,
+            to: 0,
+            label: "rogue".into(),
+            payload: vec![9; 16],
+            delay: Duration::ZERO,
+        };
+        write_frame(&mut rogue, &envelope).unwrap();
+        wait_pending(&a, 0);
+        assert_eq!(a.inner.live_readers.load(Ordering::SeqCst), 1);
+
+        let start = Instant::now();
+        a.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown hung on the reader join"
+        );
+        assert_eq!(
+            a.inner.live_readers.load(Ordering::SeqCst),
+            0,
+            "a reader thread outlived transport teardown"
+        );
+        assert!(
+            a.inner.readers.lock().is_empty(),
+            "join handles not drained"
+        );
+        drop(rogue);
     }
 }

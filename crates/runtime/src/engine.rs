@@ -2028,7 +2028,9 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
             Frame::Telemetry(frame) => Some(&mut frame.round),
             // Control frames carry *global* round numbers for the
             // orchestration layer; the engine never indexes jobs by them.
-            Frame::Evict(_) | Frame::Rejoin(_) => None,
+            // Client frames (submit/ack) never belong on the mesh at all
+            // and are dropped below.
+            Frame::Evict(_) | Frame::Rejoin(_) | Frame::Submit(_) | Frame::SubmitAck(_) => None,
         };
         if let Some(slot) = round_slot {
             match shared.job_index(*slot) {
@@ -2066,6 +2068,11 @@ fn run_deliver(shared: &Shared<'_>, node: usize) {
                 if let Some(sink) = &shared.options.control_sink {
                     sink.lock().push(decoded);
                 }
+            }
+            // Client traffic terminates at the ingress tier; a submit or
+            // ack frame on the server mesh is misdirected and ignored.
+            Frame::Submit(_) | Frame::SubmitAck(_) => {
+                atom_obs::count("engine.client.frames_on_mesh", 1);
             }
         }
     }

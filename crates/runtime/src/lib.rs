@@ -120,6 +120,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod ingress;
 pub mod scenarios;
 pub mod wire;
 
@@ -130,4 +131,8 @@ pub use engine::{
     TELEMETRY_LABEL,
 };
 pub use fault::{FaultKind, FaultVerdict};
+pub use ingress::{
+    Admission, AdmissionQueue, IngressOptions, IngressServer, IngressSource, IngressStats,
+    TokenBucket,
+};
 pub use scenarios::{AdversaryReport, ScenarioOptions, ScenarioReport};

@@ -4,7 +4,7 @@
 //! The engine ships everything through [`atom_net::Transport`] envelopes
 //! rather than passing Rust values by reference, so traffic metering sees
 //! the true wire size and the TCP transport ships the identical bytes
-//! between processes. Seven frame kinds, discriminated by the leading
+//! between processes. Nine frame kinds, discriminated by the leading
 //! byte (all integers little-endian):
 //!
 //! ```text
@@ -32,6 +32,18 @@
 //! rejoin:
 //!        0x07 ‖ round u32 ‖ process u32 ‖ epoch u32 ‖ flags u8 (bit0:
 //!        response, bit1: commit) ‖ digest 32B ‖ evict_count u32 ‖ verdict *
+//! submit:
+//!        0x08 ‖ round u32 ‖ client u64 ‖ flags u8 (bit0: trap variant)
+//!        ‖ app u16 ‖ entry_group u32 ‖ body
+//!        nizk body: ciphertext ‖ proof
+//!        trap body: ciphertext ‖ proof ‖ ciphertext ‖ proof
+//!                   ‖ trap_commitment 32B
+//!        ciphertext: components u16 ‖ component *   (same component
+//!                    layout as mix frames)
+//!        proof: ann_count u16 ‖ A 32B * ‖ resp_count u16 ‖ u 32B *
+//!               (responses are canonical scalars)
+//! submit_ack:
+//!        0x09 ‖ round u32 ‖ flags u8 (bit0: shed) ‖ retry_after_ms u32
 //! ```
 //!
 //! `from == u32::MAX` in a mix frame encodes the round orchestrator
@@ -51,8 +63,11 @@ use std::time::Duration;
 
 use atom_core::actor::SOURCE;
 use atom_core::error::{AtomError, AtomResult};
+use atom_core::{NizkSubmission, TrapSubmission};
+use atom_crypto::commit::Commitment;
 use atom_crypto::elgamal::{Ciphertext, MessageCiphertext, PublicKey};
-use atom_crypto::RistrettoPoint;
+use atom_crypto::nizk::enc::EncProof;
+use atom_crypto::{RistrettoPoint, Scalar};
 use atom_obs::SpanRecord;
 use curve25519_dalek::ristretto::CompressedRistretto;
 
@@ -197,6 +212,61 @@ pub struct RejoinFrame {
     pub evictions: Vec<FaultVerdict>,
 }
 
+/// The payload of a [`SubmitFrame`]: one user submission in whichever
+/// defense variant the round runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientSubmission {
+    /// A NIZK-variant submission (one ciphertext plus its proof).
+    Nizk(NizkSubmission),
+    /// A trap-variant submission (two ciphertexts, two proofs and the
+    /// trap commitment).
+    Trap(TrapSubmission),
+}
+
+impl ClientSubmission {
+    /// The entry group the submitting user chose.
+    pub fn entry_group(&self) -> usize {
+        match self {
+            ClientSubmission::Nizk(s) => s.entry_group,
+            ClientSubmission::Trap(s) => s.entry_group,
+        }
+    }
+}
+
+/// A decoded submit frame: one client's submission for a round, sent over
+/// a client connection (see `atom_net::evloop`) to the ingress tier. This
+/// is the protocol's *outermost* trust boundary — the sender is an
+/// arbitrary internet host, not even a misbehaving server — so every
+/// field gets the full adversarial treatment and a malformed frame
+/// convicts only its own connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitFrame {
+    /// The round the submission targets (ingress rejects mismatches).
+    pub round: usize,
+    /// The submitting client's index — the fleet-assigned slot that makes
+    /// intake order deterministic regardless of socket arrival order.
+    pub client: u64,
+    /// Application tag (which anonymity service the payload belongs to);
+    /// opaque to the codec, validated by ingress.
+    pub app: u16,
+    /// The submission itself.
+    pub submission: ClientSubmission,
+}
+
+/// A decoded submit-ack frame: the ingress tier's per-submission verdict,
+/// sent back on the client connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitAckFrame {
+    /// The round the acked submission targeted.
+    pub round: usize,
+    /// `true` when the submission was load-shed (rate limit or full
+    /// admission queue) rather than admitted.
+    pub shed: bool,
+    /// How long a shed client should wait before retrying (zero when
+    /// admitted). Millisecond granularity on the wire.
+    pub retry_after: Duration,
+}
+
 /// Any frame of the inter-group protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
@@ -214,6 +284,10 @@ pub enum Frame {
     Evict(EvictFrame),
     /// A catch-up / acknowledgement handshake frame.
     Rejoin(RejoinFrame),
+    /// One client's submission for a round (client → ingress).
+    Submit(SubmitFrame),
+    /// The ingress tier's admit/shed verdict (ingress → client).
+    SubmitAck(SubmitAckFrame),
 }
 
 const KIND_MIX: u8 = 1;
@@ -223,6 +297,8 @@ const KIND_SETUP: u8 = 4;
 const KIND_TELEMETRY: u8 = 5;
 const KIND_EVICT: u8 = 6;
 const KIND_REJOIN: u8 = 7;
+const KIND_SUBMIT: u8 = 8;
+const KIND_SUBMIT_ACK: u8 = 9;
 
 /// Minimum encoded size of one telemetry counter entry (empty name).
 const MIN_COUNTER_LEN: usize = 2 + 8;
@@ -238,6 +314,16 @@ const MAX_ABORT_REASON: usize = 4096;
 const MIN_VERDICT_LEN: usize = 4 + 4 + 1 + 4 + 2;
 /// Size of the eviction-log digest carried by rejoin frames.
 const DIGEST_LEN: usize = 32;
+/// Hard cap on onion components in one client submission. A submission
+/// carries exactly one user message (two in the trap variant), whose
+/// component count is set by the deployment's padded message length —
+/// far below this. The count is already bounded against the body before
+/// allocation; the cap additionally stops a client from shipping a
+/// maximum-size frame that is structurally valid but absurd.
+const MAX_SUBMIT_COMPONENTS: usize = 256;
+/// Fixed header of a submit frame (kind ‖ round ‖ client ‖ flags ‖ app ‖
+/// entry_group).
+const SUBMIT_HEADER_LEN: usize = 1 + 4 + 8 + 1 + 2 + 4;
 
 fn put_point(out: &mut Vec<u8>, point: &RistrettoPoint) {
     out.extend_from_slice(&point.compress().to_bytes());
@@ -254,6 +340,27 @@ fn get_point(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<Ristret
     CompressedRistretto(array)
         .decompress()
         .ok_or_else(|| AtomError::Malformed(format!("{what} carries an invalid point")))
+}
+
+/// Reads a 32-byte scalar and insists on the canonical encoding: the
+/// vendored scalar type only exposes `from_bytes_mod_order`, so
+/// canonicality is checked by re-serializing — a reduced value that does
+/// not round-trip was non-canonical on the wire.
+fn get_scalar(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<Scalar> {
+    let end = *offset + POINT_LEN;
+    let slice = bytes
+        .get(*offset..end)
+        .ok_or_else(|| AtomError::Malformed(format!("{what} truncated in a scalar")))?;
+    *offset = end;
+    let mut array = [0u8; POINT_LEN];
+    array.copy_from_slice(slice);
+    let scalar = Scalar::from_bytes_mod_order(array);
+    if scalar.to_bytes() != array {
+        return Err(AtomError::Malformed(format!(
+            "{what} carries a non-canonical scalar"
+        )));
+    }
+    Ok(scalar)
 }
 
 fn get_u32(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<u32> {
@@ -329,18 +436,115 @@ pub fn encode_mix(
     out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
 
     for message in batch {
-        out.extend_from_slice(&(message.components.len() as u16).to_le_bytes());
-        for component in &message.components {
-            let flags = component.y.is_some() as u8;
-            out.push(flags);
-            put_point(&mut out, &component.r);
-            put_point(&mut out, &component.c);
-            if let Some(y) = &component.y {
-                put_point(&mut out, y);
-            }
-        }
+        put_ciphertext(&mut out, message);
     }
     out
+}
+
+/// Serializes one onion ciphertext (`components u16 ‖ component*`). The
+/// component layout is shared by mix and submit frames.
+fn put_ciphertext(out: &mut Vec<u8>, message: &MessageCiphertext) {
+    out.extend_from_slice(&(message.components.len() as u16).to_le_bytes());
+    for component in &message.components {
+        let flags = component.y.is_some() as u8;
+        out.push(flags);
+        put_point(out, &component.r);
+        put_point(out, &component.c);
+        if let Some(y) = &component.y {
+            put_point(out, y);
+        }
+    }
+}
+
+/// Parses one onion ciphertext, bounding the untrusted component count
+/// against the remaining body (flags + two points minimum per component)
+/// before any allocation.
+fn get_ciphertext(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<MessageCiphertext> {
+    let components_len = bytes
+        .get(*offset..*offset + 2)
+        .map(|s| u16::from_le_bytes(s.try_into().unwrap()) as usize)
+        .ok_or_else(|| AtomError::Malformed(format!("{what} truncated at a message")))?;
+    *offset += 2;
+    if components_len > bytes.len().saturating_sub(*offset) / (1 + 2 * POINT_LEN) {
+        return Err(AtomError::Malformed(format!(
+            "{what} claims {components_len} components past its end"
+        )));
+    }
+    let mut components = Vec::with_capacity(components_len);
+    for _ in 0..components_len {
+        let flags = *bytes
+            .get(*offset)
+            .ok_or_else(|| AtomError::Malformed(format!("{what} truncated at flags")))?;
+        *offset += 1;
+        if flags & !1 != 0 {
+            return Err(AtomError::Malformed(format!(
+                "{what} carries unknown component flags {flags:#04x}"
+            )));
+        }
+        let r = get_point(bytes, offset, what)?;
+        let c = get_point(bytes, offset, what)?;
+        let y = if flags & 1 == 1 {
+            Some(get_point(bytes, offset, what)?)
+        } else {
+            None
+        };
+        components.push(Ciphertext { r, c, y });
+    }
+    Ok(MessageCiphertext { components })
+}
+
+/// Serializes one encryption proof (`ann_count u16 ‖ A* ‖ resp_count u16
+/// ‖ u*`). Counts travel separately because the struct does not force
+/// them equal; the verifier enforces the semantic relationship.
+fn put_proof(out: &mut Vec<u8>, proof: &EncProof) {
+    out.extend_from_slice(&(proof.announcements.len() as u16).to_le_bytes());
+    for announcement in &proof.announcements {
+        put_point(out, announcement);
+    }
+    out.extend_from_slice(&(proof.responses.len() as u16).to_le_bytes());
+    for response in &proof.responses {
+        out.extend_from_slice(&response.to_bytes());
+    }
+}
+
+/// Parses one encryption proof, bounding both untrusted counts against
+/// the remaining body before allocation and insisting every response is
+/// a canonical scalar.
+fn get_proof(bytes: &[u8], offset: &mut usize, what: &str) -> AtomResult<EncProof> {
+    let ann_count = get_u16(bytes, offset, "proof announcement count")? as usize;
+    if ann_count > bytes.len().saturating_sub(*offset) / POINT_LEN {
+        return Err(AtomError::Malformed(format!(
+            "{what} claims {ann_count} proof announcements past its end"
+        )));
+    }
+    if ann_count > MAX_SUBMIT_COMPONENTS {
+        return Err(AtomError::Malformed(format!(
+            "{what} claims {ann_count} proof announcements (cap {MAX_SUBMIT_COMPONENTS})"
+        )));
+    }
+    let mut announcements = Vec::with_capacity(ann_count);
+    for _ in 0..ann_count {
+        announcements.push(get_point(bytes, offset, what)?);
+    }
+    let resp_count = get_u16(bytes, offset, "proof response count")? as usize;
+    if resp_count > bytes.len().saturating_sub(*offset) / POINT_LEN {
+        return Err(AtomError::Malformed(format!(
+            "{what} claims {resp_count} proof responses past its end"
+        )));
+    }
+    if resp_count > MAX_SUBMIT_COMPONENTS {
+        return Err(AtomError::Malformed(format!(
+            "{what} claims {resp_count} proof responses (cap {MAX_SUBMIT_COMPONENTS})"
+        )));
+    }
+    let mut responses = Vec::with_capacity(resp_count);
+    for _ in 0..resp_count {
+        responses.push(get_scalar(bytes, offset, what)?);
+    }
+    Ok(EncProof {
+        announcements,
+        responses,
+    })
 }
 
 /// Serializes an exit frame.
@@ -529,6 +733,141 @@ pub fn encode_rejoin(frame: &RejoinFrame) -> Vec<u8> {
     out
 }
 
+/// Serializes a submit frame.
+pub fn encode_submit(frame: &SubmitFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SUBMIT_HEADER_LEN + 512);
+    out.push(KIND_SUBMIT);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.extend_from_slice(&frame.client.to_le_bytes());
+    match &frame.submission {
+        ClientSubmission::Nizk(submission) => {
+            out.push(0); // flags: nizk variant
+            out.extend_from_slice(&frame.app.to_le_bytes());
+            out.extend_from_slice(&(submission.entry_group as u32).to_le_bytes());
+            put_ciphertext(&mut out, &submission.ciphertext);
+            put_proof(&mut out, &submission.proof);
+        }
+        ClientSubmission::Trap(submission) => {
+            out.push(1); // flags: trap variant
+            out.extend_from_slice(&frame.app.to_le_bytes());
+            out.extend_from_slice(&(submission.entry_group as u32).to_le_bytes());
+            for side in 0..2 {
+                put_ciphertext(&mut out, &submission.ciphertexts[side]);
+                put_proof(&mut out, &submission.proofs[side]);
+            }
+            out.extend_from_slice(&submission.trap_commitment.0);
+        }
+    }
+    out
+}
+
+/// Parses one `ciphertext ‖ proof` pair of a submit body, applying the
+/// submission-size cap on top of the body bounds.
+fn get_submission_side(
+    bytes: &[u8],
+    offset: &mut usize,
+) -> AtomResult<(MessageCiphertext, EncProof)> {
+    let ciphertext = get_ciphertext(bytes, offset, "submit frame")?;
+    if ciphertext.components.len() > MAX_SUBMIT_COMPONENTS {
+        return Err(AtomError::Malformed(format!(
+            "submit frame claims {} components (cap {MAX_SUBMIT_COMPONENTS})",
+            ciphertext.components.len()
+        )));
+    }
+    let proof = get_proof(bytes, offset, "submit frame")?;
+    Ok((ciphertext, proof))
+}
+
+fn decode_submit(bytes: &[u8]) -> AtomResult<SubmitFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "submit round")? as usize;
+    let client = get_u64(bytes, &mut offset, "submit client")?;
+    let flags = *bytes
+        .get(offset)
+        .ok_or_else(|| AtomError::Malformed("submit frame truncated at flags".into()))?;
+    offset += 1;
+    if flags & !1 != 0 {
+        return Err(AtomError::Malformed(format!(
+            "submit frame carries unknown flags {flags:#04x}"
+        )));
+    }
+    let app = get_u16(bytes, &mut offset, "submit app tag")?;
+    let entry_group = get_u32(bytes, &mut offset, "submit entry group")? as usize;
+    let submission = if flags & 1 == 0 {
+        let (ciphertext, proof) = get_submission_side(bytes, &mut offset)?;
+        ClientSubmission::Nizk(NizkSubmission {
+            entry_group,
+            ciphertext,
+            proof,
+        })
+    } else {
+        let (ct0, proof0) = get_submission_side(bytes, &mut offset)?;
+        let (ct1, proof1) = get_submission_side(bytes, &mut offset)?;
+        let digest_slice = bytes.get(offset..offset + DIGEST_LEN).ok_or_else(|| {
+            AtomError::Malformed("submit frame truncated in its trap commitment".into())
+        })?;
+        offset += DIGEST_LEN;
+        let mut digest = [0u8; DIGEST_LEN];
+        digest.copy_from_slice(digest_slice);
+        ClientSubmission::Trap(TrapSubmission {
+            entry_group,
+            ciphertexts: [ct0, ct1],
+            proofs: [proof0, proof1],
+            trap_commitment: Commitment(digest),
+        })
+    };
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "submit frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(SubmitFrame {
+        round,
+        client,
+        app,
+        submission,
+    })
+}
+
+/// Serializes a submit-ack frame. Retry hints beyond `u32::MAX`
+/// milliseconds saturate.
+pub fn encode_submit_ack(frame: &SubmitAckFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + 1 + 4);
+    out.push(KIND_SUBMIT_ACK);
+    out.extend_from_slice(&(frame.round as u32).to_le_bytes());
+    out.push(frame.shed as u8);
+    let retry_ms = u32::try_from(frame.retry_after.as_millis()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&retry_ms.to_le_bytes());
+    out
+}
+
+fn decode_submit_ack(bytes: &[u8]) -> AtomResult<SubmitAckFrame> {
+    let mut offset = 1;
+    let round = get_u32(bytes, &mut offset, "submit-ack round")? as usize;
+    let flags = *bytes
+        .get(offset)
+        .ok_or_else(|| AtomError::Malformed("submit-ack frame truncated at flags".into()))?;
+    offset += 1;
+    if flags & !1 != 0 {
+        return Err(AtomError::Malformed(format!(
+            "submit-ack frame carries unknown flags {flags:#04x}"
+        )));
+    }
+    let retry_ms = get_u32(bytes, &mut offset, "submit-ack retry hint")?;
+    if offset != bytes.len() {
+        return Err(AtomError::Malformed(format!(
+            "submit-ack frame has {} trailing bytes",
+            bytes.len() - offset
+        )));
+    }
+    Ok(SubmitAckFrame {
+        round,
+        shed: flags & 1 == 1,
+        retry_after: Duration::from_millis(retry_ms as u64),
+    })
+}
+
 fn decode_evict(bytes: &[u8]) -> AtomResult<EvictFrame> {
     let mut offset = 1;
     let verdict = get_verdict(bytes, &mut offset)?;
@@ -610,6 +949,8 @@ pub fn decode(bytes: &[u8]) -> AtomResult<Frame> {
         Some(&KIND_TELEMETRY) => decode_telemetry(bytes).map(Frame::Telemetry),
         Some(&KIND_EVICT) => decode_evict(bytes).map(Frame::Evict),
         Some(&KIND_REJOIN) => decode_rejoin(bytes).map(Frame::Rejoin),
+        Some(&KIND_SUBMIT) => decode_submit(bytes).map(Frame::Submit),
+        Some(&KIND_SUBMIT_ACK) => decode_submit_ack(bytes).map(Frame::SubmitAck),
         Some(kind) => Err(AtomError::Malformed(format!("unknown frame kind {kind}"))),
         None => Err(AtomError::Malformed("empty frame".into())),
     }
@@ -645,37 +986,7 @@ fn decode_mix(bytes: &[u8]) -> AtomResult<MixEnvelope> {
     let mut offset = MIX_HEADER_LEN;
     let mut batch = Vec::with_capacity(count);
     for _ in 0..count {
-        let components_len = bytes
-            .get(offset..offset + 2)
-            .map(|s| u16::from_le_bytes(s.try_into().unwrap()) as usize)
-            .ok_or_else(|| AtomError::Malformed("mix envelope truncated at a message".into()))?;
-        offset += 2;
-        if components_len > bytes.len().saturating_sub(offset) / (1 + 2 * POINT_LEN) {
-            return Err(AtomError::Malformed(format!(
-                "mix envelope claims {components_len} components past its end"
-            )));
-        }
-        let mut components = Vec::with_capacity(components_len);
-        for _ in 0..components_len {
-            let flags = *bytes
-                .get(offset)
-                .ok_or_else(|| AtomError::Malformed("mix envelope truncated at flags".into()))?;
-            offset += 1;
-            if flags & !1 != 0 {
-                return Err(AtomError::Malformed(format!(
-                    "mix envelope carries unknown component flags {flags:#04x}"
-                )));
-            }
-            let r = get_point(bytes, &mut offset, "mix envelope")?;
-            let c = get_point(bytes, &mut offset, "mix envelope")?;
-            let y = if flags & 1 == 1 {
-                Some(get_point(bytes, &mut offset, "mix envelope")?)
-            } else {
-                None
-            };
-            components.push(Ciphertext { r, c, y });
-        }
-        batch.push(MessageCiphertext { components });
+        batch.push(get_ciphertext(bytes, &mut offset, "mix envelope")?);
     }
     if offset != bytes.len() {
         return Err(AtomError::Malformed(format!(
@@ -1079,6 +1390,12 @@ mod tests {
         let telemetry = encode_telemetry(&sample_telemetry());
         let evict = encode_evict(&sample_evict());
         let rejoin = encode_rejoin(&sample_rejoin());
+        let submit = encode_submit(&sample_submit(false));
+        let ack = encode_submit_ack(&SubmitAckFrame {
+            round: 14,
+            shed: true,
+            retry_after: Duration::from_millis(250),
+        });
         assert_eq!(decode_round(&mix), Some(3));
         assert_eq!(decode_round(&exit), Some(4));
         assert_eq!(decode_round(&abort), Some(5));
@@ -1086,6 +1403,8 @@ mod tests {
         assert_eq!(decode_round(&telemetry), Some(8));
         assert_eq!(decode_round(&evict), Some(11));
         assert_eq!(decode_round(&rejoin), Some(12));
+        assert_eq!(decode_round(&submit), Some(13));
+        assert_eq!(decode_round(&ack), Some(14));
         assert_eq!(decode_round(&[1, 2]), None);
     }
 
@@ -1137,6 +1456,13 @@ mod tests {
             encode_telemetry(&sample_telemetry()),
             encode_evict(&sample_evict()),
             encode_rejoin(&sample_rejoin()),
+            encode_submit(&sample_submit(false)),
+            encode_submit(&sample_submit(true)),
+            encode_submit_ack(&SubmitAckFrame {
+                round: 2,
+                shed: true,
+                retry_after: Duration::from_millis(40),
+            }),
         ] {
             for len in 0..full.len() {
                 assert!(
@@ -1153,7 +1479,8 @@ mod tests {
     fn unknown_kind_rejected() {
         assert!(decode(&[]).is_err());
         assert!(decode(&[0]).is_err());
-        assert!(decode(&[9, 1, 2, 3]).is_err());
+        assert!(decode(&[10, 1, 2, 3]).is_err());
+        assert!(decode(&[0xFF, 1, 2, 3]).is_err());
     }
 
     #[test]
@@ -1597,6 +1924,217 @@ mod tests {
         let mut bytes = encode_rejoin(&sample_rejoin());
         bytes.push(0);
         assert!(decode(&bytes).is_err());
+    }
+
+    /// A real submission of each defense variant, built with the same
+    /// constructors clients use.
+    fn sample_submit(trap: bool) -> SubmitFrame {
+        let mut rng = StdRng::seed_from_u64(31);
+        let group = KeyPair::generate(&mut rng);
+        let trustee = KeyPair::generate(&mut rng);
+        let submission = if trap {
+            let (submission, _) = atom_core::make_trap_submission(
+                2,
+                &group.public,
+                &trustee.public,
+                13,
+                b"trap msg",
+                32,
+                &mut rng,
+            )
+            .unwrap();
+            ClientSubmission::Trap(submission)
+        } else {
+            let (submission, _) =
+                atom_core::make_nizk_submission(2, &group.public, b"nizk msg", 32, &mut rng)
+                    .unwrap();
+            ClientSubmission::Nizk(submission)
+        };
+        SubmitFrame {
+            round: 13,
+            client: 0xDEAD_BEEF_0042,
+            app: 7,
+            submission,
+        }
+    }
+
+    #[test]
+    fn submit_frame_roundtrips_both_variants() {
+        for trap in [false, true] {
+            let frame = sample_submit(trap);
+            let bytes = encode_submit(&frame);
+            assert_eq!(decode(&bytes).unwrap(), Frame::Submit(frame));
+        }
+    }
+
+    #[test]
+    fn submit_ack_roundtrips_and_saturates_retry_hint() {
+        for (shed, retry) in [
+            (false, Duration::ZERO),
+            (true, Duration::from_millis(125)),
+            (true, Duration::from_secs(1 << 40)),
+        ] {
+            let frame = SubmitAckFrame {
+                round: 3,
+                shed,
+                retry_after: retry,
+            };
+            let bytes = encode_submit_ack(&frame);
+            match decode(&bytes).unwrap() {
+                Frame::SubmitAck(decoded) => {
+                    assert_eq!(decoded.round, 3);
+                    assert_eq!(decoded.shed, shed);
+                    let expect_ms = u32::try_from(retry.as_millis()).unwrap_or(u32::MAX) as u64;
+                    assert_eq!(decoded.retry_after, Duration::from_millis(expect_ms));
+                }
+                other => panic!("expected submit-ack, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_unknown_flags_rejected() {
+        let flags_at = 1 + 4 + 8;
+        for flags in [2u8, 0x80, 0xff] {
+            let mut bytes = encode_submit(&sample_submit(false));
+            bytes[flags_at] = flags;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("flags"),
+                "want the flags error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_ack_unknown_flags_rejected() {
+        let flags_at = 1 + 4;
+        for flags in [2u8, 0x80, 0xff] {
+            let mut bytes = encode_submit_ack(&SubmitAckFrame {
+                round: 0,
+                shed: false,
+                retry_after: Duration::ZERO,
+            });
+            bytes[flags_at] = flags;
+            let error = decode(&bytes).unwrap_err();
+            assert!(
+                format!("{error:?}").contains("flags"),
+                "want the flags error, got {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_component_count_overflow_rejected_before_allocation() {
+        // The ciphertext's component count lives right after the fixed
+        // header. Claim u16::MAX components over the real body: the bound
+        // against the remaining bytes must fire before any allocation.
+        let count_at = SUBMIT_HEADER_LEN;
+        let mut bytes = encode_submit(&sample_submit(false));
+        bytes[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn submit_proof_count_overflow_rejected_before_allocation() {
+        // Point the announcement count past the end of the body.
+        let frame = sample_submit(false);
+        let ciphertext_len = match &frame.submission {
+            ClientSubmission::Nizk(s) => {
+                2 + s.ciphertext.components.len()
+                    * (1 + 2 * POINT_LEN
+                        + s.ciphertext.components[0].y.is_some() as usize * POINT_LEN)
+            }
+            ClientSubmission::Trap(_) => unreachable!(),
+        };
+        let ann_count_at = SUBMIT_HEADER_LEN + ciphertext_len;
+        let mut bytes = encode_submit(&frame);
+        bytes[ann_count_at..ann_count_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("claims"),
+            "want the bounds error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn submit_oversized_component_cap_enforced() {
+        // A structurally complete ciphertext with more components than
+        // any real submission: body-consistent, so only the cap fires.
+        let mut rng = StdRng::seed_from_u64(33);
+        let keys = KeyPair::generate(&mut rng);
+        let points = encode_message_padded(&[7u8; 8], 32).unwrap();
+        let (ct, _) = encrypt_message(&keys.public, &points, &mut rng);
+        let component = ct.components[0];
+        let huge = MessageCiphertext {
+            components: vec![component; MAX_SUBMIT_COMPONENTS + 1],
+        };
+        let mut frame = sample_submit(false);
+        if let ClientSubmission::Nizk(s) = &mut frame.submission {
+            s.ciphertext = huge;
+        }
+        let bytes = encode_submit(&frame);
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("cap"),
+            "want the cap error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn submit_non_canonical_scalar_rejected() {
+        // The proof responses close the nizk body; force the last 32
+        // bytes to an unreduced encoding (all 0xFF is ≥ the group order).
+        let mut bytes = encode_submit(&sample_submit(false));
+        let end = bytes.len();
+        bytes[end - POINT_LEN..end].fill(0xFF);
+        let error = decode(&bytes).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("scalar"),
+            "want the scalar error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn submit_corrupted_point_rejected() {
+        // Zero out the first ciphertext point (right after the component
+        // count + flags byte): an invalid encoding must be convicted.
+        let point_at = SUBMIT_HEADER_LEN + 2 + 1;
+        let mut bytes = encode_submit(&sample_submit(false));
+        bytes[point_at..point_at + POINT_LEN].fill(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn submit_trailing_bytes_rejected() {
+        for trap in [false, true] {
+            let mut bytes = encode_submit(&sample_submit(trap));
+            bytes.push(0);
+            assert!(decode(&bytes).is_err());
+        }
+        let mut ack = encode_submit_ack(&SubmitAckFrame {
+            round: 0,
+            shed: false,
+            retry_after: Duration::ZERO,
+        });
+        ack.push(0);
+        assert!(decode(&ack).is_err());
+    }
+
+    #[test]
+    fn submit_trap_truncated_commitment_rejected() {
+        let bytes = encode_submit(&sample_submit(true));
+        // Slice off half the trailing commitment.
+        let error = decode(&bytes[..bytes.len() - DIGEST_LEN / 2]).unwrap_err();
+        assert!(
+            format!("{error:?}").contains("commitment")
+                || format!("{error:?}").contains("truncated"),
+            "want a truncation error, got {error:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@ use atom_core::config::Defense;
 use atom_core::directory::RoundSetup;
 use atom_core::error::{AtomError, AtomResult};
 use atom_core::message::{make_nizk_submission, make_trap_submission};
+use atom_core::{NizkSubmission, TrapSubmission};
+use atom_runtime::wire::{self, ClientSubmission, SubmitFrame};
 use atom_runtime::{RoundSubmissions, SubmissionBlock, SubmissionSource};
 
 /// Sebastiano Vigna's splitmix64 finalizer: the standard cheap bijection
@@ -306,6 +308,66 @@ impl WorkloadSource {
             SubmissionBlock::Trap(subs) => RoundSubmissions::Trap(subs),
         })
     }
+
+    /// Submission `index` built for the wire: the [`ClientSubmission`] a
+    /// real client at that index would send the ingress tier.
+    /// [`generate`](SubmissionSource::generate) delegates to the same
+    /// per-index builders, so the socket path and the materialized path
+    /// carry byte-identical submissions by construction.
+    pub fn submission_at(&self, index: usize) -> AtomResult<ClientSubmission> {
+        Ok(match self.spec.defense {
+            Defense::Nizk => ClientSubmission::Nizk(self.nizk_at(index)?),
+            Defense::Trap => ClientSubmission::Trap(self.trap_at(index)?),
+        })
+    }
+
+    /// The encoded `submit` wire payload of client `index` (ready to wrap
+    /// in an `atom_net` client frame): the client id is the index itself,
+    /// so the ingress tier's sort-by-client recovers generation order.
+    pub fn submit_payload_at(&self, index: usize, round: usize, app: u16) -> AtomResult<Vec<u8>> {
+        Ok(wire::encode_submit(&SubmitFrame {
+            round,
+            client: index as u64,
+            app,
+            submission: self.submission_at(index)?,
+        }))
+    }
+
+    /// The single per-index NIZK builder both `generate` and
+    /// `submission_at` share.
+    fn nizk_at(&self, index: usize) -> AtomResult<NizkSubmission> {
+        let config = &self.setup.config;
+        let mut rng = index_rng(self.spec.seed, index as u64);
+        let gid = (rng.next_u64() % config.num_groups as u64) as usize;
+        let text = self.text_at(index);
+        let (submission, _receipt) = make_nizk_submission(
+            gid,
+            &self.setup.groups[gid].public_key,
+            text.as_bytes(),
+            config.message_len,
+            &mut rng,
+        )?;
+        Ok(submission)
+    }
+
+    /// The single per-index trap builder both `generate` and
+    /// `submission_at` share.
+    fn trap_at(&self, index: usize) -> AtomResult<TrapSubmission> {
+        let config = &self.setup.config;
+        let mut rng = index_rng(self.spec.seed, index as u64);
+        let gid = (rng.next_u64() % config.num_groups as u64) as usize;
+        let text = self.text_at(index);
+        let (submission, _receipt) = make_trap_submission(
+            gid,
+            &self.setup.groups[gid].public_key,
+            &self.setup.trustees.public_key,
+            config.round,
+            text.as_bytes(),
+            config.message_len,
+            &mut rng,
+        )?;
+        Ok(submission)
+    }
 }
 
 impl SubmissionSource for WorkloadSource {
@@ -318,41 +380,18 @@ impl SubmissionSource for WorkloadSource {
     }
 
     fn generate(&self, (start, end): (usize, usize)) -> AtomResult<SubmissionBlock> {
-        let config = &self.setup.config;
         match self.spec.defense {
             Defense::Nizk => {
                 let mut block = Vec::with_capacity(end - start);
                 for index in start..end {
-                    let mut rng = index_rng(self.spec.seed, index as u64);
-                    let gid = (rng.next_u64() % config.num_groups as u64) as usize;
-                    let text = self.text_at(index);
-                    let (submission, _receipt) = make_nizk_submission(
-                        gid,
-                        &self.setup.groups[gid].public_key,
-                        text.as_bytes(),
-                        config.message_len,
-                        &mut rng,
-                    )?;
-                    block.push(submission);
+                    block.push(self.nizk_at(index)?);
                 }
                 Ok(SubmissionBlock::Nizk(block))
             }
             Defense::Trap => {
                 let mut block = Vec::with_capacity(end - start);
                 for index in start..end {
-                    let mut rng = index_rng(self.spec.seed, index as u64);
-                    let gid = (rng.next_u64() % config.num_groups as u64) as usize;
-                    let text = self.text_at(index);
-                    let (submission, _receipt) = make_trap_submission(
-                        gid,
-                        &self.setup.groups[gid].public_key,
-                        &self.setup.trustees.public_key,
-                        config.round,
-                        text.as_bytes(),
-                        config.message_len,
-                        &mut rng,
-                    )?;
-                    block.push(submission);
+                    block.push(self.trap_at(index)?);
                 }
                 Ok(SubmissionBlock::Trap(block))
             }
@@ -500,6 +539,41 @@ mod tests {
     fn dialing_bursts_scale_the_burst_rounds_only() {
         let counts = dialing_burst_counts(7, 10, 3, 5);
         assert_eq!(counts, vec![50, 10, 10, 50, 10, 10, 50]);
+    }
+
+    #[test]
+    fn wire_submissions_match_the_materialized_stream_exactly() {
+        // submission_at (what a socket client sends) and generate (what
+        // the materialized baseline holds) must agree byte-for-byte, and
+        // the wire payload must decode back to the same submission.
+        let source = microblog_source(Defense::Nizk, 6, 0x1236);
+        let SubmissionBlock::Nizk(block) = source.generate((0, 6)).unwrap() else {
+            panic!("nizk spec must yield nizk blocks");
+        };
+        for (index, expected) in block.iter().enumerate() {
+            let ClientSubmission::Nizk(wire_side) = source.submission_at(index).unwrap() else {
+                panic!("nizk spec must yield nizk submissions");
+            };
+            assert_eq!(&wire_side, expected, "index {index} diverged");
+
+            let payload = source.submit_payload_at(index, 3, 9).unwrap();
+            let wire::Frame::Submit(frame) = wire::decode(&payload).unwrap() else {
+                panic!("submit payload must decode as a submit frame");
+            };
+            assert_eq!(frame.round, 3);
+            assert_eq!(frame.client, index as u64);
+            assert_eq!(frame.app, 9);
+            let ClientSubmission::Nizk(decoded) = frame.submission else {
+                panic!("nizk payload must decode as a nizk submission");
+            };
+            assert_eq!(&decoded, expected, "index {index} corrupted on the wire");
+        }
+
+        let trap = microblog_source(Defense::Trap, 2, 0x1236);
+        assert!(matches!(
+            trap.submission_at(0).unwrap(),
+            ClientSubmission::Trap(_)
+        ));
     }
 
     #[test]
